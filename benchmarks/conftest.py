@@ -1,0 +1,22 @@
+"""Shared benchmark helpers.
+
+Every benchmark regenerates one table/figure of the paper at a meaningful
+scale and prints the rows it produces, so the tee'd output of
+``pytest benchmarks/ --benchmark-only`` doubles as the reproduction record.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture()
+def emit(capfd):
+    """Print *text* to the real terminal, bypassing pytest capture."""
+
+    def _emit(text: str) -> None:
+        with capfd.disabled():
+            print()
+            print(text)
+
+    return _emit

@@ -1,0 +1,28 @@
+"""Fig 4 — overhead of calibrating the temporal performance matrix.
+
+Paper anchors: just under 4 minutes at 64 instances, about 10 minutes at
+196, near-linear in the number of instances.
+"""
+
+import numpy as np
+
+from repro.experiments import fig04_overhead
+from repro.experiments.report import format_table
+
+
+def test_fig04_calibration_overhead(benchmark, emit):
+    result = benchmark(fig04_overhead.run, sizes=(16, 32, 64, 96, 128, 160, 196))
+
+    rows = [(n, s, m, r) for n, s, m, r in result.as_rows()]
+    emit(
+        format_table(
+            ["instances", "seconds", "minutes", "schedule rounds"],
+            rows,
+            title="Fig 4: calibration overhead (time step = 10)",
+        )
+    )
+
+    ys = np.array(result.overhead_seconds)
+    assert np.all(np.diff(ys) > 0)
+    assert result.overhead_seconds[2] < 240.0  # 64 instances < 4 min
+    assert 480 < result.overhead_seconds[-1] < 780  # 196 instances ≈ 10 min

@@ -1,0 +1,79 @@
+"""Fig 6 — update-maintenance threshold study.
+
+Paper shape: below ≈20% the loop thrashes (overhead dominates), above
+≈150% it effectively never re-calibrates and communication degrades after
+regime changes; ≈100% "almost achieves the best performance". The replay
+uses a trace whose placement regime changes every 24 snapshots (mass VM
+migrations) and monitors application-sized operations (40 collectives per
+run), reproducing the U-shape with its minimum in the 100-150% band.
+"""
+
+import numpy as np
+
+from repro.cloudsim.dynamics import DynamicsConfig
+from repro.cloudsim.trace import CalibrationTrace
+from repro.cloudsim.tracegen import TraceConfig, generate_trace
+from repro.experiments import fig06_threshold
+from repro.experiments.report import format_table
+
+THRESHOLDS = (0.1, 0.2, 0.5, 1.0, 1.5, 2.0, 5.0)
+
+
+def regime_cycle_trace(n=16, segments=5, seg_len=24, seed=0):
+    """Fresh placement+bands every *seg_len* snapshots: periodic regime changes."""
+    dyn = DynamicsConfig(
+        volatility_sigma=0.08,
+        spike_probability=0.02,
+        spike_severity=3.0,
+        hotspot_probability=0.02,
+    )
+    parts = [
+        generate_trace(
+            TraceConfig(n_machines=n, n_snapshots=seg_len, dynamics=dyn),
+            seed=seed + i,
+        )
+        for i in range(segments)
+    ]
+    return CalibrationTrace(
+        alpha=np.concatenate([p.alpha for p in parts]),
+        beta=np.concatenate([p.beta for p in parts]),
+        timestamps=np.arange(segments * seg_len, dtype=float) * 1800.0,
+    )
+
+
+def test_fig06_maintenance_threshold(benchmark, emit):
+    trace = regime_cycle_trace()
+    result = benchmark.pedantic(
+        fig06_threshold.run,
+        args=(trace,),
+        kwargs=dict(
+            thresholds=THRESHOLDS,
+            time_step=10,
+            calibration_cost=45.0,  # Fig 4 model at this cluster size
+            collectives_per_operation=40,
+            seed=0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    emit(
+        format_table(
+            ["threshold", "avg total (s)", "avg comm (s)", "avg overhead (s)", "recals"],
+            result.as_rows(),
+            title="Fig 6: application runs under the Algorithm-1 maintenance loop",
+        )
+    )
+
+    by_th = {o.threshold: o for o in result.outcomes}
+    # The U-shape: the sweet spot sits in the paper's 100-150% band.
+    assert result.best_threshold() in (1.0, 1.5)
+    assert by_th[1.0].avg_total_time < by_th[0.1].avg_total_time
+    assert by_th[1.0].avg_total_time < by_th[5.0].avg_total_time
+    # Thrashing at tiny thresholds: monotone recalibrations and overhead.
+    recals = [by_th[t].recalibrations for t in THRESHOLDS]
+    assert all(a >= b for a, b in zip(recals, recals[1:]))
+    overheads = [by_th[t].avg_maintenance_overhead for t in THRESHOLDS]
+    assert all(a >= b - 1e-9 for a, b in zip(overheads, overheads[1:]))
+    # Stale estimates at huge thresholds degrade communication itself.
+    assert by_th[5.0].avg_communication_time > 1.1 * by_th[0.5].avg_communication_time

@@ -1,0 +1,70 @@
+"""Fig 12 — background traffic vs Norm(N_E) in the flow simulator.
+
+Paper shape on the 1024-machine tree: Norm(N_E) falls as the background
+waiting time λ grows (12a) and rises roughly linearly with the background
+message size (12b). The bench runs a 256-machine datacenter with the same
+3.2:1 uplink oversubscription to keep the wall clock bounded.
+"""
+
+import numpy as np
+
+from repro.experiments import fig12_interference
+from repro.experiments.report import format_series
+from repro.netsim.topology import GBIT
+
+MB = 1024 * 1024
+GEOM = dict(
+    n_racks=16,
+    servers_per_rack=16,
+    cluster_size=24,
+    n_pairs=96,
+    n_snapshots=8,
+    gap_seconds=20.0,
+    core_bandwidth=5.0 * GBIT,  # 16 x 1 Gb/s vs 5 Gb/s = 3.2:1
+)
+
+
+def test_fig12a_lambda_sweep(benchmark, emit):
+    result = benchmark.pedantic(
+        fig12_interference.run_lambda_sweep,
+        kwargs=dict(lambdas=(1.0, 2.0, 5.0, 10.0, 30.0), message_bytes=100.0 * MB,
+                    seed=0, **GEOM),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        format_series(
+            "lambda (s)", "Norm(N_E)", result.as_rows(),
+            title="Fig 12a: interference frequency vs Norm(N_E)",
+        )
+    )
+    norms = np.array(result.norms())
+    # Overall decreasing trend: busiest clearly above calmest, and the
+    # first half's mean above the second half's.
+    assert norms[0] > norms[-1]
+    assert norms[:2].mean() > norms[-2:].mean()
+
+
+def test_fig12b_message_size_sweep(benchmark, emit):
+    result = benchmark.pedantic(
+        fig12_interference.run_msgsize_sweep,
+        kwargs=dict(
+            message_sizes=(10 * MB, 50 * MB, 100 * MB, 250 * MB, 500 * MB),
+            mean_wait_seconds=5.0,
+            seed=0,
+            **GEOM,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        format_series(
+            "background message (bytes)", "Norm(N_E)", result.as_rows(),
+            title="Fig 12b: interference volume vs Norm(N_E)",
+        )
+    )
+    norms = np.array(result.norms())
+    assert norms[-1] > norms[0]
+    # Roughly monotone growth (one inversion tolerated for noise).
+    inversions = int(np.sum(np.diff(norms) < -0.01))
+    assert inversions <= 1

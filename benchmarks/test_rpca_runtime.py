@@ -1,0 +1,30 @@
+"""Sec V-B runtime claims: RPCA solves the 196-instance TP-matrix fast.
+
+Paper: "The execution time for running RPCA once is less than 1 minute in
+the experiments with 196 instances" (a 10 × 38416 matrix), and the RPCA
+calculation contributes <2% of total overhead. Our numpy solvers are far
+faster than that bound; the benchmark records the actual per-solve time.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cloudsim.tracegen import TraceConfig, generate_trace
+from repro.core.decompose import decompose
+
+MB = 1024 * 1024
+
+
+@pytest.fixture(scope="module")
+def tp_196():
+    trace = generate_trace(TraceConfig(n_machines=196, n_snapshots=10), seed=196)
+    return trace.tp_matrix(8 * MB)
+
+
+@pytest.mark.parametrize("solver", ["apg", "ialm", "row_constant"])
+def test_rpca_solver_runtime_196_instances(benchmark, tp_196, solver):
+    dec = benchmark(decompose, tp_196, solver=solver)
+    assert dec.constant.row.size == 196 * 196
+    # The paper's bound, with two orders of magnitude to spare expected.
+    stats = benchmark.stats.stats
+    assert stats.mean < 60.0

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""MPI-style programming against the simulated communicator.
+
+Writes a real distributed algorithm — power iteration for the dominant
+eigenvalue, built from scatter / allgather-style exchanges and reduces —
+against :class:`repro.mpisim.SimComm`. The numerics are exact; the
+communicator additionally accounts the simulated communication time under
+the α-β model. Running the same program with a Baseline communicator and a
+network-aware one (FNF trees on the RPCA constant component) shows the
+paper's gain at the programming-model level: same code, same results,
+different simulated wall clock.
+
+Run:  python examples/mpi_programming.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import TraceConfig, decompose, generate_trace
+from repro.mpisim import SimComm
+
+MB = 1024 * 1024
+
+
+def power_iteration(comm: SimComm, a_blocks: list[np.ndarray], n: int, iters: int = 30):
+    """Distributed power iteration: each rank owns a block of rows of A."""
+    x = np.ones(n) / np.sqrt(n)
+    for _ in range(iters):
+        # Everyone needs the full vector (the all-to-all of the paper's apps).
+        comm.bcast(x, root=0)
+        partials = [blk @ x for blk in a_blocks]
+        # Reassemble y from the gathered partials.
+        gathered = comm.gather(None, root=0, all_values=partials)
+        y = np.concatenate(gathered)
+        norm = comm.reduce(
+            [float(p @ p) for p in partials], op=lambda u, v: u + v, root=0
+        )
+        x = y / np.sqrt(norm)
+    # Rayleigh quotient: each rank contributes its slice of xᵀAx.
+    comm.bcast(x, root=0)
+    partials = [blk @ x for blk in a_blocks]
+    y = np.concatenate(comm.gather(None, root=0, all_values=partials))
+    lam = float(x @ y)
+    return lam, x
+
+
+def main() -> None:
+    n_ranks, n = 8, 1600
+    rng = np.random.default_rng(3)
+    # Symmetric matrix with a planted, well-separated dominant eigenpair so
+    # 30 power iterations genuinely converge.
+    m = rng.standard_normal((n, n))
+    a = (m + m.T) / 2.0
+    v = rng.standard_normal(n)
+    v /= np.linalg.norm(v)
+    a += 150.0 * np.outer(v, v)
+    a_blocks = np.array_split(a, n_ranks, axis=0)
+    truth = float(np.max(np.abs(np.linalg.eigvalsh(a))))
+
+    trace = generate_trace(TraceConfig(n_machines=n_ranks, n_snapshots=20), seed=5)
+    live_a, live_b = trace.alpha[15], trace.beta[15]
+    constant = decompose(
+        trace.tp_matrix(8 * MB, start=0, count=10), solver="apg"
+    ).performance_matrix().weights
+
+    results = {}
+    for label, weights in (("Baseline (binomial)", None), ("RPCA (FNF)", constant)):
+        comm = SimComm(live_a, live_b, weights=weights)
+        lam, _ = power_iteration(comm, a_blocks, n)
+        results[label] = (lam, comm.elapsed, dict(comm.stats.per_op_seconds))
+
+    print(f"dominant |eigenvalue|: truth {truth:.4f}")
+    for label, (lam, elapsed, per_op) in results.items():
+        ops = ", ".join(f"{k} {v:.2f}s" for k, v in per_op.items())
+        print(f"  {label:<22} estimate {abs(lam):.4f}  comm {elapsed:.2f}s  ({ops})")
+    base = results["Baseline (binomial)"][1]
+    aware = results["RPCA (FNF)"][1]
+    print(f"\nsame numerics, {1 - aware / base:.0%} less simulated communication time")
+
+
+if __name__ == "__main__":
+    main()

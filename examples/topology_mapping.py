@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Topology mapping on a virtual cluster (paper Sec II-C + Fig 7).
+
+Maps task graphs (random, ring, 2-D stencil) onto an EC2-like virtual
+cluster with the greedy heuristic of Hoefler & Snir, guided by three
+estimates of the machine graph: none (ring mapping baseline), the raw mean
+of measurements, and the RPCA constant component.
+
+Run:  python examples/topology_mapping.py
+"""
+
+from __future__ import annotations
+
+from repro import BaselineStrategy, HeuristicStrategy, RPCAStrategy, TraceConfig, generate_trace
+from repro.experiments.harness import ReplayContext, mapping_comparison
+from repro.experiments.report import format_table
+from repro.mapping.taskgraph import random_task_graph, ring_task_graph, stencil_task_graph
+
+MB = 1024 * 1024
+
+
+def main() -> None:
+    n = 16
+    trace = generate_trace(TraceConfig(n_machines=n, n_snapshots=26), seed=77)
+    ctx = ReplayContext(trace=trace, time_step=10, nbytes=8 * MB)
+
+    workloads = {
+        "random (5-10MB edges)": [random_task_graph(n, seed=s) for s in range(12)],
+        "ring": [ring_task_graph(n, volume_bytes=8 * MB)] * 6,
+        "4x4 stencil": [stencil_task_graph(4, 4, volume_bytes=8 * MB)] * 6,
+    }
+
+    rows = []
+    for label, graphs in workloads.items():
+        arms = [
+            BaselineStrategy(),
+            HeuristicStrategy("mean"),
+            RPCAStrategy("apg", time_step=10),
+        ]
+        res = mapping_comparison(ctx, arms, graphs, seed=5)
+        norm = res.normalized_means()
+        rows.append(
+            (label, norm["Baseline"], norm["Heuristics"], norm["RPCA"],
+             f"{res.improvement('RPCA', 'Baseline'):+.1%}")
+        )
+
+    print(
+        format_table(
+            ["task graph", "Baseline", "Heuristics", "RPCA", "RPCA vs Baseline"],
+            rows,
+            title=(
+                "Mapping communication time, normalized to Baseline (ring "
+                "mapping); paper reports 8-20% gains over direct measurement"
+            ),
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+"""repro — reproduction of "Finding Constant from Change: Revisiting Network
+Performance Aware Optimizations on IaaS Clouds" (Gong, He & Li, SC 2014).
+
+The package decouples the *constant* component of a virtual cluster's
+dynamic network performance from its transient *error* component using
+Robust PCA, uses the constant component to drive classic network-
+performance-aware optimizations (FNF collective trees, greedy topology
+mapping), and uses the error component's relative norm to predict whether
+those optimizations will pay off.
+
+Quick start
+-----------
+>>> from repro import TraceConfig, generate_trace, decompose
+>>> trace = generate_trace(TraceConfig(n_machines=8, n_snapshots=12), seed=0)
+>>> tp = trace.tp_matrix(nbytes=8 << 20)
+>>> dec = decompose(tp)
+>>> dec.report.verdict in {"stable", "moderately-stable", "dynamic", "too-dynamic"}
+True
+
+Sub-packages
+------------
+core
+    RPCA solvers, TP/TC/TE matrices, Norm(N_E), Algorithm-1 maintenance.
+netmodel
+    The α-β transfer-time model.
+cloudsim
+    EC2 substitute: placement, bands, dynamics, trace synthesis, noise.
+netsim
+    ns-2 substitute: tree topology, max-min fair flow simulation, probes.
+calibration
+    Pairing schedule, calibrator, overhead model.
+collectives
+    Binomial/FNF trees and the collective execution model.
+mapping
+    Task graphs, greedy/ring mapping, evaluation.
+strategies
+    The four comparison arms.
+apps
+    N-body and CG with real numerics and communication profiles.
+experiments
+    One driver per paper figure (Figs 4–13).
+"""
+
+from .core import (
+    PerformanceMatrix,
+    TPMatrix,
+    TCMatrix,
+    TEMatrix,
+    decompose,
+    Decomposition,
+    rpca_apg,
+    rpca_ialm,
+    row_constant_decomposition,
+    solve_rpca,
+    available_solvers,
+    relative_error_norm,
+    MaintenanceController,
+    MaintenanceDecision,
+)
+from .cloudsim import TraceConfig, generate_trace, CalibrationTrace
+from .cloudsim.io import save_trace, load_trace, load_trace_csv
+from .collectives import binomial_tree, fnf_tree, CommTree, run_collective
+from .runtime import TraceSession
+from .strategies import (
+    BaselineStrategy,
+    HeuristicStrategy,
+    RPCAStrategy,
+    TopologyAwareStrategy,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PerformanceMatrix",
+    "TPMatrix",
+    "TCMatrix",
+    "TEMatrix",
+    "decompose",
+    "Decomposition",
+    "rpca_apg",
+    "rpca_ialm",
+    "row_constant_decomposition",
+    "solve_rpca",
+    "available_solvers",
+    "relative_error_norm",
+    "MaintenanceController",
+    "MaintenanceDecision",
+    "TraceConfig",
+    "generate_trace",
+    "CalibrationTrace",
+    "save_trace",
+    "load_trace",
+    "load_trace_csv",
+    "TraceSession",
+    "binomial_tree",
+    "fnf_tree",
+    "CommTree",
+    "run_collective",
+    "BaselineStrategy",
+    "HeuristicStrategy",
+    "RPCAStrategy",
+    "TopologyAwareStrategy",
+    "__version__",
+]

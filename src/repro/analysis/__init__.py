@@ -1,0 +1,25 @@
+"""Trace analytics: the offline studies behind the paper's Appendix A.
+
+Tools to characterize a calibration trace before deciding how to optimize:
+per-link band statistics, cluster-wide stability summaries, and an offline
+regime-change detector that locates the significant changes the online
+maintenance loop (Algorithm 1) would have reacted to.
+"""
+
+from .tracestats import (
+    TraceStabilityReport,
+    link_band_table,
+    trace_stability_report,
+)
+from .changepoints import detect_regime_changes, RegimeChange
+from .significance import ImprovementCI, bootstrap_improvement
+
+__all__ = [
+    "ImprovementCI",
+    "bootstrap_improvement",
+    "TraceStabilityReport",
+    "link_band_table",
+    "trace_stability_report",
+    "detect_regime_changes",
+    "RegimeChange",
+]

@@ -1,0 +1,94 @@
+"""Offline regime-change detection.
+
+The online maintenance loop (Algorithm 1) reacts to significant changes as
+they happen; for trace analysis we also want to locate them *offline*. A
+regime change (e.g. a VM migration) moves the constant component itself, so
+it shows up as a persistent shift of the cluster-mean weight level. The
+detector compares, at every candidate split point, the median weight row of
+a window before vs after; a relative L1 shift above the threshold flags a
+change. Persistent shifts (regime changes) trigger; one-snapshot spikes
+(interference) do not, because medians span whole windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import check_positive
+from ..cloudsim.trace import CalibrationTrace
+from ..core.metrics import relative_difference
+from ..errors import ValidationError
+
+__all__ = ["RegimeChange", "detect_regime_changes"]
+
+
+@dataclass(frozen=True, slots=True)
+class RegimeChange:
+    """One detected change.
+
+    ``snapshot`` is the first snapshot of the new regime; ``shift`` is the
+    relative L1 distance between the constant rows of the two windows.
+    """
+
+    snapshot: int
+    shift: float
+
+
+def detect_regime_changes(
+    trace: CalibrationTrace,
+    *,
+    nbytes: float = 8 * 1024 * 1024,
+    window: int = 5,
+    threshold: float = 0.25,
+) -> list[RegimeChange]:
+    """Scan *trace* for persistent shifts of the constant component.
+
+    Parameters
+    ----------
+    trace:
+        The calibration trace.
+    nbytes:
+        Message size for the weight conversion.
+    window:
+        Half-window length in snapshots; candidate points range over
+        ``[window, T - window]``.
+    threshold:
+        Relative L1 shift that counts as a regime change.
+
+    Returns
+    -------
+    list[RegimeChange]
+        Local-maximum change points, strongest shift per contiguous run of
+        above-threshold candidates, in snapshot order.
+    """
+    check_positive(threshold, "threshold")
+    w = int(window)
+    if w < 2:
+        raise ValidationError("window must be >= 2")
+    t = trace.n_snapshots
+    if t < 2 * w + 1:
+        return []
+    data = trace.tp_matrix(nbytes).data
+
+    shifts = np.zeros(t)
+    for k in range(w, t - w + 1):
+        before = np.median(data[k - w : k], axis=0)
+        after = np.median(data[k : k + w], axis=0)
+        shifts[k] = relative_difference(after, before)
+
+    above = shifts >= threshold
+    changes: list[RegimeChange] = []
+    k = w
+    while k <= t - w:
+        if above[k]:
+            # Consume the contiguous run, keep its strongest point.
+            start = k
+            while k <= t - w and above[k]:
+                k += 1
+            peak = start + int(np.argmax(shifts[start:k]))
+            changes.append(RegimeChange(snapshot=peak, shift=float(shifts[peak])))
+        else:
+            k += 1
+    return changes

@@ -1,0 +1,90 @@
+"""Cluster-wide trace statistics (the paper's Appendix-A style study).
+
+Summarizes a calibration trace the way the paper characterizes its EC2
+measurements: every link has a *band* (robust center) and *volatility*
+(relative spread), bands differ widely across links (the heterogeneity that
+makes link selection pay), and samples are unpredictable within the band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cloudsim.trace import CalibrationTrace
+from ..core.decompose import decompose
+from ..errors import ValidationError
+from ..netmodel.linkstats import LinkSeriesStats, summarize_link_series
+
+__all__ = ["TraceStabilityReport", "link_band_table", "trace_stability_report"]
+
+
+@dataclass(frozen=True)
+class TraceStabilityReport:
+    """Cluster-level stability summary of one trace.
+
+    Attributes
+    ----------
+    n_machines, n_snapshots:
+        Trace dimensions.
+    norm_ne:
+        ``Norm(N_E)`` of an exact row-constant decomposition of the trace's
+        weight TP-matrix at the probe message size.
+    band_spread:
+        Ratio p90/p10 of per-link band centers — the *cross-link*
+        heterogeneity available for optimizers to exploit.
+    median_volatility:
+        Median per-link relative spread — the *within-link* unpredictability.
+    spike_fraction:
+        Mean fraction of samples flagged as spikes across links.
+    verdict:
+        The :class:`~repro.core.metrics.StabilityReport` bucket.
+    """
+
+    n_machines: int
+    n_snapshots: int
+    norm_ne: float
+    band_spread: float
+    median_volatility: float
+    spike_fraction: float
+    verdict: str
+
+
+def link_band_table(
+    trace: CalibrationTrace, nbytes: float = 8 * 1024 * 1024
+) -> list[tuple[int, int, LinkSeriesStats]]:
+    """Per-link band statistics: ``(src, dst, stats)`` for every ordered pair."""
+    n = trace.n_machines
+    tp = trace.tp_matrix(nbytes)
+    out: list[tuple[int, int, LinkSeriesStats]] = []
+    cube = tp.data.reshape(tp.n_snapshots, n, n)
+    for i in range(n):
+        for j in range(n):
+            if i == j:
+                continue
+            out.append((i, j, summarize_link_series(cube[:, i, j])))
+    return out
+
+
+def trace_stability_report(
+    trace: CalibrationTrace, nbytes: float = 8 * 1024 * 1024
+) -> TraceStabilityReport:
+    """Build a :class:`TraceStabilityReport` for *trace*."""
+    if trace.n_machines < 2:
+        raise ValidationError("need at least 2 machines to analyze links")
+    dec = decompose(trace.tp_matrix(nbytes), solver="row_constant")
+    links = link_band_table(trace, nbytes)
+    centers = np.array([s.center for _, _, s in links])
+    vols = np.array([s.volatility for _, _, s in links])
+    spikes = np.array([s.spike_fraction for _, _, s in links])
+    p10, p90 = np.percentile(centers, [10, 90])
+    return TraceStabilityReport(
+        n_machines=trace.n_machines,
+        n_snapshots=trace.n_snapshots,
+        norm_ne=dec.norm_ne,
+        band_spread=float(p90 / p10) if p10 > 0 else np.inf,
+        median_volatility=float(np.median(vols)),
+        spike_fraction=float(spikes.mean()),
+        verdict=dec.report.verdict,
+    )

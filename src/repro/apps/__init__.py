@@ -1,0 +1,37 @@
+"""Real-world applications of the paper's evaluation: N-body and CG.
+
+Both applications are *communication-profiled*: the app produces a per-step
+profile (which collectives run, with what payload, plus local computation
+time), and a shared runner executes the profile against a strategy's trees
+priced on live trace snapshots. The numerics are real — a vectorized O(n²)
+gravity integrator and an actual conjugate-gradient solve on a sparse SPD
+system (iteration counts come from genuinely running CG) — while the
+distributed execution is simulated, matching how the paper replays traces.
+"""
+
+from .breakdown import TimeBreakdown, StepProfile, AppRunner
+from .nbody import NBodyConfig, NBodySimulation, nbody_profile
+from .cg import CGConfig, build_spd_system, run_cg_numerics, cg_profile
+from .workflow import (
+    Workflow,
+    WorkflowStage,
+    montage_like_workflow,
+    workflow_makespan,
+)
+
+__all__ = [
+    "TimeBreakdown",
+    "StepProfile",
+    "AppRunner",
+    "NBodyConfig",
+    "NBodySimulation",
+    "nbody_profile",
+    "CGConfig",
+    "build_spd_system",
+    "run_cg_numerics",
+    "cg_profile",
+    "Workflow",
+    "WorkflowStage",
+    "montage_like_workflow",
+    "workflow_makespan",
+]

@@ -1,0 +1,156 @@
+"""N-body: real gravity numerics plus the distributed communication profile.
+
+The paper's N-body "simulat[es] the movement, position and other attributes
+of bodies with gravitational forces exerted on one another", parameterized
+by #Step and the number of bodies (message size grows with bodies). Each
+distributed step exchanges every body's state all-to-all (gather + broadcast
+per MPICH2) and computes O(n²) pairwise forces locally.
+
+:class:`NBodySimulation` is a genuine vectorized leapfrog integrator with
+Plummer softening — used by the examples and by tests that check momentum
+conservation — while :func:`nbody_profile` produces the
+:class:`~repro.apps.breakdown.StepProfile` sequence the replay runner prices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import check_positive
+from ..errors import ValidationError
+from ..utils.seeding import spawn_rng
+from .breakdown import StepProfile, alltoall_collectives
+
+__all__ = ["NBodyConfig", "NBodySimulation", "nbody_profile"]
+
+#: Bytes per body on the wire: 3 position + 3 velocity + 1 mass float64.
+BYTES_PER_BODY = 7 * 8
+
+
+@dataclass(frozen=True, slots=True)
+class NBodyConfig:
+    """Distributed N-body run description.
+
+    Attributes
+    ----------
+    n_steps:
+        #Step — number of integration steps (paper sweeps 10–2560).
+    message_bytes:
+        All-to-all payload per step (paper sweeps 1 KB–1 MB). The implied
+        body count is ``message_bytes / BYTES_PER_BODY``.
+    flops_rate:
+        Local compute rate in flop/s (2013 medium instance ≈ 2 Gflop/s).
+    flops_per_pair:
+        Floating ops per body-pair interaction (≈ 20 for softened gravity).
+    """
+
+    n_steps: int
+    message_bytes: float
+    flops_rate: float = 2.0e9
+    flops_per_pair: float = 20.0
+
+    def __post_init__(self) -> None:
+        if int(self.n_steps) < 1:
+            raise ValidationError("n_steps must be >= 1")
+        check_positive(self.message_bytes, "message_bytes")
+        check_positive(self.flops_rate, "flops_rate")
+        check_positive(self.flops_per_pair, "flops_per_pair")
+
+    @property
+    def n_bodies(self) -> int:
+        return max(2, int(self.message_bytes / BYTES_PER_BODY))
+
+    def computation_seconds_per_step(self, n_machines: int) -> float:
+        """Per-machine force computation time: each machine owns n/N bodies."""
+        if n_machines < 1:
+            raise ValidationError("n_machines must be >= 1")
+        n = self.n_bodies
+        local_pairs = (n / n_machines) * n
+        return local_pairs * self.flops_per_pair / self.flops_rate
+
+
+def nbody_profile(config: NBodyConfig, n_machines: int) -> list[StepProfile]:
+    """Per-step profiles: one all-to-all plus the local force computation."""
+    comp = config.computation_seconds_per_step(n_machines)
+    coll = alltoall_collectives(config.message_bytes, n_machines)
+    step = StepProfile(collectives=coll, computation_seconds=comp)
+    return [step] * int(config.n_steps)
+
+
+class NBodySimulation:
+    """Vectorized leapfrog (kick-drift-kick) gravity integrator.
+
+    Parameters
+    ----------
+    n_bodies:
+        Number of bodies.
+    softening:
+        Plummer softening length ε; forces use ``(r² + ε²)^(3/2)``.
+    G:
+        Gravitational constant (1 in simulation units).
+    seed:
+        Initial-condition seed (uniform cube positions, cold start).
+    """
+
+    def __init__(
+        self,
+        n_bodies: int,
+        *,
+        softening: float = 0.05,
+        G: float = 1.0,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if n_bodies < 2:
+            raise ValidationError("n_bodies must be >= 2")
+        check_positive(softening, "softening")
+        check_positive(G, "G")
+        rng = spawn_rng(seed)
+        self.G = float(G)
+        self.softening = float(softening)
+        self.pos = rng.uniform(-1.0, 1.0, size=(n_bodies, 3))
+        self.vel = np.zeros((n_bodies, 3))
+        self.mass = rng.uniform(0.5, 1.5, size=n_bodies)
+
+    @property
+    def n_bodies(self) -> int:
+        return self.pos.shape[0]
+
+    def accelerations(self) -> np.ndarray:
+        """Pairwise softened gravitational accelerations, O(n²) vectorized."""
+        dx = self.pos[None, :, :] - self.pos[:, None, :]  # (i, j, 3): r_j - r_i
+        r2 = np.einsum("ijk,ijk->ij", dx, dx) + self.softening**2
+        inv_r3 = r2**-1.5
+        np.fill_diagonal(inv_r3, 0.0)
+        # a_i = G Σ_j m_j (r_j - r_i) / |r|³
+        return self.G * np.einsum("ij,j,ijk->ik", inv_r3, self.mass, dx)
+
+    def step(self, dt: float) -> None:
+        """One kick-drift-kick leapfrog step."""
+        check_positive(dt, "dt")
+        acc = self.accelerations()
+        self.vel += 0.5 * dt * acc
+        self.pos += dt * self.vel
+        acc = self.accelerations()
+        self.vel += 0.5 * dt * acc
+
+    def run(self, n_steps: int, dt: float = 1e-3) -> None:
+        for _ in range(int(n_steps)):
+            self.step(dt)
+
+    def total_momentum(self) -> np.ndarray:
+        """Σ mᵢvᵢ — conserved exactly by the symmetric force law."""
+        return (self.mass[:, None] * self.vel).sum(axis=0)
+
+    def total_energy(self) -> float:
+        """Kinetic + softened potential energy (drifts only at O(dt²))."""
+        kinetic = 0.5 * float(
+            (self.mass * np.einsum("ik,ik->i", self.vel, self.vel)).sum()
+        )
+        dx = self.pos[None, :, :] - self.pos[:, None, :]
+        r = np.sqrt(np.einsum("ijk,ijk->ij", dx, dx) + self.softening**2)
+        mm = np.outer(self.mass, self.mass)
+        iu = np.triu_indices(self.n_bodies, k=1)
+        potential = -self.G * float((mm[iu] / r[iu]).sum())
+        return kinetic + potential

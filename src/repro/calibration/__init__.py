@@ -1,0 +1,26 @@
+"""Model calibration (paper Sec IV-B).
+
+Measuring all N² − N ordered links one by one is prohibitively slow, so the
+paper pairs machines: each round, N/2 machines send while the other N/2
+receive, covering N/2 links concurrently and the full matrix in ≈ 2N rounds.
+This package provides that schedule, a calibrator that drives it against any
+measurement substrate (trace replay or the netsim simulator), and the cost
+model behind the paper's Fig 4 overhead numbers.
+"""
+
+from .schedule import pairing_rounds, PairingSchedule
+from .calibrator import Calibrator, MeasurementSubstrate, TraceSubstrate
+from .overhead import CalibrationCostModel, calibration_overhead_seconds
+from .adaptive import AdaptiveStepResult, select_time_step_online
+
+__all__ = [
+    "AdaptiveStepResult",
+    "select_time_step_online",
+    "pairing_rounds",
+    "PairingSchedule",
+    "Calibrator",
+    "MeasurementSubstrate",
+    "TraceSubstrate",
+    "CalibrationCostModel",
+    "calibration_overhead_seconds",
+]

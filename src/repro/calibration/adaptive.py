@@ -1,0 +1,102 @@
+"""Online time-step selection (the Fig 5 rule, automated).
+
+The paper picks the calibration time step offline: compute the relative
+difference of the constant component against the whole-trace oracle for a
+range of steps and take the smallest within 10 % (Fig 5). Deployed systems
+don't have the oracle, but they can apply the same rule *online*: keep
+adding calibration snapshots until the constant row stops moving — when the
+relative change contributed by the latest snapshot falls below the
+tolerance for a couple of consecutive snapshots, the estimate has converged
+and further calibration only costs money (2N probe rounds per snapshot,
+Fig 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import check_positive
+from ..core.decompose import decompose
+from ..core.matrices import TPMatrix
+from ..core.metrics import relative_difference
+from ..errors import CalibrationError, ValidationError
+
+__all__ = ["AdaptiveStepResult", "select_time_step_online"]
+
+
+@dataclass(frozen=True)
+class AdaptiveStepResult:
+    """Outcome of the online selection.
+
+    ``selected`` is the chosen time step; ``converged`` is False when the
+    budget ran out before the estimate stabilized (the caller should either
+    accept the final step or raise the tolerance). ``deltas[i]`` is the
+    relative movement of the constant row when snapshot ``min_step + i + 1``
+    was added.
+    """
+
+    selected: int
+    converged: bool
+    deltas: tuple[float, ...]
+
+
+def select_time_step_online(
+    tp: TPMatrix,
+    *,
+    tolerance: float = 0.02,
+    consecutive: int = 2,
+    min_step: int = 3,
+    max_step: int | None = None,
+    solver: str = "row_constant",
+) -> AdaptiveStepResult:
+    """Choose a time step by watching the constant row stabilize.
+
+    Parameters
+    ----------
+    tp:
+        Calibration rows gathered so far (time-ordered). The function walks
+        prefixes of it, so it can be called incrementally as rows arrive.
+    tolerance:
+        Per-snapshot relative movement below which the estimate counts as
+        stable. (Movement, not oracle distance: each new snapshot shifts a
+        converged estimate by roughly ``spread/step``, so small movement ⇔
+        the Fig 5 curve has flattened.)
+    consecutive:
+        How many consecutive below-tolerance additions are required.
+    min_step:
+        Smallest step considered (robust statistics need a few rows).
+    max_step:
+        Budget; defaults to all available rows.
+    solver:
+        Decomposition backend for the inner estimates.
+    """
+    check_positive(tolerance, "tolerance")
+    if int(consecutive) < 1:
+        raise ValidationError("consecutive must be >= 1")
+    if int(min_step) < 2:
+        raise ValidationError("min_step must be >= 2")
+    budget = tp.n_snapshots if max_step is None else min(int(max_step), tp.n_snapshots)
+    if budget < min_step + 1:
+        raise CalibrationError(
+            f"need at least {min_step + 1} snapshots, have {budget}"
+        )
+
+    prev_row = decompose(tp.head(min_step), solver=solver).constant.row
+    deltas: list[float] = []
+    streak = 0
+    for step in range(min_step + 1, budget + 1):
+        row = decompose(tp.head(step), solver=solver).constant.row
+        delta = relative_difference(row, prev_row)
+        deltas.append(float(delta))
+        prev_row = row
+        if delta <= tolerance:
+            streak += 1
+            if streak >= consecutive:
+                return AdaptiveStepResult(
+                    selected=step, converged=True, deltas=tuple(deltas)
+                )
+        else:
+            streak = 0
+    return AdaptiveStepResult(selected=budget, converged=False, deltas=tuple(deltas))

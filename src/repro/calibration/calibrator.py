@@ -1,0 +1,159 @@
+"""The calibrator: drive a measurement substrate through a pairing schedule.
+
+A *measurement substrate* answers ping-pong probes — the trace replay
+substrate reads the synthetic trace (optionally with measurement noise), the
+netsim substrate (:mod:`repro.netsim.probe`) actually simulates the probe
+flows. The calibrator walks the schedule round by round, assembles full
+(α, β) matrices per snapshot, and stacks them into TP-matrices.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from .._validation import check_nonnegative
+from ..cloudsim.trace import CalibrationTrace
+from ..core.matrices import TPMatrix
+from ..errors import CalibrationError
+from ..utils.seeding import spawn_rng
+from .schedule import PairingSchedule, pairing_rounds
+
+__all__ = ["MeasurementSubstrate", "TraceSubstrate", "Calibrator"]
+
+
+@runtime_checkable
+class MeasurementSubstrate(Protocol):
+    """Anything that can answer a batch of concurrent ping-pong probes."""
+
+    @property
+    def n_machines(self) -> int:
+        """Number of machines probes may address."""
+        ...
+
+    def measure_round(
+        self, pairs: tuple[tuple[int, int], ...], snapshot: int
+    ) -> list[tuple[float, float]]:
+        """Measure the given concurrent (sender, receiver) pairs.
+
+        Returns one ``(alpha, beta)`` tuple per pair, in order. *snapshot*
+        identifies the calibration epoch (trace row / simulation window).
+        """
+        ...
+
+
+class TraceSubstrate:
+    """Replay substrate: answers probes from a :class:`CalibrationTrace`.
+
+    Parameters
+    ----------
+    trace:
+        The ground-truth trace.
+    measurement_noise:
+        Relative σ of multiplicative lognormal measurement error added on
+        top of the trace values (0 = exact replay).
+    seed:
+        Drives the measurement noise.
+    """
+
+    def __init__(
+        self,
+        trace: CalibrationTrace,
+        *,
+        measurement_noise: float = 0.0,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        check_nonnegative(measurement_noise, "measurement_noise")
+        self.trace = trace
+        self.measurement_noise = float(measurement_noise)
+        self._rng = spawn_rng(seed)
+
+    @property
+    def n_machines(self) -> int:
+        return self.trace.n_machines
+
+    def measure_round(
+        self, pairs: tuple[tuple[int, int], ...], snapshot: int
+    ) -> list[tuple[float, float]]:
+        if not 0 <= snapshot < self.trace.n_snapshots:
+            raise CalibrationError(
+                f"snapshot {snapshot} outside trace of {self.trace.n_snapshots}"
+            )
+        out: list[tuple[float, float]] = []
+        a = self.trace.alpha[snapshot]
+        b = self.trace.beta[snapshot]
+        for s, r in pairs:
+            alpha, beta = float(a[s, r]), float(b[s, r])
+            if self.measurement_noise > 0:
+                alpha *= float(self._rng.lognormal(0.0, self.measurement_noise))
+                beta *= float(self._rng.lognormal(0.0, self.measurement_noise))
+            out.append((alpha, beta))
+        return out
+
+
+class Calibrator:
+    """Assemble TP-matrices by driving a substrate through the schedule.
+
+    Parameters
+    ----------
+    substrate:
+        Where measurements come from.
+    schedule:
+        Pairing schedule; defaults to the circle method for the substrate's
+        machine count.
+    """
+
+    def __init__(
+        self,
+        substrate: MeasurementSubstrate,
+        schedule: PairingSchedule | None = None,
+    ) -> None:
+        self.substrate = substrate
+        n = substrate.n_machines
+        self.schedule = schedule if schedule is not None else pairing_rounds(n)
+        if self.schedule.n_machines != n:
+            raise CalibrationError(
+                f"schedule is for {self.schedule.n_machines} machines, "
+                f"substrate has {n}"
+            )
+
+    def calibrate_snapshot(self, snapshot: int) -> tuple[np.ndarray, np.ndarray]:
+        """Measure every ordered pair once; return full (α, β) matrices."""
+        n = self.substrate.n_machines
+        alpha = np.zeros((n, n))
+        beta = np.full((n, n), np.inf)
+        for rnd in self.schedule.rounds:
+            results = self.substrate.measure_round(rnd, snapshot)
+            if len(results) != len(rnd):
+                raise CalibrationError(
+                    "substrate returned a result count mismatching the round"
+                )
+            for (s, r), (a_v, b_v) in zip(rnd, results):
+                if not (a_v >= 0 and b_v > 0):
+                    raise CalibrationError(
+                        f"invalid measurement on pair {(s, r)}: α={a_v}, β={b_v}"
+                    )
+                alpha[s, r] = a_v
+                beta[s, r] = b_v
+        return alpha, beta
+
+    def calibrate(
+        self, snapshots: list[int] | range, nbytes: float
+    ) -> TPMatrix:
+        """Calibrate the listed snapshots into a TP-matrix of link weights."""
+        check_nonnegative(nbytes, "nbytes")
+        snaps = list(snapshots)
+        if not snaps:
+            raise CalibrationError("at least one snapshot is required")
+        n = self.substrate.n_machines
+        off = ~np.eye(n, dtype=bool)
+        rows = np.empty((len(snaps), n * n))
+        for i, k in enumerate(snaps):
+            alpha, beta = self.calibrate_snapshot(k)
+            w = np.zeros((n, n))
+            w[off] = alpha[off] + nbytes / beta[off]
+            rows[i] = w.ravel()
+        return TPMatrix(
+            data=rows, n_machines=n, timestamps=np.asarray(snaps, dtype=np.float64)
+        )

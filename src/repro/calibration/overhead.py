@@ -1,0 +1,91 @@
+"""Calibration cost model (paper Fig 4).
+
+One TP-matrix at time step T costs ``T`` snapshots; each snapshot walks
+≈ 2N schedule rounds; each round runs the concurrent ping-pongs of one
+matching. SKaMPI-style ping-pong measures the 1-byte latency and the 8 MB
+bandwidth with a few repetitions, so a round's duration is the slowest
+pair's repetition loop plus synchronization slack. The defaults reproduce
+the paper's reported overheads — just under 4 minutes at 64 instances,
+about 10 minutes at 196 — and the linear-in-N shape of Fig 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .._validation import check_nonnegative, check_positive
+
+__all__ = ["CalibrationCostModel", "calibration_overhead_seconds"]
+
+
+@dataclass(frozen=True, slots=True)
+class CalibrationCostModel:
+    """Parameters of the ping-pong round cost.
+
+    Attributes
+    ----------
+    latency_msg_bytes, bandwidth_msg_bytes:
+        Probe sizes (1 B and 8 MB per the paper's SKaMPI configuration).
+    repetitions:
+        Ping-pong repetitions per probe.
+    expected_latency_s:
+        Worst-tier one-way latency assumed for budgeting.
+    expected_bandwidth_Bps:
+        Worst-tier bandwidth assumed for budgeting (cross-rack, bytes/s).
+    round_sync_s:
+        Barrier/bookkeeping slack per round.
+    """
+
+    latency_msg_bytes: float = 1.0
+    bandwidth_msg_bytes: float = 8.0 * 1024 * 1024
+    repetitions: int = 1
+    expected_latency_s: float = 5.0e-4
+    expected_bandwidth_Bps: float = 110e6
+    round_sync_s: float = 0.01
+
+    def __post_init__(self) -> None:
+        check_positive(self.latency_msg_bytes, "latency_msg_bytes")
+        check_positive(self.bandwidth_msg_bytes, "bandwidth_msg_bytes")
+        if int(self.repetitions) < 1:
+            raise ValueError("repetitions must be >= 1")
+        check_nonnegative(self.expected_latency_s, "expected_latency_s")
+        check_positive(self.expected_bandwidth_Bps, "expected_bandwidth_Bps")
+        check_nonnegative(self.round_sync_s, "round_sync_s")
+
+    def round_seconds(self) -> float:
+        """Duration of one schedule round (a full ping-pong on the slowest pair)."""
+        one_way_latency = self.expected_latency_s + (
+            self.latency_msg_bytes / self.expected_bandwidth_Bps
+        )
+        one_way_bandwidth = self.expected_latency_s + (
+            self.bandwidth_msg_bytes / self.expected_bandwidth_Bps
+        )
+        # A ping-pong is there-and-back for both probe sizes, repeated.
+        per_rep = 2.0 * one_way_latency + 2.0 * one_way_bandwidth
+        return self.repetitions * per_rep + self.round_sync_s
+
+
+def calibration_overhead_seconds(
+    n_machines: int,
+    time_step: int = 10,
+    model: CalibrationCostModel | None = None,
+) -> float:
+    """Total wall-clock cost of calibrating one TP-matrix.
+
+    Parameters
+    ----------
+    n_machines:
+        Cluster size N. Rounds per snapshot follow the circle method:
+        ``2(N−1)`` for even N, ``2N`` for odd N.
+    time_step:
+        Number of snapshot rows in the TP-matrix (paper default 10).
+    model:
+        Cost parameters (defaults reproduce the paper's numbers).
+    """
+    if n_machines < 2:
+        raise ValueError("n_machines must be >= 2")
+    if time_step < 1:
+        raise ValueError("time_step must be >= 1")
+    m = model if model is not None else CalibrationCostModel()
+    rounds = 2 * (n_machines - 1) if n_machines % 2 == 0 else 2 * n_machines
+    return time_step * rounds * m.round_seconds()

@@ -1,0 +1,93 @@
+"""The N/2-pairs-per-round measurement schedule.
+
+The circle method (round-robin tournament scheduling) partitions the
+complete graph on N vertices into N−1 perfect matchings (N even; for odd N,
+N matchings with one idle machine each). Measuring each matching in both
+directions covers every ordered pair in ``2(N−1)`` (or ``2N``) rounds —
+the "2 × N" cost the paper quotes — with every machine busy at most once
+per round, so concurrent ping-pongs never share an endpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ValidationError
+
+__all__ = ["pairing_rounds", "PairingSchedule"]
+
+
+@dataclass(frozen=True)
+class PairingSchedule:
+    """A full ordered-pair measurement schedule.
+
+    Attributes
+    ----------
+    n_machines:
+        Cluster size N.
+    rounds:
+        Tuple of rounds; each round is a tuple of disjoint ordered
+        ``(sender, receiver)`` pairs measured concurrently.
+    """
+
+    n_machines: int
+    rounds: tuple[tuple[tuple[int, int], ...], ...]
+
+    def __post_init__(self) -> None:
+        seen: set[tuple[int, int]] = set()
+        for rnd in self.rounds:
+            endpoints: set[int] = set()
+            for s, r in rnd:
+                if s == r:
+                    raise ValidationError("self-pairs are not allowed")
+                if s in endpoints or r in endpoints:
+                    raise ValidationError("a machine appears twice in one round")
+                endpoints.update((s, r))
+                if (s, r) in seen:
+                    raise ValidationError(f"pair {(s, r)} scheduled twice")
+                seen.add((s, r))
+        n = self.n_machines
+        expected = n * (n - 1)
+        if len(seen) != expected:
+            raise ValidationError(
+                f"schedule covers {len(seen)} ordered pairs, expected {expected}"
+            )
+
+    @property
+    def n_rounds(self) -> int:
+        return len(self.rounds)
+
+
+def pairing_rounds(n: int) -> PairingSchedule:
+    """Build the circle-method schedule covering all ordered pairs of ``n`` machines.
+
+    Returns ``2(n−1)`` rounds for even *n* and ``2n`` rounds for odd *n*
+    (one idle machine per round). ``n`` must be at least 2.
+    """
+    if n < 2:
+        raise ValidationError("need at least 2 machines to schedule pairs")
+    # Circle method: fix vertex 0 (or the bye marker for odd n), rotate the rest.
+    if n % 2 == 0:
+        ids = list(range(n))
+        bye = None
+    else:
+        ids = list(range(n)) + [-1]  # -1 = bye
+        bye = -1
+    m = len(ids)
+    half = m // 2
+    rounds: list[tuple[tuple[int, int], ...]] = []
+    arr = ids[:]
+    for _ in range(m - 1):
+        fwd: list[tuple[int, int]] = []
+        rev: list[tuple[int, int]] = []
+        for k in range(half):
+            a, b = arr[k], arr[m - 1 - k]
+            if bye is not None and (a == bye or b == bye):
+                continue
+            fwd.append((a, b))
+            rev.append((b, a))
+        rounds.append(tuple(fwd))
+        rounds.append(tuple(rev))
+        # Rotate all but the first element.
+        arr = [arr[0]] + [arr[-1]] + arr[1:-1]
+    return PairingSchedule(n_machines=n, rounds=tuple(rounds))

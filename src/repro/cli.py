@@ -1,0 +1,231 @@
+"""Command-line interface.
+
+Six subcommands cover the operational loop around the library:
+
+* ``repro generate`` — synthesize an EC2-like calibration trace to ``.npz``.
+* ``repro info`` — stability report of a trace (Norm(N_E), band spread,
+  volatility, verdict).
+* ``repro decompose`` — run an RPCA solver on a trace's TP-matrix and print
+  the decomposition summary.
+* ``repro compare`` — replay the Baseline/Heuristics/RPCA comparison on a
+  trace and print the normalized table (a command-line Fig 7).
+* ``repro changepoints`` — locate offline regime changes in a trace.
+* ``repro figures`` — regenerate every paper figure at quick or paper scale.
+
+Trace-consuming commands accept ``.npz`` archives or ``.csv`` logs of real
+ping-pong measurements (see :func:`repro.load_trace_csv`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+__all__ = ["main", "build_parser"]
+
+MB = 1024 * 1024
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Finding Constant from Change (SC'14) — RPCA-based network "
+            "performance aware optimization toolkit"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="synthesize a calibration trace")
+    gen.add_argument("output", help="output .npz path")
+    gen.add_argument("--machines", type=int, default=16)
+    gen.add_argument("--snapshots", type=int, default=30)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--volatility", type=float, default=None,
+                     help="override volatility sigma")
+    gen.add_argument("--migration-rate", type=float, default=None,
+                     help="override VM migration rate per snapshot")
+
+    info = sub.add_parser("info", help="stability report of a trace")
+    info.add_argument("trace", help="trace .npz path")
+    info.add_argument("--message-mb", type=float, default=8.0)
+
+    dec = sub.add_parser("decompose", help="RPCA-decompose a trace")
+    dec.add_argument("trace", help="trace .npz path")
+    dec.add_argument("--solver", default="apg")
+    dec.add_argument("--time-step", type=int, default=10)
+    dec.add_argument("--message-mb", type=float, default=8.0)
+
+    cmp_ = sub.add_parser("compare", help="Baseline vs Heuristics vs RPCA replay")
+    cmp_.add_argument("trace", help="trace .npz path")
+    cmp_.add_argument("--op", default="broadcast",
+                      choices=["broadcast", "scatter", "reduce", "gather"])
+    cmp_.add_argument("--repetitions", type=int, default=60)
+    cmp_.add_argument("--time-step", type=int, default=10)
+    cmp_.add_argument("--solver", default="apg")
+    cmp_.add_argument("--message-mb", type=float, default=8.0)
+    cmp_.add_argument("--seed", type=int, default=0)
+
+    chg = sub.add_parser("changepoints", help="locate offline regime changes")
+    chg.add_argument("trace", help="trace .npz path")
+    chg.add_argument("--window", type=int, default=5)
+    chg.add_argument("--threshold", type=float, default=0.25)
+
+    figs = sub.add_parser("figures", help="regenerate every paper figure")
+    figs.add_argument("--scale", choices=["quick", "paper"], default="quick")
+    figs.add_argument("--simulation", action="store_true",
+                      help="include the (slower) netsim figures 12-13")
+    figs.add_argument("--seed", type=int, default=2014)
+    figs.add_argument("--output", default=None,
+                      help="also write the tables to this markdown file")
+
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from .cloudsim.dynamics import DynamicsConfig
+    from .cloudsim.io import save_trace
+    from .cloudsim.tracegen import TraceConfig, generate_trace
+
+    dyn_kwargs = {}
+    if args.volatility is not None:
+        dyn_kwargs["volatility_sigma"] = args.volatility
+    if args.migration_rate is not None:
+        dyn_kwargs["migration_rate"] = args.migration_rate
+    cfg = TraceConfig(
+        n_machines=args.machines,
+        n_snapshots=args.snapshots,
+        dynamics=DynamicsConfig(**dyn_kwargs),
+    )
+    trace = generate_trace(cfg, seed=args.seed)
+    save_trace(trace, args.output)
+    print(
+        f"wrote {args.output}: {trace.n_machines} machines x "
+        f"{trace.n_snapshots} snapshots (seed {args.seed})"
+    )
+    return 0
+
+
+def _load_any_trace(path: str):
+    """Load a trace by extension: .npz archives or .csv measurement logs."""
+    from .cloudsim.io import load_trace, load_trace_csv
+
+    if path.lower().endswith(".csv"):
+        return load_trace_csv(path)
+    return load_trace(path)
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from .analysis.tracestats import trace_stability_report
+
+    trace = _load_any_trace(args.trace)
+    rep = trace_stability_report(trace, nbytes=args.message_mb * MB)
+    print(f"machines:          {rep.n_machines}")
+    print(f"snapshots:         {rep.n_snapshots}")
+    print(f"Norm(N_E):         {rep.norm_ne:.4f}")
+    print(f"band spread p90/p10: {rep.band_spread:.2f}x")
+    print(f"median volatility: {rep.median_volatility:.3f}")
+    print(f"spike fraction:    {rep.spike_fraction:.3f}")
+    print(f"verdict:           {rep.verdict}")
+    return 0
+
+
+def _cmd_decompose(args: argparse.Namespace) -> int:
+    from .core.decompose import decompose
+
+    trace = _load_any_trace(args.trace)
+    count = min(args.time_step, trace.n_snapshots)
+    tp = trace.tp_matrix(args.message_mb * MB, start=0, count=count)
+    dec = decompose(tp, solver=args.solver)
+    print(f"solver:     {dec.solver} ({dec.solver_iterations} iterations, "
+          f"converged={dec.solver_converged})")
+    print(f"rank(D):    {dec.report.rank}")
+    print(f"Norm(N_E):  {dec.norm_ne:.4f} (l0 variant {dec.report.norm_ne_l0:.4f})")
+    print(f"verdict:    {dec.report.verdict}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from .experiments.harness import ReplayContext, collective_comparison
+    from .experiments.report import format_table
+    from .strategies import BaselineStrategy, HeuristicStrategy, RPCAStrategy
+
+    trace = _load_any_trace(args.trace)
+    nbytes = args.message_mb * MB
+    ctx = ReplayContext(trace=trace, time_step=args.time_step, nbytes=nbytes)
+    op_bytes = nbytes / trace.n_machines if args.op in ("scatter", "gather") else nbytes
+    arms = [
+        BaselineStrategy(),
+        HeuristicStrategy("mean"),
+        RPCAStrategy(args.solver, time_step=args.time_step),
+    ]
+    res = collective_comparison(
+        ctx, arms, op=args.op, nbytes=op_bytes,
+        repetitions=args.repetitions, seed=args.seed,
+    )
+    rpca = next(a for a in arms if isinstance(a, RPCAStrategy))
+    rows = [(name, res.mean(name), res.normalized_means()[name])
+            for name in res.times]
+    print(format_table(
+        ["strategy", "mean elapsed (s)", "normalized"],
+        rows,
+        title=f"{args.op}, {args.repetitions} reps, Norm(N_E)={rpca.norm_ne:.3f}",
+    ))
+    print(f"RPCA vs Baseline:   {res.improvement('RPCA', 'Baseline'):+.1%}")
+    print(f"RPCA vs Heuristics: {res.improvement('RPCA', 'Heuristics'):+.1%}")
+    return 0
+
+
+def _cmd_changepoints(args: argparse.Namespace) -> int:
+    from .analysis.changepoints import detect_regime_changes
+
+    trace = _load_any_trace(args.trace)
+    changes = detect_regime_changes(
+        trace, window=args.window, threshold=args.threshold
+    )
+    if not changes:
+        print("no regime changes detected")
+        return 0
+    for c in changes:
+        print(f"snapshot {c.snapshot}: relative shift {c.shift:.3f}")
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from .experiments.figures_runner import run_all_figures
+
+    reports = run_all_figures(
+        scale=args.scale,
+        include_simulation=args.simulation,
+        seed=args.seed,
+        emit=print,
+    )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(f"# Regenerated figures (scale: {args.scale}, seed: {args.seed})\n")
+            for r in reports:
+                fh.write(f"\n## {r.figure}\n\n```\n{r.text}\n```\n")
+        print(f"wrote {args.output}")
+    print(f"regenerated {len(reports)} figures at {args.scale!r} scale")
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "info": _cmd_info,
+    "decompose": _cmd_decompose,
+    "compare": _cmd_compare,
+    "changepoints": _cmd_changepoints,
+    "figures": _cmd_figures,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""EC2 substitute: synthetic virtual-cluster network-performance traces.
+
+The paper's real experiments calibrate a week of all-link measurements on
+Amazon EC2 and then *replay the trace* through the α-β model for all detailed
+studies (Sec V-D3). This package generates traces with the same structure the
+paper reports — a placement-derived constant band per link, multiplicative
+volatility, heavy-tailed interference spikes and rare regime changes (VM
+migration) — and provides the same replay and noise-injection machinery.
+"""
+
+from .placement import Placement, place_cluster
+from .bands import LinkBands, derive_bands, BandTiers
+from .dynamics import DynamicsConfig, VolatilityModel
+from .trace import CalibrationTrace
+from .tracegen import TraceConfig, generate_trace
+from .noise import inject_noise_to_target, measure_trace_norm_ne
+
+__all__ = [
+    "Placement",
+    "place_cluster",
+    "LinkBands",
+    "derive_bands",
+    "BandTiers",
+    "DynamicsConfig",
+    "VolatilityModel",
+    "CalibrationTrace",
+    "TraceConfig",
+    "generate_trace",
+    "inject_noise_to_target",
+    "measure_trace_norm_ne",
+]

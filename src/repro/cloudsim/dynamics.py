@@ -1,0 +1,171 @@
+"""Temporal dynamics applied on top of the constant bands.
+
+Three processes, matching the paper's Appendix-A observations about EC2:
+
+1. **Volatility** — every sample of every link wiggles around its band by a
+   multiplicative lognormal factor ("the network performance from consecutive
+   measurements forms a clear band [but] is almost unpredictable at a single
+   point").
+2. **Interference spikes** — sparse heavy-tailed events where a link's
+   effective bandwidth collapses for one snapshot (cross-traffic bursts).
+   These are exactly the sparse component RPCA is built to absorb.
+3. **Machine hotspots** — a noisy neighbor or CPU-steal episode on one VM
+   degrades *every* link touching that VM for a snapshot. This is the
+   correlated-error structure the paper credits for RPCA's edge over
+   per-link heuristics ("RPCA considers the relationship among all the
+   links"): a hotspot writes an entire row+column into the error component
+   at once, which a column-wise mean mistakes for bad links.
+4. **Regime changes** — rare events (VM migration, Sec IV-A's example) where
+   one VM's *bands* are re-drawn; the constant component itself moves, which
+   is what the maintenance loop must detect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._validation import check_nonnegative, check_probability
+from ..utils.seeding import spawn_rng
+from .bands import BandTiers, LinkBands, derive_bands
+from .placement import Placement
+
+__all__ = ["DynamicsConfig", "VolatilityModel"]
+
+
+@dataclass(frozen=True, slots=True)
+class DynamicsConfig:
+    """Knobs of the temporal model.
+
+    Attributes
+    ----------
+    volatility_sigma:
+        σ of the per-sample lognormal wiggle (0 disables).
+    spike_probability:
+        Per-link, per-snapshot probability of an interference spike.
+    spike_severity:
+        Mean of the exponential severity; a spike divides bandwidth by
+        ``1 + s`` and multiplies latency by ``1 + s`` with ``s ~ Exp(severity)``.
+    hotspot_probability:
+        Per-machine, per-snapshot probability of a noisy-neighbor episode
+        that degrades every link touching the machine.
+    hotspot_severity:
+        Mean of the exponential hotspot severity (same ``1 + s`` law).
+    migration_rate:
+        Expected number of VM migrations per snapshot across the whole
+        cluster (a Poisson thinning decides when one fires).
+    """
+
+    volatility_sigma: float = 0.05
+    spike_probability: float = 0.01
+    spike_severity: float = 6.0
+    hotspot_probability: float = 0.02
+    hotspot_severity: float = 1.5
+    migration_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_nonnegative(self.volatility_sigma, "volatility_sigma")
+        check_probability(self.spike_probability, "spike_probability")
+        check_nonnegative(self.spike_severity, "spike_severity")
+        check_probability(self.hotspot_probability, "hotspot_probability")
+        check_nonnegative(self.hotspot_severity, "hotspot_severity")
+        check_nonnegative(self.migration_rate, "migration_rate")
+
+
+@dataclass
+class VolatilityModel:
+    """Stateful sampler producing per-snapshot (α, β) matrices.
+
+    The model owns the *current* bands (which migrate over time) and emits
+    independent noisy samples around them. Iterating the model is how a
+    trace generator produces consecutive snapshots.
+    """
+
+    placement: Placement
+    tiers: BandTiers
+    config: DynamicsConfig
+    rng: np.random.Generator
+    bands: LinkBands = field(init=False)
+    migration_log: list[tuple[int, int]] = field(init=False, default_factory=list)
+    _snapshot_index: int = field(init=False, default=0)
+
+    def __init__(
+        self,
+        placement: Placement,
+        tiers: BandTiers | None = None,
+        config: DynamicsConfig | None = None,
+        *,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        self.placement = placement
+        self.tiers = tiers if tiers is not None else BandTiers()
+        self.config = config if config is not None else DynamicsConfig()
+        self.rng = spawn_rng(seed)
+        self.bands = derive_bands(placement, self.tiers, seed=self.rng)
+        self.migration_log = []
+        self._snapshot_index = 0
+
+    def _maybe_migrate(self) -> None:
+        """Fire 0+ migrations for this snapshot (Poisson with the configured rate)."""
+        if self.config.migration_rate <= 0:
+            return
+        n_events = int(self.rng.poisson(self.config.migration_rate))
+        if n_events == 0:
+            return
+        n = self.placement.n_machines
+        alpha = self.bands.alpha.copy()
+        beta = self.bands.beta.copy()
+        fresh = derive_bands(self.placement, self.tiers, seed=self.rng)
+        for _ in range(n_events):
+            vm = int(self.rng.integers(n))
+            self.migration_log.append((self._snapshot_index, vm))
+            # The migrated VM's links to everyone are re-drawn, both directions.
+            alpha[vm, :] = fresh.alpha[vm, :]
+            alpha[:, vm] = fresh.alpha[:, vm]
+            beta[vm, :] = fresh.beta[vm, :]
+            beta[:, vm] = fresh.beta[:, vm]
+        np.fill_diagonal(alpha, 0.0)
+        np.fill_diagonal(beta, np.inf)
+        self.bands = LinkBands(alpha=alpha, beta=beta)
+
+    def sample(self) -> tuple[np.ndarray, np.ndarray]:
+        """Produce the next snapshot's (α, β) matrices and advance time."""
+        self._maybe_migrate()
+        cfg = self.config
+        n = self.placement.n_machines
+        alpha = self.bands.alpha.copy()
+        beta = self.bands.beta.copy()
+
+        if cfg.volatility_sigma > 0:
+            wa = self.rng.lognormal(0.0, cfg.volatility_sigma, size=(n, n))
+            wb = self.rng.lognormal(0.0, cfg.volatility_sigma, size=(n, n))
+            alpha *= wa
+            beta *= wb
+
+        if cfg.spike_probability > 0:
+            hit = self.rng.random((n, n)) < cfg.spike_probability
+            if np.any(hit):
+                sev = 1.0 + self.rng.exponential(cfg.spike_severity, size=(n, n))
+                beta = np.where(hit, beta / sev, beta)
+                alpha = np.where(hit, alpha * sev, alpha)
+
+        if cfg.hotspot_probability > 0:
+            hot = self.rng.random(n) < cfg.hotspot_probability
+            if np.any(hot):
+                sev = np.ones(n)
+                sev[hot] = 1.0 + self.rng.exponential(
+                    cfg.hotspot_severity, size=int(hot.sum())
+                )
+                # A hotspot on machine m scales every link m touches; links
+                # between two hotspots compound (both endpoints are slow).
+                factor = np.maximum.outer(sev, sev)
+                both = np.outer(sev, sev)
+                factor = np.where(np.minimum.outer(sev, sev) > 1.0, both, factor)
+                beta = beta / factor
+                alpha = alpha * factor
+
+        np.fill_diagonal(alpha, 0.0)
+        np.fill_diagonal(beta, np.inf)
+        self._snapshot_index += 1
+        return alpha, beta

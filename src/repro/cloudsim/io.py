@@ -1,0 +1,134 @@
+"""Trace persistence: ``.npz`` archives plus CSV import of real measurements.
+
+Calibration campaigns are expensive (the paper's took a week on EC2), so
+traces are first-class artifacts: generated or measured once, replayed many
+times. The binary format is a compressed numpy archive with a format
+version; :func:`load_trace_csv` ingests real ping-pong measurement logs
+(one row per probe) so the whole pipeline — decomposition, stability
+verdicts, strategy comparison — runs on actual cluster data.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+
+import numpy as np
+
+from ..errors import ValidationError
+from .trace import CalibrationTrace
+
+__all__ = ["save_trace", "load_trace", "load_trace_csv", "TRACE_FORMAT_VERSION"]
+
+TRACE_FORMAT_VERSION = 1
+
+
+def save_trace(trace: CalibrationTrace, path: str | os.PathLike) -> None:
+    """Write *trace* to *path* as a compressed ``.npz`` archive."""
+    np.savez_compressed(
+        os.fspath(path),
+        format_version=np.int64(TRACE_FORMAT_VERSION),
+        alpha=trace.alpha,
+        beta=trace.beta,
+        timestamps=trace.timestamps,
+    )
+
+
+def load_trace(path: str | os.PathLike) -> CalibrationTrace:
+    """Read a trace written by :func:`save_trace`.
+
+    Raises
+    ------
+    ValidationError
+        If the file is missing required arrays or has an unknown format
+        version.
+    """
+    with np.load(os.fspath(path)) as data:
+        missing = {"format_version", "alpha", "beta", "timestamps"} - set(data.files)
+        if missing:
+            raise ValidationError(f"trace file missing arrays: {sorted(missing)}")
+        version = int(data["format_version"])
+        if version != TRACE_FORMAT_VERSION:
+            raise ValidationError(
+                f"unsupported trace format version {version} "
+                f"(expected {TRACE_FORMAT_VERSION})"
+            )
+        return CalibrationTrace(
+            alpha=data["alpha"].copy(),
+            beta=data["beta"].copy(),
+            timestamps=data["timestamps"].copy(),
+        )
+
+
+#: Required CSV header for :func:`load_trace_csv`.
+CSV_COLUMNS = ("snapshot", "src", "dst", "alpha_s", "beta_Bps")
+
+
+def load_trace_csv(path: str | os.PathLike) -> CalibrationTrace:
+    """Build a trace from a CSV log of real ping-pong measurements.
+
+    Expected columns (header required): ``snapshot`` (0-based calibration
+    round index), ``src``, ``dst`` (machine indices), ``alpha_s`` (latency,
+    seconds), ``beta_Bps`` (bandwidth, bytes/second). Optionally a
+    ``timestamp`` column gives each snapshot's wall-clock second (the
+    snapshot's first occurrence wins; defaults to the snapshot index).
+
+    Every ordered off-diagonal pair must be measured in every snapshot —
+    the paper's optimizations need the *all-link* matrix, so a partial
+    log is an error, not something to silently impute.
+    """
+    rows: list[dict[str, str]] = []
+    with open(os.fspath(path), newline="", encoding="utf-8") as fh:
+        reader = csv.DictReader(fh)
+        if reader.fieldnames is None or not set(CSV_COLUMNS) <= set(reader.fieldnames):
+            raise ValidationError(
+                f"CSV must have columns {CSV_COLUMNS}, got {reader.fieldnames}"
+            )
+        rows = list(reader)
+    if not rows:
+        raise ValidationError("CSV contains no measurements")
+
+    try:
+        snaps = np.array([int(r["snapshot"]) for r in rows])
+        srcs = np.array([int(r["src"]) for r in rows])
+        dsts = np.array([int(r["dst"]) for r in rows])
+        alphas = np.array([float(r["alpha_s"]) for r in rows])
+        betas = np.array([float(r["beta_Bps"]) for r in rows])
+    except (KeyError, ValueError) as exc:
+        raise ValidationError(f"malformed CSV row: {exc}") from exc
+
+    if snaps.min() < 0 or srcs.min() < 0 or dsts.min() < 0:
+        raise ValidationError("snapshot and machine indices must be non-negative")
+    if np.any(srcs == dsts):
+        raise ValidationError("self-measurements (src == dst) are not allowed")
+    if np.any(alphas < 0) or np.any(betas <= 0):
+        raise ValidationError("need alpha_s >= 0 and beta_Bps > 0")
+
+    n = int(max(srcs.max(), dsts.max())) + 1
+    t = int(snaps.max()) + 1
+    alpha = np.full((t, n, n), np.nan)
+    beta = np.full((t, n, n), np.nan)
+    alpha[snaps, srcs, dsts] = alphas
+    beta[snaps, srcs, dsts] = betas
+
+    timestamps = np.arange(t, dtype=np.float64)
+    if "timestamp" in rows[0]:
+        for r in rows:
+            k = int(r["snapshot"])
+            if np.isnan(timestamps[k]) or timestamps[k] == float(k):
+                timestamps[k] = float(r["timestamp"])
+
+    off = ~np.eye(n, dtype=bool)
+    missing = np.isnan(beta[:, off]).sum()
+    if missing:
+        raise ValidationError(
+            f"CSV is missing {int(missing)} of {t * n * (n - 1)} ordered-pair "
+            "measurements; the all-link matrix must be complete"
+        )
+    for k in range(t):
+        np.fill_diagonal(alpha[k], 0.0)
+        np.fill_diagonal(beta[k], np.inf)
+    order = np.argsort(timestamps, kind="stable")
+    return CalibrationTrace(
+        alpha=alpha[order], beta=beta[order], timestamps=timestamps[order]
+    )

@@ -1,0 +1,126 @@
+"""Virtual-machine placement in a simulated datacenter.
+
+A virtual cluster's VMs land on racks of a much larger datacenter. The rack
+assignment is what makes pair-wise performance uneven: same-rack pairs get
+the fast tier, cross-rack pairs the slow tier. Larger clusters necessarily
+span more racks, which is the paper's explanation for why its 196-instance
+cluster benefits more from link selection than the 64-instance one (Fig 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..utils.seeding import spawn_rng
+
+__all__ = ["Placement", "place_cluster"]
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Rack assignment for the VMs of one virtual cluster.
+
+    Attributes
+    ----------
+    racks:
+        ``racks[i]`` is the datacenter rack hosting VM *i*.
+    n_racks_total:
+        Number of racks in the datacenter (IDs range over this).
+    servers_per_rack:
+        Rack capacity; at most this many of the cluster's VMs share a rack.
+    """
+
+    racks: np.ndarray
+    n_racks_total: int
+    servers_per_rack: int
+
+    def __post_init__(self) -> None:
+        r = np.asarray(self.racks, dtype=np.intp).copy()
+        if r.ndim != 1 or r.size == 0:
+            raise ValidationError("racks must be a non-empty 1-D array")
+        if r.min() < 0 or r.max() >= int(self.n_racks_total):
+            raise ValidationError("rack id out of range")
+        counts = np.bincount(r, minlength=int(self.n_racks_total))
+        if counts.max() > int(self.servers_per_rack):
+            raise ValidationError("rack capacity exceeded")
+        r.setflags(write=False)
+        object.__setattr__(self, "racks", r)
+        object.__setattr__(self, "n_racks_total", int(self.n_racks_total))
+        object.__setattr__(self, "servers_per_rack", int(self.servers_per_rack))
+
+    @property
+    def n_machines(self) -> int:
+        return self.racks.size
+
+    @property
+    def n_racks_used(self) -> int:
+        return int(np.unique(self.racks).size)
+
+    def same_rack_matrix(self) -> np.ndarray:
+        """Boolean N×N matrix: True where two VMs share a rack (diag True)."""
+        return self.racks[:, None] == self.racks[None, :]
+
+    def cross_rack_fraction(self) -> float:
+        """Fraction of ordered off-diagonal pairs that cross racks."""
+        n = self.n_machines
+        if n < 2:
+            return 0.0
+        same = self.same_rack_matrix()
+        off = ~np.eye(n, dtype=bool)
+        return float(np.count_nonzero(~same & off)) / float(n * (n - 1))
+
+
+def place_cluster(
+    n_machines: int,
+    *,
+    n_racks_total: int = 1000,
+    servers_per_rack: int = 32,
+    colocation: float = 0.5,
+    seed: int | np.random.Generator | None = None,
+) -> Placement:
+    """Place *n_machines* VMs on datacenter racks.
+
+    Placement mimics an allocator that prefers partially-used racks: each VM
+    joins an already-used rack with probability *colocation* (if capacity
+    remains) and otherwise opens a new random rack. ``colocation=0`` spreads
+    maximally; ``colocation→1`` packs racks full before opening new ones.
+
+    Parameters
+    ----------
+    n_machines:
+        Cluster size N.
+    n_racks_total, servers_per_rack:
+        Datacenter geometry; must satisfy ``n_racks_total × servers_per_rack
+        ≥ n_machines``.
+    colocation:
+        Packing preference in [0, 1].
+    seed:
+        Seed or generator for reproducibility.
+    """
+    if n_machines < 1:
+        raise ValidationError("n_machines must be >= 1")
+    if not 0.0 <= colocation <= 1.0:
+        raise ValidationError("colocation must lie in [0, 1]")
+    if n_racks_total * servers_per_rack < n_machines:
+        raise ValidationError("datacenter too small for the requested cluster")
+    rng = spawn_rng(seed)
+    racks = np.empty(n_machines, dtype=np.intp)
+    load: dict[int, int] = {}
+    for i in range(n_machines):
+        open_racks = [r for r, c in load.items() if c < servers_per_rack]
+        if open_racks and rng.random() < colocation:
+            r = int(rng.choice(open_racks))
+        else:
+            # Open a fresh rack; retry on collisions with full racks.
+            while True:
+                r = int(rng.integers(n_racks_total))
+                if load.get(r, 0) < servers_per_rack:
+                    break
+        racks[i] = r
+        load[r] = load.get(r, 0) + 1
+    return Placement(
+        racks=racks, n_racks_total=n_racks_total, servers_per_rack=servers_per_rack
+    )

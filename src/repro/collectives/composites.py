@@ -1,0 +1,77 @@
+"""Composite collectives built from the four primitives.
+
+The paper implements all-to-all "with a gather followed by a broadcast,
+which is also used in MPICH2" (Sec V-A); the same composition idiom gives
+allgather and allreduce. Each composite prices its phases on the same live
+snapshot and may use *different roots* per phase — the paper's apps use one
+root, but exposing it lets experiments study root placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import check_nonnegative
+from .exec_model import broadcast_time, gather_time, reduce_time
+from .trees import CommTree
+
+__all__ = ["CompositeTiming", "alltoall_time", "allgather_time", "allreduce_time"]
+
+
+@dataclass(frozen=True, slots=True)
+class CompositeTiming:
+    """Phase-by-phase timing of a composite collective."""
+
+    phases: tuple[tuple[str, float], ...]
+
+    @property
+    def total(self) -> float:
+        return sum(t for _, t in self.phases)
+
+
+def alltoall_time(
+    tree: CommTree,
+    alpha: np.ndarray,
+    beta: np.ndarray,
+    total_bytes: float,
+) -> CompositeTiming:
+    """All-to-all as gather(blocks) + broadcast(full payload).
+
+    *total_bytes* is the full exchanged payload; the gather phase moves
+    per-node blocks of ``total_bytes / n``.
+    """
+    check_nonnegative(total_bytes, "total_bytes")
+    n = tree.n_nodes
+    block = float(total_bytes) / float(n)
+    g = gather_time(tree, alpha, beta, block)
+    b = broadcast_time(tree, alpha, beta, float(total_bytes))
+    return CompositeTiming(phases=(("gather", g), ("broadcast", b)))
+
+
+def allgather_time(
+    tree: CommTree,
+    alpha: np.ndarray,
+    beta: np.ndarray,
+    block_bytes: float,
+) -> CompositeTiming:
+    """Allgather as gather(blocks) + broadcast(n × block)."""
+    check_nonnegative(block_bytes, "block_bytes")
+    n = tree.n_nodes
+    g = gather_time(tree, alpha, beta, float(block_bytes))
+    b = broadcast_time(tree, alpha, beta, float(block_bytes) * n)
+    return CompositeTiming(phases=(("gather", g), ("broadcast", b)))
+
+
+def allreduce_time(
+    tree: CommTree,
+    alpha: np.ndarray,
+    beta: np.ndarray,
+    nbytes: float,
+) -> CompositeTiming:
+    """Allreduce as reduce + broadcast of the reduced payload."""
+    check_nonnegative(nbytes, "nbytes")
+    r = reduce_time(tree, alpha, beta, float(nbytes))
+    b = broadcast_time(tree, alpha, beta, float(nbytes))
+    return CompositeTiming(phases=(("reduce", r), ("broadcast", b)))

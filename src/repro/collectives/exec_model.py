@@ -1,0 +1,229 @@
+"""Pricing communication trees under the α-β model.
+
+All four collectives of the paper share one cost structure:
+
+* **broadcast / scatter** flow root→leaves: a parent, once it holds the
+  data, sends to its children sequentially (store-and-forward).
+* **reduce / gather** are the duals — leaves→root, a parent receives from
+  its children sequentially, each receive gated by the child having
+  finished its own subtree.
+
+Scatter/gather move *per-node blocks*: the message on edge (u, c) carries
+``subtree_size(c)`` blocks. Broadcast/reduce move the full message on every
+edge. These four functions evaluate a tree against *any* (α, β) snapshot —
+the one the tree was optimized for, or the live one during replay — which is
+exactly the expected-vs-real comparison Algorithm 1's maintenance needs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_square_matrix, check_nonnegative
+from ..errors import ValidationError
+from .trees import CommTree
+
+__all__ = [
+    "broadcast_time",
+    "scatter_time",
+    "scatterv_time",
+    "reduce_time",
+    "gather_time",
+    "gatherv_time",
+    "collective_time",
+    "weights_to_alphabeta",
+]
+
+
+def weights_to_alphabeta(
+    weights: np.ndarray, nbytes: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Interpret a weight matrix as pure-bandwidth (α=0) link parameters.
+
+    Useful for pricing a tree directly from an optimizer's weight matrix:
+    ``β = nbytes / w`` reproduces ``w`` as the transfer time of *nbytes*.
+    """
+    w = as_square_matrix(weights, "weights")
+    check_nonnegative(nbytes, "nbytes")
+    n = w.shape[0]
+    off = ~np.eye(n, dtype=bool)
+    if np.any(w[off] <= 0):
+        raise ValidationError("weights must be positive off-diagonal")
+    beta = np.full_like(w, np.inf)
+    beta[off] = nbytes / w[off]
+    alpha = np.zeros_like(w)
+    return alpha, beta
+
+
+def _check_inputs(
+    tree: CommTree, alpha: np.ndarray, beta: np.ndarray, nbytes: float
+) -> tuple[np.ndarray, np.ndarray]:
+    a = as_square_matrix(alpha, "alpha")
+    b = np.asarray(beta, dtype=np.float64)
+    if b.shape != a.shape:
+        raise ValidationError("alpha/beta shape mismatch")
+    if a.shape[0] != tree.n_nodes:
+        raise ValidationError(
+            f"matrix size {a.shape[0]} does not match tree size {tree.n_nodes}"
+        )
+    check_nonnegative(nbytes, "nbytes")
+    return a, b
+
+
+def _edge_cost(
+    alpha: np.ndarray, beta: np.ndarray, src: int, dst: int, nbytes: float
+) -> float:
+    b = beta[src, dst]
+    if not b > 0:
+        raise ValidationError(f"non-positive bandwidth on link ({src}, {dst})")
+    return float(alpha[src, dst] + nbytes / b)
+
+
+def broadcast_time(
+    tree: CommTree, alpha: np.ndarray, beta: np.ndarray, nbytes: float
+) -> float:
+    """Completion time of a broadcast of *nbytes* along *tree*."""
+    a, b = _check_inputs(tree, alpha, beta, nbytes)
+    arrival = np.zeros(tree.n_nodes)
+    order = [tree.root]
+    for u in order:
+        t_free = arrival[u]
+        for c in tree.children[u]:
+            t_free += _edge_cost(a, b, u, c, nbytes)
+            arrival[c] = t_free
+            order.append(c)
+    return float(arrival.max())
+
+
+def scatter_time(
+    tree: CommTree, alpha: np.ndarray, beta: np.ndarray, block_bytes: float
+) -> float:
+    """Completion time of a scatter with *block_bytes* per destination node.
+
+    On edge (u, c) the parent forwards the blocks of c's entire subtree.
+    """
+    a, b = _check_inputs(tree, alpha, beta, block_bytes)
+    sizes = tree.subtree_sizes()
+    arrival = np.zeros(tree.n_nodes)
+    order = [tree.root]
+    for u in order:
+        t_free = arrival[u]
+        for c in tree.children[u]:
+            t_free += _edge_cost(a, b, u, c, block_bytes * sizes[c])
+            arrival[c] = t_free
+            order.append(c)
+    return float(arrival.max())
+
+
+def _subtree_payloads(tree: CommTree, block_sizes: np.ndarray) -> np.ndarray:
+    """Per-node payload of its entire subtree (vector-collective edges)."""
+    sizes = np.asarray(block_sizes, dtype=np.float64).ravel()
+    if sizes.size != tree.n_nodes:
+        raise ValidationError("block_sizes must have one entry per node")
+    if np.any(sizes < 0):
+        raise ValidationError("block_sizes must be non-negative")
+    payload = sizes.copy()
+    order = [tree.root]
+    for u in order:
+        order.extend(tree.children[u])
+    for u in reversed(order):
+        for c in tree.children[u]:
+            payload[u] += payload[c]
+    return payload
+
+
+def scatterv_time(
+    tree: CommTree, alpha: np.ndarray, beta: np.ndarray, block_sizes: np.ndarray
+) -> float:
+    """Scatter with per-destination block sizes (MPI's ``Scatterv``).
+
+    ``block_sizes[i]`` is the payload destined for node *i*; the edge to a
+    child carries the total of its subtree's blocks.
+    """
+    a, b = _check_inputs(tree, alpha, beta, 0.0)
+    payload = _subtree_payloads(tree, block_sizes)
+    arrival = np.zeros(tree.n_nodes)
+    order = [tree.root]
+    for u in order:
+        t_free = arrival[u]
+        for c in tree.children[u]:
+            t_free += _edge_cost(a, b, u, c, payload[c])
+            arrival[c] = t_free
+            order.append(c)
+    return float(arrival.max())
+
+
+def gatherv_time(
+    tree: CommTree, alpha: np.ndarray, beta: np.ndarray, block_sizes: np.ndarray
+) -> float:
+    """Gather with per-source block sizes (MPI's ``Gatherv``)."""
+    a, b = _check_inputs(tree, alpha, beta, 0.0)
+    payload = _subtree_payloads(tree, block_sizes)
+    return _fan_in_time(tree, a, b, payload)
+
+
+def _fan_in_time(
+    tree: CommTree,
+    alpha: np.ndarray,
+    beta: np.ndarray,
+    edge_bytes: np.ndarray,
+) -> float:
+    """Shared leaves→root schedule for reduce/gather.
+
+    ``edge_bytes[c]`` is the payload on the edge child→parent. Receives at a
+    parent are sequential in reverse send order (the dual schedule); each is
+    gated by the child having finished its own fan-in.
+    """
+    n = tree.n_nodes
+    finish = np.zeros(n)
+    order = [tree.root]
+    for u in order:
+        order.extend(tree.children[u])
+    for u in reversed(order):
+        t = 0.0
+        for c in reversed(tree.children[u]):
+            t = max(t, float(finish[c])) + _edge_cost(alpha, beta, c, u, edge_bytes[c])
+        finish[u] = t
+    return float(finish[tree.root])
+
+
+def reduce_time(
+    tree: CommTree, alpha: np.ndarray, beta: np.ndarray, nbytes: float
+) -> float:
+    """Completion time of a reduce of *nbytes* along *tree* (dual of broadcast)."""
+    a, b = _check_inputs(tree, alpha, beta, nbytes)
+    edge_bytes = np.full(tree.n_nodes, float(nbytes))
+    return _fan_in_time(tree, a, b, edge_bytes)
+
+
+def gather_time(
+    tree: CommTree, alpha: np.ndarray, beta: np.ndarray, block_bytes: float
+) -> float:
+    """Completion time of a gather with *block_bytes* per node (dual of scatter)."""
+    a, b = _check_inputs(tree, alpha, beta, block_bytes)
+    sizes = tree.subtree_sizes().astype(np.float64)
+    edge_bytes = sizes * float(block_bytes)
+    return _fan_in_time(tree, a, b, edge_bytes)
+
+
+_DISPATCH = {
+    "broadcast": broadcast_time,
+    "scatter": scatter_time,
+    "reduce": reduce_time,
+    "gather": gather_time,
+}
+
+
+def collective_time(
+    op: str, tree: CommTree, alpha: np.ndarray, beta: np.ndarray, nbytes: float
+) -> float:
+    """Dispatch to the named collective's pricing function.
+
+    For broadcast/reduce *nbytes* is the full message size; for
+    scatter/gather it is the per-node block size.
+    """
+    try:
+        fn = _DISPATCH[op]
+    except KeyError:
+        raise ValueError(f"unknown collective {op!r}; one of {sorted(_DISPATCH)}") from None
+    return fn(tree, alpha, beta, nbytes)

@@ -1,0 +1,73 @@
+"""Multiple processes per machine (paper Sec II-C).
+
+The paper assumes one process per machine and notes "the extension to
+multiple processes per machine is straightforward": processes on the same
+machine communicate through shared memory (effectively free next to network
+transfers), and processes on different machines inherit their hosts' link
+weight. This module performs that expansion — a process-level weight matrix
+from a machine-level one — so FNF and the execution model run unchanged at
+process granularity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_square_matrix, check_positive
+from ..errors import ValidationError
+
+__all__ = ["expand_to_processes", "process_hosts"]
+
+
+def process_hosts(procs_per_machine: list[int] | np.ndarray) -> np.ndarray:
+    """``hosts[p] = machine`` for the process layout *procs_per_machine*."""
+    counts = np.asarray(procs_per_machine, dtype=np.intp)
+    if counts.ndim != 1 or counts.size == 0:
+        raise ValidationError("procs_per_machine must be a non-empty 1-D sequence")
+    if np.any(counts < 0) or counts.sum() < 1:
+        raise ValidationError("process counts must be non-negative with a positive sum")
+    return np.repeat(np.arange(counts.size), counts)
+
+
+def expand_to_processes(
+    weights: np.ndarray,
+    procs_per_machine: list[int] | np.ndarray,
+    *,
+    intra_machine_factor: float = 1e-3,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Expand a machine-level weight matrix to process granularity.
+
+    Parameters
+    ----------
+    weights:
+        N×N machine link weights (lower = better, zero diagonal).
+    procs_per_machine:
+        Process count per machine (length N; zeros allowed).
+    intra_machine_factor:
+        Same-machine process pairs get ``intra_machine_factor × (smallest
+        network weight)`` — effectively free but strictly positive, so tree
+        constructors keep valid (and preferring-local) orderings.
+
+    Returns
+    -------
+    (process_weights, hosts)
+        The P×P process weight matrix and ``hosts[p] = machine``.
+    """
+    w = as_square_matrix(weights, "weights")
+    check_positive(intra_machine_factor, "intra_machine_factor")
+    counts = np.asarray(procs_per_machine, dtype=np.intp)
+    if counts.size != w.shape[0]:
+        raise ValidationError("procs_per_machine length must equal the machine count")
+    hosts = process_hosts(counts)
+    p = hosts.size
+    off_m = ~np.eye(w.shape[0], dtype=bool)
+    positive = w[off_m][w[off_m] > 0]
+    if positive.size == 0 and p > counts.max():
+        raise ValidationError("weights must contain positive network entries")
+    local = float(positive.min()) * intra_machine_factor if positive.size else 1e-9
+
+    pw = w[np.ix_(hosts, hosts)].astype(np.float64)
+    same_host = hosts[:, None] == hosts[None, :]
+    pw[same_host] = local
+    np.fill_diagonal(pw, 0.0)
+    return pw, hosts

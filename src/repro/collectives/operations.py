@@ -1,0 +1,130 @@
+"""High-level collective entry points: build a tree, price it live.
+
+:func:`run_collective` is the funnel used by strategies and experiment
+drivers: given an *estimate* weight matrix (whatever the strategy believes
+about the network) it builds the tree, then prices that tree against the
+*live* (α, β) snapshot — the measured reality of the moment. The gap between
+the two is precisely what the paper's maintenance loop monitors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from .._validation import as_square_matrix, check_index
+from .exec_model import collective_time
+from .fnf import fnf_tree
+from .trees import CommTree, binomial_tree
+
+__all__ = ["Collective", "build_tree", "run_collective", "CollectiveRun"]
+
+
+class Collective(Enum):
+    """The four basic collectives the paper studies (Sec II-C)."""
+
+    BROADCAST = "broadcast"
+    SCATTER = "scatter"
+    REDUCE = "reduce"
+    GATHER = "gather"
+
+
+def build_tree(
+    n: int,
+    root: int,
+    *,
+    algorithm: str = "binomial",
+    weights: np.ndarray | None = None,
+) -> CommTree:
+    """Construct a communication tree.
+
+    Parameters
+    ----------
+    n:
+        Number of participating machines.
+    root:
+        Root machine index.
+    algorithm:
+        ``"binomial"`` (MPICH order; ignores *weights*) or ``"fnf"``
+        (requires *weights*).
+    weights:
+        Link-weight matrix for network-aware algorithms.
+    """
+    check_index(root, n, "root")
+    if algorithm == "binomial":
+        return binomial_tree(n, root)
+    if algorithm == "fnf":
+        if weights is None:
+            raise ValueError("FNF requires a weight matrix")
+        w = as_square_matrix(weights, "weights")
+        if w.shape[0] != n:
+            raise ValueError(f"weights size {w.shape[0]} != n {n}")
+        return fnf_tree(w, root)
+    raise ValueError(f"unknown tree algorithm {algorithm!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class CollectiveRun:
+    """Outcome of one collective execution.
+
+    ``expected_time`` prices the tree under the matrix it was built from
+    (None for estimate-free algorithms); ``elapsed_time`` prices it under
+    the live snapshot.
+    """
+
+    op: Collective
+    tree: CommTree
+    elapsed_time: float
+    expected_time: float | None
+
+
+def run_collective(
+    op: Collective | str,
+    *,
+    live_alpha: np.ndarray,
+    live_beta: np.ndarray,
+    nbytes: float,
+    root: int = 0,
+    algorithm: str = "binomial",
+    estimate_weights: np.ndarray | None = None,
+    estimate_alpha: np.ndarray | None = None,
+    estimate_beta: np.ndarray | None = None,
+) -> CollectiveRun:
+    """Build a tree from the estimate and price it against the live network.
+
+    Parameters
+    ----------
+    op:
+        Which collective to run.
+    live_alpha, live_beta:
+        The measured network of the moment (the trace snapshot).
+    nbytes:
+        Message size (full message for broadcast/reduce; per-node block for
+        scatter/gather).
+    root:
+        Root machine.
+    algorithm:
+        Tree constructor (see :func:`build_tree`).
+    estimate_weights:
+        The strategy's weight matrix (required for ``"fnf"``).
+    estimate_alpha, estimate_beta:
+        Optional α-β estimate used to compute ``expected_time`` exactly; when
+        absent but *estimate_weights* is given, the expectation uses the
+        weight matrix as a pure-bandwidth model.
+    """
+    op_e = Collective(op) if not isinstance(op, Collective) else op
+    n = np.asarray(live_alpha).shape[0]
+    tree = build_tree(n, root, algorithm=algorithm, weights=estimate_weights)
+    elapsed = collective_time(op_e.value, tree, live_alpha, live_beta, nbytes)
+
+    expected: float | None = None
+    if estimate_alpha is not None and estimate_beta is not None:
+        expected = collective_time(op_e.value, tree, estimate_alpha, estimate_beta, nbytes)
+    elif estimate_weights is not None:
+        from .exec_model import weights_to_alphabeta
+
+        ea, eb = weights_to_alphabeta(estimate_weights, nbytes)
+        expected = collective_time(op_e.value, tree, ea, eb, nbytes)
+    return CollectiveRun(op=op_e, tree=tree, elapsed_time=elapsed, expected_time=expected)

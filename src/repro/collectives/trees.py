@@ -1,0 +1,184 @@
+"""Communication-tree structure and the MPICH-order binomial tree.
+
+A :class:`CommTree` is a rooted spanning tree over machine indices with an
+explicit *send order* per parent: in the α-β store-and-forward model a parent
+sends to its children one after another, so the order matters — children that
+head larger subtrees should be served first (which is exactly what the
+binomial construction does).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ValidationError
+
+__all__ = ["CommTree", "binomial_tree"]
+
+
+@dataclass(frozen=True)
+class CommTree:
+    """Rooted communication tree over machines ``0..n-1``.
+
+    Attributes
+    ----------
+    root:
+        Root machine index.
+    parent:
+        ``parent[i]`` is the parent of *i* (−1 for the root).
+    children:
+        ``children[i]`` is the tuple of *i*'s children **in send order**.
+    """
+
+    root: int
+    parent: np.ndarray
+    children: tuple[tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        p = np.asarray(self.parent, dtype=np.intp).copy()
+        n = p.size
+        if n == 0:
+            raise ValidationError("tree must have at least one node")
+        if not 0 <= int(self.root) < n:
+            raise ValidationError("root out of range")
+        if p[self.root] != -1:
+            raise ValidationError("root's parent must be -1")
+        if len(self.children) != n:
+            raise ValidationError("children list must cover every node")
+        # Validate parent/children consistency and acyclicity in one pass.
+        seen_edges = 0
+        for node, kids in enumerate(self.children):
+            for c in kids:
+                if not 0 <= c < n:
+                    raise ValidationError(f"child {c} out of range")
+                if p[c] != node:
+                    raise ValidationError(f"child {c} disagrees with parent array")
+                seen_edges += 1
+        if seen_edges != n - 1:
+            raise ValidationError(
+                f"tree must have exactly n-1 edges, found {seen_edges}"
+            )
+        # Reachability from root ⇒ spanning and acyclic given the edge count.
+        reached = np.zeros(n, dtype=bool)
+        stack = [int(self.root)]
+        reached[self.root] = True
+        while stack:
+            u = stack.pop()
+            for c in self.children[u]:
+                if reached[c]:
+                    raise ValidationError("cycle detected in tree")
+                reached[c] = True
+                stack.append(c)
+        if not reached.all():
+            raise ValidationError("tree does not span all nodes")
+        p.setflags(write=False)
+        object.__setattr__(self, "root", int(self.root))
+        object.__setattr__(self, "parent", p)
+        object.__setattr__(
+            self, "children", tuple(tuple(int(c) for c in k) for k in self.children)
+        )
+
+    @property
+    def n_nodes(self) -> int:
+        return self.parent.size
+
+    @classmethod
+    def from_parent(
+        cls, root: int, parent: np.ndarray, *, child_order: str = "insertion"
+    ) -> "CommTree":
+        """Build from a parent array; children keep index order.
+
+        *child_order* ``"insertion"`` keeps ascending node-index order, which
+        matches how the FNF iterations append children.
+        """
+        p = np.asarray(parent, dtype=np.intp)
+        kids: list[list[int]] = [[] for _ in range(p.size)]
+        for node in range(p.size):
+            if node != root:
+                kids[p[node]].append(node)
+        return cls(root=root, parent=p, children=tuple(tuple(k) for k in kids))
+
+    def subtree_sizes(self) -> np.ndarray:
+        """Node count of every subtree (leaf = 1), computed bottom-up."""
+        n = self.n_nodes
+        size = np.ones(n, dtype=np.intp)
+        # Process nodes in reverse BFS order so children come before parents.
+        order: list[int] = [self.root]
+        for u in order:
+            order.extend(self.children[u])
+        for u in reversed(order):
+            for c in self.children[u]:
+                size[u] += size[c]
+        return size
+
+    def depth(self) -> int:
+        """Number of edges on the longest root-to-leaf path."""
+        depth = np.zeros(self.n_nodes, dtype=np.intp)
+        order: list[int] = [self.root]
+        for u in order:
+            for c in self.children[u]:
+                depth[c] = depth[u] + 1
+                order.append(c)
+        return int(depth.max())
+
+    def edges(self) -> list[tuple[int, int]]:
+        """All (parent, child) edges in BFS order."""
+        out: list[tuple[int, int]] = []
+        queue = [self.root]
+        for u in queue:
+            for c in self.children[u]:
+                out.append((u, c))
+                queue.append(c)
+        return out
+
+    def longest_path_weight(self, weights: np.ndarray) -> float:
+        """Total weight of the heaviest root-to-leaf path (paper Fig 1 metric)."""
+        w = np.asarray(weights, dtype=np.float64)
+        best = 0.0
+        acc = np.zeros(self.n_nodes)
+        order = [self.root]
+        for u in order:
+            for c in self.children[u]:
+                acc[c] = acc[u] + w[u, c]
+                best = max(best, float(acc[c]))
+                order.append(c)
+        return best
+
+
+def binomial_tree(n: int, root: int = 0) -> CommTree:
+    """MPICH-order binomial tree over *n* ranks rooted at *root*.
+
+    This is the Baseline structure (paper Sec V-A, "the binomial tree
+    algorithm … implementations from MPICH2"). MPICH's convention: ranks are
+    renumbered relative to the root; relative rank ``r`` receives from
+    ``r − lsb(r)`` (its lowest set bit cleared), then sends to
+    ``r + lsb(r)/2, r + lsb(r)/4, …, r + 1`` — i.e. children in descending
+    subtree size, which minimizes the critical path on homogeneous links.
+    """
+    if n < 1:
+        raise ValidationError("n must be >= 1")
+    if not 0 <= root < n:
+        raise ValidationError("root out of range")
+
+    def absolute(rel: int) -> int:
+        return (rel + root) % n
+
+    parent = np.full(n, -1, dtype=np.intp)
+    children: list[list[int]] = [[] for _ in range(n)]
+    for rel in range(1, n):
+        lsb = rel & -rel
+        parent[absolute(rel)] = absolute(rel - lsb)
+    # smallest power of two >= n: the root's send mask starts below it.
+    pof2 = 1 << max(0, (n - 1).bit_length())
+    for rel in range(n):
+        mask = (rel & -rel) >> 1 if rel != 0 else pof2 >> 1
+        while mask > 0:
+            child_rel = rel + mask
+            if child_rel < n:
+                children[absolute(rel)].append(absolute(child_rel))
+            mask >>= 1
+    return CommTree(
+        root=root, parent=parent, children=tuple(tuple(c) for c in children)
+    )

@@ -1,0 +1,66 @@
+"""The paper's primary contribution: RPCA-based constant-component extraction.
+
+A *temporal performance matrix* (TP-matrix) stacks time-ordered snapshots of
+all-link network performance, one snapshot per row. RPCA decomposes it into a
+low-rank *temporal constant matrix* (TC-matrix — the long-term performance)
+plus a sparse *temporal error matrix* (TE-matrix — transient interference).
+The constant row guides classic network-performance-aware optimizations; the
+relative norm of the error matrix predicts whether they will pay off.
+
+Public surface
+--------------
+* :class:`TPMatrix`, :class:`TCMatrix`, :class:`TEMatrix`,
+  :class:`PerformanceMatrix` — the matrix containers of paper Sec III.
+* :func:`decompose` — TP → (TC, TE) via a chosen RPCA solver.
+* :func:`rpca_apg`, :func:`rpca_ialm`, :func:`row_constant_decomposition` —
+  the individual solvers.
+* :func:`relative_error_norm` — ``Norm(N_E)``, the effectiveness predictor.
+* :class:`MaintenanceController` — paper Algorithm 1 (adaptive update
+  maintenance driven by expected-vs-real performance feedback).
+"""
+
+from .matrices import PerformanceMatrix, TPMatrix, TCMatrix, TEMatrix
+from .svd_ops import soft_threshold, singular_value_threshold, truncated_svd
+from .apg import rpca_apg, APGResult
+from .ialm import rpca_ialm, IALMResult
+from .row_constant import row_constant_decomposition
+from .solvers import solve_rpca, available_solvers
+from .decompose import decompose, Decomposition, constant_row
+from .metrics import (
+    pseudo_l0_norm,
+    l1_norm,
+    relative_error_norm,
+    relative_difference,
+    stability_report,
+    StabilityReport,
+)
+from .maintenance import MaintenanceController, MaintenanceDecision, MaintenanceStats
+
+__all__ = [
+    "PerformanceMatrix",
+    "TPMatrix",
+    "TCMatrix",
+    "TEMatrix",
+    "soft_threshold",
+    "singular_value_threshold",
+    "truncated_svd",
+    "rpca_apg",
+    "APGResult",
+    "rpca_ialm",
+    "IALMResult",
+    "row_constant_decomposition",
+    "solve_rpca",
+    "available_solvers",
+    "decompose",
+    "Decomposition",
+    "constant_row",
+    "pseudo_l0_norm",
+    "l1_norm",
+    "relative_error_norm",
+    "relative_difference",
+    "stability_report",
+    "StabilityReport",
+    "MaintenanceController",
+    "MaintenanceDecision",
+    "MaintenanceStats",
+]

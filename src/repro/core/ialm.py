@@ -1,0 +1,117 @@
+"""RPCA via the inexact augmented Lagrange multiplier (IALM) method.
+
+Included as an alternative to :mod:`~repro.core.apg` for the solver-ablation
+study (DESIGN.md Sec 5). IALM solves the constrained convex relaxation
+
+    minimize ||D||_* + λ ||E||_1   subject to   A = D + E
+
+through the augmented Lagrangian ``L(D, E, Y, mu) = ||D||_* + λ||E||_1 +
+<Y, A - D - E> + mu/2 ||A - D - E||_F²``, alternating exact minimizations in
+``D`` (singular value thresholding) and ``E`` (soft thresholding) with a dual
+ascent on ``Y`` and a geometric increase of ``mu`` (Lin, Chen & Ma 2010).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import as_float_matrix, check_positive
+from ..errors import ConvergenceError
+from .apg import default_lambda
+from .svd_ops import singular_value_threshold, soft_threshold
+
+__all__ = ["IALMResult", "rpca_ialm"]
+
+
+@dataclass(frozen=True, slots=True)
+class IALMResult:
+    """Outcome of :func:`rpca_ialm`; fields mirror :class:`~repro.core.apg.APGResult`."""
+
+    low_rank: np.ndarray
+    sparse: np.ndarray
+    rank: int
+    iterations: int
+    converged: bool
+    residual: float
+
+
+def rpca_ialm(
+    a: np.ndarray,
+    lam: float | None = None,
+    *,
+    tol: float = 1e-7,
+    max_iter: int = 1000,
+    rho: float = 1.5,
+    raise_on_fail: bool = False,
+) -> IALMResult:
+    """Decompose ``a ≈ D + E`` with the IALM RPCA solver.
+
+    Parameters
+    ----------
+    a:
+        Data matrix.
+    lam:
+        Sparsity trade-off; defaults to ``1/sqrt(max(m, n))``.
+    tol:
+        Relative feasibility tolerance ``||A - D - E||_F / ||A||_F``.
+    max_iter:
+        Iteration budget.
+    rho:
+        Penalty growth factor per iteration (> 1).
+    raise_on_fail:
+        Raise :class:`~repro.errors.ConvergenceError` on budget exhaustion.
+    """
+    A = as_float_matrix(a, "a")
+    m, n = A.shape
+    lam_v = default_lambda((m, n)) if lam is None else check_positive(lam, "lam")
+    if rho <= 1.0:
+        raise ValueError(f"rho must exceed 1, got {rho}")
+
+    norm_a = np.linalg.norm(A)
+    if norm_a == 0.0:
+        zero = np.zeros_like(A)
+        return IALMResult(zero, zero.copy(), 0, 0, True, 0.0)
+
+    # Standard IALM initialization (Lin et al. 2010): Y = A / J(A) where
+    # J(A) = max(||A||_2, ||A||_inf / λ) makes the initial dual feasible.
+    norm_two = float(np.linalg.norm(A, 2))
+    norm_inf = float(np.abs(A).max()) / lam_v
+    Y = A / max(norm_two, norm_inf)
+    mu = 1.25 / norm_two
+    mu_bar = mu * 1e7
+
+    D = np.zeros_like(A)
+    E = np.zeros_like(A)
+    rank = 0
+    residual = np.inf
+    converged = False
+    iterations = 0
+
+    for iterations in range(1, max_iter + 1):
+        D, rank, _ = singular_value_threshold(A - E + Y / mu, 1.0 / mu)
+        E = soft_threshold(A - D + Y / mu, lam_v / mu)
+        Z = A - D - E
+        Y = Y + mu * Z
+        mu = min(mu * rho, mu_bar)
+        residual = float(np.linalg.norm(Z) / norm_a)
+        if residual < tol:
+            converged = True
+            break
+
+    if not converged and raise_on_fail:
+        raise ConvergenceError(
+            f"IALM RPCA did not converge in {max_iter} iterations "
+            f"(residual {residual:.3e} > tol {tol:.3e})",
+            iterations=iterations,
+            residual=residual,
+        )
+    return IALMResult(
+        low_rank=D,
+        sparse=E,
+        rank=rank,
+        iterations=iterations,
+        converged=converged,
+        residual=residual,
+    )

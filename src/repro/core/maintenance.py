@@ -1,0 +1,105 @@
+"""Update maintenance — paper Algorithm 1 lines 4–9.
+
+After decomposing a calibration into a constant component, the approach
+keeps using that component until the *real* performance ``t`` of the guided
+operation deviates from the *expected* performance ``t'`` (predicted from the
+constant component under the α-β model) by more than a relative threshold:
+
+    |t − t'| / t' ≥ threshold   →   re-calibrate, re-run RPCA.
+
+:class:`MaintenanceController` encapsulates this feedback loop as a pure
+state machine: callers report ``(expected, observed)`` pairs and receive a
+:class:`MaintenanceDecision`; the controller never performs measurements
+itself, so it composes with any substrate (live trace replay, netsim, real
+MPI). The paper's default threshold is 100% (Fig 6 shows ≈100% is the sweet
+spot: below ~20% the loop thrashes, above ~150% it never re-calibrates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from .._validation import check_nonnegative, check_positive
+
+__all__ = ["MaintenanceDecision", "MaintenanceController", "MaintenanceStats"]
+
+
+class MaintenanceDecision(Enum):
+    """What the controller tells the caller to do next."""
+
+    KEEP = "keep"  # constant component still valid; reuse it
+    RECALIBRATE = "recalibrate"  # significant change detected; re-measure
+
+
+@dataclass
+class MaintenanceStats:
+    """Running counters over the controller's lifetime."""
+
+    observations: int = 0
+    recalibrations: int = 0
+    max_relative_deviation: float = 0.0
+    deviations: list[float] = field(default_factory=list)
+
+
+class MaintenanceController:
+    """Threshold-based change detector for the constant component.
+
+    Parameters
+    ----------
+    threshold:
+        Relative deviation that counts as a *significant change*; the
+        paper's default is 1.0 (i.e. 100%).
+    consecutive:
+        Number of consecutive above-threshold observations required before
+        signalling recalibration. The paper uses 1 (every deviation
+        triggers); values > 1 debounce one-off spikes and are used in the
+        ablation benches.
+
+    Examples
+    --------
+    >>> c = MaintenanceController(threshold=1.0)
+    >>> c.observe(expected=1.0, observed=1.5)
+    <MaintenanceDecision.KEEP: 'keep'>
+    >>> c.observe(expected=1.0, observed=2.5)
+    <MaintenanceDecision.RECALIBRATE: 'recalibrate'>
+    """
+
+    def __init__(self, threshold: float = 1.0, *, consecutive: int = 1) -> None:
+        self.threshold = check_positive(threshold, "threshold")
+        if int(consecutive) < 1:
+            raise ValueError("consecutive must be >= 1")
+        self.consecutive = int(consecutive)
+        self._streak = 0
+        self.stats = MaintenanceStats()
+
+    def relative_deviation(self, expected: float, observed: float) -> float:
+        """``|t − t'| / t'`` — the paper's deviation measure."""
+        check_positive(expected, "expected")
+        check_nonnegative(observed, "observed")
+        return abs(observed - expected) / expected
+
+    def observe(self, expected: float, observed: float) -> MaintenanceDecision:
+        """Feed one (expected, observed) pair; get the next action.
+
+        A ``RECALIBRATE`` decision resets the internal streak — the caller is
+        assumed to re-calibrate before the next observation.
+        """
+        dev = self.relative_deviation(expected, observed)
+        self.stats.observations += 1
+        self.stats.deviations.append(dev)
+        if dev > self.stats.max_relative_deviation:
+            self.stats.max_relative_deviation = dev
+        if dev >= self.threshold:
+            self._streak += 1
+        else:
+            self._streak = 0
+        if self._streak >= self.consecutive:
+            self._streak = 0
+            self.stats.recalibrations += 1
+            return MaintenanceDecision.RECALIBRATE
+        return MaintenanceDecision.KEEP
+
+    def reset(self) -> None:
+        """Clear streak state (counters in :attr:`stats` are preserved)."""
+        self._streak = 0

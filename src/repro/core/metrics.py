@@ -1,0 +1,130 @@
+"""Norms and effectiveness metrics (paper Sec IV-A and V-C).
+
+The paper scores two quantities:
+
+* ``Norm(N_E) = ||N_E||_0 / ||N_A||_0`` — the *relative norm of the error
+  matrix*, which predicts whether network-aware optimization is worthwhile
+  (Fig 10). A literal ℓ₀ count is useless on floating-point RPCA output
+  (every entry is "nonzero"), so ℓ₀ here uses a relative magnitude threshold;
+  we additionally expose the L1 ratio, which is scale-free, threshold-free
+  and tracks the paper's reported values (EC2 ≈ 0.1).
+* ``Norm(P_D) = ||P_D - P'_D||_0 / ||P'_D||_0`` — the *relative difference of
+  long-term performance* between a prediction from a calibration prefix and
+  the oracle from the whole trace (Fig 5). For the same reason we implement
+  it as a relative-L1 difference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import check_positive
+
+__all__ = [
+    "pseudo_l0_norm",
+    "l1_norm",
+    "relative_error_norm",
+    "relative_difference",
+    "StabilityReport",
+    "stability_report",
+]
+
+
+def pseudo_l0_norm(x: np.ndarray, *, rel_tol: float = 1e-3) -> int:
+    """Count entries whose magnitude exceeds ``rel_tol × max|x|``.
+
+    This is the practical ℓ₀ of the paper's objective: entries below the
+    relative threshold are numerical residue, not genuine error events.
+    Returns 0 for an all-zero array.
+    """
+    arr = np.asarray(x, dtype=np.float64)
+    check_positive(rel_tol, "rel_tol")
+    scale = float(np.abs(arr).max()) if arr.size else 0.0
+    if scale == 0.0:
+        return 0
+    return int(np.count_nonzero(np.abs(arr) > rel_tol * scale))
+
+
+def l1_norm(x: np.ndarray) -> float:
+    """Elementwise L1 norm (sum of absolute values)."""
+    return float(np.abs(np.asarray(x, dtype=np.float64)).sum())
+
+
+def relative_error_norm(
+    error: np.ndarray, data: np.ndarray, *, kind: str = "l1"
+) -> float:
+    """``Norm(N_E)`` — relative size of the error component vs. the data.
+
+    Parameters
+    ----------
+    error, data:
+        The TE-matrix (or its raw array) and TP-matrix array, same shape.
+    kind:
+        ``"l1"`` (default; ratio of L1 norms — the discriminating,
+        threshold-free variant) or ``"l0"`` (ratio of pseudo-ℓ₀ counts with
+        the data counted at its own scale — the paper's literal formula).
+    """
+    e = np.asarray(error, dtype=np.float64)
+    a = np.asarray(data, dtype=np.float64)
+    if e.shape != a.shape:
+        raise ValueError(f"shape mismatch: error {e.shape} vs data {a.shape}")
+    if kind == "l1":
+        denom = l1_norm(a)
+        return l1_norm(e) / denom if denom > 0 else 0.0
+    if kind == "l0":
+        denom = pseudo_l0_norm(a)
+        return pseudo_l0_norm(e) / denom if denom > 0 else 0.0
+    raise ValueError(f"kind must be 'l1' or 'l0', got {kind!r}")
+
+
+def relative_difference(predicted: np.ndarray, oracle: np.ndarray) -> float:
+    """``Norm(P_D)`` — relative L1 difference of two long-term estimates.
+
+    Zero means the prediction from a calibration prefix is identical to the
+    oracle computed from the full trace (paper Fig 5's y-axis).
+    """
+    p = np.asarray(predicted, dtype=np.float64).ravel()
+    o = np.asarray(oracle, dtype=np.float64).ravel()
+    if p.shape != o.shape:
+        raise ValueError(f"shape mismatch: {p.shape} vs {o.shape}")
+    denom = l1_norm(o)
+    if denom == 0.0:
+        return 0.0 if l1_norm(p) == 0.0 else np.inf
+    return l1_norm(p - o) / denom
+
+
+@dataclass(frozen=True, slots=True)
+class StabilityReport:
+    """Summary of a decomposition's stability verdict (paper Sec IV-A).
+
+    ``norm_ne`` is the L1 relative error norm; ``verdict`` buckets it with
+    the thresholds the paper reads off Fig 10: below 0.1 the network is
+    stable and optimizations pay off strongly; between 0.1 and 0.2 they pay
+    off moderately; above 0.5 they are hopeless.
+    """
+
+    norm_ne: float
+    norm_ne_l0: float
+    rank: int
+    verdict: str
+
+    STABLE_BELOW = 0.1
+    MODERATE_BELOW = 0.2
+    USEFUL_BELOW = 0.5
+
+
+def stability_report(error: np.ndarray, data: np.ndarray, rank: int) -> StabilityReport:
+    """Build a :class:`StabilityReport` from decomposition outputs."""
+    ne = relative_error_norm(error, data, kind="l1")
+    ne0 = relative_error_norm(error, data, kind="l0")
+    if ne < StabilityReport.STABLE_BELOW:
+        verdict = "stable"
+    elif ne < StabilityReport.MODERATE_BELOW:
+        verdict = "moderately-stable"
+    elif ne < StabilityReport.USEFUL_BELOW:
+        verdict = "dynamic"
+    else:
+        verdict = "too-dynamic"
+    return StabilityReport(norm_ne=ne, norm_ne_l0=ne0, rank=int(rank), verdict=verdict)

@@ -1,0 +1,64 @@
+"""Plain (non-robust) PCA baseline.
+
+The paper motivates RPCA by PCA's known weakness: "the accuracy of PCA is
+prone to noise or gross errors in the input data" (Sec II-B). This solver
+implements that straw man — a rank-one truncated SVD of the TP-matrix with
+the residual as the "error" — so the robustness claim can be demonstrated
+quantitatively (see ``benchmarks/test_ablation_pca_vs_rpca.py``): a single
+heavy outlier snapshot visibly drags PCA's constant row while RPCA's stays
+put.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import as_float_matrix
+from .svd_ops import truncated_svd
+
+__all__ = ["PCAResult", "pca_rank1_decomposition"]
+
+
+@dataclass(frozen=True, slots=True)
+class PCAResult:
+    """Outcome of :func:`pca_rank1_decomposition` (solver-result protocol)."""
+
+    low_rank: np.ndarray
+    sparse: np.ndarray
+    constant_row: np.ndarray
+    rank: int
+    iterations: int
+    converged: bool
+    residual: float
+
+
+def pca_rank1_decomposition(a: np.ndarray) -> PCAResult:
+    """Best rank-one L2 approximation of *a* plus residual.
+
+    ``low_rank = σ₁ u₁ v₁ᵀ`` — the classic PCA/SVD answer, optimal in the
+    Frobenius norm and therefore maximally sensitive to gross outliers
+    (a single corrupted snapshot tilts u₁ toward it). The constant row is
+    the least-squares row-constant fit to ``low_rank``, i.e. its column
+    mean, matching the extraction used for the robust solvers.
+    """
+    A = as_float_matrix(a, "a")
+    u, s, vt = truncated_svd(A)
+    if s.size == 0 or s[0] == 0.0:
+        zero = np.zeros_like(A)
+        return PCAResult(zero, zero.copy(), np.zeros(A.shape[1]), 0, 1, True, 0.0)
+    low = np.outer(u[:, 0] * s[0], vt[0])
+    sparse = A - low
+    row = low.mean(axis=0)
+    norm_a = float(np.linalg.norm(A))
+    residual = float(np.linalg.norm(sparse)) / norm_a if norm_a else 0.0
+    return PCAResult(
+        low_rank=low,
+        sparse=sparse,
+        constant_row=row,
+        rank=1,
+        iterations=1,
+        converged=True,
+        residual=residual,
+    )

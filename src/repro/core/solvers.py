@@ -1,0 +1,75 @@
+"""Solver registry: one dispatch point for every RPCA backend.
+
+All solvers share the contract ``a → result`` where the result exposes
+``low_rank``, ``sparse``, ``rank``, ``iterations``, ``converged`` and
+``residual`` attributes (duck-typed across :class:`~repro.core.apg.APGResult`,
+:class:`~repro.core.ialm.IALMResult` and
+:class:`~repro.core.row_constant.RowConstantResult`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Protocol
+
+import numpy as np
+
+from .apg import rpca_apg
+from .ialm import rpca_ialm
+from .pca import pca_rank1_decomposition
+from .row_constant import row_constant_decomposition
+
+__all__ = ["RPCAResult", "solve_rpca", "available_solvers", "register_solver"]
+
+
+class RPCAResult(Protocol):
+    """Structural type every solver result satisfies."""
+
+    low_rank: np.ndarray
+    sparse: np.ndarray
+    rank: int
+    iterations: int
+    converged: bool
+    residual: float
+
+
+_SOLVERS: dict[str, Callable[..., Any]] = {
+    "apg": rpca_apg,
+    "ialm": rpca_ialm,
+    "row_constant": lambda a, **kw: row_constant_decomposition(a),
+    # Non-robust straw man for the paper's PCA-vs-RPCA motivation (Sec II-B).
+    "pca": lambda a, **kw: pca_rank1_decomposition(a),
+}
+
+
+def available_solvers() -> tuple[str, ...]:
+    """Names accepted by :func:`solve_rpca`, in registration order."""
+    return tuple(_SOLVERS)
+
+
+def register_solver(name: str, fn: Callable[..., Any]) -> None:
+    """Register a custom solver under *name* (overwrites silently)."""
+    if not callable(fn):
+        raise TypeError("solver must be callable")
+    _SOLVERS[str(name)] = fn
+
+
+def solve_rpca(a: np.ndarray, solver: str = "apg", **kwargs: Any) -> RPCAResult:
+    """Run the named RPCA solver on data matrix *a*.
+
+    Parameters
+    ----------
+    a:
+        Data matrix.
+    solver:
+        One of :func:`available_solvers` (default ``"apg"``, the paper's
+        choice).
+    **kwargs:
+        Forwarded to the solver (``lam``, ``tol``, ``max_iter``, ...).
+    """
+    try:
+        fn = _SOLVERS[solver]
+    except KeyError:
+        raise ValueError(
+            f"unknown RPCA solver {solver!r}; available: {sorted(_SOLVERS)}"
+        ) from None
+    return fn(a, **kwargs)

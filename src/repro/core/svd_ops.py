@@ -1,0 +1,68 @@
+"""Proximal operators and SVD helpers shared by the RPCA solvers.
+
+Two proximal maps do all the work in RPCA:
+
+* :func:`soft_threshold` — the prox of the (elementwise) L1 norm; shrinks
+  every entry toward zero by ``tau`` and produces the sparse component.
+* :func:`singular_value_threshold` — the prox of the nuclear norm; soft-
+  thresholds the singular values and produces the low-rank component.
+
+``truncated_svd`` wraps the thin-SVD call (``full_matrices=False``) that the
+scientific-Python optimization guide singles out: for the tall-skinny or
+short-fat matrices RPCA sees (``n_snapshots × N²`` with n_snapshots ≈ 10),
+the thin SVD is orders of magnitude cheaper than the full decomposition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg
+
+from .._validation import as_float_matrix, check_nonnegative
+
+__all__ = ["soft_threshold", "singular_value_threshold", "truncated_svd"]
+
+
+def soft_threshold(x: np.ndarray, tau: float) -> np.ndarray:
+    """Elementwise soft-thresholding (shrinkage) operator.
+
+    ``S_tau(x) = sign(x) * max(|x| - tau, 0)`` — the proximal operator of
+    ``tau * ||·||_1``.
+    """
+    check_nonnegative(tau, "tau")
+    return np.sign(x) * np.maximum(np.abs(x) - tau, 0.0)
+
+
+def truncated_svd(a: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Thin SVD ``a = U @ diag(s) @ Vt`` with LAPACK gesdd, gesvd fallback.
+
+    ``gesdd`` (divide and conquer) is the fast default but can fail to
+    converge on ill-conditioned inputs; the classical ``gesvd`` is slower
+    but robust, so it serves as the fallback.
+    """
+    m = as_float_matrix(a, "a")
+    try:
+        u, s, vt = scipy.linalg.svd(m, full_matrices=False, lapack_driver="gesdd")
+    except np.linalg.LinAlgError:  # pragma: no cover - rare LAPACK failure
+        u, s, vt = scipy.linalg.svd(m, full_matrices=False, lapack_driver="gesvd")
+    return u, s, vt
+
+
+def singular_value_threshold(
+    a: np.ndarray, tau: float
+) -> tuple[np.ndarray, int, float]:
+    """Singular value thresholding ``D_tau(a)`` (Cai, Candès & Shen).
+
+    Returns ``(D, rank, top_sv)`` where ``D = U @ diag(max(s - tau, 0)) @ Vt``,
+    ``rank`` is the number of singular values exceeding ``tau``, and
+    ``top_sv`` is the largest singular value of *a* (used by APG stopping
+    criteria and continuation schedules).
+    """
+    check_nonnegative(tau, "tau")
+    u, s, vt = truncated_svd(a)
+    shrunk = s - tau
+    rank = int(np.count_nonzero(shrunk > 0.0))
+    if rank == 0:
+        return np.zeros_like(np.asarray(a, dtype=np.float64)), 0, float(s[0]) if s.size else 0.0
+    d = (u[:, :rank] * shrunk[:rank]) @ vt[:rank]
+    return d, rank, float(s[0])

@@ -1,0 +1,19 @@
+"""Monetary-cost analysis (the paper's stated future work, Sec VI).
+
+"As for future work, we plan to investigate the economic impacts [42] of
+our approach." Pay-as-you-go clouds bill per instance-hour, so shaving
+elapsed time off a run directly shaves dollars; this package prices runs
+and computes the savings a network-aware strategy buys net of its
+calibration overhead.
+"""
+
+from .pricing import InstancePricing, run_cost_usd, BillingGranularity
+from .savings import SavingsReport, savings_report
+
+__all__ = [
+    "InstancePricing",
+    "BillingGranularity",
+    "run_cost_usd",
+    "SavingsReport",
+    "savings_report",
+]

@@ -1,0 +1,74 @@
+"""Instance pricing and run-cost computation.
+
+Defaults model 2013-era EC2 m1.medium on-demand pricing (USD 0.12/hour,
+hourly billing granularity — the era the paper measured). Per-second
+billing (modern clouds) is also supported, since it changes which
+optimizations pay off: hourly billing quantizes savings, per-second billing
+rewards every shaved second.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+
+from .._validation import check_nonnegative, check_positive
+
+__all__ = ["BillingGranularity", "InstancePricing", "run_cost_usd"]
+
+
+class BillingGranularity(Enum):
+    """How the provider rounds billable time per instance."""
+
+    HOURLY = "hourly"
+    PER_MINUTE = "per_minute"
+    PER_SECOND = "per_second"
+
+    @property
+    def quantum_seconds(self) -> float:
+        return {"hourly": 3600.0, "per_minute": 60.0, "per_second": 1.0}[self.value]
+
+
+@dataclass(frozen=True, slots=True)
+class InstancePricing:
+    """One instance type's price sheet.
+
+    Attributes
+    ----------
+    usd_per_hour:
+        On-demand hourly rate (m1.medium 2013 default).
+    granularity:
+        Billing rounding (2013 EC2 billed by the hour).
+    minimum_seconds:
+        Minimum billable duration per instance (some providers bill at
+        least one quantum even for instant termination).
+    """
+
+    usd_per_hour: float = 0.12
+    granularity: BillingGranularity = BillingGranularity.HOURLY
+    minimum_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.usd_per_hour, "usd_per_hour")
+        check_nonnegative(self.minimum_seconds, "minimum_seconds")
+
+    def billable_seconds(self, elapsed_seconds: float) -> float:
+        """Round *elapsed_seconds* up to the billing quantum."""
+        check_nonnegative(elapsed_seconds, "elapsed_seconds")
+        q = self.granularity.quantum_seconds
+        clamped = max(elapsed_seconds, self.minimum_seconds)
+        return math.ceil(clamped / q) * q if clamped > 0 else 0.0
+
+
+def run_cost_usd(
+    elapsed_seconds: float,
+    n_instances: int,
+    pricing: InstancePricing | None = None,
+) -> float:
+    """Total cost of running *n_instances* for *elapsed_seconds*."""
+    if n_instances < 1:
+        raise ValueError("n_instances must be >= 1")
+    p = pricing if pricing is not None else InstancePricing()
+    hours = p.billable_seconds(elapsed_seconds) / 3600.0
+    return n_instances * hours * p.usd_per_hour

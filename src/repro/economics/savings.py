@@ -1,0 +1,81 @@
+"""Savings analysis: what a network-aware strategy is worth in dollars.
+
+Combines per-strategy elapsed times (from a comparison run or an
+application's :class:`~repro.apps.breakdown.TimeBreakdown`) with a price
+sheet, charging each strategy its own overhead (calibration + analysis) so
+the verdict is net: a strategy only "saves money" if its time gain survives
+billing rounding and pays for its calibration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .._validation import check_nonnegative
+from .pricing import InstancePricing, run_cost_usd
+
+__all__ = ["SavingsReport", "savings_report"]
+
+
+@dataclass(frozen=True, slots=True)
+class SavingsReport:
+    """Cost comparison of one strategy against the baseline.
+
+    All monetary values in USD for the full cluster.
+    """
+
+    strategy: str
+    baseline_cost: float
+    strategy_cost: float
+
+    @property
+    def savings(self) -> float:
+        return self.baseline_cost - self.strategy_cost
+
+    @property
+    def savings_fraction(self) -> float:
+        return self.savings / self.baseline_cost if self.baseline_cost else 0.0
+
+    @property
+    def pays_off(self) -> bool:
+        return self.savings > 0.0
+
+
+def savings_report(
+    *,
+    strategy: str,
+    baseline_elapsed_seconds: float,
+    strategy_elapsed_seconds: float,
+    strategy_overhead_seconds: float = 0.0,
+    n_instances: int,
+    pricing: InstancePricing | None = None,
+) -> SavingsReport:
+    """Price a strategy against the baseline, overhead included.
+
+    Parameters
+    ----------
+    strategy:
+        Display name.
+    baseline_elapsed_seconds:
+        Wall-clock of the unoptimized run.
+    strategy_elapsed_seconds:
+        Wall-clock of the optimized run (communication + computation).
+    strategy_overhead_seconds:
+        Calibration + analysis time the strategy spent; the cluster is
+        billed for it too.
+    n_instances:
+        Cluster size (all instances are billed for the whole run).
+    pricing:
+        Price sheet (2013 m1.medium hourly default).
+    """
+    check_nonnegative(baseline_elapsed_seconds, "baseline_elapsed_seconds")
+    check_nonnegative(strategy_elapsed_seconds, "strategy_elapsed_seconds")
+    check_nonnegative(strategy_overhead_seconds, "strategy_overhead_seconds")
+    p = pricing if pricing is not None else InstancePricing()
+    return SavingsReport(
+        strategy=strategy,
+        baseline_cost=run_cost_usd(baseline_elapsed_seconds, n_instances, p),
+        strategy_cost=run_cost_usd(
+            strategy_elapsed_seconds + strategy_overhead_seconds, n_instances, p
+        ),
+    )

@@ -1,0 +1,49 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of this package with a single ``except`` clause
+while still being able to discriminate failure classes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by :mod:`repro`."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed structural validation (shape, dtype, range)."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative solver exhausted its iteration budget without converging.
+
+    Attributes
+    ----------
+    iterations:
+        Number of iterations performed before giving up.
+    residual:
+        Final residual value (solver-specific meaning).
+    """
+
+    def __init__(self, message: str, *, iterations: int, residual: float) -> None:
+        super().__init__(message)
+        self.iterations = int(iterations)
+        self.residual = float(residual)
+
+
+class CalibrationError(ReproError, RuntimeError):
+    """A calibration run could not produce a usable TP-matrix."""
+
+
+class TopologyError(ReproError, ValueError):
+    """A network topology description is inconsistent."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class MappingError(ReproError, ValueError):
+    """A task-to-machine mapping request cannot be satisfied."""

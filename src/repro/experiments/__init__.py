@@ -1,0 +1,26 @@
+"""Experiment drivers: one module per table/figure of the paper's Sec V.
+
+Every driver exposes a ``run(...)`` function returning a plain result object
+whose fields are the series/rows the paper plots, so benchmarks can print
+them and tests can assert the qualitative shape (orderings, crossovers)
+without re-deriving anything.
+"""
+
+from .harness import (
+    ComparisonResult,
+    ReplayContext,
+    collective_comparison,
+    mapping_comparison,
+    empirical_cdf,
+)
+from .report import format_table, format_series
+
+__all__ = [
+    "ComparisonResult",
+    "ReplayContext",
+    "collective_comparison",
+    "mapping_comparison",
+    "empirical_cdf",
+    "format_table",
+    "format_series",
+]

@@ -1,0 +1,53 @@
+"""Fig 4 — overhead of calibrating a temporal performance matrix.
+
+The paper reports near-linear growth with the number of instances: just
+under 4 minutes at 64 instances and about 10 minutes at 196, for time step
+10. The driver evaluates the calibration cost model over a sweep of cluster
+sizes and also verifies the schedule's round count (the model's N term).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..calibration.overhead import CalibrationCostModel, calibration_overhead_seconds
+from ..calibration.schedule import pairing_rounds
+
+__all__ = ["Fig04Result", "run"]
+
+DEFAULT_SIZES = (16, 32, 64, 96, 128, 160, 196)
+
+
+@dataclass(frozen=True)
+class Fig04Result:
+    """Series of (n_instances, overhead_seconds) plus schedule round counts."""
+
+    sizes: tuple[int, ...]
+    overhead_seconds: tuple[float, ...]
+    schedule_rounds: tuple[int, ...]
+    time_step: int
+
+    def as_rows(self) -> list[tuple[int, float, float, int]]:
+        return [
+            (n, s, s / 60.0, r)
+            for n, s, r in zip(self.sizes, self.overhead_seconds, self.schedule_rounds)
+        ]
+
+
+def run(
+    sizes: tuple[int, ...] = DEFAULT_SIZES,
+    *,
+    time_step: int = 10,
+    model: CalibrationCostModel | None = None,
+) -> Fig04Result:
+    """Evaluate calibration overhead for each cluster size."""
+    overheads = tuple(
+        calibration_overhead_seconds(n, time_step, model) for n in sizes
+    )
+    rounds = tuple(pairing_rounds(n).n_rounds for n in sizes)
+    return Fig04Result(
+        sizes=tuple(sizes),
+        overhead_seconds=overheads,
+        schedule_rounds=rounds,
+        time_step=time_step,
+    )

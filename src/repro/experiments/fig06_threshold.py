@@ -1,0 +1,157 @@
+"""Fig 6 — update-maintenance threshold study.
+
+Replay a trace containing regime changes (VM migrations) through the full
+Algorithm-1 loop: fit on a calibration window, run one broadcast per
+snapshot, compare the expected time (tree priced on the estimate) with the
+observed time (tree priced on the live snapshot), and re-calibrate whenever
+the relative deviation crosses the threshold — paying the calibration
+overhead each time. The paper's findings to reproduce: below ≈20% the loop
+thrashes and overhead dominates; above ≈150% it never re-calibrates and the
+communication time degrades after changes; ≈100% is the sweet spot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..calibration.overhead import calibration_overhead_seconds
+from ..cloudsim.trace import CalibrationTrace
+from ..collectives.exec_model import broadcast_time, weights_to_alphabeta
+from ..collectives.fnf import fnf_tree
+from ..core.maintenance import MaintenanceController, MaintenanceDecision
+from ..core.decompose import decompose
+from ..errors import ValidationError
+from ..utils.seeding import spawn_rng
+
+__all__ = ["ThresholdOutcome", "Fig06Result", "run"]
+
+
+@dataclass(frozen=True, slots=True)
+class ThresholdOutcome:
+    """Averages for one threshold setting (one bar group of Fig 6)."""
+
+    threshold: float
+    avg_total_time: float
+    avg_communication_time: float
+    avg_maintenance_overhead: float
+    recalibrations: int
+    operations: int
+
+
+@dataclass(frozen=True)
+class Fig06Result:
+    """Sweep over thresholds."""
+
+    outcomes: tuple[ThresholdOutcome, ...]
+
+    def best_threshold(self) -> float:
+        return min(self.outcomes, key=lambda o: o.avg_total_time).threshold
+
+    def as_rows(self) -> list[tuple[float, float, float, float, int]]:
+        return [
+            (
+                o.threshold,
+                o.avg_total_time,
+                o.avg_communication_time,
+                o.avg_maintenance_overhead,
+                o.recalibrations,
+            )
+            for o in self.outcomes
+        ]
+
+
+def _replay_one_threshold(
+    trace: CalibrationTrace,
+    threshold: float,
+    *,
+    time_step: int,
+    nbytes: float,
+    solver: str,
+    calibration_cost: float,
+    collectives_per_operation: int,
+    seed: int,
+) -> ThresholdOutcome:
+    rng = spawn_rng(seed)
+    n = trace.n_machines
+
+    def fit(end: int) -> np.ndarray:
+        start = max(0, end - time_step)
+        tp = trace.tp_matrix(nbytes, start=start, count=end - start)
+        return decompose(tp, solver=solver).performance_matrix().weights
+
+    controller = MaintenanceController(threshold=threshold)
+    weights = fit(time_step)
+    comm_total = 0.0
+    overhead_total = 0.0
+    ops = 0
+    recals = 0
+    for k in range(time_step, trace.n_snapshots):
+        root = int(rng.integers(n))
+        tree = fnf_tree(weights, root)
+        ea, eb = weights_to_alphabeta(weights, nbytes)
+        # One "operation" is an application run of many collectives (the
+        # paper monitors whole MPI operations, not single messages); scaling
+        # both expected and observed leaves the deviation ratio unchanged.
+        expected = collectives_per_operation * broadcast_time(tree, ea, eb, nbytes)
+        observed = collectives_per_operation * broadcast_time(
+            tree, trace.alpha[k], trace.beta[k], nbytes
+        )
+        comm_total += observed
+        ops += 1
+        if controller.observe(expected, observed) is MaintenanceDecision.RECALIBRATE:
+            weights = fit(k + 1)
+            overhead_total += calibration_cost
+            recals += 1
+    return ThresholdOutcome(
+        threshold=threshold,
+        avg_total_time=(comm_total + overhead_total) / ops,
+        avg_communication_time=comm_total / ops,
+        avg_maintenance_overhead=overhead_total / ops,
+        recalibrations=recals,
+        operations=ops,
+    )
+
+
+def run(
+    trace: CalibrationTrace,
+    *,
+    thresholds: tuple[float, ...] = (0.1, 0.2, 0.5, 1.0, 1.5, 2.0),
+    time_step: int = 10,
+    nbytes: float = 8.0 * 1024 * 1024,
+    solver: str = "row_constant",
+    calibration_cost: float | None = None,
+    collectives_per_operation: int = 1,
+    seed: int = 0,
+) -> Fig06Result:
+    """Sweep maintenance thresholds over one trace replay.
+
+    *calibration_cost* defaults to the Fig 4 cost model for the trace's
+    cluster size at the given time step. *collectives_per_operation* sizes
+    each monitored operation (the paper's operations are long-running
+    application runs, not single messages).
+    """
+    if trace.n_snapshots <= time_step:
+        raise ValidationError("trace too short for the requested time step")
+    if int(collectives_per_operation) < 1:
+        raise ValidationError("collectives_per_operation must be >= 1")
+    cost = (
+        calibration_cost
+        if calibration_cost is not None
+        else calibration_overhead_seconds(trace.n_machines, time_step)
+    )
+    outcomes = tuple(
+        _replay_one_threshold(
+            trace,
+            th,
+            time_step=time_step,
+            nbytes=nbytes,
+            solver=solver,
+            calibration_cost=cost,
+            collectives_per_operation=int(collectives_per_operation),
+            seed=seed,
+        )
+        for th in thresholds
+    )
+    return Fig06Result(outcomes=outcomes)

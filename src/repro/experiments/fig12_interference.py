@@ -1,0 +1,145 @@
+"""Fig 12 — background traffic vs ``Norm(N_E)`` in the simulated cluster.
+
+Two sweeps on the ns-2-substitute: (a) fix the background message size at
+100 MB and vary the expected waiting time λ from 1 to 30 s — Norm(N_E)
+falls as λ grows (rarer interference = calmer network); (b) fix λ = 5 s and
+vary the message size 10→500 MB — Norm(N_E) grows roughly linearly with the
+size. Together they establish that Norm(N_E) tracks the interference level,
+which is what licenses using it as an effectiveness predictor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.decompose import decompose
+from ..netsim.background import BackgroundConfig
+from ..utils.seeding import derive_seed
+from .netsim_support import build_scenario, calibrate_netsim_trace
+
+__all__ = ["InterferencePoint", "Fig12Result", "run_lambda_sweep", "run_msgsize_sweep"]
+
+MB = 1024 * 1024
+
+
+@dataclass(frozen=True, slots=True)
+class InterferencePoint:
+    x: float
+    norm_ne: float
+
+
+@dataclass(frozen=True)
+class Fig12Result:
+    points: tuple[InterferencePoint, ...]
+    x_name: str
+
+    def as_rows(self) -> list[tuple[float, float]]:
+        return [(p.x, p.norm_ne) for p in self.points]
+
+    def norms(self) -> tuple[float, ...]:
+        return tuple(p.norm_ne for p in self.points)
+
+
+def _measure_norm_ne(
+    *,
+    background: BackgroundConfig,
+    n_racks: int,
+    servers_per_rack: int,
+    cluster_size: int,
+    n_snapshots: int,
+    gap_seconds: float,
+    probe_bytes: float,
+    solver: str,
+    core_bandwidth: float | None,
+    seed: int,
+) -> float:
+    scenario = build_scenario(
+        n_racks=n_racks,
+        servers_per_rack=servers_per_rack,
+        cluster_size=cluster_size,
+        background=background,
+        core_bandwidth=core_bandwidth,
+        seed=seed,
+    )
+    trace = calibrate_netsim_trace(
+        scenario,
+        n_snapshots=n_snapshots,
+        gap_seconds=gap_seconds,
+        probe_bytes=probe_bytes,
+    )
+    tp = trace.tp_matrix(probe_bytes)
+    return decompose(tp, solver=solver).norm_ne
+
+
+def run_lambda_sweep(
+    *,
+    lambdas: tuple[float, ...] = (1.0, 2.0, 5.0, 10.0, 30.0),
+    message_bytes: float = 100.0 * MB,
+    n_pairs: int = 64,
+    n_racks: int = 32,
+    servers_per_rack: int = 32,
+    cluster_size: int = 32,
+    n_snapshots: int = 10,
+    gap_seconds: float = 30.0,
+    probe_bytes: float = 8.0 * MB,
+    solver: str = "row_constant",
+    core_bandwidth: float | None = None,
+    seed: int = 0,
+) -> Fig12Result:
+    """Fig 12(a): Norm(N_E) vs expected background waiting time λ."""
+    points = []
+    for lam in lambdas:
+        bg = BackgroundConfig(
+            n_pairs=n_pairs, message_bytes=message_bytes, mean_wait_seconds=lam
+        )
+        ne = _measure_norm_ne(
+            background=bg,
+            n_racks=n_racks,
+            servers_per_rack=servers_per_rack,
+            cluster_size=cluster_size,
+            n_snapshots=n_snapshots,
+            gap_seconds=gap_seconds,
+            probe_bytes=probe_bytes,
+            solver=solver,
+            core_bandwidth=core_bandwidth,
+            seed=derive_seed(seed, "lam", int(lam * 100)),
+        )
+        points.append(InterferencePoint(x=lam, norm_ne=ne))
+    return Fig12Result(points=tuple(points), x_name="lambda_seconds")
+
+
+def run_msgsize_sweep(
+    *,
+    message_sizes: tuple[float, ...] = (10 * MB, 50 * MB, 100 * MB, 250 * MB, 500 * MB),
+    mean_wait_seconds: float = 5.0,
+    n_pairs: int = 64,
+    n_racks: int = 32,
+    servers_per_rack: int = 32,
+    cluster_size: int = 32,
+    n_snapshots: int = 10,
+    gap_seconds: float = 30.0,
+    probe_bytes: float = 8.0 * MB,
+    solver: str = "row_constant",
+    core_bandwidth: float | None = None,
+    seed: int = 0,
+) -> Fig12Result:
+    """Fig 12(b): Norm(N_E) vs background message size at λ = 5 s."""
+    points = []
+    for msg in message_sizes:
+        bg = BackgroundConfig(
+            n_pairs=n_pairs, message_bytes=msg, mean_wait_seconds=mean_wait_seconds
+        )
+        ne = _measure_norm_ne(
+            background=bg,
+            n_racks=n_racks,
+            servers_per_rack=servers_per_rack,
+            cluster_size=cluster_size,
+            n_snapshots=n_snapshots,
+            gap_seconds=gap_seconds,
+            probe_bytes=probe_bytes,
+            solver=solver,
+            core_bandwidth=core_bandwidth,
+            seed=derive_seed(seed, "msg", int(msg // MB)),
+        )
+        points.append(InterferencePoint(x=float(msg), norm_ne=ne))
+    return Fig12Result(points=tuple(points), x_name="message_bytes")

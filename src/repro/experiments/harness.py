@@ -1,0 +1,184 @@
+"""Shared replay harness (paper Sec V methodology).
+
+The paper's method: calibrate a trace, fit every strategy on the calibration
+prefix, then repeatedly run operations whose trees/mappings are built from
+each strategy's estimate but *priced on the measured network of the moment*
+(a later trace snapshot). Repetitions randomize the collective root and
+advance through evaluation snapshots; reported numbers are means over
+repetitions and are normalized to Baseline exactly as in Figs 7/11/13.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..cloudsim.trace import CalibrationTrace
+from ..collectives.exec_model import collective_time
+from ..collectives.operations import build_tree
+from ..errors import ValidationError
+from ..mapping.evaluate import bandwidth_from_weights, mapping_total_time
+from ..mapping.greedy import greedy_mapping
+from ..mapping.ring import ring_mapping
+from ..mapping.taskgraph import TaskGraph
+from ..strategies.base import Strategy
+from ..utils.seeding import spawn_rng
+
+__all__ = [
+    "ReplayContext",
+    "ComparisonResult",
+    "collective_comparison",
+    "mapping_comparison",
+    "empirical_cdf",
+]
+
+
+@dataclass(frozen=True)
+class ReplayContext:
+    """A trace split into calibration prefix and evaluation window.
+
+    Parameters
+    ----------
+    trace:
+        Ground-truth network trace.
+    time_step:
+        Calibration prefix length (paper default 10).
+    nbytes:
+        Message size strategies calibrate for.
+    """
+
+    trace: CalibrationTrace
+    time_step: int = 10
+    nbytes: float = 8.0 * 1024 * 1024
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.time_step < self.trace.n_snapshots:
+            raise ValidationError(
+                "time_step must leave at least one evaluation snapshot"
+            )
+
+    @property
+    def n_eval(self) -> int:
+        return self.trace.n_snapshots - self.time_step
+
+    def fit(self, strategies: list[Strategy]) -> None:
+        """Fit every strategy on the calibration prefix."""
+        tp = self.trace.tp_matrix(self.nbytes, start=0, count=self.time_step)
+        for s in strategies:
+            s.fit(tp)
+
+    def eval_snapshot(self, rep: int) -> int:
+        """Evaluation snapshot index for repetition *rep* (cycles the window)."""
+        return self.time_step + (rep % self.n_eval)
+
+
+@dataclass
+class ComparisonResult:
+    """Per-strategy elapsed times over repetitions."""
+
+    times: dict[str, np.ndarray] = field(default_factory=dict)
+
+    def mean(self, name: str) -> float:
+        return float(np.mean(self.times[name]))
+
+    def normalized_means(self, to: str = "Baseline") -> dict[str, float]:
+        """Means normalized to one arm's mean (the paper's Fig 7 bars)."""
+        ref = self.mean(to)
+        return {k: float(np.mean(v)) / ref for k, v in self.times.items()}
+
+    def improvement(self, of: str, over: str) -> float:
+        """Relative improvement ``1 − mean(of)/mean(over)`` (positive = faster)."""
+        return 1.0 - self.mean(of) / self.mean(over)
+
+    def cdf(self, name: str) -> tuple[np.ndarray, np.ndarray]:
+        return empirical_cdf(self.times[name])
+
+
+def empirical_cdf(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Sorted values and cumulative fractions, for CDF plots (Figs 7b/11b/13b)."""
+    v = np.sort(np.asarray(values, dtype=np.float64).ravel())
+    if v.size == 0:
+        raise ValidationError("values must be non-empty")
+    frac = np.arange(1, v.size + 1, dtype=np.float64) / v.size
+    return v, frac
+
+
+def collective_comparison(
+    ctx: ReplayContext,
+    strategies: list[Strategy],
+    *,
+    op: str = "broadcast",
+    nbytes: float | None = None,
+    repetitions: int = 100,
+    seed: int | np.random.Generator | None = None,
+    refit: bool = False,
+) -> ComparisonResult:
+    """Compare strategies on one collective over the evaluation window.
+
+    Each repetition draws a random root, builds every strategy's tree for
+    that root, and prices all trees on the same live snapshot. With
+    ``refit=True`` the strategies are re-fitted each repetition on the
+    ``time_step`` snapshots preceding the evaluation snapshot (sliding
+    calibration — used by maintenance studies).
+    """
+    if repetitions < 1:
+        raise ValidationError("repetitions must be >= 1")
+    rng = spawn_rng(seed)
+    size = nbytes if nbytes is not None else ctx.nbytes
+    n = ctx.trace.n_machines
+    if not refit:
+        ctx.fit(strategies)
+    out: dict[str, list[float]] = {s.name: [] for s in strategies}
+    for rep in range(repetitions):
+        k = ctx.eval_snapshot(rep)
+        if refit:
+            start = max(0, k - ctx.time_step)
+            tp = ctx.trace.tp_matrix(ctx.nbytes, start=start, count=k - start)
+            for s in strategies:
+                s.fit(tp)
+        root = int(rng.integers(n))
+        alpha = ctx.trace.alpha[k]
+        beta = ctx.trace.beta[k]
+        for s in strategies:
+            weights = s.weight_matrix() if s.is_network_aware else None
+            tree = build_tree(n, root, algorithm=s.tree_algorithm, weights=weights)
+            out[s.name].append(collective_time(op, tree, alpha, beta, size))
+    return ComparisonResult(times={k: np.asarray(v) for k, v in out.items()})
+
+
+def mapping_comparison(
+    ctx: ReplayContext,
+    strategies: list[Strategy],
+    task_graphs: list[TaskGraph],
+    *,
+    seed: int | np.random.Generator | None = None,
+) -> ComparisonResult:
+    """Compare strategies on topology mapping over the evaluation window.
+
+    Each task graph is one repetition: strategies map it using their
+    estimates (Baseline uses ring mapping), and the mapping is priced on a
+    live snapshot.
+    """
+    if not task_graphs:
+        raise ValidationError("task_graphs must be non-empty")
+    rng = spawn_rng(seed)
+    n = ctx.trace.n_machines
+    ctx.fit(strategies)
+    out: dict[str, list[float]] = {s.name: [] for s in strategies}
+    for rep, g in enumerate(task_graphs):
+        if g.n_tasks > n:
+            raise ValidationError("task graph larger than the cluster")
+        k = ctx.eval_snapshot(rep)
+        alpha = ctx.trace.alpha[k]
+        beta = ctx.trace.beta[k]
+        offset = int(rng.integers(n))
+        for s in strategies:
+            if s.mapping_algorithm == "ring":
+                mapping = ring_mapping(g.n_tasks, n, offset=offset)
+            else:
+                w = s.weight_matrix()
+                assert w is not None
+                mapping = greedy_mapping(g, bandwidth_from_weights(w))
+            out[s.name].append(mapping_total_time(g, mapping, alpha, beta))
+    return ComparisonResult(times={k: np.asarray(v) for k, v in out.items()})

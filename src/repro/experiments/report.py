@@ -1,0 +1,50 @@
+"""Plain-text rendering of experiment results.
+
+Benchmarks print these tables so ``pytest benchmarks/ --benchmark-only``
+output doubles as the paper-figure regeneration record captured in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+    float_fmt: str = "{:.4g}",
+) -> str:
+    """Render rows as an aligned monospace table."""
+    str_rows: list[list[str]] = []
+    for row in rows:
+        str_rows.append(
+            [float_fmt.format(c) if isinstance(c, float) else str(c) for c in row]
+        )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_name: str,
+    y_name: str,
+    points: Iterable[tuple[object, object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render an (x, y) series as a two-column table."""
+    return format_table([x_name, y_name], points, title=title)

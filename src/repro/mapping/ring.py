@@ -1,0 +1,24 @@
+"""Ring (identity) mapping — the paper's topology-mapping Baseline.
+
+"We use the ring mapping algorithm, which maps each vertex in the task graph
+to a vertex in the machine graph one by one like a ring" (Sec V-A): task *i*
+goes to machine *i*, with an optional offset for experiments that randomize
+the starting point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import MappingError
+
+__all__ = ["ring_mapping"]
+
+
+def ring_mapping(n_tasks: int, n_machines: int, *, offset: int = 0) -> np.ndarray:
+    """``mapping[task] = (task + offset) mod n_machines``, distinct per task."""
+    if n_tasks < 1:
+        raise MappingError("n_tasks must be >= 1")
+    if n_machines < n_tasks:
+        raise MappingError(f"{n_tasks} tasks cannot map onto {n_machines} machines")
+    return (np.arange(n_tasks, dtype=np.intp) + int(offset)) % n_machines

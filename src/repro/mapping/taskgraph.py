@@ -1,0 +1,122 @@
+"""Task graphs: vertices are tasks, edge weights are data volumes (bytes).
+
+The paper's topology-mapping experiments "create the task graph by randomly
+generating the weight between 5MB to 10MB" (Sec V-A); :func:`random_task_graph`
+reproduces that. Ring and 2-D stencil generators model the communication
+patterns of the real applications the paper's introduction motivates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import as_square_matrix, check_probability
+from ..errors import ValidationError
+from ..utils.seeding import spawn_rng
+
+__all__ = ["TaskGraph", "random_task_graph", "ring_task_graph", "stencil_task_graph"]
+
+MB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class TaskGraph:
+    """Directed task-communication graph as a dense volume matrix.
+
+    ``volumes[s, t]`` is the number of bytes task *s* sends to task *t* per
+    application step; 0 means no edge. The diagonal must be zero.
+    """
+
+    volumes: np.ndarray
+
+    def __post_init__(self) -> None:
+        v = as_square_matrix(self.volumes, "volumes")
+        if np.any(v < 0):
+            raise ValidationError("volumes must be non-negative")
+        if np.any(np.diagonal(v) != 0):
+            raise ValidationError("task graph diagonal must be zero")
+        v.setflags(write=False)
+        object.__setattr__(self, "volumes", v)
+
+    @property
+    def n_tasks(self) -> int:
+        return self.volumes.shape[0]
+
+    @property
+    def n_edges(self) -> int:
+        return int(np.count_nonzero(self.volumes))
+
+    def vertex_weights(self) -> np.ndarray:
+        """Sum of weights of all edges touching each vertex (paper's definition)."""
+        return self.volumes.sum(axis=1) + self.volumes.sum(axis=0)
+
+    def total_volume(self) -> float:
+        return float(self.volumes.sum())
+
+
+def random_task_graph(
+    n_tasks: int,
+    *,
+    density: float = 0.3,
+    lo_bytes: float = 5 * MB,
+    hi_bytes: float = 10 * MB,
+    seed: int | np.random.Generator | None = None,
+) -> TaskGraph:
+    """Random directed task graph with uniform volumes in [lo, hi].
+
+    Every vertex is guaranteed at least one incident edge so the greedy
+    mapper never sees an isolated task.
+    """
+    if n_tasks < 2:
+        raise ValidationError("n_tasks must be >= 2")
+    check_probability(density, "density")
+    if not 0 < lo_bytes <= hi_bytes:
+        raise ValidationError("need 0 < lo_bytes <= hi_bytes")
+    rng = spawn_rng(seed)
+    mask = rng.random((n_tasks, n_tasks)) < density
+    np.fill_diagonal(mask, False)
+    # Connectivity guarantee: give any isolated vertex one random edge.
+    isolated = ~(mask.any(axis=0) | mask.any(axis=1))
+    for v in np.flatnonzero(isolated):
+        other = int(rng.integers(n_tasks - 1))
+        other = other if other < v else other + 1
+        mask[v, other] = True
+    vols = rng.uniform(lo_bytes, hi_bytes, size=(n_tasks, n_tasks))
+    return TaskGraph(volumes=np.where(mask, vols, 0.0))
+
+
+def ring_task_graph(
+    n_tasks: int, volume_bytes: float = 8 * MB
+) -> TaskGraph:
+    """Ring pattern: task *i* sends to task *(i+1) mod n*."""
+    if n_tasks < 2:
+        raise ValidationError("n_tasks must be >= 2")
+    v = np.zeros((n_tasks, n_tasks))
+    idx = np.arange(n_tasks)
+    v[idx, (idx + 1) % n_tasks] = float(volume_bytes)
+    return TaskGraph(volumes=v)
+
+
+def stencil_task_graph(
+    rows: int, cols: int, volume_bytes: float = 8 * MB
+) -> TaskGraph:
+    """2-D 4-point stencil on a rows×cols grid (bidirectional halo exchange)."""
+    if rows < 1 or cols < 1 or rows * cols < 2:
+        raise ValidationError("grid must contain at least 2 tasks")
+    n = rows * cols
+    v = np.zeros((n, n))
+
+    def tid(r: int, c: int) -> int:
+        return r * cols + c
+
+    for r in range(rows):
+        for c in range(cols):
+            if r + 1 < rows:
+                v[tid(r, c), tid(r + 1, c)] = volume_bytes
+                v[tid(r + 1, c), tid(r, c)] = volume_bytes
+            if c + 1 < cols:
+                v[tid(r, c), tid(r, c + 1)] = volume_bytes
+                v[tid(r, c + 1), tid(r, c)] = volume_bytes
+    return TaskGraph(volumes=v)

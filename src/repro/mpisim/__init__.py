@@ -1,0 +1,17 @@
+"""A simulated MPI programming interface.
+
+Write rank-based programs against :class:`SimComm` the way you would against
+``mpi4py``'s ``COMM_WORLD`` — ``bcast``, ``scatter``, ``gather``, ``reduce``,
+``allgather``, ``alltoall``, ``send``/``recv`` — and the communicator both
+*moves the data* (so algorithms compute real results) and *accounts the
+simulated communication time* under the α-β model, using communication trees
+built by any strategy (binomial baseline or FNF on an RPCA constant
+component).
+
+This is the adoption surface the paper implies: existing MPI-style programs
+gain network awareness by swapping the tree provider, not by rewriting.
+"""
+
+from .comm import SimComm, CommStats
+
+__all__ = ["SimComm", "CommStats"]

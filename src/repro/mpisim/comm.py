@@ -1,0 +1,245 @@
+"""The simulated communicator.
+
+Semantics follow MPI's single-program model, but the object is *global*: a
+``SimComm`` holds every rank's data at once and executes collectives as
+whole-cluster operations (the usual approach for simulation — per-rank
+processes would simulate the network no better and cost real parallelism).
+
+Data movement is real (results are exactly MPI's), and every operation
+advances the simulated clock by its α-β cost on the current live network:
+
+* ``bcast``/``reduce`` move full payloads along the communication tree;
+* ``scatter``/``gather``/``allgather``/``alltoall`` move per-rank blocks;
+* ``send``/``recv`` price a single link.
+
+Payload sizes are taken from numpy array nbytes (or ``sys.getsizeof`` for
+other objects — a simulation-grade approximation, documented here).
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from .._validation import check_index
+from ..collectives.exec_model import (
+    broadcast_time,
+    gatherv_time,
+    reduce_time,
+    scatterv_time,
+)
+from ..collectives.fnf import fnf_tree
+from ..collectives.trees import CommTree, binomial_tree
+from ..errors import ValidationError
+
+__all__ = ["CommStats", "SimComm"]
+
+
+def _payload_bytes(obj: Any) -> float:
+    if isinstance(obj, np.ndarray):
+        return float(obj.nbytes)
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return float(len(obj))
+    return float(sys.getsizeof(obj))
+
+
+@dataclass
+class CommStats:
+    """Accumulated simulated-communication accounting."""
+
+    operations: int = 0
+    elapsed_seconds: float = 0.0
+    bytes_moved: float = 0.0
+    per_op_seconds: dict[str, float] = field(default_factory=dict)
+
+    def charge(self, op: str, seconds: float, nbytes: float) -> None:
+        self.operations += 1
+        self.elapsed_seconds += seconds
+        self.bytes_moved += nbytes
+        self.per_op_seconds[op] = self.per_op_seconds.get(op, 0.0) + seconds
+
+
+class SimComm:
+    """MPI-style communicator over a simulated network.
+
+    Parameters
+    ----------
+    alpha, beta:
+        Live α-β matrices pricing every transfer (update via
+        :meth:`set_network` to replay time-varying traces).
+    weights:
+        Optional link-weight estimate; when given, collectives use FNF trees
+        built from it (the network-aware mode); otherwise MPICH binomial.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> n = 4
+    >>> alpha = np.zeros((n, n)); beta = np.full((n, n), 1e8)
+    >>> np.fill_diagonal(beta, np.inf)
+    >>> comm = SimComm(alpha, beta)
+    >>> comm.bcast(np.arange(3), root=0)[2].tolist()
+    [0, 1, 2]
+    """
+
+    def __init__(
+        self,
+        alpha: np.ndarray,
+        beta: np.ndarray,
+        *,
+        weights: np.ndarray | None = None,
+    ) -> None:
+        a = np.asarray(alpha, dtype=np.float64)
+        if a.ndim != 2 or a.shape[0] != a.shape[1]:
+            raise ValidationError("alpha must be square")
+        self._n = a.shape[0]
+        self.set_network(alpha, beta)
+        self.weights = None if weights is None else np.asarray(weights, dtype=np.float64)
+        if self.weights is not None and self.weights.shape != (self._n, self._n):
+            raise ValidationError("weights shape must match the cluster size")
+        self.stats = CommStats()
+        self._tree_cache: dict[int, CommTree] = {}
+
+    # -- configuration ------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of ranks (MPI's ``Get_size``)."""
+        return self._n
+
+    def set_network(self, alpha: np.ndarray, beta: np.ndarray) -> None:
+        """Swap in a new live snapshot (trace replay advances time)."""
+        a = np.asarray(alpha, dtype=np.float64)
+        b = np.asarray(beta, dtype=np.float64)
+        if a.shape != b.shape or a.ndim != 2 or a.shape[0] != a.shape[1]:
+            raise ValidationError("alpha/beta must be matching square matrices")
+        if hasattr(self, "_n") and a.shape[0] != self._n:
+            raise ValidationError("cluster size cannot change")
+        self.alpha = a
+        self.beta = b
+
+    def set_weights(self, weights: np.ndarray | None) -> None:
+        """Install (or clear) the network-aware link-weight estimate."""
+        if weights is not None:
+            w = np.asarray(weights, dtype=np.float64)
+            if w.shape != (self._n, self._n):
+                raise ValidationError("weights shape must match the cluster size")
+            self.weights = w
+        else:
+            self.weights = None
+        self._tree_cache.clear()
+
+    def _tree(self, root: int) -> CommTree:
+        check_index(root, self._n, "root")
+        if root not in self._tree_cache:
+            if self.weights is None:
+                self._tree_cache[root] = binomial_tree(self._n, root)
+            else:
+                self._tree_cache[root] = fnf_tree(self.weights, root)
+        return self._tree_cache[root]
+
+    # -- point to point ----------------------------------------------------
+    def send_time(self, src: int, dst: int, payload: Any) -> float:
+        """Price (and account) one point-to-point transfer; returns seconds."""
+        check_index(src, self._n, "src")
+        check_index(dst, self._n, "dst")
+        if src == dst:
+            return 0.0
+        nbytes = _payload_bytes(payload)
+        b = self.beta[src, dst]
+        if not b > 0:
+            raise ValidationError(f"non-positive bandwidth on ({src}, {dst})")
+        t = float(self.alpha[src, dst] + nbytes / b)
+        self.stats.charge("send", t, nbytes)
+        return t
+
+    # -- collectives ---------------------------------------------------------
+    def bcast(self, obj: Any, root: int = 0) -> list[Any]:
+        """Broadcast *obj* from *root*; returns each rank's received value."""
+        tree = self._tree(root)
+        nbytes = _payload_bytes(obj)
+        t = broadcast_time(tree, self.alpha, self.beta, nbytes)
+        self.stats.charge("bcast", t, nbytes * (self._n - 1))
+        return [obj] * self._n
+
+    def scatter(self, chunks: Sequence[Any], root: int = 0) -> list[Any]:
+        """Scatter ``chunks[i]`` to rank *i*; returns per-rank values.
+
+        Per-rank payload sizes are honored (``Scatterv`` semantics), so
+        unequal chunks price correctly.
+        """
+        if len(chunks) != self._n:
+            raise ValidationError("scatter needs exactly one chunk per rank")
+        tree = self._tree(root)
+        sizes = np.array([_payload_bytes(c) for c in chunks])
+        t = scatterv_time(tree, self.alpha, self.beta, sizes)
+        moved = float(sizes.sum() - sizes[tree.root])
+        self.stats.charge("scatter", t, moved)
+        return list(chunks)
+
+    def gather(self, value: Any, root: int = 0, *, all_values: Sequence[Any] | None = None) -> list[Any]:
+        """Gather per-rank values at *root* (single-object convenience: pass
+        ``all_values`` with each rank's contribution, or *value* is assumed
+        identical everywhere)."""
+        contributions = list(all_values) if all_values is not None else [value] * self._n
+        if len(contributions) != self._n:
+            raise ValidationError("gather needs exactly one value per rank")
+        tree = self._tree(root)
+        sizes = np.array([_payload_bytes(c) for c in contributions])
+        t = gatherv_time(tree, self.alpha, self.beta, sizes)
+        moved = float(sizes.sum() - sizes[tree.root])
+        self.stats.charge("gather", t, moved)
+        return contributions
+
+    def reduce(
+        self,
+        values: Sequence[Any],
+        op: Callable[[Any, Any], Any],
+        root: int = 0,
+    ) -> Any:
+        """Reduce per-rank *values* with *op* at *root* (tree order)."""
+        if len(values) != self._n:
+            raise ValidationError("reduce needs exactly one value per rank")
+        tree = self._tree(root)
+        nbytes = max(_payload_bytes(v) for v in values)
+        t = reduce_time(tree, self.alpha, self.beta, nbytes)
+        self.stats.charge("reduce", t, nbytes * (self._n - 1))
+        # Deterministic tree-order combine (children before parents).
+        order = [tree.root]
+        for u in order:
+            order.extend(tree.children[u])
+        acc: dict[int, Any] = {r: values[r] for r in range(self._n)}
+        for u in reversed(order):
+            for c in tree.children[u]:
+                acc[u] = op(acc[u], acc[c])
+        return acc[tree.root]
+
+    def allgather(self, values: Sequence[Any], root: int = 0) -> list[list[Any]]:
+        """Gather everyone's value everywhere (gather + bcast, per MPICH2).
+
+        The broadcast phase carries the concatenation of all contributions,
+        priced by their summed payload sizes.
+        """
+        gathered = self.gather(None, root, all_values=values)
+        tree = self._tree(root)
+        total_bytes = float(sum(_payload_bytes(v) for v in gathered))
+        t = broadcast_time(tree, self.alpha, self.beta, total_bytes)
+        self.stats.charge("bcast", t, total_bytes * (self._n - 1))
+        return [list(gathered)] * self._n
+
+    def alltoall(self, matrix: Sequence[Sequence[Any]], root: int = 0) -> list[list[Any]]:
+        """Exchange ``matrix[src][dst]`` (gather + bcast composition)."""
+        if len(matrix) != self._n or any(len(row) != self._n for row in matrix):
+            raise ValidationError("alltoall needs an n x n payload matrix")
+        rows = [list(r) for r in matrix]
+        self.gather(None, root, all_values=rows)
+        self.bcast(rows, root)
+        return [[rows[src][dst] for src in range(self._n)] for dst in range(self._n)]
+
+    # -- clock --------------------------------------------------------------
+    @property
+    def elapsed(self) -> float:
+        """Total simulated communication seconds so far."""
+        return self.stats.elapsed_seconds

@@ -1,0 +1,29 @@
+"""The α-β network performance model (Thakur & Rabenseifner, paper Sec III).
+
+Every link between two virtual machines is described by a latency ``α``
+(seconds) and a bandwidth ``β`` (bytes/second); transferring ``n`` bytes
+costs ``α + n/β``. The module also provides per-link time-series statistics
+used to characterize traces (constant band, volatility).
+"""
+
+from .alphabeta import AlphaBeta, transfer_time, transfer_time_matrix, weight_matrix
+from .linkstats import LinkSeriesStats, summarize_link_series
+from .coordinates import (
+    TriangleStats,
+    triangle_violation_stats,
+    VivaldiResult,
+    vivaldi_embedding,
+)
+
+__all__ = [
+    "AlphaBeta",
+    "transfer_time",
+    "transfer_time_matrix",
+    "weight_matrix",
+    "LinkSeriesStats",
+    "summarize_link_series",
+    "TriangleStats",
+    "triangle_violation_stats",
+    "VivaldiResult",
+    "vivaldi_embedding",
+]

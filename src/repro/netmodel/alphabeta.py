@@ -1,0 +1,90 @@
+"""α-β transfer-time model.
+
+The paper models each directed link with a latency ``α`` and bandwidth ``β``
+and estimates the time to move ``n`` bytes as ``α + n / β`` (Sec III,
+"Network performance"). All optimizers in this package consume *weights*
+(estimated transfer times for a message size of interest), so converting an
+(α, β) pair of matrices into a weight matrix is the single funnel between
+measurement and optimization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import as_square_matrix, check_nonnegative, check_positive
+
+__all__ = ["AlphaBeta", "transfer_time", "transfer_time_matrix", "weight_matrix"]
+
+
+@dataclass(frozen=True, slots=True)
+class AlphaBeta:
+    """A single link's α-β parameters.
+
+    Parameters
+    ----------
+    alpha:
+        Latency in seconds; must be non-negative.
+    beta:
+        Bandwidth in bytes per second; must be positive.
+    """
+
+    alpha: float
+    beta: float
+
+    def __post_init__(self) -> None:
+        check_nonnegative(self.alpha, "alpha")
+        check_positive(self.beta, "beta")
+
+    def time(self, nbytes: float) -> float:
+        """Transfer time in seconds for *nbytes* bytes."""
+        check_nonnegative(nbytes, "nbytes")
+        return self.alpha + nbytes / self.beta
+
+
+def transfer_time(alpha: float, beta: float, nbytes: float) -> float:
+    """Scalar α-β transfer time ``alpha + nbytes / beta``."""
+    check_nonnegative(alpha, "alpha")
+    check_positive(beta, "beta")
+    check_nonnegative(nbytes, "nbytes")
+    return alpha + nbytes / beta
+
+
+def transfer_time_matrix(
+    alpha: np.ndarray, beta: np.ndarray, nbytes: float
+) -> np.ndarray:
+    """Element-wise α-β transfer times for matched (α, β) matrices.
+
+    Diagonal entries (self-links) are forced to zero: a machine never pays
+    network cost to talk to itself, and keeping the diagonal at zero lets the
+    result be used directly as an optimizer weight matrix.
+    """
+    a = as_square_matrix(alpha, "alpha")
+    # Beta may carry +inf on the diagonal (self-links are free), so it gets
+    # a shape/off-diagonal check instead of the strict all-finite coercion.
+    b = np.asarray(beta, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(f"alpha/beta shape mismatch: {a.shape} vs {b.shape}")
+    check_nonnegative(nbytes, "nbytes")
+    off = ~np.eye(a.shape[0], dtype=bool)
+    if np.any(a[off] < 0):
+        raise ValueError("alpha must be non-negative off-diagonal")
+    if not np.all(np.isfinite(b[off])):
+        raise ValueError("beta must be finite off-diagonal")
+    if np.any(b[off] <= 0):
+        raise ValueError("beta must be positive off-diagonal")
+    out = np.zeros_like(a)
+    out[off] = a[off] + nbytes / b[off]
+    return out
+
+
+def weight_matrix(alpha: np.ndarray, beta: np.ndarray, nbytes: float) -> np.ndarray:
+    """Alias of :func:`transfer_time_matrix` named for the optimizer-facing role.
+
+    A *weight matrix* in the sense of paper Fig 1: entry ``(i, j)`` is the
+    predicted cost of sending the message of interest from machine *i* to
+    machine *j*; smaller is better.
+    """
+    return transfer_time_matrix(alpha, beta, nbytes)

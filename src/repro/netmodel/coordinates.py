@@ -1,0 +1,189 @@
+"""Vivaldi network coordinates and triangle-inequality diagnostics.
+
+Paper Sec IV-B: "There have been some network coordinate algorithms (e.g.,
+[11], [30]) to obtain the all-link network performance with a smaller number
+of cell measurements. Those approaches are not applicable to data center
+networks, because the triangle condition is not satisfied."
+
+This module implements both halves of that argument:
+
+* :func:`vivaldi_embedding` — the decentralized spring-relaxation algorithm
+  of Dabek et al. [11], fitting low-dimensional coordinates (plus a height,
+  modeling the access-link component) to a *subset* of pairwise distances
+  and predicting the rest.
+* :func:`triangle_violation_stats` — how often and how badly a distance
+  matrix violates ``d(i,k) ≤ d(i,j) + d(j,k)``; metric-embedding methods
+  can only be accurate when violations are rare and mild.
+
+The ablation bench shows datacenter weight matrices violate the triangle
+condition pervasively, and Vivaldi's predicted matrix misleads the FNF
+optimizer — which is why the paper measures all links instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import as_square_matrix, check_positive
+from ..errors import ValidationError
+from ..utils.seeding import spawn_rng
+
+__all__ = [
+    "TriangleStats",
+    "triangle_violation_stats",
+    "VivaldiResult",
+    "vivaldi_embedding",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class TriangleStats:
+    """Triangle-inequality diagnostics of a distance matrix.
+
+    ``violation_fraction`` is the share of ordered triples (i, j, k) with
+    ``d(i,k) > d(i,j) + d(j,k)``; ``median_excess`` the median relative
+    excess ``d(i,k) / (d(i,j) + d(j,k)) − 1`` over the violating triples.
+    """
+
+    violation_fraction: float
+    median_excess: float
+    n_triples: int
+
+
+def triangle_violation_stats(d: np.ndarray) -> TriangleStats:
+    """Scan all ordered triples of *d* for triangle violations (vectorized)."""
+    m = as_square_matrix(d, "d")
+    n = m.shape[0]
+    if n < 3:
+        raise ValidationError("need at least 3 nodes for triangles")
+    # direct[i, k] vs detour[i, j, k] = d[i, j] + d[j, k], j distinct.
+    detour = m[:, :, None] + m[None, :, :]  # (i, j, k)
+    direct = m[:, None, :]  # broadcast over j
+    i_idx, j_idx, k_idx = np.ogrid[:n, :n, :n]
+    distinct = (i_idx != j_idx) & (j_idx != k_idx) & (i_idx != k_idx)
+    viol = (direct > detour) & distinct
+    n_triples = int(distinct.sum())
+    frac = float(viol.sum()) / n_triples
+    if viol.any():
+        excess = direct / np.where(detour > 0, detour, np.inf) - 1.0
+        median_excess = float(np.median(excess[viol]))
+    else:
+        median_excess = 0.0
+    return TriangleStats(
+        violation_fraction=frac, median_excess=median_excess, n_triples=n_triples
+    )
+
+
+@dataclass(frozen=True)
+class VivaldiResult:
+    """Fitted coordinates and the predicted distance matrix."""
+
+    coordinates: np.ndarray  # (n, dims)
+    heights: np.ndarray  # (n,)
+    predicted: np.ndarray  # (n, n) symmetric distances
+    fit_error: float  # median relative error on the *training* pairs
+    test_error: float  # median relative error on the held-out pairs
+
+
+def vivaldi_embedding(
+    d: np.ndarray,
+    *,
+    dims: int = 3,
+    sample_fraction: float = 0.3,
+    iterations: int = 200,
+    step: float = 0.25,
+    seed: int | np.random.Generator | None = None,
+) -> VivaldiResult:
+    """Fit Vivaldi height-vector coordinates to a sample of *d*.
+
+    Parameters
+    ----------
+    d:
+        Ground-truth symmetric distance matrix (asymmetric input is
+        symmetrized by averaging, as coordinate systems require).
+    dims:
+        Euclidean dimensionality (3 is the classic choice).
+    sample_fraction:
+        Fraction of node pairs observed during fitting — the whole point of
+        coordinates is predicting the rest.
+    iterations:
+        Full passes over the sampled pairs.
+    step:
+        Adaptive step-size ceiling (Vivaldi's cc).
+    seed:
+        Drives pair sampling and initialization.
+    """
+    m = as_square_matrix(d, "d")
+    m = (m + m.T) / 2.0
+    n = m.shape[0]
+    if n < 3:
+        raise ValidationError("need at least 3 nodes")
+    check_positive(sample_fraction, "sample_fraction")
+    if sample_fraction > 1.0:
+        raise ValidationError("sample_fraction must be <= 1")
+    rng = spawn_rng(seed)
+
+    iu, ju = np.triu_indices(n, k=1)
+    n_pairs = iu.size
+    n_train = max(n, int(round(sample_fraction * n_pairs)))
+    order = rng.permutation(n_pairs)
+    train = order[:n_train]
+    test = order[n_train:]
+
+    # Centralized batch spring relaxation: Vivaldi's springs are exactly
+    # gradient descent on the squared stress Σ (dist − rtt)²; the batch form
+    # converges deterministically, which suits an offline fit.
+    scale = float(np.median(m[iu, ju]))
+    x = rng.standard_normal((n, dims)) * (scale / 10.0)
+    h = np.full(n, scale / 20.0)
+
+    train_i, train_j = iu[train], ju[train]
+    rtt = m[train_i, train_j]
+    valid = rtt > 0
+    train_i, train_j, rtt = train_i[valid], train_j[valid], rtt[valid]
+    counts = np.bincount(train_i, minlength=n) + np.bincount(train_j, minlength=n)
+    counts = np.maximum(counts, 1)
+
+    for t in range(int(iterations)):
+        diff = x[train_i] - x[train_j]
+        norm = np.sqrt((diff * diff).sum(axis=1))
+        safe = np.maximum(norm, 1e-12)
+        dist = norm + h[train_i] + h[train_j]
+        err = dist - rtt  # positive = too far apart in the embedding
+        direction = diff / safe[:, None]
+        eta = step / (1.0 + t / 50.0)
+        # Spring force on each endpoint, averaged over its incident pairs.
+        grad_x = np.zeros_like(x)
+        force = (err / scale)[:, None] * direction
+        np.add.at(grad_x, train_i, -force)
+        np.add.at(grad_x, train_j, force)
+        grad_h = np.zeros(n)
+        np.add.at(grad_h, train_i, -err / scale)
+        np.add.at(grad_h, train_j, -err / scale)
+        x += eta * scale * grad_x / counts[:, None]
+        h = np.maximum(0.0, h + 0.5 * eta * scale * grad_h / counts)
+
+    diffs = x[:, None, :] - x[None, :, :]
+    euclid = np.sqrt(np.einsum("ijk,ijk->ij", diffs, diffs))
+    predicted = euclid + h[:, None] + h[None, :]
+    np.fill_diagonal(predicted, 0.0)
+
+    def median_rel_error(pair_idx: np.ndarray) -> float:
+        if pair_idx.size == 0:
+            return 0.0
+        ii, jj = iu[pair_idx], ju[pair_idx]
+        truth = m[ii, jj]
+        ok = truth > 0
+        return float(
+            np.median(np.abs(predicted[ii, jj][ok] - truth[ok]) / truth[ok])
+        )
+
+    return VivaldiResult(
+        coordinates=x,
+        heights=h,
+        predicted=predicted,
+        fit_error=median_rel_error(train),
+        test_error=median_rel_error(test),
+    )

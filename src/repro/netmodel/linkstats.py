@@ -1,0 +1,73 @@
+"""Per-link time-series statistics.
+
+The paper's Appendix-A observation is that a link's repeated measurements
+form "a clear band" (a stable central level) plus volatility that makes any
+single sample unpredictable. These helpers quantify that structure for a
+series of measurements of one link, and are used by trace generators (to
+validate synthesized traces have the right shape) and by tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ValidationError
+
+__all__ = ["LinkSeriesStats", "summarize_link_series"]
+
+
+@dataclass(frozen=True, slots=True)
+class LinkSeriesStats:
+    """Summary of one link's measurement series.
+
+    Attributes
+    ----------
+    center:
+        Robust central level (median) — the "constant band" location.
+    spread:
+        Robust dispersion (median absolute deviation, scaled to be
+        consistent with a Gaussian standard deviation).
+    volatility:
+        ``spread / center`` — relative width of the band.
+    spike_fraction:
+        Fraction of samples further than 3×spread from the center;
+        captures the heavy-tail interference events.
+    n_samples:
+        Series length.
+    """
+
+    center: float
+    spread: float
+    volatility: float
+    spike_fraction: float
+    n_samples: int
+
+
+# 1.4826 makes the MAD a consistent estimator of sigma for Gaussian data.
+_MAD_SCALE = 1.4826
+
+
+def summarize_link_series(samples: np.ndarray) -> LinkSeriesStats:
+    """Compute :class:`LinkSeriesStats` for a 1-D series of measurements."""
+    x = np.asarray(samples, dtype=np.float64).ravel()
+    if x.size == 0:
+        raise ValidationError("samples must be non-empty")
+    if not np.all(np.isfinite(x)):
+        raise ValidationError("samples contain non-finite values")
+    center = float(np.median(x))
+    mad = float(np.median(np.abs(x - center)))
+    spread = _MAD_SCALE * mad
+    volatility = spread / center if center != 0.0 else np.inf if spread else 0.0
+    if spread > 0:
+        spikes = float(np.mean(np.abs(x - center) > 3.0 * spread))
+    else:
+        spikes = float(np.mean(x != center))
+    return LinkSeriesStats(
+        center=center,
+        spread=spread,
+        volatility=float(volatility),
+        spike_fraction=spikes,
+        n_samples=int(x.size),
+    )

@@ -1,0 +1,39 @@
+"""ns-2 substitute: a flow-level discrete-event network simulator.
+
+The paper's large-scale study simulates a 1024-machine two-level tree
+(32 racks × 32 servers; 1 Gb/s inside a rack, 10 Gb/s between racks) in
+ns-2 with Poisson background traffic. This package reproduces that setup at
+the flow level: TCP bandwidth sharing is abstracted as max-min fairness over
+the tree's directed links, and a fluid event-driven engine tracks every
+flow's progress as the fair-share allocation changes with arrivals and
+completions. Measurement probes (ping-pong) run *inside* the simulation,
+concurrently with background traffic, exactly like the paper's calibrations
+run on a busy cloud.
+"""
+
+from .topology import TreeTopology
+from .fattree import FatTreeTopology
+from .fairshare import max_min_fair_rates
+from .simulator import FlowSimulator, Flow, FlowRecord
+from .background import BackgroundTraffic, BackgroundConfig
+from .probe import NetsimSubstrate
+from .collective_runner import (
+    MeasuredCollective,
+    run_broadcast_in_sim,
+    run_scatter_in_sim,
+)
+
+__all__ = [
+    "TreeTopology",
+    "FatTreeTopology",
+    "max_min_fair_rates",
+    "FlowSimulator",
+    "Flow",
+    "FlowRecord",
+    "BackgroundTraffic",
+    "BackgroundConfig",
+    "NetsimSubstrate",
+    "MeasuredCollective",
+    "run_broadcast_in_sim",
+    "run_scatter_in_sim",
+]

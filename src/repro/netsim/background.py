@@ -1,0 +1,114 @@
+"""Poisson background traffic (paper Sec V-A, "Simulations").
+
+"We make some of the machines keep on sending messages to some others. …
+we first choose the links and then vary two parameters to control the
+background traffic: message size and the distribution of waiting time
+between sending the message. For each link, we assume the waiting time
+satisfies poisson distribution and the expected value is λ."
+
+Each chosen (src, dst) pair runs an independent renewal process: send
+``message_bytes``, wait ``Exp(mean=λ)``, repeat. Larger λ = rarer
+interference; larger messages = longer-lived contention. Both knobs drive
+``Norm(N_E)`` in Fig 12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import check_positive
+from ..errors import ValidationError
+from ..utils.seeding import spawn_rng
+from .simulator import FlowRecord, FlowSimulator
+
+__all__ = ["BackgroundConfig", "BackgroundTraffic"]
+
+
+@dataclass(frozen=True, slots=True)
+class BackgroundConfig:
+    """Knobs of the background workload.
+
+    Attributes
+    ----------
+    n_pairs:
+        Number of persistent sender→receiver pairs.
+    message_bytes:
+        Size of every background message (paper sweeps 10–500 MB).
+    mean_wait_seconds:
+        λ — expected wait between a message's completion and the next send
+        (paper sweeps 1–30 s).
+    """
+
+    n_pairs: int = 64
+    message_bytes: float = 100.0 * 1024 * 1024
+    mean_wait_seconds: float = 5.0
+
+    def __post_init__(self) -> None:
+        if int(self.n_pairs) < 0:
+            raise ValidationError("n_pairs must be >= 0")
+        check_positive(self.message_bytes, "message_bytes")
+        check_positive(self.mean_wait_seconds, "mean_wait_seconds")
+
+
+class BackgroundTraffic:
+    """Self-perpetuating background senders attached to a simulator.
+
+    Parameters
+    ----------
+    sim:
+        The simulator to feed.
+    config:
+        Workload parameters.
+    exclude:
+        Machines that must not carry background traffic (e.g. the virtual
+        cluster under test, when studying interference-free operation).
+    seed:
+        Drives pair selection and waiting times.
+    """
+
+    TAG = "background"
+
+    def __init__(
+        self,
+        sim: FlowSimulator,
+        config: BackgroundConfig,
+        *,
+        exclude: set[int] | None = None,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.rng = spawn_rng(seed)
+        n = sim.topology.n_machines
+        excl = exclude or set()
+        candidates = np.array([m for m in range(n) if m not in excl], dtype=np.intp)
+        if config.n_pairs > 0 and candidates.size < 2:
+            raise ValidationError("not enough machines for background traffic")
+        self.pairs: list[tuple[int, int]] = []
+        for _ in range(int(config.n_pairs)):
+            s, d = self.rng.choice(candidates, size=2, replace=False)
+            self.pairs.append((int(s), int(d)))
+        self.messages_sent = 0
+
+    def start(self) -> None:
+        """Kick off every pair with an initial random phase."""
+        for s, d in self.pairs:
+            first = float(self.rng.exponential(self.config.mean_wait_seconds))
+            self._schedule_send(s, d, self.sim.now + first)
+
+    def _schedule_send(self, src: int, dst: int, at: float) -> None:
+        def _on_complete(sim: FlowSimulator, record: FlowRecord) -> None:
+            wait = float(self.rng.exponential(self.config.mean_wait_seconds))
+            self._schedule_send(src, dst, sim.now + wait)
+
+        self.sim.schedule_flow(
+            at,
+            src,
+            dst,
+            self.config.message_bytes,
+            tag=self.TAG,
+            on_complete=_on_complete,
+        )
+        self.messages_sent += 1

@@ -1,0 +1,147 @@
+"""Execute communication trees as real flows in the simulator.
+
+The α-β execution model (:mod:`repro.collectives.exec_model`) prices a tree
+analytically; this runner *measures* it instead: every tree edge becomes a
+flow in the :class:`~repro.netsim.simulator.FlowSimulator`, respecting the
+schedule's dependencies (a node forwards only after its own payload has
+arrived; a parent's sends are sequential), and competing for bandwidth with
+whatever background traffic is live. Comparing measured against estimated
+times reproduces the paper's Sec V-D3 estimation-accuracy study ("the
+average difference is only 18% and 9% for baseline and RPCA").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import check_positive
+from ..collectives.trees import CommTree
+from ..errors import SimulationError
+from .simulator import FlowRecord, FlowSimulator
+
+__all__ = ["MeasuredCollective", "run_broadcast_in_sim", "run_scatter_in_sim"]
+
+TAG = "collective"
+
+
+@dataclass(frozen=True, slots=True)
+class MeasuredCollective:
+    """Outcome of one in-simulator collective execution."""
+
+    op: str
+    elapsed: float  # completion time relative to the start
+    started_at: float  # simulator clock when the operation began
+    n_flows: int
+
+
+class _TreeExecution:
+    """Drives one root-to-leaves tree operation through the simulator."""
+
+    def __init__(
+        self,
+        sim: FlowSimulator,
+        tree: CommTree,
+        machines: list[int],
+        edge_bytes: dict[int, float],
+    ) -> None:
+        self.sim = sim
+        self.tree = tree
+        self.machines = machines
+        self.edge_bytes = edge_bytes  # child node -> payload on its in-edge
+        self.next_child: dict[int, int] = {}
+        self.last_arrival = 0.0
+        self.outstanding = 0
+        self.start = sim.now
+
+    def launch(self) -> None:
+        self._send_next(self.tree.root, self.sim.now)
+        guard = 0
+        while self.outstanding > 0:
+            if not self.sim._queue:  # pragma: no cover - defensive
+                raise SimulationError("simulator ran dry during a collective")
+            self.sim.run_until(self.sim._queue[0][0])
+            guard += 1
+            if guard > 2_000_000:  # pragma: no cover - defensive
+                raise SimulationError("collective execution exceeded event budget")
+
+    def _send_next(self, node: int, at: float) -> None:
+        """Start *node*'s next pending child transfer, if any."""
+        idx = self.next_child.get(node, 0)
+        kids = self.tree.children[node]
+        if idx >= len(kids):
+            return
+        child = kids[idx]
+        self.next_child[node] = idx + 1
+        nbytes = self.edge_bytes[child]
+        self.outstanding += 1
+
+        def _on_complete(sim: FlowSimulator, record: FlowRecord) -> None:
+            self.outstanding -= 1
+            self.last_arrival = max(self.last_arrival, record.end_time)
+            # The parent is free to serve its next child; the child, now
+            # holding its payload, starts serving its own children.
+            self._send_next(node, sim.now)
+            self._send_next(child, sim.now)
+
+        self.sim.schedule_flow(
+            max(at, self.sim.now),
+            self.machines[node],
+            self.machines[child],
+            nbytes,
+            tag=TAG,
+            on_complete=_on_complete,
+        )
+
+
+def _run_tree_op(
+    op: str,
+    sim: FlowSimulator,
+    tree: CommTree,
+    machines: list[int] | np.ndarray,
+    edge_bytes: dict[int, float],
+) -> MeasuredCollective:
+    ms = [int(m) for m in machines]
+    if len(ms) != tree.n_nodes:
+        raise SimulationError("machines list must match the tree size")
+    start = sim.now
+    if tree.n_nodes == 1:
+        return MeasuredCollective(op=op, elapsed=0.0, started_at=start, n_flows=0)
+    execution = _TreeExecution(sim, tree, ms, edge_bytes)
+    execution.launch()
+    return MeasuredCollective(
+        op=op,
+        elapsed=execution.last_arrival - start,
+        started_at=start,
+        n_flows=tree.n_nodes - 1,
+    )
+
+
+def run_broadcast_in_sim(
+    sim: FlowSimulator,
+    tree: CommTree,
+    machines: list[int] | np.ndarray,
+    nbytes: float,
+) -> MeasuredCollective:
+    """Measure a broadcast of *nbytes* along *tree* inside the simulator."""
+    check_positive(nbytes, "nbytes")
+    edge_bytes = {c: float(nbytes) for c in range(tree.n_nodes) if c != tree.root}
+    return _run_tree_op("broadcast", sim, tree, machines, edge_bytes)
+
+
+def run_scatter_in_sim(
+    sim: FlowSimulator,
+    tree: CommTree,
+    machines: list[int] | np.ndarray,
+    block_bytes: float,
+) -> MeasuredCollective:
+    """Measure a scatter (per-node blocks, subtree-sized messages) in the sim."""
+    check_positive(block_bytes, "block_bytes")
+    sizes = tree.subtree_sizes()
+    edge_bytes = {
+        c: float(block_bytes) * float(sizes[c])
+        for c in range(tree.n_nodes)
+        if c != tree.root
+    }
+    return _run_tree_op("scatter", sim, tree, machines, edge_bytes)

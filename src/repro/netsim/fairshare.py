@@ -1,0 +1,101 @@
+"""Max-min fair bandwidth allocation by progressive filling (water-filling).
+
+Given the set of active flows (each a multiset-free list of directed link
+ids) and per-link capacities, all flows' rates rise together until some link
+saturates; flows crossing a saturated link freeze at their current rate, the
+saturated capacity is withdrawn, and the remaining flows keep rising. The
+fixed point is the unique max-min fair allocation — the standard fluid
+abstraction of long-lived TCP sharing used by flow-level simulators.
+
+The implementation is incidence-matrix vectorized: each filling round is a
+couple of numpy reductions over an F×L boolean matrix, so the per-event cost
+of the simulator stays small even with hundreds of concurrent flows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SimulationError
+
+__all__ = ["max_min_fair_rates", "build_incidence"]
+
+_EPS = 1e-12
+
+
+def build_incidence(
+    paths: list[tuple[int, ...]], n_links: int
+) -> np.ndarray:
+    """F×L boolean incidence matrix for the given flow paths."""
+    f = len(paths)
+    inc = np.zeros((f, n_links), dtype=bool)
+    for i, path in enumerate(paths):
+        for l in path:
+            if not 0 <= l < n_links:
+                raise SimulationError(f"link id {l} out of range")
+            inc[i, l] = True
+    return inc
+
+
+def max_min_fair_rates(
+    incidence: np.ndarray, capacities: np.ndarray
+) -> np.ndarray:
+    """Compute max-min fair rates for flows given link capacities.
+
+    Parameters
+    ----------
+    incidence:
+        F×L boolean matrix; ``incidence[f, l]`` marks flow *f* on link *l*.
+        Every flow must traverse at least one link.
+    capacities:
+        Length-L positive capacities (bytes/second).
+
+    Returns
+    -------
+    numpy.ndarray
+        Length-F rates. Guaranteed feasible (no link over capacity beyond
+        floating-point slack) and max-min fair.
+    """
+    inc = np.asarray(incidence, dtype=bool)
+    caps = np.asarray(capacities, dtype=np.float64)
+    if inc.ndim != 2:
+        raise SimulationError("incidence must be 2-D")
+    f, l = inc.shape
+    if caps.shape != (l,):
+        raise SimulationError("capacities length must match link count")
+    if f == 0:
+        return np.zeros(0)
+    if np.any(caps <= 0):
+        raise SimulationError("capacities must be positive")
+    if not inc.any(axis=1).all():
+        raise SimulationError("every flow must traverse at least one link")
+
+    rates = np.zeros(f)
+    active = np.ones(f, dtype=bool)
+    cap_rem = caps.copy()
+
+    inc_f = inc.astype(np.float64)  # bool @ bool is logical, not a count
+    # Each round saturates >= 1 link, so <= L rounds.
+    for _ in range(l + 1):
+        counts = active.astype(np.float64) @ inc_f  # active flows per link
+        loaded = counts > 0
+        if not loaded.any():
+            break
+        delta = float(np.min(cap_rem[loaded] / counts[loaded]))
+        rates[active] += delta
+        cap_rem[loaded] -= delta * counts[loaded]
+        saturated = loaded & (cap_rem <= _EPS * caps)
+        if not saturated.any():
+            # Numerical guard: force the tightest link saturated.
+            tight = np.flatnonzero(loaded)[
+                int(np.argmin(cap_rem[loaded] / counts[loaded]))
+            ]
+            saturated = np.zeros(l, dtype=bool)
+            saturated[tight] = True
+        frozen = active & inc[:, saturated].any(axis=1)
+        active &= ~frozen
+        if not active.any():
+            break
+    else:  # pragma: no cover - defensive
+        raise SimulationError("progressive filling failed to terminate")
+    return rates

@@ -1,0 +1,167 @@
+"""K-ary fat-tree topology (Al-Fares et al.) for the flow simulator.
+
+The paper starts "as a start" from the two-level tree (Fig 3); modern
+datacenters deploy folded-Clos fat-trees with full bisection bandwidth.
+This topology plugs into the same :class:`~repro.netsim.simulator.FlowSimulator`
+(duck-typed: ``path``, ``path_latency``, ``capacities``, ``n_links``,
+``n_machines``) and lets the simulation experiments ask how much of the
+cloud's performance variability survives on a non-oversubscribed fabric —
+with equal-cost multi-path routing resolved by a deterministic per-pair
+hash, as ECMP does.
+
+Geometry for parameter ``k`` (even, ≥ 2): ``k`` pods; each pod has ``k/2``
+edge switches and ``k/2`` aggregation switches; ``(k/2)²`` core switches;
+each edge switch hosts ``k/2`` machines — ``k³/4`` machines total.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._validation import check_nonnegative, check_positive
+from ..errors import TopologyError
+from ..utils.seeding import derive_seed
+
+__all__ = ["FatTreeTopology"]
+
+GBIT = 1e9 / 8.0
+
+
+@dataclass(frozen=True)
+class FatTreeTopology:
+    """K-ary fat tree with uniform link capacity.
+
+    Link numbering (each physical cable = up/down directed pair):
+
+    * ``[0, H)`` host→edge, ``[H, 2H)`` edge→host (``H`` = n_machines),
+    * ``[2H, 2H+E)`` edge→agg up, ``[2H+E, 2H+2E)`` agg→edge down, where
+      ``E = k·(k/2)·(k/2)`` counts (edge switch, agg switch) pairs per pod,
+    * ``[2H+2E, 2H+2E+C)`` agg→core up, ``[…, …+C)`` core→agg down, where
+      ``C = k·(k/2)·(k/2)`` counts (agg switch, core port) pairs.
+    """
+
+    k: int = 4
+    link_bandwidth: float = 1.0 * GBIT
+    hop_latency: float = 2.5e-5
+    seed: int = 0
+    capacities: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        k = int(self.k)
+        if k < 2 or k % 2 != 0:
+            raise TopologyError("k must be an even integer >= 2")
+        check_positive(self.link_bandwidth, "link_bandwidth")
+        check_nonnegative(self.hop_latency, "hop_latency")
+        caps = np.full(self.n_links, float(self.link_bandwidth))
+        caps.setflags(write=False)
+        object.__setattr__(self, "capacities", caps)
+
+    # -- geometry ------------------------------------------------------------
+    @property
+    def half(self) -> int:
+        return self.k // 2
+
+    @property
+    def n_machines(self) -> int:
+        return self.k**3 // 4
+
+    @property
+    def n_edge_pairs(self) -> int:
+        # (pod, edge, agg) triples: k pods x (k/2) edges x (k/2) aggs.
+        return self.k * self.half * self.half
+
+    @property
+    def n_core_pairs(self) -> int:
+        # (pod, agg, core-port) triples: k pods x (k/2) aggs x (k/2) ports.
+        return self.k * self.half * self.half
+
+    @property
+    def n_links(self) -> int:
+        return 2 * self.n_machines + 2 * self.n_edge_pairs + 2 * self.n_core_pairs
+
+    def pod_of(self, machine: int) -> int:
+        self._check_machine(machine)
+        return machine // (self.half * self.half)
+
+    def edge_of(self, machine: int) -> int:
+        """Edge-switch index within the pod (0..k/2-1)."""
+        self._check_machine(machine)
+        return (machine % (self.half * self.half)) // self.half
+
+    def _check_machine(self, machine: int) -> None:
+        if not 0 <= machine < self.n_machines:
+            raise TopologyError(f"machine {machine} out of range")
+
+    # -- link ids -----------------------------------------------------------
+    def host_up(self, machine: int) -> int:
+        return machine
+
+    def host_down(self, machine: int) -> int:
+        return self.n_machines + machine
+
+    def _edge_pair_index(self, pod: int, edge: int, agg: int) -> int:
+        return (pod * self.half + edge) * self.half + agg
+
+    def edge_agg_up(self, pod: int, edge: int, agg: int) -> int:
+        return 2 * self.n_machines + self._edge_pair_index(pod, edge, agg)
+
+    def agg_edge_down(self, pod: int, edge: int, agg: int) -> int:
+        return 2 * self.n_machines + self.n_edge_pairs + self._edge_pair_index(
+            pod, edge, agg
+        )
+
+    def _core_pair_index(self, pod: int, agg: int, port: int) -> int:
+        return (pod * self.half + agg) * self.half + port
+
+    def agg_core_up(self, pod: int, agg: int, port: int) -> int:
+        base = 2 * self.n_machines + 2 * self.n_edge_pairs
+        return base + self._core_pair_index(pod, agg, port)
+
+    def core_agg_down(self, pod: int, agg: int, port: int) -> int:
+        base = 2 * self.n_machines + 2 * self.n_edge_pairs + self.n_core_pairs
+        return base + self._core_pair_index(pod, agg, port)
+
+    # -- routing ---------------------------------------------------------------
+    def _ecmp_choice(self, src: int, dst: int, n_options: int) -> int:
+        """Deterministic per-pair path choice (hash-based, like ECMP)."""
+        return derive_seed(self.seed, "ecmp", src, dst) % n_options
+
+    def path(self, src: int, dst: int) -> tuple[int, ...]:
+        if src == dst:
+            raise TopologyError("src and dst must differ")
+        self._check_machine(src)
+        self._check_machine(dst)
+        sp, se = self.pod_of(src), self.edge_of(src)
+        dp, de = self.pod_of(dst), self.edge_of(dst)
+        if sp == dp and se == de:
+            # Same edge switch.
+            return (self.host_up(src), self.host_down(dst))
+        if sp == dp:
+            # Same pod, different edge: up to one of k/2 aggs, back down.
+            agg = self._ecmp_choice(src, dst, self.half)
+            return (
+                self.host_up(src),
+                self.edge_agg_up(sp, se, agg),
+                self.agg_edge_down(dp, de, agg),
+                self.host_down(dst),
+            )
+        # Cross-pod: edge→agg→core→agg→edge; (k/2)² equal-cost core choices.
+        choice = self._ecmp_choice(src, dst, self.half * self.half)
+        agg, port = divmod(choice, self.half)
+        return (
+            self.host_up(src),
+            self.edge_agg_up(sp, se, agg),
+            self.agg_core_up(sp, agg, port),
+            self.core_agg_down(dp, agg, port),
+            self.agg_edge_down(dp, de, agg),
+            self.host_down(dst),
+        )
+
+    def path_latency(self, src: int, dst: int) -> float:
+        return self.hop_latency * len(self.path(src, dst))
+
+    def same_rack(self, a: int, b: int) -> bool:
+        """Edge-switch locality (the fat-tree analogue of a rack)."""
+        return self.pod_of(a) == self.pod_of(b) and self.edge_of(a) == self.edge_of(b)

@@ -1,0 +1,109 @@
+"""Ping-pong measurement inside the simulator.
+
+:class:`NetsimSubstrate` adapts a live :class:`FlowSimulator` (typically with
+background traffic running) to the calibration substrate protocol: a
+measurement round injects the concurrent bandwidth probes of one schedule
+round, lets the simulation progress until all of them finish, and reports
+per-pair (α, β). α is taken from the path propagation latency (the 1-byte
+probe in the paper measures exactly that, since serialization of one byte is
+negligible); β is the measured goodput of the 8 MB probe, which embeds
+whatever contention the background traffic causes at that moment — the same
+interference the paper's EC2 calibrations experience.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_positive
+from ..errors import CalibrationError
+from .simulator import FlowRecord, FlowSimulator
+
+__all__ = ["NetsimSubstrate"]
+
+
+class NetsimSubstrate:
+    """Calibration substrate backed by the flow simulator.
+
+    Parameters
+    ----------
+    sim:
+        Live simulator (background traffic keeps running during probes).
+    machines:
+        The virtual cluster: datacenter machine ids, indexed by cluster-local
+        position. Probe pairs address cluster-local indices.
+    probe_bytes:
+        Bandwidth-probe size (paper: 8 MB).
+    inter_round_gap:
+        Simulated idle time inserted between rounds (scheduling slack).
+    """
+
+    TAG = "probe"
+
+    def __init__(
+        self,
+        sim: FlowSimulator,
+        machines: list[int] | np.ndarray,
+        *,
+        probe_bytes: float = 8.0 * 1024 * 1024,
+        inter_round_gap: float = 0.01,
+    ) -> None:
+        self.sim = sim
+        self.machines = [int(m) for m in machines]
+        if len(set(self.machines)) != len(self.machines):
+            raise CalibrationError("cluster machines must be distinct")
+        n_dc = sim.topology.n_machines
+        for m in self.machines:
+            if not 0 <= m < n_dc:
+                raise CalibrationError(f"machine {m} outside the datacenter")
+        check_positive(probe_bytes, "probe_bytes")
+        self.probe_bytes = float(probe_bytes)
+        self.inter_round_gap = float(inter_round_gap)
+
+    @property
+    def n_machines(self) -> int:
+        return len(self.machines)
+
+    def measure_round(
+        self, pairs: tuple[tuple[int, int], ...], snapshot: int  # noqa: ARG002
+    ) -> list[tuple[float, float]]:
+        """Run one concurrent probe round; blocks simulated time until done."""
+        if not pairs:
+            return []
+        sim = self.sim
+        outstanding: dict[int, FlowRecord] = {}
+        flow_ids: list[int] = []
+
+        def _collect(_sim: FlowSimulator, record: FlowRecord) -> None:
+            outstanding[record.flow_id] = record
+
+        start = sim.now + self.inter_round_gap
+        for s_local, r_local in pairs:
+            src = self.machines[s_local]
+            dst = self.machines[r_local]
+            fid = sim.schedule_flow(
+                start, src, dst, self.probe_bytes, tag=self.TAG, on_complete=_collect
+            )
+            flow_ids.append(fid)
+
+        # Progress simulated time until every probe of the round completed.
+        guard = 0
+        while len(outstanding) < len(pairs):
+            if not sim._queue:  # pragma: no cover - defensive
+                raise CalibrationError("simulator ran dry before probes finished")
+            sim.run_until(sim._queue[0][0])
+            guard += 1
+            if guard > 1_000_000:  # pragma: no cover - defensive
+                raise CalibrationError("probe round exceeded event budget")
+
+        results: list[tuple[float, float]] = []
+        for (s_local, r_local), fid in zip(pairs, flow_ids):
+            record = outstanding[fid]
+            src = self.machines[s_local]
+            dst = self.machines[r_local]
+            latency = sim.topology.path_latency(src, dst)
+            beta = record.throughput(latency)
+            if not np.isfinite(beta) or beta <= 0:
+                raise CalibrationError(f"degenerate probe on pair {(src, dst)}")
+            results.append((latency, float(beta)))
+        return results

@@ -1,0 +1,116 @@
+"""Two-level tree datacenter topology (paper Fig 3).
+
+Machines are grouped into racks; each rack has a top-of-rack (ToR) switch;
+all ToR switches hang off one core switch. Every physical cable is modeled
+as two directed links (up/down), each with its own capacity, so that
+opposing traffic never shares bandwidth:
+
+* access links: machine ↔ ToR at ``rack_bandwidth`` (paper: 1 Gb/s),
+* uplinks: ToR ↔ core at ``core_bandwidth`` (paper: 10 Gb/s).
+
+A path between same-rack machines is two access hops; between racks it is
+access-up, uplink-up, uplink-down, access-down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._validation import check_nonnegative, check_positive
+from ..errors import TopologyError
+
+__all__ = ["TreeTopology"]
+
+GBIT = 1e9 / 8.0  # bytes/second per Gb/s
+
+
+@dataclass(frozen=True)
+class TreeTopology:
+    """Geometry and link registry of the simulated datacenter.
+
+    Attributes
+    ----------
+    n_racks, servers_per_rack:
+        Tree geometry (paper default 32 × 32 = 1024 machines).
+    rack_bandwidth:
+        Access-link capacity, bytes/second (default 1 Gb/s).
+    core_bandwidth:
+        ToR-uplink capacity, bytes/second (default 10 Gb/s).
+    hop_latency:
+        One-hop propagation+switching latency in seconds.
+
+    Link numbering
+    --------------
+    ``[0, M)`` machine→ToR (up), ``[M, 2M)`` ToR→machine (down),
+    ``[2M, 2M+R)`` ToR→core (up), ``[2M+R, 2M+2R)`` core→ToR (down),
+    with ``M = n_machines`` and ``R = n_racks``.
+    """
+
+    n_racks: int = 32
+    servers_per_rack: int = 32
+    rack_bandwidth: float = 1.0 * GBIT
+    core_bandwidth: float = 10.0 * GBIT
+    hop_latency: float = 2.5e-5
+    capacities: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        if int(self.n_racks) < 1 or int(self.servers_per_rack) < 1:
+            raise TopologyError("n_racks and servers_per_rack must be >= 1")
+        check_positive(self.rack_bandwidth, "rack_bandwidth")
+        check_positive(self.core_bandwidth, "core_bandwidth")
+        check_nonnegative(self.hop_latency, "hop_latency")
+        m, r = self.n_machines, int(self.n_racks)
+        caps = np.empty(2 * m + 2 * r)
+        caps[: 2 * m] = self.rack_bandwidth
+        caps[2 * m :] = self.core_bandwidth
+        caps.setflags(write=False)
+        object.__setattr__(self, "capacities", caps)
+
+    @property
+    def n_machines(self) -> int:
+        return int(self.n_racks) * int(self.servers_per_rack)
+
+    @property
+    def n_links(self) -> int:
+        return 2 * self.n_machines + 2 * int(self.n_racks)
+
+    def rack_of(self, machine: int) -> int:
+        if not 0 <= machine < self.n_machines:
+            raise TopologyError(f"machine {machine} out of range")
+        return machine // int(self.servers_per_rack)
+
+    # Link-id helpers -----------------------------------------------------
+    def access_up(self, machine: int) -> int:
+        return machine
+
+    def access_down(self, machine: int) -> int:
+        return self.n_machines + machine
+
+    def uplink_up(self, rack: int) -> int:
+        return 2 * self.n_machines + rack
+
+    def uplink_down(self, rack: int) -> int:
+        return 2 * self.n_machines + int(self.n_racks) + rack
+
+    def path(self, src: int, dst: int) -> tuple[int, ...]:
+        """Directed link ids traversed by a flow src→dst."""
+        if src == dst:
+            raise TopologyError("src and dst must differ")
+        rs, rd = self.rack_of(src), self.rack_of(dst)
+        if rs == rd:
+            return (self.access_up(src), self.access_down(dst))
+        return (
+            self.access_up(src),
+            self.uplink_up(rs),
+            self.uplink_down(rd),
+            self.access_down(dst),
+        )
+
+    def path_latency(self, src: int, dst: int) -> float:
+        """End-to-end propagation latency of the path src→dst."""
+        return self.hop_latency * len(self.path(src, dst))
+
+    def same_rack(self, a: int, b: int) -> bool:
+        return self.rack_of(a) == self.rack_of(b)

@@ -1,0 +1,272 @@
+"""The Algorithm-1 session over a replayed trace.
+
+A :class:`TraceSession` walks a :class:`~repro.cloudsim.trace.CalibrationTrace`
+forward in time. The first ``time_step`` snapshots are consumed as the
+initial calibration; every subsequent operation is priced on the *live*
+snapshot at the session's cursor while its tree/mapping is built from the
+*current constant component*. After each operation the session compares the
+expected time against the observed one and re-calibrates (from the trailing
+window, charging the calibration overhead) when the relative deviation
+crosses the threshold — exactly lines 4–9 of the paper's Algorithm 1.
+
+The same class serves live substrates by first materializing their
+measurements as a trace (see
+:func:`~repro.experiments.netsim_support.calibrate_netsim_trace`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._validation import check_nonnegative, check_positive
+from ..calibration.overhead import calibration_overhead_seconds
+from ..cloudsim.trace import CalibrationTrace
+from ..collectives.exec_model import collective_time, weights_to_alphabeta
+from ..collectives.fnf import fnf_tree
+from ..core.decompose import Decomposition, decompose
+from ..core.maintenance import MaintenanceController, MaintenanceDecision
+from ..errors import ValidationError
+from ..mapping.evaluate import bandwidth_from_weights, mapping_total_time
+from ..mapping.greedy import greedy_mapping
+from ..mapping.taskgraph import TaskGraph
+
+__all__ = ["OperationRecord", "SessionStats", "TraceSession"]
+
+
+@dataclass(frozen=True, slots=True)
+class OperationRecord:
+    """One operation executed through the session."""
+
+    op: str
+    snapshot: int
+    root: int
+    elapsed: float
+    expected: float
+    decision: MaintenanceDecision
+
+
+@dataclass
+class SessionStats:
+    """Aggregate accounting of a session's lifetime."""
+
+    operations: int = 0
+    communication_seconds: float = 0.0
+    overhead_seconds: float = 0.0
+    recalibrations: int = 0
+    history: list[OperationRecord] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.communication_seconds + self.overhead_seconds
+
+    @property
+    def average_total_seconds(self) -> float:
+        return self.total_seconds / self.operations if self.operations else 0.0
+
+
+class TraceSession:
+    """Adaptive network-aware optimization over a replayed trace.
+
+    Parameters
+    ----------
+    trace:
+        The network ground truth, walked forward one snapshot per operation
+        (wrapping around at the end).
+    nbytes:
+        Default message size for calibration weights and collectives.
+    time_step:
+        Calibration window length (paper default 10).
+    threshold:
+        Maintenance threshold (paper default 1.0).
+    consecutive:
+        Consecutive above-threshold observations required before a
+        re-calibration fires (default 1, the paper's immediate rule).
+        Use 2 to debounce one-off interference spikes when individual
+        observations are single collectives rather than whole runs.
+    solver:
+        RPCA backend.
+    calibration_cost:
+        Seconds charged per (re-)calibration; defaults to the Fig-4 model.
+    """
+
+    def __init__(
+        self,
+        trace: CalibrationTrace,
+        *,
+        nbytes: float = 8.0 * 1024 * 1024,
+        time_step: int = 10,
+        threshold: float = 1.0,
+        consecutive: int = 1,
+        solver: str = "apg",
+        calibration_cost: float | None = None,
+    ) -> None:
+        if trace.n_snapshots <= time_step:
+            raise ValidationError(
+                "trace too short: need more snapshots than the time step"
+            )
+        check_positive(nbytes, "nbytes")
+        self.trace = trace
+        self.nbytes = float(nbytes)
+        self.time_step = int(time_step)
+        self.solver = solver
+        self.controller = MaintenanceController(
+            threshold=threshold, consecutive=consecutive
+        )
+        self.calibration_cost = (
+            calibration_cost
+            if calibration_cost is not None
+            else calibration_overhead_seconds(trace.n_machines, time_step)
+        )
+        check_nonnegative(self.calibration_cost, "calibration_cost")
+        self.stats = SessionStats()
+        self._cursor = self.time_step  # next live snapshot
+        self._decomposition: Decomposition | None = None
+        self._calibrate(end=self.time_step, charge=True)
+
+    # -- state ------------------------------------------------------------
+    @property
+    def decomposition(self) -> Decomposition:
+        assert self._decomposition is not None
+        return self._decomposition
+
+    @property
+    def norm_ne(self) -> float:
+        """Current ``Norm(N_E)`` — the effectiveness predictor."""
+        return self.decomposition.norm_ne
+
+    @property
+    def verdict(self) -> str:
+        return self.decomposition.report.verdict
+
+    def weight_matrix(self) -> np.ndarray:
+        """The current constant-component weight matrix."""
+        return self.decomposition.performance_matrix().weights.copy()
+
+    # -- internals ----------------------------------------------------------
+    def _calibrate(self, end: int, *, charge: bool) -> None:
+        start = max(0, end - self.time_step)
+        tp = self.trace.tp_matrix(self.nbytes, start=start, count=end - start)
+        self._decomposition = decompose(tp, solver=self.solver)
+        if charge:
+            self.stats.overhead_seconds += self.calibration_cost
+
+    def _advance(self) -> int:
+        k = self._cursor
+        self._cursor += 1
+        if self._cursor >= self.trace.n_snapshots:
+            self._cursor = self.time_step  # wrap the evaluation window
+        return k
+
+    # -- operations -----------------------------------------------------------
+    def run_collective(
+        self,
+        op: str,
+        *,
+        root: int = 0,
+        nbytes: float | None = None,
+        machines: list[int] | np.ndarray | None = None,
+    ) -> OperationRecord:
+        """Run one collective; returns its record after maintenance feedback.
+
+        *machines* restricts the operation to a virtual sub-cluster
+        ``C' ⊆ C`` (paper Algorithm 1 line 3): the constant component and
+        the live snapshot are both restricted to those machines, and *root*
+        indexes into the sub-cluster.
+        """
+        size = self.nbytes if nbytes is None else float(nbytes)
+        check_positive(size, "nbytes")
+        k = self._advance()
+        weights = self.weight_matrix()
+        live_alpha, live_beta = self.trace.alpha[k], self.trace.beta[k]
+        if machines is not None:
+            idx = np.asarray(machines, dtype=np.intp)
+            if idx.size < 2 or len(set(idx.tolist())) != idx.size:
+                raise ValidationError("machines must be >= 2 distinct indices")
+            if idx.min() < 0 or idx.max() >= self.trace.n_machines:
+                raise ValidationError("machine index out of range")
+            sel = np.ix_(idx, idx)
+            weights = weights[sel]
+            np.fill_diagonal(weights, 0.0)
+            live_alpha = live_alpha[sel]
+            live_beta = live_beta[sel]
+        tree = fnf_tree(weights, root)
+        ea, eb = weights_to_alphabeta(weights, size)
+        expected = collective_time(op, tree, ea, eb, size)
+        elapsed = collective_time(op, tree, live_alpha, live_beta, size)
+
+        decision = self.controller.observe(expected, elapsed)
+        if decision is MaintenanceDecision.RECALIBRATE:
+            self._calibrate(end=k + 1, charge=True)
+            self.stats.recalibrations += 1
+
+        record = OperationRecord(
+            op=op, snapshot=k, root=int(root), elapsed=elapsed,
+            expected=expected, decision=decision,
+        )
+        self.stats.operations += 1
+        self.stats.communication_seconds += elapsed
+        self.stats.history.append(record)
+        return record
+
+    def broadcast(self, *, root: int = 0, nbytes: float | None = None) -> OperationRecord:
+        return self.run_collective("broadcast", root=root, nbytes=nbytes)
+
+    def scatter(self, *, root: int = 0, block_bytes: float | None = None) -> OperationRecord:
+        return self.run_collective("scatter", root=root, nbytes=block_bytes)
+
+    def reduce(self, *, root: int = 0, nbytes: float | None = None) -> OperationRecord:
+        return self.run_collective("reduce", root=root, nbytes=nbytes)
+
+    def gather(self, *, root: int = 0, block_bytes: float | None = None) -> OperationRecord:
+        return self.run_collective("gather", root=root, nbytes=block_bytes)
+
+    def communicator(self, snapshot: int | None = None):
+        """An MPI-style :class:`~repro.mpisim.SimComm` bound to this session.
+
+        The communicator's live network is the trace snapshot at the
+        session's cursor (or *snapshot* if given) and its trees come from
+        the current constant component — i.e. programs written against it
+        run network-aware without knowing about RPCA at all. The
+        communicator is a snapshot view: it does not advance the session's
+        cursor or feed the maintenance loop.
+        """
+        from ..mpisim.comm import SimComm
+
+        k = self._cursor if snapshot is None else int(snapshot)
+        if not 0 <= k < self.trace.n_snapshots:
+            raise ValidationError(f"snapshot {k} out of range")
+        return SimComm(
+            self.trace.alpha[k], self.trace.beta[k], weights=self.weight_matrix()
+        )
+
+    def map_tasks(self, graph: TaskGraph) -> tuple[np.ndarray, float]:
+        """Map *graph* greedily on the constant component; price it live.
+
+        Returns ``(mapping, elapsed_seconds)``. Mapping operations also feed
+        the maintenance loop (their expected cost comes from the estimate).
+        """
+        if graph.n_tasks > self.trace.n_machines:
+            raise ValidationError("task graph larger than the cluster")
+        k = self._advance()
+        weights = self.weight_matrix()
+        mapping = greedy_mapping(graph, bandwidth_from_weights(weights))
+        ea, eb = weights_to_alphabeta(weights, self.nbytes)
+        expected = mapping_total_time(graph, mapping, ea, eb)
+        elapsed = mapping_total_time(
+            graph, mapping, self.trace.alpha[k], self.trace.beta[k]
+        )
+        decision = self.controller.observe(expected, elapsed)
+        if decision is MaintenanceDecision.RECALIBRATE:
+            self._calibrate(end=k + 1, charge=True)
+            self.stats.recalibrations += 1
+        self.stats.operations += 1
+        self.stats.communication_seconds += elapsed
+        self.stats.history.append(
+            OperationRecord(
+                op="mapping", snapshot=k, root=-1, elapsed=elapsed,
+                expected=expected, decision=decision,
+            )
+        )
+        return mapping, elapsed

@@ -1,0 +1,27 @@
+"""The four approaches the paper compares (Sec V-A, "Comparisons").
+
+* :class:`BaselineStrategy` — no network awareness (MPICH binomial trees,
+  ring mapping).
+* :class:`HeuristicStrategy` — direct use of measurements: per-link column
+  mean of the TP-matrix (the paper's "Heuristics"), plus the min and EWMA
+  variants the paper says behave the same.
+* :class:`TopologyAwareStrategy` — classic topology-based optimization
+  using the (simulated) ground-truth topology; only meaningful on the
+  netsim substrate, exactly as in the paper.
+* :class:`RPCAStrategy` — the paper's contribution: decompose, optimize on
+  the constant component, maintain via Algorithm 1.
+"""
+
+from .base import Strategy
+from .baseline import BaselineStrategy
+from .heuristics import HeuristicStrategy
+from .topology_aware import TopologyAwareStrategy
+from .rpca import RPCAStrategy
+
+__all__ = [
+    "Strategy",
+    "BaselineStrategy",
+    "HeuristicStrategy",
+    "TopologyAwareStrategy",
+    "RPCAStrategy",
+]

@@ -1,0 +1,48 @@
+"""Strategy interface shared by the four compared approaches.
+
+A strategy is the thing that differs between the paper's comparison arms:
+given calibration data (a TP-matrix) it produces — or declines to produce —
+a link-weight estimate, and it names which tree/mapping algorithm should
+consume that estimate. Experiment drivers treat strategies uniformly:
+
+    strategy.fit(tp_prefix)
+    w = strategy.weight_matrix()          # None for Baseline
+    run_collective(..., algorithm=strategy.tree_algorithm, estimate_weights=w)
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..core.matrices import TPMatrix
+
+__all__ = ["Strategy"]
+
+
+class Strategy(abc.ABC):
+    """One comparison arm: an estimator plus its optimizer bindings."""
+
+    #: Human-readable arm name ("Baseline", "Heuristics", "RPCA", ...).
+    name: str = "abstract"
+    #: Tree constructor the arm uses ("binomial" or "fnf").
+    tree_algorithm: str = "binomial"
+    #: Mapping algorithm the arm uses ("ring" or "greedy").
+    mapping_algorithm: str = "ring"
+
+    @abc.abstractmethod
+    def fit(self, tp: TPMatrix) -> None:
+        """Consume a calibration TP-matrix (may be a no-op)."""
+
+    @abc.abstractmethod
+    def weight_matrix(self) -> np.ndarray | None:
+        """The link-weight estimate, or None if the arm is estimate-free."""
+
+    @property
+    def is_network_aware(self) -> bool:
+        """True when the arm uses link weights to optimize."""
+        return self.tree_algorithm != "binomial" or self.mapping_algorithm != "ring"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"

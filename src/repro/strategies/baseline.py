@@ -1,0 +1,28 @@
+"""Baseline: run directly in the cloud with no network awareness.
+
+MPI collectives use the MPICH2 binomial tree; topology mapping uses the ring
+mapping (paper Sec V-A). The strategy ignores calibration data entirely.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.matrices import TPMatrix
+from .base import Strategy
+
+__all__ = ["BaselineStrategy"]
+
+
+class BaselineStrategy(Strategy):
+    """No estimates, binomial trees, ring mapping."""
+
+    name = "Baseline"
+    tree_algorithm = "binomial"
+    mapping_algorithm = "ring"
+
+    def fit(self, tp: TPMatrix) -> None:  # noqa: ARG002 - uniform interface
+        return None
+
+    def weight_matrix(self) -> np.ndarray | None:
+        return None

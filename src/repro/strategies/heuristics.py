@@ -1,0 +1,85 @@
+"""Heuristics: direct use of a few network measurements (paper Sec V-A).
+
+The paper's "Heuristics" arm averages each TP-matrix column — i.e. treats
+every link independently and takes the mean of its measurements as the
+long-term estimate. The paper notes minimal-value and exponentially-weighted
+averages "obtain similar results"; all three are provided here for the
+ablation bench. The essential contrast with RPCA is that these estimators
+look at links in isolation, while RPCA exploits the joint low-rank structure
+across all links.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_in_range
+from ..core.matrices import TPMatrix
+from ..errors import ValidationError
+from .base import Strategy
+
+__all__ = ["HeuristicStrategy"]
+
+_KINDS = ("mean", "min", "ewma", "percentile")
+
+
+class HeuristicStrategy(Strategy):
+    """Per-link aggregation of raw measurements.
+
+    Parameters
+    ----------
+    kind:
+        ``"mean"`` (paper default), ``"min"`` (best observed — optimistic),
+        ``"ewma"`` (exponentially weighted toward recent snapshots) or
+        ``"percentile"`` (a distribution-based estimate — the approach the
+        paper dismisses because "excessive measurements are required" for
+        the per-link distribution to stabilize).
+    ewma_alpha:
+        Smoothing factor for ``"ewma"`` in (0, 1]; the weight of the most
+        recent snapshot.
+    percentile:
+        Which per-link percentile ``"percentile"`` estimates (default 75 —
+        a pessimistic planner hedging against interference).
+    """
+
+    tree_algorithm = "fnf"
+    mapping_algorithm = "greedy"
+
+    def __init__(
+        self,
+        kind: str = "mean",
+        *,
+        ewma_alpha: float = 0.3,
+        percentile: float = 75.0,
+    ) -> None:
+        if kind not in _KINDS:
+            raise ValidationError(f"kind must be one of {_KINDS}, got {kind!r}")
+        self.kind = kind
+        self.ewma_alpha = check_in_range(ewma_alpha, 1e-9, 1.0, "ewma_alpha")
+        self.percentile = check_in_range(percentile, 0.0, 100.0, "percentile")
+        self.name = "Heuristics" if kind == "mean" else f"Heuristics-{kind}"
+        self._weights: np.ndarray | None = None
+
+    def fit(self, tp: TPMatrix) -> None:
+        data = tp.data
+        if self.kind == "mean":
+            row = data.mean(axis=0)
+        elif self.kind == "min":
+            # The off-diagonal minimum; diagonal zeros stay zero.
+            row = data.min(axis=0)
+        elif self.kind == "percentile":
+            row = np.percentile(data, self.percentile, axis=0)
+        else:  # ewma, oldest-to-newest
+            row = data[0].astype(np.float64).copy()
+            a = self.ewma_alpha
+            for k in range(1, data.shape[0]):
+                row = (1.0 - a) * row + a * data[k]
+        n = tp.n_machines
+        w = row.reshape(n, n).copy()
+        np.fill_diagonal(w, 0.0)
+        self._weights = w
+
+    def weight_matrix(self) -> np.ndarray | None:
+        if self._weights is None:
+            raise ValidationError("HeuristicStrategy.fit() has not been called")
+        return self._weights.copy()

@@ -1,0 +1,65 @@
+"""Topology-aware: classic optimization from ground-truth topology.
+
+The paper compares against topology-aware algorithms [21], [38] only in the
+ns-2 simulation, "because topology is not available in Amazon EC2". The
+strategy builds a *static* weight matrix from the nominal topology — rack
+locality decides latency/bandwidth tiers — and never updates it, which is
+exactly why it degrades under dynamics (Fig 13: ≈ Baseline when the network
+is busy).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cloudsim.bands import BandTiers
+from ..cloudsim.placement import Placement
+from ..core.matrices import TPMatrix
+from ..netmodel.alphabeta import transfer_time_matrix
+from .base import Strategy
+
+__all__ = ["TopologyAwareStrategy"]
+
+
+class TopologyAwareStrategy(Strategy):
+    """Static weights from nominal rack-locality tiers.
+
+    Parameters
+    ----------
+    placement:
+        Ground-truth rack placement of the virtual cluster (the simulator
+        knows it; a real cloud user would not).
+    nbytes:
+        Message size the nominal weights are computed for.
+    tiers:
+        Nominal per-tier latency/bandwidth (defaults to datacenter nominal
+        values with no jitter — the topology tells you the *class* of a
+        link, not its realized quality).
+    """
+
+    name = "Topology-aware"
+    tree_algorithm = "fnf"
+    mapping_algorithm = "greedy"
+
+    def __init__(
+        self,
+        placement: Placement,
+        nbytes: float,
+        tiers: BandTiers | None = None,
+    ) -> None:
+        t = tiers if tiers is not None else BandTiers(jitter_sigma=0.0)
+        same = placement.same_rack_matrix()
+        alpha = np.where(same, t.same_rack_latency, t.cross_rack_latency)
+        beta = np.where(same, t.same_rack_bandwidth, t.cross_rack_bandwidth)
+        n = placement.n_machines
+        np.fill_diagonal(alpha, 0.0)
+        np.fill_diagonal(beta, np.inf)
+        w = transfer_time_matrix(alpha, np.where(np.isinf(beta), 1.0, beta), nbytes)
+        np.fill_diagonal(w, 0.0)
+        self._weights = w
+
+    def fit(self, tp: TPMatrix) -> None:  # noqa: ARG002 - topology is static
+        return None
+
+    def weight_matrix(self) -> np.ndarray | None:
+        return self._weights.copy()

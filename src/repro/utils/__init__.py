@@ -1,0 +1,6 @@
+"""Small shared utilities: deterministic seeding and lightweight timing."""
+
+from .seeding import spawn_rng, derive_seed
+from .timing import Timer
+
+__all__ = ["spawn_rng", "derive_seed", "Timer"]

@@ -1,0 +1,47 @@
+"""Deterministic random-number management.
+
+Every stochastic component in the package accepts either an integer seed or a
+:class:`numpy.random.Generator`. These helpers normalize that convention and
+let a parent component derive independent child streams reproducibly — the
+same pattern :class:`numpy.random.SeedSequence` was designed for, so parallel
+workers never share a stream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["spawn_rng", "derive_seed"]
+
+RngLike = int | np.random.Generator | None
+
+
+def spawn_rng(seed: RngLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for *seed*.
+
+    Accepts ``None`` (fresh entropy), an ``int``, or an existing generator
+    (returned unchanged so state is shared deliberately, never copied).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def derive_seed(seed: int, *keys: int | str) -> int:
+    """Derive a child seed from *seed* and a path of mix-in keys.
+
+    The derivation is stable across processes and platforms: string keys are
+    hashed with a small FNV-1a so the result does not depend on ``PYTHONHASHSEED``.
+    """
+    acc = np.uint64(seed) ^ np.uint64(0x9E3779B97F4A7C15)
+    for key in keys:
+        if isinstance(key, str):
+            h = np.uint64(0xCBF29CE484222325)
+            for byte in key.encode("utf-8"):
+                h ^= np.uint64(byte)
+                h = np.uint64((int(h) * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF)
+            k = h
+        else:
+            k = np.uint64(int(key) & 0xFFFFFFFFFFFFFFFF)
+        acc = np.uint64((int(acc) * 6364136223846793005 + int(k)) & 0xFFFFFFFFFFFFFFFF)
+    return int(acc & np.uint64(0x7FFFFFFF))

@@ -1,0 +1,46 @@
+"""Wall-clock timing helper used by experiment drivers.
+
+Profiling guidance for this package follows the standard scientific-Python
+workflow: measure first (``Timer`` / ``timeit`` / ``cProfile``), then optimize
+the measured bottleneck. ``Timer`` is intentionally tiny — a context manager
+around :func:`time.perf_counter` that accumulates across re-entries so a hot
+loop can be timed without allocating per iteration.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Timer"]
+
+
+class Timer:
+    """Accumulating wall-clock timer.
+
+    Examples
+    --------
+    >>> t = Timer()
+    >>> with t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    __slots__ = ("elapsed", "_start")
+
+    def __init__(self) -> None:
+        self.elapsed: float = 0.0
+        self._start: float | None = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        assert self._start is not None
+        self.elapsed += time.perf_counter() - self._start
+        self._start = None
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self._start = None

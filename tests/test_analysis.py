@@ -1,0 +1,102 @@
+"""Unit tests for trace analytics: stability reports and changepoints."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.changepoints import detect_regime_changes
+from repro.analysis.tracestats import link_band_table, trace_stability_report
+from repro.cloudsim.bands import BandTiers
+from repro.cloudsim.dynamics import DynamicsConfig
+from repro.cloudsim.trace import CalibrationTrace
+from repro.cloudsim.tracegen import TraceConfig, generate_trace
+
+MB = 1024 * 1024
+
+
+class TestLinkBandTable:
+    def test_covers_all_ordered_pairs(self, tiny_trace):
+        table = link_band_table(tiny_trace)
+        assert len(table) == 4 * 3
+
+    def test_band_centers_positive(self, tiny_trace):
+        for _, _, stats in link_band_table(tiny_trace):
+            assert stats.center > 0
+
+
+class TestStabilityReport:
+    def test_default_trace(self, small_trace):
+        rep = trace_stability_report(small_trace)
+        assert rep.n_machines == 8 and rep.n_snapshots == 24
+        assert 0.0 < rep.norm_ne < 0.5
+        assert rep.band_spread > 1.0
+        assert 0.0 <= rep.median_volatility < 0.5
+        assert rep.verdict in (
+            "stable", "moderately-stable", "dynamic", "too-dynamic"
+        )
+
+    def test_calm_trace_is_tight(self, calm_trace):
+        rep = trace_stability_report(calm_trace)
+        assert rep.norm_ne < 0.01
+        assert rep.median_volatility < 0.01
+        assert rep.spike_fraction < 0.05
+        assert rep.verdict == "stable"
+
+    def test_band_spread_reflects_tiers(self, small_trace, calm_trace):
+        # Both traces mix rack tiers, so spread well above 1.
+        assert trace_stability_report(calm_trace).band_spread > 1.5
+
+
+class TestChangepoints:
+    def _two_regime_trace(self):
+        cfg_a = TraceConfig(
+            n_machines=6,
+            n_snapshots=15,
+            dynamics=DynamicsConfig(
+                volatility_sigma=0.03, spike_probability=0.0,
+                hotspot_probability=0.0,
+            ),
+        )
+        a = generate_trace(cfg_a, seed=1)
+        cfg_b = TraceConfig(
+            n_machines=6,
+            n_snapshots=15,
+            dynamics=cfg_a.dynamics,
+            tiers=BandTiers(
+                same_rack_bandwidth=125e6 / 3, cross_rack_bandwidth=50e6 / 3
+            ),
+        )
+        b = generate_trace(cfg_b, seed=1)
+        return CalibrationTrace(
+            alpha=np.concatenate([a.alpha, b.alpha]),
+            beta=np.concatenate([a.beta, b.beta]),
+            timestamps=np.arange(30, dtype=float) * 1800.0,
+        )
+
+    def test_detects_planted_change(self):
+        trace = self._two_regime_trace()
+        changes = detect_regime_changes(trace, window=5, threshold=0.25)
+        assert len(changes) == 1
+        assert abs(changes[0].snapshot - 15) <= 2
+        assert changes[0].shift > 0.25
+
+    def test_no_change_on_stationary_trace(self, calm_trace):
+        assert detect_regime_changes(calm_trace, window=5, threshold=0.25) == []
+
+    def test_one_snapshot_spike_not_flagged(self, calm_trace):
+        # A single catastrophic snapshot is interference, not a regime change.
+        alpha = calm_trace.alpha.copy()
+        beta = calm_trace.beta.copy()
+        beta[10] = beta[10] / 10.0
+        n = calm_trace.n_machines
+        np.fill_diagonal(beta[10], np.inf)
+        spiked = CalibrationTrace(
+            alpha=alpha, beta=beta, timestamps=calm_trace.timestamps.copy()
+        )
+        assert detect_regime_changes(spiked, window=5, threshold=0.25) == []
+
+    def test_short_trace_returns_empty(self, tiny_trace):
+        assert detect_regime_changes(tiny_trace, window=6) == []
+
+    def test_window_validated(self, small_trace):
+        with pytest.raises(Exception):
+            detect_regime_changes(small_trace, window=1)

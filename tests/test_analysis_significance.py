@@ -1,0 +1,69 @@
+"""Unit tests for the paired-bootstrap significance analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.significance import ImprovementCI, bootstrap_improvement
+from repro.errors import ValidationError
+
+
+class TestBootstrapImprovement:
+    def test_clear_improvement_is_significant(self):
+        rng = np.random.default_rng(0)
+        b = rng.uniform(1.0, 1.2, size=100)
+        a = b * 0.7  # 30% faster, paired
+        ci = bootstrap_improvement(a, b, seed=1)
+        assert ci.point == pytest.approx(0.3, abs=0.02)
+        assert ci.significant
+        assert ci.low > 0.2
+
+    def test_noise_is_not_significant(self):
+        rng = np.random.default_rng(2)
+        b = rng.uniform(1.0, 2.0, size=40)
+        a = rng.uniform(1.0, 2.0, size=40)  # same distribution
+        ci = bootstrap_improvement(a, b, seed=3)
+        assert not ci.significant or abs(ci.point) < 0.1
+
+    def test_interval_contains_point(self):
+        rng = np.random.default_rng(4)
+        b = rng.uniform(1, 3, size=60)
+        a = b * rng.uniform(0.8, 1.0, size=60)
+        ci = bootstrap_improvement(a, b, seed=5)
+        assert ci.low <= ci.point <= ci.high
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(6)
+        b = rng.uniform(1, 2, size=30)
+        a = b * 0.9
+        c1 = bootstrap_improvement(a, b, seed=7)
+        c2 = bootstrap_improvement(a, b, seed=7)
+        assert (c1.low, c1.high) == (c2.low, c2.high)
+
+    def test_degradation_detected(self):
+        rng = np.random.default_rng(8)
+        b = rng.uniform(1.0, 1.1, size=80)
+        a = b * 1.5  # 50% slower
+        ci = bootstrap_improvement(a, b, seed=9)
+        assert ci.point < -0.3
+        assert ci.significant and ci.high < 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            bootstrap_improvement(np.ones(3), np.ones(4))
+        with pytest.raises(ValidationError):
+            bootstrap_improvement(np.zeros(3), np.ones(3))
+        with pytest.raises(ValidationError):
+            bootstrap_improvement(np.ones(3), np.ones(3), n_boot=10)
+
+    def test_works_with_comparison_result(self, small_trace):
+        from repro.experiments.harness import ReplayContext, collective_comparison
+        from repro.strategies import BaselineStrategy, RPCAStrategy
+
+        ctx = ReplayContext(trace=small_trace, time_step=10)
+        arms = [BaselineStrategy(), RPCAStrategy("row_constant", time_step=10)]
+        res = collective_comparison(ctx, arms, repetitions=60, seed=2)
+        ci = bootstrap_improvement(
+            res.times["RPCA"], res.times["Baseline"], seed=0
+        )
+        assert isinstance(ci, ImprovementCI)
+        assert ci.point == pytest.approx(res.improvement("RPCA", "Baseline"))

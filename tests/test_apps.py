@@ -1,0 +1,196 @@
+"""Unit tests for the N-body and CG applications and the profile runner."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.apps.breakdown import AppRunner, StepProfile, TimeBreakdown, alltoall_collectives
+from repro.apps.cg import (
+    CGConfig,
+    build_spd_system,
+    cg_profile,
+    estimate_cg_iterations,
+    run_cg_numerics,
+)
+from repro.apps.nbody import BYTES_PER_BODY, NBodyConfig, NBodySimulation, nbody_profile
+from repro.errors import ValidationError
+from repro.strategies.baseline import BaselineStrategy
+from repro.strategies.rpca import RPCAStrategy
+
+MB = 1024 * 1024
+
+
+class TestTimeBreakdown:
+    def test_total(self):
+        bd = TimeBreakdown(computation=1.0, communication=2.0, overhead=0.5)
+        assert bd.total == 3.5
+
+    def test_add(self):
+        a = TimeBreakdown(1.0, 2.0, 3.0)
+        b = TimeBreakdown(0.5, 0.5, 0.5)
+        c = a + b
+        assert (c.computation, c.communication, c.overhead) == (1.5, 2.5, 3.5)
+
+
+class TestStepProfile:
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            StepProfile(collectives=(("alltoall", 1.0),), computation_seconds=0.0)
+        with pytest.raises(ValidationError):
+            StepProfile(collectives=(), computation_seconds=-1.0)
+
+    def test_alltoall_shape(self):
+        coll = alltoall_collectives(80.0, 8)
+        assert coll == (("gather", 10.0), ("broadcast", 80.0))
+
+
+class TestAppRunner:
+    def test_baseline_has_no_overhead(self, small_trace):
+        steps = [StepProfile(collectives=(("broadcast", 1 * MB),), computation_seconds=0.1)] * 3
+        runner = AppRunner(
+            trace=small_trace,
+            strategy=BaselineStrategy(),
+            calibration_overhead=100.0,
+            analysis_overhead=10.0,
+        )
+        bd = runner.run(steps)
+        assert bd.overhead == 0.0
+        assert bd.computation == pytest.approx(0.3)
+        assert bd.communication > 0
+
+    def test_aware_strategy_charged_overhead(self, small_trace):
+        s = RPCAStrategy("row_constant", time_step=10)
+        s.fit(small_trace.tp_matrix(8 * MB, start=0, count=10))
+        steps = [StepProfile(collectives=(("broadcast", 1 * MB),), computation_seconds=0.0)]
+        runner = AppRunner(
+            trace=small_trace, strategy=s, calibration_overhead=50.0, analysis_overhead=5.0
+        )
+        bd = runner.run(steps)
+        assert bd.overhead == 55.0
+
+    def test_steps_cycle_snapshots(self, small_trace):
+        s = BaselineStrategy()
+        steps = [StepProfile(collectives=(("broadcast", 1 * MB),), computation_seconds=0.0)] * 50
+        bd = AppRunner(trace=small_trace, strategy=s).run(steps)
+        assert bd.communication > 0  # just exercising the modulo path
+
+    def test_empty_steps_rejected(self, small_trace):
+        with pytest.raises(ValidationError):
+            AppRunner(trace=small_trace, strategy=BaselineStrategy()).run([])
+
+
+class TestNBodyModel:
+    def test_config_body_count(self):
+        cfg = NBodyConfig(n_steps=10, message_bytes=BYTES_PER_BODY * 100)
+        assert cfg.n_bodies == 100
+
+    def test_profile_shape(self):
+        cfg = NBodyConfig(n_steps=5, message_bytes=1 * MB)
+        steps = nbody_profile(cfg, 8)
+        assert len(steps) == 5
+        ops = [op for op, _ in steps[0].collectives]
+        assert ops == ["gather", "broadcast"]
+
+    def test_computation_scales_inverse_machines(self):
+        cfg = NBodyConfig(n_steps=1, message_bytes=1 * MB)
+        assert cfg.computation_seconds_per_step(16) == pytest.approx(
+            cfg.computation_seconds_per_step(8) / 2
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            NBodyConfig(n_steps=0, message_bytes=1.0)
+
+
+class TestNBodyNumerics:
+    def test_momentum_conserved(self):
+        sim = NBodySimulation(20, seed=0)
+        p0 = sim.total_momentum()
+        sim.run(50, dt=1e-3)
+        p1 = sim.total_momentum()
+        np.testing.assert_allclose(p1, p0, atol=1e-9)
+
+    def test_energy_drift_bounded(self):
+        sim = NBodySimulation(16, softening=0.2, seed=1)
+        e0 = sim.total_energy()
+        sim.run(100, dt=1e-4)
+        e1 = sim.total_energy()
+        assert abs(e1 - e0) / abs(e0) < 0.01
+
+    def test_two_bodies_attract(self):
+        sim = NBodySimulation(2, softening=0.01, seed=2)
+        sim.pos[:] = [[-0.5, 0, 0], [0.5, 0, 0]]
+        sim.vel[:] = 0.0
+        d0 = np.linalg.norm(sim.pos[0] - sim.pos[1])
+        sim.run(20, dt=1e-2)
+        assert np.linalg.norm(sim.pos[0] - sim.pos[1]) < d0
+
+    def test_accelerations_antisymmetric_forces(self):
+        sim = NBodySimulation(5, seed=3)
+        acc = sim.accelerations()
+        total_force = (sim.mass[:, None] * acc).sum(axis=0)
+        np.testing.assert_allclose(total_force, 0.0, atol=1e-10)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            NBodySimulation(1)
+
+
+class TestCG:
+    def test_spd_system_is_spd(self):
+        cfg = CGConfig(vector_size=200)
+        a, b = build_spd_system(cfg, seed=0)
+        dense = a.toarray()
+        np.testing.assert_allclose(dense, dense.T, atol=1e-12)
+        eigs = np.linalg.eigvalsh(dense)
+        assert eigs.min() > 0
+
+    def test_cg_solves(self):
+        cfg = CGConfig(vector_size=300)
+        a, b = build_spd_system(cfg, seed=1)
+        x, iters = run_cg_numerics(a, b, rtol=1e-8)
+        assert iters > 0
+        assert np.linalg.norm(a @ x - b) <= 1e-7 * np.linalg.norm(b)
+
+    def test_convergence_criterion_matches_paper(self):
+        cfg = CGConfig(vector_size=300)
+        a, b = build_spd_system(cfg, seed=2)
+        x, _ = run_cg_numerics(a, b, rtol=1e-5)
+        assert np.linalg.norm(b - a @ x) <= 1e-5 * np.linalg.norm(b) * (1 + 1e-9)
+
+    def test_iterations_grow_with_size(self):
+        # The paper's observation: larger vectors need more iterations.
+        iters = []
+        for n in (500, 5000, 50000):
+            _, it = cg_profile(CGConfig(vector_size=n), 8, seed=3)
+            iters.append(it)
+        assert iters[0] < iters[1] < iters[2]
+
+    def test_identity_converges_in_one(self):
+        a = sp.identity(50, format="csr")
+        b = np.ones(50)
+        x, iters = run_cg_numerics(a, b)
+        assert iters == 1
+        np.testing.assert_allclose(x, b)
+
+    def test_profile_override_iterations(self):
+        steps, iters = cg_profile(CGConfig(vector_size=1000), 8, iterations=7)
+        assert iters == 7 and len(steps) == 7
+
+    def test_estimate_used_above_limit(self):
+        cfg = CGConfig(vector_size=1_000_000)
+        steps, iters = cg_profile(cfg, 8, numerics_size_limit=1000)
+        assert iters == estimate_cg_iterations(cfg)
+
+    def test_estimate_growth_law(self):
+        small = estimate_cg_iterations(CGConfig(vector_size=1000))
+        large = estimate_cg_iterations(CGConfig(vector_size=1024000))
+        # sqrt(kappa) ~ n^(1/4): 1024x size ⇒ ~5.6x iterations.
+        assert 3.0 < large / small < 9.0
+
+    def test_vector_bytes(self):
+        assert CGConfig(vector_size=1000).vector_bytes == 8000.0
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            CGConfig(vector_size=2)

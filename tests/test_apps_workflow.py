@@ -1,0 +1,131 @@
+"""Unit tests for the scientific-workflow extension."""
+
+import numpy as np
+import pytest
+
+from repro.apps.workflow import (
+    Workflow,
+    WorkflowStage,
+    montage_like_workflow,
+    workflow_makespan,
+)
+from repro.errors import ValidationError
+from repro.mapping.evaluate import bandwidth_from_weights
+from repro.mapping.greedy import greedy_mapping
+
+MB = 1024 * 1024
+
+
+def uniform_net(n, beta=100 * MB):
+    a = np.zeros((n, n))
+    b = np.full((n, n), float(beta))
+    np.fill_diagonal(b, np.inf)
+    return a, b
+
+
+def chain_workflow(volumes=(10 * MB, 20 * MB), comp=5.0):
+    wf = Workflow()
+    names = [f"s{i}" for i in range(len(volumes) + 1)]
+    for n in names:
+        wf.add_stage(WorkflowStage(n, computation_seconds=comp))
+    for i, v in enumerate(volumes):
+        wf.add_edge(names[i], names[i + 1], v)
+    return wf, names
+
+
+class TestWorkflowStructure:
+    def test_duplicate_stage_rejected(self):
+        wf = Workflow()
+        wf.add_stage(WorkflowStage("a", 1.0))
+        with pytest.raises(ValidationError):
+            wf.add_stage(WorkflowStage("a", 2.0))
+
+    def test_cycle_rejected(self):
+        wf, names = chain_workflow()
+        with pytest.raises(ValidationError, match="cycle"):
+            wf.add_edge(names[-1], names[0], 1.0)
+
+    def test_edge_requires_stages(self):
+        wf = Workflow()
+        wf.add_stage(WorkflowStage("a", 1.0))
+        with pytest.raises(ValidationError):
+            wf.add_edge("a", "ghost", 1.0)
+
+    def test_task_graph_conversion(self):
+        wf, names = chain_workflow(volumes=(7.0, 9.0))
+        g, order = wf.task_graph()
+        assert order == sorted(names)  # lexicographic topological order
+        i = {n: k for k, n in enumerate(order)}
+        assert g.volumes[i["s0"], i["s1"]] == 7.0
+        assert g.volumes[i["s1"], i["s2"]] == 9.0
+
+    def test_montage_shape(self):
+        wf = montage_like_workflow(width=5, seed=0)
+        assert wf.n_stages == 1 + 5 + 4 + 1
+        g, order = wf.task_graph()
+        assert g.n_edges == 5 + 2 * 4 + 4
+
+    def test_montage_deterministic(self):
+        a, _ = montage_like_workflow(width=4, seed=3).task_graph()
+        b, _ = montage_like_workflow(width=4, seed=3).task_graph()
+        np.testing.assert_array_equal(a.volumes, b.volumes)
+
+
+class TestMakespan:
+    def test_chain_makespan_formula(self):
+        wf, names = chain_workflow(volumes=(100 * MB,), comp=2.0)
+        alpha, beta = uniform_net(2)
+        # s0 on machine 0, s1 on machine 1: 2 + transfer(1s) + 2 = 5.
+        ms = workflow_makespan(wf, {"s0": 0, "s1": 1}, alpha, beta)
+        assert ms == pytest.approx(5.0)
+
+    def test_colocation_skips_transfer(self):
+        wf, names = chain_workflow(volumes=(100 * MB,), comp=2.0)
+        alpha, beta = uniform_net(2)
+        ms = workflow_makespan(wf, {"s0": 0, "s1": 0}, alpha, beta)
+        assert ms == pytest.approx(4.0)
+
+    def test_same_machine_serializes(self):
+        # Two independent stages on one machine run back to back.
+        wf = Workflow()
+        wf.add_stage(WorkflowStage("a", 3.0))
+        wf.add_stage(WorkflowStage("b", 4.0))
+        alpha, beta = uniform_net(2)
+        together = workflow_makespan(wf, {"a": 0, "b": 0}, alpha, beta)
+        apart = workflow_makespan(wf, {"a": 0, "b": 1}, alpha, beta)
+        assert together == pytest.approx(7.0)
+        assert apart == pytest.approx(4.0)
+
+    def test_assignment_validation(self):
+        wf, names = chain_workflow()
+        alpha, beta = uniform_net(2)
+        with pytest.raises(ValidationError, match="missing"):
+            workflow_makespan(wf, {"s0": 0}, alpha, beta)
+        with pytest.raises(ValidationError, match="outside"):
+            workflow_makespan(wf, {n: 9 for n in names}, alpha, beta)
+
+    def test_array_assignment(self):
+        wf, names = chain_workflow(volumes=(100 * MB,), comp=1.0)
+        alpha, beta = uniform_net(3)
+        g, order = wf.task_graph()
+        ms = workflow_makespan(wf, np.array([0, 1]), alpha, beta)
+        assert ms > 0
+
+    def test_network_aware_assignment_beats_naive(self):
+        # A montage workflow on a skewed network: mapping stages with the
+        # greedy heuristic on true weights beats a round-robin assignment.
+        rng = np.random.default_rng(7)
+        n = 12
+        wf = montage_like_workflow(width=5, seed=1)
+        g, order = wf.task_graph()
+        alpha = np.zeros((n, n))
+        beta = rng.uniform(20 * MB, 200 * MB, size=(n, n))
+        np.fill_diagonal(beta, np.inf)
+        w = np.zeros((n, n))
+        off = ~np.eye(n, dtype=bool)
+        w[off] = 1.0 / beta[off]
+        greedy = greedy_mapping(g, bandwidth_from_weights(w))
+        naive = np.arange(len(order)) % n
+        ms_greedy = workflow_makespan(wf, greedy, alpha, beta)
+        ms_naive = workflow_makespan(wf, naive, alpha, beta)
+        assert ms_greedy < ms_naive

@@ -1,0 +1,139 @@
+"""Unit tests for the pairing schedule, calibrator and overhead model."""
+
+import numpy as np
+import pytest
+
+from repro.calibration.calibrator import Calibrator, TraceSubstrate
+from repro.calibration.overhead import (
+    CalibrationCostModel,
+    calibration_overhead_seconds,
+)
+from repro.calibration.schedule import PairingSchedule, pairing_rounds
+from repro.errors import CalibrationError, ValidationError
+
+MB = 1024 * 1024
+
+
+class TestPairingSchedule:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 8, 9, 16, 21])
+    def test_covers_all_ordered_pairs(self, n):
+        sched = pairing_rounds(n)
+        seen = {p for rnd in sched.rounds for p in rnd}
+        assert len(seen) == n * (n - 1)
+
+    @pytest.mark.parametrize("n", [4, 8, 16, 64])
+    def test_even_round_count(self, n):
+        assert pairing_rounds(n).n_rounds == 2 * (n - 1)
+
+    @pytest.mark.parametrize("n", [3, 5, 9])
+    def test_odd_round_count(self, n):
+        assert pairing_rounds(n).n_rounds == 2 * n
+
+    @pytest.mark.parametrize("n", [4, 7, 12])
+    def test_no_machine_twice_per_round(self, n):
+        sched = pairing_rounds(n)
+        for rnd in sched.rounds:
+            endpoints = [m for p in rnd for m in p]
+            assert len(endpoints) == len(set(endpoints))
+
+    def test_even_rounds_are_full_matchings(self):
+        sched = pairing_rounds(8)
+        for rnd in sched.rounds:
+            assert len(rnd) == 4  # N/2 concurrent pairs
+
+    def test_n1_rejected(self):
+        with pytest.raises(ValidationError):
+            pairing_rounds(1)
+
+    def test_schedule_validation_catches_duplicates(self):
+        with pytest.raises(ValidationError, match="twice"):
+            PairingSchedule(n_machines=2, rounds=(((0, 1),), ((0, 1),)))
+
+    def test_schedule_validation_catches_self_pair(self):
+        with pytest.raises(ValidationError, match="self"):
+            PairingSchedule(n_machines=2, rounds=(((0, 0),), ((1, 0),)))
+
+    def test_schedule_validation_catches_incomplete(self):
+        with pytest.raises(ValidationError, match="covers"):
+            PairingSchedule(n_machines=3, rounds=(((0, 1),),))
+
+
+class TestTraceSubstrate:
+    def test_exact_replay(self, tiny_trace):
+        sub = TraceSubstrate(tiny_trace)
+        pairs = ((0, 1), (2, 3))
+        res = sub.measure_round(pairs, snapshot=2)
+        assert res[0] == (tiny_trace.alpha[2, 0, 1], tiny_trace.beta[2, 0, 1])
+        assert res[1] == (tiny_trace.alpha[2, 2, 3], tiny_trace.beta[2, 2, 3])
+
+    def test_measurement_noise_perturbs(self, tiny_trace):
+        sub = TraceSubstrate(tiny_trace, measurement_noise=0.1, seed=0)
+        (a, b), = sub.measure_round(((0, 1),), snapshot=0)
+        assert a != tiny_trace.alpha[0, 0, 1] or b != tiny_trace.beta[0, 0, 1]
+
+    def test_snapshot_bounds(self, tiny_trace):
+        sub = TraceSubstrate(tiny_trace)
+        with pytest.raises(CalibrationError):
+            sub.measure_round(((0, 1),), snapshot=99)
+
+
+class TestCalibrator:
+    def test_snapshot_matches_trace(self, tiny_trace):
+        cal = Calibrator(TraceSubstrate(tiny_trace))
+        alpha, beta = cal.calibrate_snapshot(1)
+        np.testing.assert_array_equal(alpha, tiny_trace.alpha[1])
+        off = ~np.eye(4, dtype=bool)
+        np.testing.assert_array_equal(beta[off], tiny_trace.beta[1][off])
+
+    def test_calibrate_builds_tp(self, tiny_trace):
+        cal = Calibrator(TraceSubstrate(tiny_trace))
+        tp = cal.calibrate(range(3), nbytes=8 * MB)
+        expected = tiny_trace.tp_matrix(8 * MB, start=0, count=3)
+        np.testing.assert_allclose(tp.data, expected.data)
+
+    def test_empty_snapshots_rejected(self, tiny_trace):
+        cal = Calibrator(TraceSubstrate(tiny_trace))
+        with pytest.raises(CalibrationError):
+            cal.calibrate([], nbytes=1.0)
+
+    def test_schedule_size_mismatch(self, tiny_trace):
+        with pytest.raises(CalibrationError, match="schedule"):
+            Calibrator(TraceSubstrate(tiny_trace), schedule=pairing_rounds(6))
+
+
+class TestOverheadModel:
+    def test_paper_magnitudes(self):
+        # Fig 4: < 4 minutes at 64 instances, ~10 minutes at 196.
+        at64 = calibration_overhead_seconds(64, 10)
+        at196 = calibration_overhead_seconds(196, 10)
+        assert 120 < at64 < 240
+        assert 480 < at196 < 780
+
+    def test_linear_in_n(self):
+        xs = np.array([32, 64, 128, 196])
+        ys = np.array([calibration_overhead_seconds(int(n), 10) for n in xs])
+        # Linear fit residual is tiny relative to the values.
+        coeffs = np.polyfit(xs, ys, 1)
+        fit = np.polyval(coeffs, xs)
+        assert np.max(np.abs(fit - ys) / ys) < 0.02
+
+    def test_linear_in_time_step(self):
+        one = calibration_overhead_seconds(16, 1)
+        ten = calibration_overhead_seconds(16, 10)
+        assert ten == pytest.approx(10 * one)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            calibration_overhead_seconds(1, 10)
+        with pytest.raises(ValueError):
+            calibration_overhead_seconds(8, 0)
+
+    def test_cost_model_round_seconds(self):
+        m = CalibrationCostModel()
+        assert m.round_seconds() > 0
+        faster = CalibrationCostModel(expected_bandwidth_Bps=1e12)
+        assert faster.round_seconds() < m.round_seconds()
+
+    def test_cost_model_validation(self):
+        with pytest.raises(ValueError):
+            CalibrationCostModel(repetitions=0)

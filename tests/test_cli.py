@@ -1,0 +1,89 @@
+"""Unit tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.cloudsim.io import load_trace, save_trace
+from repro.cloudsim.tracegen import TraceConfig, generate_trace
+
+
+@pytest.fixture()
+def trace_file(tmp_path):
+    trace = generate_trace(TraceConfig(n_machines=6, n_snapshots=16), seed=4)
+    path = tmp_path / "trace.npz"
+    save_trace(trace, path)
+    return str(path)
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        sub = next(
+            a for a in parser._actions if isinstance(a, type(parser._subparsers._group_actions[0]))
+        )
+        assert {"generate", "info", "decompose", "compare", "changepoints"} <= set(
+            sub.choices
+        )
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_generate(self, tmp_path, capsys):
+        out = str(tmp_path / "t.npz")
+        assert main(["generate", out, "--machines", "5", "--snapshots", "8",
+                     "--seed", "3"]) == 0
+        trace = load_trace(out)
+        assert trace.n_machines == 5 and trace.n_snapshots == 8
+        assert "wrote" in capsys.readouterr().out
+
+    def test_generate_with_overrides(self, tmp_path):
+        out = str(tmp_path / "t.npz")
+        assert main(["generate", out, "--machines", "4", "--snapshots", "6",
+                     "--volatility", "0.0", "--migration-rate", "0.0"]) == 0
+        trace = load_trace(out)
+        # Volatility disabled: consecutive snapshots share most values
+        # (spikes/hotspots may still fire).
+        same = trace.beta[0] == trace.beta[1]
+        assert same.mean() > 0.5
+
+    def test_info(self, trace_file, capsys):
+        assert main(["info", trace_file]) == 0
+        out = capsys.readouterr().out
+        assert "Norm(N_E)" in out and "verdict" in out
+
+    def test_decompose(self, trace_file, capsys):
+        assert main(["decompose", trace_file, "--solver", "row_constant"]) == 0
+        out = capsys.readouterr().out
+        assert "row_constant" in out and "Norm(N_E)" in out
+
+    def test_compare(self, trace_file, capsys):
+        assert main(["compare", trace_file, "--repetitions", "8",
+                     "--solver", "row_constant"]) == 0
+        out = capsys.readouterr().out
+        assert "Baseline" in out and "RPCA" in out and "Heuristics" in out
+
+    def test_compare_scatter_uses_blocks(self, trace_file, capsys):
+        assert main(["compare", trace_file, "--op", "scatter",
+                     "--repetitions", "4", "--solver", "row_constant"]) == 0
+        assert "scatter" in capsys.readouterr().out
+
+    def test_changepoints_none(self, trace_file, capsys):
+        assert main(["changepoints", trace_file, "--threshold", "0.9"]) == 0
+        assert "no regime changes" in capsys.readouterr().out
+
+    def test_csv_trace_accepted(self, tmp_path, capsys):
+        rows = ["snapshot,src,dst,alpha_s,beta_Bps"]
+        for k in range(3):
+            for i in range(3):
+                for j in range(3):
+                    if i != j:
+                        rows.append(f"{k},{i},{j},0.001,{1e8 * (1 + i + j)}")
+        path = tmp_path / "measurements.csv"
+        path.write_text("\n".join(rows) + "\n")
+        assert main(["info", str(path)]) == 0
+        assert "verdict" in capsys.readouterr().out
+        assert main(["decompose", str(path), "--solver", "row_constant"]) == 0

@@ -1,0 +1,246 @@
+"""Unit tests for the EC2-substitute trace machinery (repro.cloudsim)."""
+
+import numpy as np
+import pytest
+
+from repro.cloudsim.bands import BandTiers, derive_bands
+from repro.cloudsim.dynamics import DynamicsConfig, VolatilityModel
+from repro.cloudsim.placement import Placement, place_cluster
+from repro.cloudsim.trace import CalibrationTrace
+from repro.cloudsim.tracegen import TraceConfig, generate_trace
+from repro.errors import ValidationError
+
+MB = 1024 * 1024
+
+
+class TestPlacement:
+    def test_deterministic_with_seed(self):
+        a = place_cluster(20, seed=5)
+        b = place_cluster(20, seed=5)
+        np.testing.assert_array_equal(a.racks, b.racks)
+
+    def test_capacity_respected(self):
+        p = place_cluster(40, n_racks_total=10, servers_per_rack=8, seed=0)
+        counts = np.bincount(p.racks, minlength=10)
+        assert counts.max() <= 8
+
+    def test_colocation_zero_spreads(self):
+        p0 = place_cluster(32, colocation=0.0, n_racks_total=500, seed=1)
+        p1 = place_cluster(32, colocation=0.95, n_racks_total=500, seed=1)
+        assert p0.n_racks_used > p1.n_racks_used
+
+    def test_cross_rack_fraction_bounds(self):
+        p = place_cluster(16, seed=2)
+        assert 0.0 <= p.cross_rack_fraction() <= 1.0
+
+    def test_single_machine(self):
+        p = place_cluster(1, seed=3)
+        assert p.cross_rack_fraction() == 0.0
+
+    def test_too_small_datacenter_rejected(self):
+        with pytest.raises(ValidationError):
+            place_cluster(100, n_racks_total=2, servers_per_rack=4)
+
+    def test_same_rack_matrix_diagonal(self):
+        p = place_cluster(6, seed=4)
+        assert np.all(np.diagonal(p.same_rack_matrix()))
+
+    def test_placement_validates_rack_ids(self):
+        with pytest.raises(ValidationError):
+            Placement(racks=np.array([0, 99]), n_racks_total=10, servers_per_rack=4)
+
+    def test_placement_validates_capacity(self):
+        with pytest.raises(ValidationError, match="capacity"):
+            Placement(racks=np.array([0, 0, 0]), n_racks_total=10, servers_per_rack=2)
+
+    def test_larger_cluster_spans_more_racks(self):
+        # The Fig 8 mechanism: more VMs ⇒ more racks ⇒ more cross-rack pairs.
+        small = place_cluster(8, colocation=0.7, seed=6)
+        large = place_cluster(64, colocation=0.7, seed=6)
+        assert large.n_racks_used > small.n_racks_used
+        assert large.cross_rack_fraction() >= small.cross_rack_fraction()
+
+
+class TestBands:
+    def test_same_rack_is_faster(self):
+        p = Placement(
+            racks=np.array([0, 0, 1, 1]), n_racks_total=5, servers_per_rack=4
+        )
+        bands = derive_bands(p, BandTiers(jitter_sigma=0.0), seed=0)
+        assert bands.beta[0, 1] > bands.beta[0, 2]
+        assert bands.alpha[0, 1] < bands.alpha[0, 2]
+
+    def test_diagonals(self):
+        p = place_cluster(5, seed=0)
+        bands = derive_bands(p, seed=1)
+        assert np.all(np.diagonal(bands.alpha) == 0.0)
+        assert np.all(np.isinf(np.diagonal(bands.beta)))
+
+    def test_jitter_makes_pairs_heterogeneous(self):
+        p = Placement(
+            racks=np.array([0, 1, 2, 3]), n_racks_total=5, servers_per_rack=4
+        )
+        bands = derive_bands(p, BandTiers(jitter_sigma=0.4), seed=2)
+        off = ~np.eye(4, dtype=bool)
+        assert np.unique(bands.beta[off]).size > 1
+
+    def test_asymmetry(self):
+        p = place_cluster(6, seed=3)
+        bands = derive_bands(p, BandTiers(jitter_sigma=0.3), seed=4)
+        assert bands.beta[0, 1] != bands.beta[1, 0]
+
+    def test_tier_validation(self):
+        with pytest.raises(ValidationError):
+            BandTiers(same_rack_bandwidth=-1.0)
+
+
+class TestDynamics:
+    def test_no_dynamics_reproduces_bands(self):
+        p = place_cluster(5, seed=0)
+        cfg = DynamicsConfig(volatility_sigma=0.0, spike_probability=0.0)
+        m = VolatilityModel(p, config=cfg, seed=1)
+        a1, b1 = m.sample()
+        np.testing.assert_array_equal(a1, m.bands.alpha)
+        np.testing.assert_array_equal(b1, m.bands.beta)
+
+    def test_volatility_perturbs(self):
+        p = place_cluster(5, seed=0)
+        cfg = DynamicsConfig(volatility_sigma=0.1, spike_probability=0.0)
+        m = VolatilityModel(p, config=cfg, seed=1)
+        a1, b1 = m.sample()
+        a2, b2 = m.sample()
+        off = ~np.eye(5, dtype=bool)
+        assert not np.allclose(b1[off], b2[off])
+
+    def test_spikes_reduce_bandwidth(self):
+        p = place_cluster(10, seed=0)
+        cfg = DynamicsConfig(
+            volatility_sigma=0.0, spike_probability=0.5, spike_severity=3.0
+        )
+        m = VolatilityModel(p, config=cfg, seed=1)
+        _, beta = m.sample()
+        off = ~np.eye(10, dtype=bool)
+        assert np.any(beta[off] < m.bands.beta[off] * 0.99)
+        assert np.all(beta[off] <= m.bands.beta[off] + 1e-9)
+
+    def test_migration_changes_bands(self):
+        p = place_cluster(6, seed=0)
+        cfg = DynamicsConfig(
+            volatility_sigma=0.0, spike_probability=0.0, migration_rate=5.0
+        )
+        m = VolatilityModel(p, config=cfg, seed=1)
+        before = m.bands.beta.copy()
+        m.sample()
+        assert m.migration_log  # at least one migration fired
+        assert not np.array_equal(before, m.bands.beta)
+
+    def test_no_migration_keeps_bands(self):
+        p = place_cluster(6, seed=0)
+        m = VolatilityModel(p, config=DynamicsConfig(migration_rate=0.0), seed=1)
+        before = m.bands.beta.copy()
+        m.sample()
+        np.testing.assert_array_equal(before, m.bands.beta)
+
+    def test_config_validation(self):
+        with pytest.raises(ValidationError):
+            DynamicsConfig(spike_probability=1.5)
+        with pytest.raises(ValidationError):
+            DynamicsConfig(volatility_sigma=-0.1)
+
+
+class TestCalibrationTrace:
+    def test_generate_shapes(self, small_trace):
+        assert small_trace.alpha.shape == (24, 8, 8)
+        assert small_trace.beta.shape == (24, 8, 8)
+        assert small_trace.n_snapshots == 24
+        assert small_trace.n_machines == 8
+
+    def test_timestamps_spacing(self, small_trace):
+        diffs = np.diff(small_trace.timestamps)
+        np.testing.assert_allclose(diffs, 1800.0)
+
+    def test_deterministic(self):
+        cfg = TraceConfig(n_machines=5, n_snapshots=6)
+        t1 = generate_trace(cfg, seed=3)
+        t2 = generate_trace(cfg, seed=3)
+        np.testing.assert_array_equal(t1.beta, t2.beta)
+
+    def test_different_seeds_differ(self):
+        cfg = TraceConfig(n_machines=5, n_snapshots=6)
+        t1 = generate_trace(cfg, seed=3)
+        t2 = generate_trace(cfg, seed=4)
+        assert not np.array_equal(t1.beta, t2.beta)
+
+    def test_weights_at(self, small_trace):
+        pm = small_trace.weights_at(0, 8 * MB)
+        assert pm.n_machines == 8
+        expected = small_trace.alpha[0, 0, 1] + 8 * MB / small_trace.beta[0, 0, 1]
+        assert pm.weights[0, 1] == pytest.approx(expected)
+
+    def test_tp_matrix_matches_weights_at(self, small_trace):
+        tp = small_trace.tp_matrix(8 * MB, start=2, count=3)
+        pm = small_trace.weights_at(3, 8 * MB)
+        np.testing.assert_allclose(tp.data[1], pm.flatten())
+
+    def test_tp_matrix_bounds(self, small_trace):
+        with pytest.raises(ValidationError):
+            small_trace.tp_matrix(1.0, start=23, count=5)
+        with pytest.raises(ValidationError):
+            small_trace.tp_matrix(1.0, start=99)
+
+    def test_restrict(self, small_trace):
+        sub = small_trace.restrict([0, 3, 5])
+        assert sub.n_machines == 3
+        assert sub.beta[0, 1, 2] == small_trace.beta[0, 3, 5]
+
+    def test_restrict_validation(self, small_trace):
+        with pytest.raises(ValidationError):
+            small_trace.restrict([])
+        with pytest.raises(ValidationError):
+            small_trace.restrict([0, 0])
+
+    def test_window(self, small_trace):
+        w = small_trace.window(5, 10)
+        assert w.n_snapshots == 5
+        np.testing.assert_array_equal(w.alpha[0], small_trace.alpha[5])
+
+    def test_window_bounds(self, small_trace):
+        with pytest.raises(ValidationError):
+            small_trace.window(10, 5)
+
+    def test_multiplicative_noise_slows_links(self, tiny_trace):
+        factors = np.full(tiny_trace.alpha.shape, 2.0)
+        noised = tiny_trace.with_multiplicative_noise(factors)
+        off = ~np.eye(4, dtype=bool)
+        np.testing.assert_allclose(
+            noised.beta[0][off], tiny_trace.beta[0][off] / 2.0
+        )
+        np.testing.assert_allclose(
+            noised.alpha[0][off], tiny_trace.alpha[0][off] * 2.0
+        )
+
+    def test_multiplicative_noise_keeps_diagonals(self, tiny_trace):
+        factors = np.full(tiny_trace.alpha.shape, 3.0)
+        noised = tiny_trace.with_multiplicative_noise(factors)
+        assert np.all(np.diagonal(noised.alpha, axis1=1, axis2=2) == 0.0)
+        assert np.all(np.isinf(np.diagonal(noised.beta, axis1=1, axis2=2)))
+
+    def test_noise_factor_validation(self, tiny_trace):
+        with pytest.raises(ValidationError):
+            tiny_trace.with_multiplicative_noise(np.ones((2, 2, 2)))
+        with pytest.raises(ValidationError):
+            tiny_trace.with_multiplicative_noise(
+                np.zeros(tiny_trace.alpha.shape)
+            )
+
+    def test_trace_validation(self):
+        with pytest.raises(ValidationError):
+            CalibrationTrace(
+                alpha=np.zeros((2, 3, 4)), beta=np.ones((2, 3, 4)), timestamps=[0, 1]
+            )
+
+    def test_config_validation(self):
+        with pytest.raises(ValidationError):
+            TraceConfig(n_machines=1, n_snapshots=5)
+        with pytest.raises(ValidationError):
+            TraceConfig(n_machines=4, n_snapshots=0)

@@ -1,0 +1,127 @@
+"""Unit tests for trace persistence and CSV import."""
+
+import numpy as np
+import pytest
+
+from repro.cloudsim.io import (
+    TRACE_FORMAT_VERSION,
+    load_trace,
+    load_trace_csv,
+    save_trace,
+)
+from repro.errors import ValidationError
+
+
+class TestRoundtrip:
+    def test_save_load_identity(self, tiny_trace, tmp_path):
+        path = tmp_path / "trace.npz"
+        save_trace(tiny_trace, path)
+        back = load_trace(path)
+        np.testing.assert_array_equal(back.alpha, tiny_trace.alpha)
+        np.testing.assert_array_equal(back.beta, tiny_trace.beta)
+        np.testing.assert_array_equal(back.timestamps, tiny_trace.timestamps)
+
+    def test_loaded_trace_usable(self, tiny_trace, tmp_path):
+        path = tmp_path / "trace.npz"
+        save_trace(tiny_trace, path)
+        back = load_trace(path)
+        tp = back.tp_matrix(8 << 20)
+        assert tp.n_machines == tiny_trace.n_machines
+
+    def test_missing_arrays_rejected(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, alpha=np.zeros((1, 2, 2)))
+        with pytest.raises(ValidationError, match="missing"):
+            load_trace(path)
+
+    def test_wrong_version_rejected(self, tiny_trace, tmp_path):
+        path = tmp_path / "v99.npz"
+        np.savez(
+            path,
+            format_version=np.int64(99),
+            alpha=tiny_trace.alpha,
+            beta=tiny_trace.beta,
+            timestamps=tiny_trace.timestamps,
+        )
+        with pytest.raises(ValidationError, match="version"):
+            load_trace(path)
+
+    def test_format_version_constant(self):
+        assert TRACE_FORMAT_VERSION == 1
+
+
+def write_csv(path, rows, header="snapshot,src,dst,alpha_s,beta_Bps"):
+    path.write_text(header + "\n" + "\n".join(rows) + "\n")
+    return str(path)
+
+
+def full_csv_rows(t=2, n=3, beta=1e8):
+    rows = []
+    for k in range(t):
+        for i in range(n):
+            for j in range(n):
+                if i != j:
+                    rows.append(f"{k},{i},{j},0.001,{beta * (1 + i + j + k)}")
+    return rows
+
+
+class TestCsvImport:
+    def test_complete_log_roundtrip(self, tmp_path):
+        path = write_csv(tmp_path / "m.csv", full_csv_rows())
+        trace = load_trace_csv(path)
+        assert trace.n_machines == 3 and trace.n_snapshots == 2
+        assert trace.beta[0, 0, 1] == pytest.approx(2e8)
+        assert trace.beta[1, 2, 1] == pytest.approx(4e8 + 1e8)
+        assert np.all(np.isinf(np.diagonal(trace.beta, axis1=1, axis2=2)))
+
+    def test_pipeline_runs_on_imported_trace(self, tmp_path):
+        from repro.core.decompose import decompose
+
+        path = write_csv(tmp_path / "m.csv", full_csv_rows(t=5, n=4))
+        trace = load_trace_csv(path)
+        dec = decompose(trace.tp_matrix(8 << 20), solver="row_constant")
+        assert 0.0 <= dec.norm_ne < 1.0
+
+    def test_timestamp_column_used(self, tmp_path):
+        rows = []
+        for k, ts in ((0, 100.0), (1, 400.0)):
+            for i in range(2):
+                for j in range(2):
+                    if i != j:
+                        rows.append(f"{k},{i},{j},0.001,1e8,{ts}")
+        path = write_csv(
+            tmp_path / "m.csv", rows,
+            header="snapshot,src,dst,alpha_s,beta_Bps,timestamp",
+        )
+        trace = load_trace_csv(path)
+        np.testing.assert_array_equal(trace.timestamps, [100.0, 400.0])
+
+    def test_missing_pair_rejected(self, tmp_path):
+        rows = full_csv_rows()[:-1]  # drop one measurement
+        path = write_csv(tmp_path / "m.csv", rows)
+        with pytest.raises(ValidationError, match="missing"):
+            load_trace_csv(path)
+
+    def test_self_measurement_rejected(self, tmp_path):
+        rows = full_csv_rows() + ["0,1,1,0.001,1e8"]
+        path = write_csv(tmp_path / "m.csv", rows)
+        with pytest.raises(ValidationError, match="self"):
+            load_trace_csv(path)
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = write_csv(tmp_path / "m.csv", ["0,0,1,0.001"], header="a,b,c,d")
+        with pytest.raises(ValidationError, match="columns"):
+            load_trace_csv(path)
+
+    def test_nonpositive_bandwidth_rejected(self, tmp_path):
+        rows = full_csv_rows()
+        rows[0] = "0,0,1,0.001,0"
+        path = write_csv(tmp_path / "m.csv", rows)
+        with pytest.raises(ValidationError, match="beta"):
+            load_trace_csv(path)
+
+    def test_empty_csv_rejected(self, tmp_path):
+        path = tmp_path / "m.csv"
+        path.write_text("snapshot,src,dst,alpha_s,beta_Bps\n")
+        with pytest.raises(ValidationError, match="no measurements"):
+            load_trace_csv(str(path))

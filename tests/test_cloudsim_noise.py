@@ -1,0 +1,68 @@
+"""Unit tests for controlled Norm(N_E) noise injection."""
+
+import numpy as np
+import pytest
+
+from repro.cloudsim.noise import inject_noise_to_target, measure_trace_norm_ne
+from repro.errors import ValidationError
+
+MB = 1024 * 1024
+
+
+class TestMeasure:
+    def test_calm_trace_is_stable(self, calm_trace):
+        ne = measure_trace_norm_ne(calm_trace)
+        assert ne < 0.01
+
+    def test_default_trace_near_ec2_level(self, small_trace):
+        # The generator's defaults are tuned to the paper's EC2 reading.
+        ne = measure_trace_norm_ne(small_trace)
+        assert 0.05 < ne < 0.2
+
+    def test_time_step_restricts_rows(self, small_trace):
+        full = measure_trace_norm_ne(small_trace)
+        head = measure_trace_norm_ne(small_trace, time_step=5)
+        assert full != head  # different windows, different norms
+
+
+class TestInject:
+    def test_reaches_target(self, small_trace):
+        noised, achieved = inject_noise_to_target(
+            small_trace, 0.3, tolerance=0.02, seed=0
+        )
+        assert abs(achieved - 0.3) <= 0.02
+        # Re-measuring the returned trace reproduces the reported norm.
+        assert measure_trace_norm_ne(noised) == pytest.approx(achieved)
+
+    def test_monotone_targets(self, small_trace):
+        _, a1 = inject_noise_to_target(small_trace, 0.2, seed=1)
+        _, a2 = inject_noise_to_target(small_trace, 0.4, seed=1)
+        assert a2 > a1
+
+    def test_target_below_intrinsic_rejected(self, small_trace):
+        base = measure_trace_norm_ne(small_trace)
+        with pytest.raises(ValidationError, match="cannot reduce"):
+            inject_noise_to_target(small_trace, base / 4.0, seed=2)
+
+    def test_target_at_intrinsic_is_noop(self, small_trace):
+        base = measure_trace_norm_ne(small_trace)
+        noised, achieved = inject_noise_to_target(
+            small_trace, base, tolerance=0.02, seed=3
+        )
+        assert achieved == pytest.approx(base)
+        np.testing.assert_array_equal(noised.beta, small_trace.beta)
+
+    def test_deterministic(self, small_trace):
+        n1, a1 = inject_noise_to_target(small_trace, 0.25, seed=7)
+        n2, a2 = inject_noise_to_target(small_trace, 0.25, seed=7)
+        assert a1 == a2
+        np.testing.assert_array_equal(n1.beta, n2.beta)
+
+    def test_invalid_target(self, small_trace):
+        with pytest.raises(ValidationError):
+            inject_noise_to_target(small_trace, 1.5)
+
+    def test_preserves_trace_shape(self, small_trace):
+        noised, _ = inject_noise_to_target(small_trace, 0.3, seed=4)
+        assert noised.alpha.shape == small_trace.alpha.shape
+        np.testing.assert_array_equal(noised.timestamps, small_trace.timestamps)

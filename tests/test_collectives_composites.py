@@ -1,0 +1,70 @@
+"""Unit tests for composite collectives (alltoall / allgather / allreduce)."""
+
+import numpy as np
+import pytest
+
+from repro.collectives.composites import (
+    allgather_time,
+    allreduce_time,
+    alltoall_time,
+)
+from repro.collectives.exec_model import broadcast_time, gather_time, reduce_time
+from repro.collectives.trees import binomial_tree
+
+
+def uniform_net(n, beta=2.0, alpha=0.0):
+    a = np.full((n, n), alpha)
+    b = np.full((n, n), beta)
+    np.fill_diagonal(a, 0.0)
+    np.fill_diagonal(b, np.inf)
+    return a, b
+
+
+class TestAlltoall:
+    def test_is_gather_plus_broadcast(self):
+        n = 8
+        t = binomial_tree(n, 0)
+        a, b = uniform_net(n)
+        total = 64.0
+        res = alltoall_time(t, a, b, total)
+        expected_g = gather_time(t, a, b, total / n)
+        expected_b = broadcast_time(t, a, b, total)
+        assert dict(res.phases)["gather"] == pytest.approx(expected_g)
+        assert dict(res.phases)["broadcast"] == pytest.approx(expected_b)
+        assert res.total == pytest.approx(expected_g + expected_b)
+
+    def test_phase_names(self):
+        t = binomial_tree(4, 0)
+        a, b = uniform_net(4)
+        res = alltoall_time(t, a, b, 8.0)
+        assert [p for p, _ in res.phases] == ["gather", "broadcast"]
+
+
+class TestAllgather:
+    def test_broadcast_carries_n_blocks(self):
+        n = 4
+        t = binomial_tree(n, 0)
+        a, b = uniform_net(n)
+        res = allgather_time(t, a, b, block_bytes=3.0)
+        expected_b = broadcast_time(t, a, b, 12.0)
+        assert dict(res.phases)["broadcast"] == pytest.approx(expected_b)
+
+
+class TestAllreduce:
+    def test_is_reduce_plus_broadcast(self):
+        n = 8
+        t = binomial_tree(n, 0)
+        a, b = uniform_net(n)
+        res = allreduce_time(t, a, b, 16.0)
+        assert dict(res.phases)["reduce"] == pytest.approx(reduce_time(t, a, b, 16.0))
+        assert dict(res.phases)["broadcast"] == pytest.approx(
+            broadcast_time(t, a, b, 16.0)
+        )
+
+    def test_symmetric_network_phases_equal(self):
+        n = 8
+        t = binomial_tree(n, 0)
+        a, b = uniform_net(n, beta=5.0, alpha=0.001)
+        res = allreduce_time(t, a, b, 10.0)
+        phases = dict(res.phases)
+        assert phases["reduce"] == pytest.approx(phases["broadcast"])

@@ -1,0 +1,140 @@
+"""Unit tests for the α-β tree execution model."""
+
+import numpy as np
+import pytest
+
+from repro.collectives.exec_model import (
+    broadcast_time,
+    collective_time,
+    gather_time,
+    reduce_time,
+    scatter_time,
+    weights_to_alphabeta,
+)
+from repro.collectives.trees import CommTree, binomial_tree
+from repro.errors import ValidationError
+
+
+def uniform_net(n, alpha=0.0, beta=1.0):
+    a = np.full((n, n), alpha)
+    b = np.full((n, n), beta)
+    np.fill_diagonal(a, 0.0)
+    np.fill_diagonal(b, np.inf)
+    return a, b
+
+
+class TestBroadcast:
+    def test_two_nodes(self):
+        t = binomial_tree(2, 0)
+        a, b = uniform_net(2, alpha=0.5, beta=10.0)
+        assert broadcast_time(t, a, b, 20.0) == pytest.approx(2.5)
+
+    def test_chain_accumulates(self):
+        t = CommTree.from_parent(0, np.array([-1, 0, 1, 2]))
+        a, b = uniform_net(4, beta=2.0)
+        # Each hop costs nbytes/2; three sequential hops.
+        assert broadcast_time(t, a, b, 4.0) == pytest.approx(6.0)
+
+    def test_sequential_sends_at_parent(self):
+        t = CommTree(root=0, parent=np.array([-1, 0, 0]), children=((1, 2), (), ()))
+        a, b = uniform_net(3, beta=1.0)
+        # Root sends to 1 then 2: arrivals at 1.0 and 2.0.
+        assert broadcast_time(t, a, b, 1.0) == pytest.approx(2.0)
+
+    def test_binomial_uniform_is_log_depth(self):
+        n = 16
+        t = binomial_tree(n, 0)
+        a, b = uniform_net(n, beta=1.0)
+        # log2(16)=4 serial message times on the critical path.
+        assert broadcast_time(t, a, b, 1.0) == pytest.approx(4.0)
+
+    def test_uses_live_matrix_not_build_matrix(self):
+        t = binomial_tree(4, 0)
+        a1, b1 = uniform_net(4, beta=1.0)
+        a2, b2 = uniform_net(4, beta=2.0)
+        assert broadcast_time(t, a1, b1, 1.0) == 2 * broadcast_time(t, a2, b2, 1.0)
+
+    def test_matrix_size_mismatch(self):
+        t = binomial_tree(4, 0)
+        a, b = uniform_net(3)
+        with pytest.raises(ValidationError, match="does not match"):
+            broadcast_time(t, a, b, 1.0)
+
+
+class TestScatter:
+    def test_blocks_scale_with_subtree(self):
+        # Chain 0→1→2: edge (0,1) carries 2 blocks, edge (1,2) one.
+        t = CommTree.from_parent(0, np.array([-1, 0, 1]))
+        a, b = uniform_net(3, beta=1.0)
+        assert scatter_time(t, a, b, 1.0) == pytest.approx(3.0)
+
+    def test_star_root_sends_all(self):
+        t = CommTree(
+            root=0, parent=np.array([-1, 0, 0, 0]), children=((1, 2, 3), (), (), ())
+        )
+        a, b = uniform_net(4, beta=1.0)
+        # Sequential 1-block sends: arrivals at 1, 2, 3.
+        assert scatter_time(t, a, b, 1.0) == pytest.approx(3.0)
+
+    def test_scatter_cheaper_than_naive_blocks(self):
+        # Total bytes moved by binomial scatter is n·log(n)/2-ish blocks, so
+        # its time beats broadcasting the full payload along the same tree.
+        n = 8
+        t = binomial_tree(n, 0)
+        a, b = uniform_net(n, beta=1.0)
+        assert scatter_time(t, a, b, 1.0) < broadcast_time(t, a, b, float(n))
+
+
+class TestDuality:
+    def test_gather_mirrors_scatter_uniform(self):
+        n = 8
+        t = binomial_tree(n, 0)
+        a, b = uniform_net(n, beta=3.0, alpha=0.001)
+        assert gather_time(t, a, b, 1.0) == pytest.approx(scatter_time(t, a, b, 1.0))
+
+    def test_reduce_mirrors_broadcast_uniform(self):
+        n = 8
+        t = binomial_tree(n, 0)
+        a, b = uniform_net(n, beta=3.0, alpha=0.001)
+        assert reduce_time(t, a, b, 1.0) == pytest.approx(broadcast_time(t, a, b, 1.0))
+
+    def test_gather_uses_reverse_direction_weights(self):
+        t = CommTree.from_parent(0, np.array([-1, 0]))
+        a = np.zeros((2, 2))
+        b = np.array([[np.inf, 1.0], [4.0, np.inf]])
+        # Broadcast uses link 0→1 (beta 1); gather uses 1→0 (beta 4).
+        assert broadcast_time(t, a, b, 4.0) == pytest.approx(4.0)
+        assert gather_time(t, a, b, 4.0) == pytest.approx(1.0)
+
+
+class TestDispatchAndHelpers:
+    def test_collective_time_dispatch(self):
+        t = binomial_tree(4, 0)
+        a, b = uniform_net(4)
+        for op in ("broadcast", "scatter", "reduce", "gather"):
+            assert collective_time(op, t, a, b, 1.0) > 0
+
+    def test_unknown_op(self):
+        t = binomial_tree(2, 0)
+        a, b = uniform_net(2)
+        with pytest.raises(ValueError, match="unknown collective"):
+            collective_time("alltoall", t, a, b, 1.0)
+
+    def test_weights_to_alphabeta_roundtrip(self):
+        w = np.array([[0.0, 2.0], [3.0, 0.0]])
+        a, b = weights_to_alphabeta(w, 6.0)
+        assert a[0, 1] == 0.0
+        assert 6.0 / b[0, 1] == pytest.approx(2.0)
+        assert 6.0 / b[1, 0] == pytest.approx(3.0)
+
+    def test_weights_to_alphabeta_rejects_nonpositive(self):
+        w = np.zeros((2, 2))
+        with pytest.raises(ValidationError):
+            weights_to_alphabeta(w, 1.0)
+
+    def test_zero_bandwidth_link_rejected_at_pricing(self):
+        t = CommTree.from_parent(0, np.array([-1, 0]))
+        a = np.zeros((2, 2))
+        b = np.zeros((2, 2))
+        with pytest.raises(ValidationError, match="bandwidth"):
+            broadcast_time(t, a, b, 1.0)

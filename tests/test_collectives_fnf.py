@@ -1,0 +1,135 @@
+"""Unit tests for the Fastest-Node-First tree construction (paper Fig 1)."""
+
+import numpy as np
+import pytest
+
+from repro.collectives.fnf import fnf_tree
+from repro.errors import ValidationError
+
+
+def wmatrix(vals):
+    w = np.asarray(vals, dtype=float)
+    np.fill_diagonal(w, 0.0)
+    return w
+
+
+class TestFNFSemantics:
+    def test_first_pick_is_roots_best_link(self):
+        w = wmatrix(
+            [
+                [0, 5, 1, 7],
+                [5, 0, 5, 5],
+                [1, 5, 0, 5],
+                [7, 5, 5, 0],
+            ]
+        )
+        t = fnf_tree(w, 0)
+        assert t.children[0][0] == 2  # weight 1 is the best link from the root
+
+    def test_iteration_doubling_structure(self):
+        # Uniform weights: each iteration doubles the selected set, so the
+        # tree is a binomial-shaped tree; ties resolve to the lowest index.
+        n = 8
+        w = wmatrix(np.ones((n, n)))
+        t = fnf_tree(w, 0)
+        # Iteration 1: 0 picks 1. Iteration 2: 0 picks 2, 1 picks 3. ...
+        assert t.children[0][:2] == (1, 2)
+        assert t.children[1][0] == 3
+        assert t.depth() == 3
+
+    def test_receiver_removed_immediately(self):
+        # Two senders must not pick the same receiver within an iteration.
+        w = wmatrix(
+            [
+                [0, 1, 2, 9, 9, 9],
+                [9, 0, 9, 1, 2, 9],
+                [9, 9, 0, 9, 1, 2],
+                [9] * 6,
+                [9] * 6,
+                [9] * 6,
+            ]
+        )
+        # Iter 1: 0→1. Iter 2: 0→2, then 1 wants 3 (weight 1). Iter 3:
+        # 0 wants 3 but it's taken? No — iter2 assigns 3 to 1 already; then
+        # iter3: 0 picks 4 or 5... The key invariant: all receivers distinct.
+        t = fnf_tree(w, 0)
+        kids = [c for ks in t.children for c in ks]
+        assert len(kids) == len(set(kids)) == 5
+
+    def test_paper_fig1_example_semantics(self):
+        # Reconstruction of the Fig 1 walk-through: root machine 0 (paper's
+        # Machine 1); first iteration picks machine 2 (paper's Machine 3,
+        # smallest weight from the root); second iteration the root picks
+        # machine 1 and machine 2 picks machine 5.
+        w = wmatrix(
+            [
+                [0, 2, 1, 4, 5, 6],
+                [2, 0, 3, 4, 5, 6],
+                [1, 3, 0, 4, 5, 2],
+                [4, 4, 4, 0, 6, 6],
+                [5, 5, 5, 6, 0, 6],
+                [6, 6, 2, 6, 6, 0],
+            ]
+        )
+        t = fnf_tree(w, 0)
+        assert t.children[0][0] == 2
+        assert t.children[0][1] == 1
+        assert t.children[2][0] == 5
+
+    def test_changing_one_weight_changes_tree(self):
+        # The paper's Fig 1(a) vs 1(b) point: individual link weights matter.
+        w1 = wmatrix(
+            [
+                [0, 2, 1, 4],
+                [2, 0, 3, 4],
+                [1, 3, 0, 9],
+                [4, 4, 9, 0],
+            ]
+        )
+        w2 = w1.copy()
+        w2[0, 2] = 4.0  # degrade the root's favorite link
+        t1 = fnf_tree(w1, 0)
+        t2 = fnf_tree(w2, 0)
+        assert t1.children[0][0] == 2
+        assert t2.children[0][0] == 1
+        assert t1.longest_path_weight(w1) != t2.longest_path_weight(w2)
+
+    def test_asymmetric_weights_use_sender_row(self):
+        w = np.array(
+            [
+                [0.0, 9.0, 1.0, 9.0],
+                [9.0, 0.0, 9.0, 9.0],
+                [9.0, 1.0, 0.0, 2.0],
+                [9.0, 9.0, 9.0, 0.0],
+            ]
+        )
+        t = fnf_tree(w, 0)
+        # Iter 1: the root's cheapest *outgoing* link (row 0) is to 2. Iter 2
+        # scans S in insertion order: the root picks first (1 and 3 both cost
+        # 9 from it → lowest index 1), then machine 2's row picks 3 (cost 2,
+        # cheaper than its column counterpart 9 — sender rows, not columns).
+        assert t.children[0] == (2, 1)
+        assert t.children[2] == (3,)
+
+
+class TestFNFValidation:
+    def test_single_node(self):
+        t = fnf_tree(np.zeros((1, 1)), 0)
+        assert t.n_nodes == 1
+
+    def test_root_out_of_range(self):
+        with pytest.raises(ValidationError):
+            fnf_tree(wmatrix(np.ones((3, 3))), 3)
+
+    def test_infinite_weight_rejected(self):
+        w = wmatrix(np.ones((3, 3)))
+        w[0, 1] = np.inf
+        with pytest.raises(ValidationError, match="finite"):
+            fnf_tree(w, 0)
+
+    def test_spans_all_nodes(self):
+        rng = np.random.default_rng(0)
+        w = rng.uniform(1, 5, size=(17, 17))
+        np.fill_diagonal(w, 0.0)
+        t = fnf_tree(w, 4)
+        assert int(t.subtree_sizes()[4]) == 17

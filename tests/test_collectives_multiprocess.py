@@ -1,0 +1,83 @@
+"""Unit tests for the multi-process-per-machine expansion."""
+
+import numpy as np
+import pytest
+
+from repro.collectives.exec_model import broadcast_time, weights_to_alphabeta
+from repro.collectives.fnf import fnf_tree
+from repro.collectives.multiprocess import expand_to_processes, process_hosts
+from repro.errors import ValidationError
+
+
+def machine_weights(n=3, seed=0):
+    rng = np.random.default_rng(seed)
+    w = rng.uniform(1.0, 3.0, size=(n, n))
+    np.fill_diagonal(w, 0.0)
+    return w
+
+
+class TestProcessHosts:
+    def test_layout(self):
+        np.testing.assert_array_equal(process_hosts([2, 1, 3]), [0, 0, 1, 2, 2, 2])
+
+    def test_zero_count_machine_skipped(self):
+        np.testing.assert_array_equal(process_hosts([1, 0, 2]), [0, 2, 2])
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            process_hosts([])
+        with pytest.raises(ValidationError):
+            process_hosts([0, 0])
+        with pytest.raises(ValidationError):
+            process_hosts([-1, 2])
+
+
+class TestExpandToProcesses:
+    def test_shapes(self):
+        pw, hosts = expand_to_processes(machine_weights(), [2, 1, 1])
+        assert pw.shape == (4, 4)
+        np.testing.assert_array_equal(hosts, [0, 0, 1, 2])
+
+    def test_cross_machine_weights_inherited(self):
+        w = machine_weights()
+        pw, hosts = expand_to_processes(w, [2, 1, 1])
+        # Processes 0 (m0) and 2 (m1) use the m0→m1 weight.
+        assert pw[0, 2] == w[0, 1]
+        assert pw[3, 1] == w[2, 0]
+
+    def test_intra_machine_nearly_free(self):
+        w = machine_weights()
+        pw, _ = expand_to_processes(w, [3, 1, 1])
+        off = ~np.eye(3, dtype=bool)
+        assert 0 < pw[0, 1] < w[off].min() / 100
+
+    def test_diagonal_zero(self):
+        pw, _ = expand_to_processes(machine_weights(), [2, 2, 2])
+        assert np.all(np.diagonal(pw) == 0.0)
+
+    def test_length_validated(self):
+        with pytest.raises(ValidationError):
+            expand_to_processes(machine_weights(3), [1, 2])
+
+    def test_fnf_prefers_local_processes_first(self):
+        # With 2 processes on the root's machine, FNF's first pick is the
+        # root's co-located process (near-free link).
+        w = machine_weights(4, seed=1)
+        pw, hosts = expand_to_processes(w, [2, 1, 1, 1])
+        tree = fnf_tree(pw, 0)
+        first = tree.children[0][0]
+        assert hosts[first] == hosts[0]
+
+    def test_multiprocess_broadcast_prices(self):
+        w = machine_weights(4, seed=2)
+        pw, _ = expand_to_processes(w, [2, 2, 2, 2])
+        tree = fnf_tree(pw, 0)
+        a, b = weights_to_alphabeta(pw, 1.0)
+        t = broadcast_time(tree, a, b, 1.0)
+        assert t > 0
+        # With co-located fan-out, 8 processes over 4 machines should not
+        # cost much more than the 4-machine broadcast.
+        mt = fnf_tree(w, 0)
+        ma, mb = weights_to_alphabeta(w, 1.0)
+        t_machines = broadcast_time(mt, ma, mb, 1.0)
+        assert t <= t_machines * 2.0

@@ -1,0 +1,111 @@
+"""Unit tests for the high-level collective entry points."""
+
+import numpy as np
+import pytest
+
+from repro.collectives.operations import Collective, CollectiveRun, build_tree, run_collective
+
+
+def uniform_net(n, beta=1.0):
+    a = np.zeros((n, n))
+    b = np.full((n, n), beta)
+    np.fill_diagonal(b, np.inf)
+    return a, b
+
+
+def weights(n, seed=0):
+    rng = np.random.default_rng(seed)
+    w = rng.uniform(0.5, 2.0, size=(n, n))
+    np.fill_diagonal(w, 0.0)
+    return w
+
+
+class TestBuildTree:
+    def test_binomial_ignores_weights(self):
+        t1 = build_tree(8, 0, algorithm="binomial")
+        t2 = build_tree(8, 0, algorithm="binomial", weights=weights(8))
+        assert t1.children == t2.children
+
+    def test_fnf_requires_weights(self):
+        with pytest.raises(ValueError, match="requires"):
+            build_tree(4, 0, algorithm="fnf")
+
+    def test_fnf_weight_size_checked(self):
+        with pytest.raises(ValueError, match="size"):
+            build_tree(4, 0, algorithm="fnf", weights=weights(5))
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError, match="unknown"):
+            build_tree(4, 0, algorithm="steiner")
+
+
+class TestRunCollective:
+    def test_accepts_enum_and_string(self):
+        a, b = uniform_net(4)
+        r1 = run_collective("broadcast", live_alpha=a, live_beta=b, nbytes=1.0)
+        r2 = run_collective(
+            Collective.BROADCAST, live_alpha=a, live_beta=b, nbytes=1.0
+        )
+        assert r1.elapsed_time == r2.elapsed_time
+        assert isinstance(r1, CollectiveRun)
+
+    def test_expected_from_weights(self):
+        a, b = uniform_net(6)
+        w = weights(6)
+        r = run_collective(
+            "broadcast",
+            live_alpha=a,
+            live_beta=b,
+            nbytes=2.0,
+            algorithm="fnf",
+            estimate_weights=w,
+        )
+        assert r.expected_time is not None and r.expected_time > 0
+
+    def test_expected_from_alphabeta_estimate(self):
+        a, b = uniform_net(4)
+        ea, eb = uniform_net(4, beta=2.0)
+        r = run_collective(
+            "broadcast",
+            live_alpha=a,
+            live_beta=b,
+            nbytes=4.0,
+            estimate_alpha=ea,
+            estimate_beta=eb,
+        )
+        # Estimate network is 2x faster, so expectation is half the elapsed.
+        assert r.expected_time == pytest.approx(r.elapsed_time / 2.0)
+
+    def test_no_estimate_means_no_expectation(self):
+        a, b = uniform_net(4)
+        r = run_collective("broadcast", live_alpha=a, live_beta=b, nbytes=1.0)
+        assert r.expected_time is None
+
+    def test_perfect_estimate_matches_reality(self):
+        a, b = uniform_net(5, beta=7.0)
+        r = run_collective(
+            "scatter",
+            live_alpha=a,
+            live_beta=b,
+            nbytes=3.0,
+            estimate_alpha=a,
+            estimate_beta=b,
+        )
+        assert r.expected_time == pytest.approx(r.elapsed_time)
+
+    def test_fnf_beats_binomial_on_skewed_network(self):
+        # Make one "hub" machine with great links; FNF exploits it.
+        n = 8
+        rng = np.random.default_rng(3)
+        w = rng.uniform(5.0, 10.0, size=(n, n))
+        w[0, :] = w[:, 0] = 0.5
+        np.fill_diagonal(w, 0.0)
+        from repro.collectives.exec_model import weights_to_alphabeta
+
+        a, b = weights_to_alphabeta(w, 1.0)
+        r_fnf = run_collective(
+            "broadcast", live_alpha=a, live_beta=b, nbytes=1.0,
+            algorithm="fnf", estimate_weights=w,
+        )
+        r_bin = run_collective("broadcast", live_alpha=a, live_beta=b, nbytes=1.0)
+        assert r_fnf.elapsed_time < r_bin.elapsed_time

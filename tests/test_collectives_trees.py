@@ -1,0 +1,102 @@
+"""Unit tests for CommTree and the MPICH-order binomial tree."""
+
+import numpy as np
+import pytest
+
+from repro.collectives.trees import CommTree, binomial_tree
+from repro.errors import ValidationError
+
+
+class TestCommTreeValidation:
+    def test_minimal_tree(self):
+        t = CommTree(root=0, parent=np.array([-1]), children=((),))
+        assert t.n_nodes == 1 and t.depth() == 0
+
+    def test_edge_count_enforced(self):
+        with pytest.raises(ValidationError, match="edges"):
+            CommTree(root=0, parent=np.array([-1, 0, 0]), children=((1,), (), ()))
+
+    def test_parent_children_consistency(self):
+        with pytest.raises(ValidationError, match="disagrees"):
+            CommTree(root=0, parent=np.array([-1, 0]), children=((), (1,)))
+
+    def test_root_parent_must_be_minus_one(self):
+        with pytest.raises(ValidationError, match="root"):
+            CommTree(root=0, parent=np.array([1, -1]), children=((1,), ()))
+
+    def test_spanning_enforced(self):
+        # Node 2 is its own parent-island: 2 edges among {0,1}, none to 2.
+        with pytest.raises(ValidationError):
+            CommTree(
+                root=0,
+                parent=np.array([-1, 0, -1]),
+                children=((1,), (), ()),
+            )
+
+    def test_from_parent(self):
+        t = CommTree.from_parent(0, np.array([-1, 0, 0, 1]))
+        assert t.children[0] == (1, 2)
+        assert t.children[1] == (3,)
+        assert t.depth() == 2
+
+    def test_subtree_sizes(self):
+        t = CommTree.from_parent(0, np.array([-1, 0, 0, 1, 1]))
+        sizes = t.subtree_sizes()
+        assert sizes[0] == 5 and sizes[1] == 3 and sizes[2] == 1
+
+    def test_edges_bfs(self):
+        t = CommTree.from_parent(0, np.array([-1, 0, 0, 1]))
+        assert t.edges() == [(0, 1), (0, 2), (1, 3)]
+
+    def test_longest_path_weight(self):
+        t = CommTree.from_parent(0, np.array([-1, 0, 1]))
+        w = np.array([[0, 2.0, 9], [9, 0, 3.0], [9, 9, 0]])
+        assert t.longest_path_weight(w) == pytest.approx(5.0)
+
+
+class TestBinomialTree:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 7, 8, 16, 31, 64])
+    def test_valid_tree(self, n):
+        t = binomial_tree(n, 0)
+        assert t.n_nodes == n
+        assert int(t.subtree_sizes()[0]) == n
+
+    @pytest.mark.parametrize("n", [2, 4, 8, 16, 32])
+    def test_power_of_two_depth(self, n):
+        # A binomial tree on 2^k nodes has depth k.
+        assert binomial_tree(n, 0).depth() == int(np.log2(n))
+
+    def test_root_children_descending_subtrees(self):
+        t = binomial_tree(16, 0)
+        sizes = t.subtree_sizes()
+        kid_sizes = [sizes[c] for c in t.children[0]]
+        assert kid_sizes == sorted(kid_sizes, reverse=True)
+        assert kid_sizes == [8, 4, 2, 1]
+
+    def test_nonzero_root_is_relabeling(self):
+        t0 = binomial_tree(8, 0)
+        t3 = binomial_tree(8, 3)
+        assert t3.root == 3
+        # Same shape: sorted subtree sizes coincide.
+        assert sorted(t0.subtree_sizes()) == sorted(t3.subtree_sizes())
+
+    def test_structure_n8_root0(self):
+        t = binomial_tree(8, 0)
+        assert t.children[0] == (4, 2, 1)
+        assert t.children[4] == (6, 5)
+        assert t.children[2] == (3,)
+        assert t.children[6] == (7,)
+
+    def test_root_out_of_range(self):
+        with pytest.raises(ValidationError):
+            binomial_tree(4, 4)
+
+    def test_n_zero_rejected(self):
+        with pytest.raises(ValidationError):
+            binomial_tree(0, 0)
+
+    def test_non_power_of_two(self):
+        t = binomial_tree(6, 0)
+        assert t.children[0] == (4, 2, 1)
+        assert t.children[4] == (5,)
+        assert t.children[2] == (3,)

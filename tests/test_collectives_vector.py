@@ -1,0 +1,102 @@
+"""Unit tests for the vector collectives (Scatterv/Gatherv pricing)."""
+
+import numpy as np
+import pytest
+
+from repro.collectives.exec_model import (
+    gather_time,
+    gatherv_time,
+    scatter_time,
+    scatterv_time,
+)
+from repro.collectives.trees import CommTree, binomial_tree
+from repro.errors import ValidationError
+
+
+def uniform_net(n, beta=2.0):
+    a = np.zeros((n, n))
+    b = np.full((n, n), beta)
+    np.fill_diagonal(b, np.inf)
+    return a, b
+
+
+class TestScatterv:
+    def test_uniform_blocks_match_scatter(self):
+        n = 8
+        t = binomial_tree(n, 0)
+        a, b = uniform_net(n)
+        assert scatterv_time(t, a, b, np.full(n, 3.0)) == pytest.approx(
+            scatter_time(t, a, b, 3.0)
+        )
+
+    def test_chain_with_unequal_blocks(self):
+        # 0 → 1 → 2 with blocks (irrelevant for root) 0/2/6 bytes at β=1.
+        t = CommTree.from_parent(0, np.array([-1, 0, 1]))
+        a, b = uniform_net(3, beta=1.0)
+        sizes = np.array([5.0, 2.0, 6.0])
+        # Edge (0,1) carries 2+6=8 → t=8; edge (1,2) carries 6 → t=14.
+        assert scatterv_time(t, a, b, sizes) == pytest.approx(14.0)
+
+    def test_root_block_stays_local(self):
+        t = binomial_tree(2, 0)
+        a, b = uniform_net(2, beta=1.0)
+        # Only rank 1's block crosses the wire.
+        assert scatterv_time(t, a, b, np.array([100.0, 4.0])) == pytest.approx(4.0)
+
+    def test_zero_blocks_allowed(self):
+        t = binomial_tree(4, 0)
+        a, b = uniform_net(4)
+        assert scatterv_time(t, a, b, np.zeros(4)) == 0.0
+
+    def test_negative_blocks_rejected(self):
+        t = binomial_tree(3, 0)
+        a, b = uniform_net(3)
+        with pytest.raises(ValidationError):
+            scatterv_time(t, a, b, np.array([1.0, -1.0, 1.0]))
+
+    def test_length_validated(self):
+        t = binomial_tree(3, 0)
+        a, b = uniform_net(3)
+        with pytest.raises(ValidationError):
+            scatterv_time(t, a, b, np.ones(2))
+
+
+class TestGatherv:
+    def test_uniform_blocks_match_gather(self):
+        n = 8
+        t = binomial_tree(n, 0)
+        a, b = uniform_net(n, beta=3.0)
+        assert gatherv_time(t, a, b, np.full(n, 2.0)) == pytest.approx(
+            gather_time(t, a, b, 2.0)
+        )
+
+    def test_duality_with_scatterv_on_symmetric_net(self):
+        n = 8
+        t = binomial_tree(n, 0)
+        a, b = uniform_net(n, beta=4.0)
+        sizes = np.arange(1.0, n + 1.0)
+        assert gatherv_time(t, a, b, sizes) == pytest.approx(
+            scatterv_time(t, a, b, sizes)
+        )
+
+    def test_heavy_leaf_dominates(self):
+        # Chain 2 → 1 → 0 (gather to root 0): leaf carries a huge block.
+        t = CommTree.from_parent(0, np.array([-1, 0, 1]))
+        a, b = uniform_net(3, beta=1.0)
+        sizes = np.array([0.0, 1.0, 100.0])
+        # Edge (2,1) carries 100 → 100; edge (1,0) carries 101 → 201.
+        assert gatherv_time(t, a, b, sizes) == pytest.approx(201.0)
+
+
+class TestSimCommVectorSemantics:
+    def test_unequal_scatter_priced_by_true_sizes(self):
+        from repro.mpisim.comm import SimComm
+
+        n = 2
+        a, b = uniform_net(n, beta=1.0)
+        comm = SimComm(a, b)
+        chunks = [np.zeros(100), np.zeros(3)]  # 800 and 24 bytes
+        comm.scatter(chunks, root=0)
+        # Only rank 1's 24-byte chunk crosses the wire.
+        assert comm.elapsed == pytest.approx(24.0)
+        assert comm.stats.bytes_moved == pytest.approx(24.0)

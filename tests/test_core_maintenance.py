@@ -1,0 +1,78 @@
+"""Unit tests for the Algorithm-1 maintenance controller."""
+
+import pytest
+
+from repro.core.maintenance import (
+    MaintenanceController,
+    MaintenanceDecision,
+)
+from repro.errors import ValidationError
+
+
+class TestRelativeDeviation:
+    def test_formula(self):
+        c = MaintenanceController()
+        assert c.relative_deviation(2.0, 3.0) == pytest.approx(0.5)
+        assert c.relative_deviation(2.0, 1.0) == pytest.approx(0.5)
+
+    def test_expected_must_be_positive(self):
+        c = MaintenanceController()
+        with pytest.raises(ValidationError):
+            c.relative_deviation(0.0, 1.0)
+
+    def test_observed_must_be_nonnegative(self):
+        c = MaintenanceController()
+        with pytest.raises(ValidationError):
+            c.relative_deviation(1.0, -0.1)
+
+
+class TestObserve:
+    def test_keep_below_threshold(self):
+        c = MaintenanceController(threshold=1.0)
+        assert c.observe(1.0, 1.9) is MaintenanceDecision.KEEP
+
+    def test_recalibrate_at_threshold(self):
+        c = MaintenanceController(threshold=1.0)
+        assert c.observe(1.0, 2.0) is MaintenanceDecision.RECALIBRATE
+
+    def test_stats_counters(self):
+        c = MaintenanceController(threshold=0.5)
+        c.observe(1.0, 1.2)
+        c.observe(1.0, 2.0)
+        c.observe(1.0, 1.0)
+        assert c.stats.observations == 3
+        assert c.stats.recalibrations == 1
+        assert c.stats.max_relative_deviation == pytest.approx(1.0)
+        assert len(c.stats.deviations) == 3
+
+    def test_streak_resets_after_recalibrate(self):
+        c = MaintenanceController(threshold=0.5, consecutive=2)
+        assert c.observe(1.0, 2.0) is MaintenanceDecision.KEEP  # streak 1
+        assert c.observe(1.0, 2.0) is MaintenanceDecision.RECALIBRATE  # streak 2
+        assert c.observe(1.0, 2.0) is MaintenanceDecision.KEEP  # streak restarted
+
+    def test_consecutive_debounces_single_spike(self):
+        c = MaintenanceController(threshold=0.5, consecutive=2)
+        assert c.observe(1.0, 2.0) is MaintenanceDecision.KEEP
+        assert c.observe(1.0, 1.0) is MaintenanceDecision.KEEP  # streak broken
+        assert c.observe(1.0, 2.0) is MaintenanceDecision.KEEP
+
+    def test_reset_clears_streak(self):
+        c = MaintenanceController(threshold=0.5, consecutive=2)
+        c.observe(1.0, 2.0)
+        c.reset()
+        assert c.observe(1.0, 2.0) is MaintenanceDecision.KEEP
+
+    def test_threshold_validated(self):
+        with pytest.raises(ValidationError):
+            MaintenanceController(threshold=0.0)
+
+    def test_consecutive_validated(self):
+        with pytest.raises(ValueError):
+            MaintenanceController(consecutive=0)
+
+    def test_exact_prediction_never_triggers(self):
+        c = MaintenanceController(threshold=0.1)
+        for _ in range(20):
+            assert c.observe(1.0, 1.0) is MaintenanceDecision.KEEP
+        assert c.stats.recalibrations == 0

@@ -1,0 +1,119 @@
+"""Unit tests for Norm(N_E) and related metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import (
+    StabilityReport,
+    l1_norm,
+    pseudo_l0_norm,
+    relative_difference,
+    relative_error_norm,
+    stability_report,
+)
+from repro.errors import ValidationError
+
+
+class TestPseudoL0:
+    def test_zero_array(self):
+        assert pseudo_l0_norm(np.zeros((3, 3))) == 0
+
+    def test_counts_above_threshold(self):
+        x = np.array([1.0, 0.0005, 0.5, 0.0])
+        assert pseudo_l0_norm(x, rel_tol=1e-3) == 2
+
+    def test_all_significant(self):
+        assert pseudo_l0_norm(np.ones(7)) == 7
+
+    def test_rel_tol_validated(self):
+        with pytest.raises(ValidationError):
+            pseudo_l0_norm(np.ones(3), rel_tol=0.0)
+
+    def test_scale_invariance(self):
+        x = np.array([5.0, 0.001, 2.0])
+        assert pseudo_l0_norm(x) == pseudo_l0_norm(x * 1e6)
+
+
+class TestRelativeErrorNorm:
+    def test_zero_error(self):
+        a = np.ones((4, 4))
+        assert relative_error_norm(np.zeros_like(a), a) == 0.0
+
+    def test_equal_error(self):
+        a = np.ones((4, 4))
+        assert relative_error_norm(a, a) == pytest.approx(1.0)
+
+    def test_l1_ratio(self):
+        a = np.full((2, 2), 2.0)
+        e = np.full((2, 2), 0.5)
+        assert relative_error_norm(e, a, kind="l1") == pytest.approx(0.25)
+
+    def test_l0_kind(self):
+        a = np.array([[1.0, 1.0], [1.0, 1.0]])
+        e = np.array([[1.0, 0.0], [0.0, 0.0]])
+        assert relative_error_norm(e, a, kind="l0") == pytest.approx(0.25)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            relative_error_norm(np.ones((2, 2)), np.ones((3, 3)))
+
+    def test_bad_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            relative_error_norm(np.ones((2, 2)), np.ones((2, 2)), kind="l7")
+
+    def test_zero_data(self):
+        assert relative_error_norm(np.zeros((2, 2)), np.zeros((2, 2))) == 0.0
+
+
+class TestRelativeDifference:
+    def test_identical(self):
+        x = np.array([1.0, 2.0, 3.0])
+        assert relative_difference(x, x) == 0.0
+
+    def test_known_value(self):
+        assert relative_difference(np.array([1.5]), np.array([1.0])) == pytest.approx(0.5)
+
+    def test_symmetric_in_shape_only(self):
+        # The denominator is the oracle, so the function is not symmetric.
+        p, o = np.array([2.0]), np.array([1.0])
+        assert relative_difference(p, o) != relative_difference(o, p)
+
+    def test_zero_oracle(self):
+        assert relative_difference(np.zeros(3), np.zeros(3)) == 0.0
+        assert relative_difference(np.ones(3), np.zeros(3)) == np.inf
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            relative_difference(np.ones(3), np.ones(4))
+
+
+class TestStabilityReport:
+    def test_verdict_stable(self):
+        a = np.full((3, 3), 10.0)
+        e = np.full((3, 3), 0.5)  # ratio 0.05
+        rep = stability_report(e, a, rank=1)
+        assert rep.verdict == "stable"
+        assert rep.norm_ne == pytest.approx(0.05)
+
+    def test_verdict_moderate(self):
+        a = np.full((3, 3), 10.0)
+        rep = stability_report(np.full((3, 3), 1.5), a, rank=1)
+        assert rep.verdict == "moderately-stable"
+
+    def test_verdict_dynamic(self):
+        a = np.full((3, 3), 10.0)
+        rep = stability_report(np.full((3, 3), 3.0), a, rank=1)
+        assert rep.verdict == "dynamic"
+
+    def test_verdict_too_dynamic(self):
+        a = np.full((3, 3), 10.0)
+        rep = stability_report(np.full((3, 3), 6.0), a, rank=1)
+        assert rep.verdict == "too-dynamic"
+
+    def test_thresholds_documented(self):
+        assert StabilityReport.STABLE_BELOW == 0.1
+        assert StabilityReport.MODERATE_BELOW == 0.2
+        assert StabilityReport.USEFUL_BELOW == 0.5
+
+    def test_l1_norm(self):
+        assert l1_norm(np.array([-1.0, 2.0, -3.0])) == 6.0

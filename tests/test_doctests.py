@@ -1,0 +1,28 @@
+"""Execute the doctest examples embedded in docstrings.
+
+Keeps the README-style snippets in module docstrings honest: if the public
+API drifts, these fail.
+"""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.core.maintenance
+import repro.mpisim.comm
+import repro.utils.timing
+
+MODULES = [
+    repro,
+    repro.core.maintenance,
+    repro.mpisim.comm,
+    repro.utils.timing,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failure(s) in {module.__name__}"
+    assert results.attempted > 0, f"no doctests found in {module.__name__}"

@@ -1,0 +1,86 @@
+"""Unit tests for the monetary-cost extension."""
+
+import pytest
+
+from repro.economics.pricing import BillingGranularity, InstancePricing, run_cost_usd
+from repro.economics.savings import savings_report
+
+
+class TestPricing:
+    def test_hourly_rounding(self):
+        p = InstancePricing(usd_per_hour=0.12, granularity=BillingGranularity.HOURLY)
+        assert p.billable_seconds(1.0) == 3600.0
+        assert p.billable_seconds(3600.0) == 3600.0
+        assert p.billable_seconds(3601.0) == 7200.0
+
+    def test_per_second_billing(self):
+        p = InstancePricing(granularity=BillingGranularity.PER_SECOND)
+        assert p.billable_seconds(90.4) == 91.0
+
+    def test_zero_elapsed(self):
+        p = InstancePricing()
+        assert p.billable_seconds(0.0) == 0.0
+
+    def test_minimum_applies(self):
+        p = InstancePricing(
+            granularity=BillingGranularity.PER_SECOND, minimum_seconds=60.0
+        )
+        assert p.billable_seconds(5.0) == 60.0
+
+    def test_run_cost(self):
+        # 196 instances for 2 hours at $0.12/h = $47.04.
+        assert run_cost_usd(7200.0, 196) == pytest.approx(47.04)
+
+    def test_run_cost_validation(self):
+        with pytest.raises(ValueError):
+            run_cost_usd(10.0, 0)
+
+    def test_pricing_validation(self):
+        with pytest.raises(Exception):
+            InstancePricing(usd_per_hour=0.0)
+
+
+class TestSavings:
+    def test_savings_positive_when_gain_survives_rounding(self):
+        # Baseline 3 hours, optimized 2 hours incl. overhead: saves 1 hour.
+        rep = savings_report(
+            strategy="RPCA",
+            baseline_elapsed_seconds=3 * 3600.0,
+            strategy_elapsed_seconds=1.8 * 3600.0,
+            strategy_overhead_seconds=0.1 * 3600.0,
+            n_instances=64,
+        )
+        assert rep.pays_off
+        assert rep.savings == pytest.approx(64 * 0.12)
+        assert 0.3 < rep.savings_fraction < 0.4
+
+    def test_rounding_eats_small_gains(self):
+        # A 5-minute gain inside the same billed hour saves nothing (hourly).
+        rep = savings_report(
+            strategy="RPCA",
+            baseline_elapsed_seconds=3000.0,
+            strategy_elapsed_seconds=2700.0,
+            n_instances=16,
+        )
+        assert not rep.pays_off and rep.savings == 0.0
+
+    def test_per_second_rewards_small_gains(self):
+        p = InstancePricing(granularity=BillingGranularity.PER_SECOND)
+        rep = savings_report(
+            strategy="RPCA",
+            baseline_elapsed_seconds=3000.0,
+            strategy_elapsed_seconds=2700.0,
+            n_instances=16,
+            pricing=p,
+        )
+        assert rep.pays_off
+
+    def test_overhead_can_flip_the_verdict(self):
+        rep = savings_report(
+            strategy="RPCA",
+            baseline_elapsed_seconds=3600.0,
+            strategy_elapsed_seconds=3000.0,
+            strategy_overhead_seconds=700.0,  # pushes past the billed hour
+            n_instances=8,
+        )
+        assert not rep.pays_off

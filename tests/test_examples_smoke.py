@@ -1,0 +1,46 @@
+"""Smoke tests: every fast example script runs to completion.
+
+Keeps the examples in README honest — they execute with the installed
+package in a fresh interpreter, the way a user would run them. The two
+heavyweight examples (`nbody_cg_applications`, `datacenter_simulation`)
+are exercised by the benchmark suite instead.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "mpi_collectives_on_cloud.py",
+    "topology_mapping.py",
+    "adaptive_maintenance.py",
+    "mpi_programming.py",
+    "workflow_economics.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"missing example {script}"
+    proc = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, f"{script} failed:\n{proc.stderr[-2000:]}"
+    assert proc.stdout.strip(), f"{script} printed nothing"
+
+
+def test_all_examples_listed_or_known():
+    # Every example on disk is either smoke-tested here or explicitly
+    # delegated to the benchmarks.
+    heavy = {"nbody_cg_applications.py", "datacenter_simulation.py"}
+    on_disk = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(FAST_EXAMPLES) | heavy

@@ -1,0 +1,61 @@
+"""Tests for the week-long campaign protocol (paper Sec V-A)."""
+
+import numpy as np
+import pytest
+
+from repro.cloudsim.tracegen import TraceConfig, generate_trace
+from repro.errors import ValidationError
+from repro.experiments.campaign import CampaignResult, run_campaign
+
+MB = 1024 * 1024
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    trace = generate_trace(TraceConfig(n_machines=16, n_snapshots=40), seed=31)
+    return run_campaign(trace, time_step=10, solver="row_constant", seed=0)
+
+
+class TestCampaign:
+    def test_arm_names_and_runs(self, campaign):
+        assert [a.name for a in campaign.arms] == ["Baseline", "Heuristics", "RPCA"]
+        assert all(a.runs == 30 for a in campaign.arms)
+
+    def test_rpca_beats_baseline_over_the_week(self, campaign):
+        assert campaign.improvement("RPCA", "Baseline") > 0.1
+
+    def test_overheads_charged_correctly(self, campaign):
+        assert campaign.arm("Baseline").overhead_seconds == 0.0
+        assert campaign.arm("Heuristics").overhead_seconds > 0.0
+        assert campaign.arm("RPCA").overhead_seconds > 0.0
+
+    def test_norm_ne_series_length(self, campaign):
+        assert len(campaign.norm_ne_series) == 30
+        assert all(0.0 <= v < 1.0 for v in campaign.norm_ne_series)
+
+    def test_costs_positive_and_ordered(self, campaign):
+        for a in campaign.arms:
+            assert a.cost_usd > 0.0
+        # Cost follows total time ordering under a fixed price sheet up to
+        # billing rounding; at least RPCA should not cost more than Baseline
+        # plus one billing quantum.
+        assert campaign.arm("RPCA").cost_usd <= campaign.arm("Baseline").cost_usd + 16 * 0.12
+
+    def test_rows_render(self, campaign):
+        rows = campaign.as_rows()
+        assert len(rows) == 3 and rows[0][0] == "Baseline"
+
+    def test_unknown_arm(self, campaign):
+        with pytest.raises(KeyError):
+            campaign.arm("nope")
+
+    def test_short_trace_rejected(self):
+        trace = generate_trace(TraceConfig(n_machines=4, n_snapshots=10), seed=1)
+        with pytest.raises(ValidationError):
+            run_campaign(trace, time_step=10)
+
+    def test_deterministic(self):
+        trace = generate_trace(TraceConfig(n_machines=8, n_snapshots=20), seed=5)
+        a = run_campaign(trace, time_step=8, solver="row_constant", seed=3)
+        b = run_campaign(trace, time_step=8, solver="row_constant", seed=3)
+        assert a.as_rows() == b.as_rows()

@@ -1,0 +1,261 @@
+"""Shape tests for the per-figure experiment drivers (small scale).
+
+These assert the *qualitative* paper findings each driver must reproduce:
+orderings between arms, monotone trends, crossover locations. Paper-scale
+runs live in benchmarks/.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cloudsim.dynamics import DynamicsConfig
+from repro.cloudsim.tracegen import TraceConfig, generate_trace
+from repro.experiments import fig04_overhead, fig05_time_step, fig06_threshold
+from repro.experiments import fig07_overall_ec2, fig08_cluster_size
+from repro.experiments import fig09_apps, fig10_ne_impact, fig11_ne02
+
+MB = 1024 * 1024
+
+
+class TestFig04:
+    def test_monotone_and_linear(self):
+        res = fig04_overhead.run(sizes=(16, 32, 64, 128, 196))
+        ys = np.array(res.overhead_seconds)
+        assert np.all(np.diff(ys) > 0)
+        # Paper anchor points.
+        assert res.overhead_seconds[2] < 240.0  # 64 instances < 4 min
+        assert 480 < res.overhead_seconds[4] < 780  # 196 ≈ 10 min
+
+    def test_rows_render(self):
+        res = fig04_overhead.run(sizes=(16, 32))
+        rows = res.as_rows()
+        assert len(rows) == 2 and rows[0][0] == 16
+
+
+class TestFig05:
+    def test_difference_decreases_with_step(self, small_trace):
+        res = fig05_time_step.run(
+            small_trace, time_steps=(2, 5, 10, 20), solver="row_constant"
+        )
+        d = res.relative_differences
+        assert d[-1] <= d[0]
+        assert d[-1] < 0.05  # near-oracle at the largest step
+
+    def test_selection_rule(self):
+        assert fig05_time_step.select_time_step((2, 5, 10), (0.5, 0.08, 0.01), 0.10) == 5
+        assert fig05_time_step.select_time_step((2, 5), (0.5, 0.4), 0.10) == 5
+
+    def test_steps_clipped_to_trace(self, tiny_trace):
+        res = fig05_time_step.run(
+            tiny_trace, time_steps=(2, 5, 50), solver="row_constant"
+        )
+        assert res.time_steps == (2, 5)
+
+
+class TestFig06:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        cfg = TraceConfig(
+            n_machines=10,
+            n_snapshots=60,
+            dynamics=DynamicsConfig(
+                volatility_sigma=0.10,
+                spike_probability=0.03,
+                spike_severity=2.0,
+                migration_rate=0.08,
+            ),
+        )
+        return generate_trace(cfg, seed=21)
+
+    def test_threshold_tradeoff(self, trace):
+        res = fig06_threshold.run(
+            trace,
+            thresholds=(0.05, 1.0, 3.0),
+            time_step=8,
+            calibration_cost=30.0,
+            seed=0,
+        )
+        lo, mid, hi = res.outcomes
+        # Thrash at a tiny threshold: many recalibrations, big overhead.
+        assert lo.recalibrations > mid.recalibrations >= hi.recalibrations
+        assert lo.avg_maintenance_overhead > mid.avg_maintenance_overhead
+        # The moderate threshold beats the thrashing one on total time.
+        assert mid.avg_total_time < lo.avg_total_time
+
+    def test_breakdown_consistency(self, trace):
+        res = fig06_threshold.run(
+            trace, thresholds=(0.5,), time_step=8, calibration_cost=10.0, seed=0
+        )
+        o = res.outcomes[0]
+        assert o.avg_total_time == pytest.approx(
+            o.avg_communication_time + o.avg_maintenance_overhead
+        )
+        assert o.operations == 52
+
+    def test_huge_threshold_never_recalibrates(self, trace):
+        res = fig06_threshold.run(
+            trace, thresholds=(50.0,), time_step=8, calibration_cost=10.0, seed=0
+        )
+        assert res.outcomes[0].recalibrations == 0
+
+    def test_collectives_per_operation_scales_comm_only(self, trace):
+        one = fig06_threshold.run(
+            trace, thresholds=(1.0,), time_step=8, calibration_cost=10.0,
+            collectives_per_operation=1, seed=0,
+        ).outcomes[0]
+        forty = fig06_threshold.run(
+            trace, thresholds=(1.0,), time_step=8, calibration_cost=10.0,
+            collectives_per_operation=40, seed=0,
+        ).outcomes[0]
+        # Scaling both expected and observed leaves the deviation ratio (and
+        # hence the recalibration pattern) unchanged; only comm time scales.
+        assert forty.recalibrations == one.recalibrations
+        assert forty.avg_communication_time == pytest.approx(
+            40 * one.avg_communication_time
+        )
+
+    def test_collectives_per_operation_validated(self, trace):
+        with pytest.raises(Exception):
+            fig06_threshold.run(
+                trace, thresholds=(1.0,), time_step=8,
+                collectives_per_operation=0, seed=0,
+            )
+
+
+class TestFig07:
+    @pytest.fixture(scope="class")
+    def result(self, request):
+        trace = generate_trace(TraceConfig(n_machines=12, n_snapshots=26), seed=5)
+        return fig07_overall_ec2.run(
+            trace, repetitions=60, solver="row_constant", seed=0
+        )
+
+    def test_orderings(self, result):
+        for res in (result.broadcast, result.scatter, result.mapping):
+            norm = res.normalized_means()
+            assert norm["RPCA"] < 1.0  # beats Baseline
+            assert norm["Heuristics"] < 1.0
+
+    def test_rpca_at_least_matches_heuristics_on_broadcast(self, result):
+        assert result.broadcast.mean("RPCA") <= result.broadcast.mean("Heuristics") * 1.05
+
+    def test_norm_ne_near_ec2(self, result):
+        assert 0.03 < result.norm_ne < 0.25
+
+    def test_cdf_available(self, result):
+        v, f = result.broadcast_cdf("RPCA")
+        assert v.size == 60 and f[-1] == 1.0
+
+    def test_table_shape(self, result):
+        rows = result.normalized_table()
+        assert {r[0] for r in rows} == {"Baseline", "Heuristics", "RPCA"}
+
+
+class TestFig08:
+    def test_size_effect(self):
+        res = fig08_cluster_size.run(
+            cluster_sizes=(8, 24),
+            message_sizes=(8.0 * MB,),
+            n_snapshots=16,
+            time_step=8,
+            repetitions=16,
+            solver="row_constant",
+            colocation=0.85,
+            seed=3,
+        )
+        small = res.improvement(8, 8.0 * MB)
+        large = res.improvement(24, 8.0 * MB)
+        # The bigger cluster spans more racks and benefits at least as much.
+        cells = {c.n_machines: c for c in res.cells}
+        assert cells[24].cross_rack_fraction >= cells[8].cross_rack_fraction
+        assert large > 0.0
+        assert large >= small - 0.05
+
+
+class TestFig09:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return generate_trace(TraceConfig(n_machines=8, n_snapshots=16), seed=9)
+
+    def test_cg_gain_grows_with_size(self, trace):
+        res = fig09_apps.run_cg(
+            trace, vector_sizes=(1000, 64000), solver="row_constant", time_step=8
+        )
+        small_gain = res.improvement(1000.0, "RPCA", "Baseline")
+        big_gain = res.improvement(64000.0, "RPCA", "Baseline")
+        assert big_gain > small_gain
+        # At tiny sizes the overhead makes RPCA lose, as in the paper.
+        assert small_gain < 0.0
+
+    def test_cg_is_communication_bound(self, trace):
+        res = fig09_apps.run_cg(
+            trace, vector_sizes=(64000,), solver="row_constant", time_step=8
+        )
+        bd = next(p.breakdown for p in res.points if p.strategy == "Baseline")
+        assert bd.communication / bd.total > 0.9
+
+    def test_nbody_steps_amortize_overhead(self, trace):
+        res = fig09_apps.run_nbody_steps(
+            trace, step_counts=(10, 640), solver="row_constant", time_step=8
+        )
+        assert res.improvement(640.0, "RPCA", "Baseline") > res.improvement(
+            10.0, "RPCA", "Baseline"
+        )
+
+    def test_nbody_msgsize_improvement_grows(self, trace):
+        # The paper's claim is relative: the improvement is larger for
+        # larger message sizes (overhead contribution shrinks).
+        res = fig09_apps.run_nbody_msgsize(
+            trace,
+            message_sizes=(1024.0, 1.0 * MB),
+            n_steps=2560,
+            solver="row_constant",
+            time_step=8,
+        )
+        assert res.improvement(float(MB), "RPCA", "Baseline") > res.improvement(
+            1024.0, "RPCA", "Baseline"
+        )
+        # Communication time itself must improve at the large size.
+        comm = {
+            p.strategy: p.breakdown.communication
+            for p in res.points
+            if p.x == float(MB)
+        }
+        assert comm["RPCA"] < comm["Baseline"]
+
+    def test_rows_render(self, trace):
+        res = fig09_apps.run_nbody_steps(
+            trace, step_counts=(10,), solver="row_constant", time_step=8
+        )
+        rows = res.as_rows()
+        assert len(rows) == 3  # three strategies at one x
+
+
+class TestFig10And11:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return generate_trace(TraceConfig(n_machines=10, n_snapshots=22), seed=13)
+
+    def test_improvement_decays_with_ne(self, trace):
+        res = fig10_ne_impact.run(
+            trace,
+            targets=(0.15, 0.5),
+            repetitions=20,
+            solver="row_constant",
+            seed=1,
+        )
+        pts = res.points
+        assert pts[0].achieved_norm_ne < pts[1].achieved_norm_ne
+        assert pts[0].broadcast_vs_baseline > pts[1].broadcast_vs_baseline
+
+    def test_fig11_detailed_study(self, trace):
+        res = fig11_ne02.run(
+            trace,
+            target_norm_ne=0.2,
+            repetitions=20,
+            solver="row_constant",
+            seed=2,
+        )
+        assert res.achieved_norm_ne == pytest.approx(0.2, abs=0.03)
+        norm = res.comparison.broadcast.normalized_means()
+        assert norm["RPCA"] < 1.0

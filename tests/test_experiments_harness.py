@@ -1,0 +1,130 @@
+"""Unit tests for the shared replay harness and report rendering."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.experiments.harness import (
+    ComparisonResult,
+    ReplayContext,
+    collective_comparison,
+    empirical_cdf,
+    mapping_comparison,
+)
+from repro.experiments.report import format_series, format_table
+from repro.mapping.taskgraph import random_task_graph
+from repro.strategies.baseline import BaselineStrategy
+from repro.strategies.heuristics import HeuristicStrategy
+from repro.strategies.rpca import RPCAStrategy
+
+MB = 1024 * 1024
+
+
+def arms():
+    return [BaselineStrategy(), HeuristicStrategy("mean"), RPCAStrategy("row_constant")]
+
+
+class TestReplayContext:
+    def test_eval_window(self, small_trace):
+        ctx = ReplayContext(trace=small_trace, time_step=10)
+        assert ctx.n_eval == 14
+        assert ctx.eval_snapshot(0) == 10
+        assert ctx.eval_snapshot(14) == 10  # cycles
+
+    def test_time_step_bounds(self, small_trace):
+        with pytest.raises(ValidationError):
+            ReplayContext(trace=small_trace, time_step=24)
+
+    def test_fit_fits_all(self, small_trace):
+        ctx = ReplayContext(trace=small_trace, time_step=10)
+        strategies = arms()
+        ctx.fit(strategies)
+        assert strategies[1].weight_matrix() is not None
+        assert strategies[2].weight_matrix() is not None
+
+
+class TestEmpiricalCdf:
+    def test_sorted_and_fractions(self):
+        v, f = empirical_cdf(np.array([3.0, 1.0, 2.0]))
+        np.testing.assert_array_equal(v, [1.0, 2.0, 3.0])
+        np.testing.assert_allclose(f, [1 / 3, 2 / 3, 1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            empirical_cdf(np.array([]))
+
+
+class TestComparisonResult:
+    def test_normalization_and_improvement(self):
+        res = ComparisonResult(
+            times={"Baseline": np.array([2.0, 2.0]), "RPCA": np.array([1.0, 1.0])}
+        )
+        norm = res.normalized_means()
+        assert norm["Baseline"] == 1.0
+        assert norm["RPCA"] == 0.5
+        assert res.improvement("RPCA", "Baseline") == pytest.approx(0.5)
+
+
+class TestCollectiveComparison:
+    def test_shapes_and_determinism(self, small_trace):
+        ctx = ReplayContext(trace=small_trace, time_step=10)
+        r1 = collective_comparison(ctx, arms(), repetitions=12, seed=5)
+        r2 = collective_comparison(ctx, arms(), repetitions=12, seed=5)
+        for name in r1.times:
+            assert r1.times[name].shape == (12,)
+            np.testing.assert_array_equal(r1.times[name], r2.times[name])
+
+    def test_rpca_beats_baseline_on_default_trace(self, small_trace):
+        # At this tiny scale (8 VMs) the heavy-tailed spike events make
+        # per-repetition times noisy; 100 repetitions stabilize the mean.
+        ctx = ReplayContext(trace=small_trace, time_step=10)
+        res = collective_comparison(ctx, arms(), repetitions=100, seed=2)
+        assert res.improvement("RPCA", "Baseline") > 0.05
+
+    def test_all_ops_supported(self, small_trace):
+        ctx = ReplayContext(trace=small_trace, time_step=10)
+        for op in ("broadcast", "scatter", "reduce", "gather"):
+            res = collective_comparison(ctx, arms(), op=op, repetitions=4, seed=2)
+            assert all(np.all(v > 0) for v in res.times.values())
+
+    def test_refit_mode(self, small_trace):
+        ctx = ReplayContext(trace=small_trace, time_step=5)
+        res = collective_comparison(ctx, arms(), repetitions=6, seed=3, refit=True)
+        assert all(v.size == 6 for v in res.times.values())
+
+    def test_repetitions_validated(self, small_trace):
+        ctx = ReplayContext(trace=small_trace, time_step=10)
+        with pytest.raises(ValidationError):
+            collective_comparison(ctx, arms(), repetitions=0)
+
+
+class TestMappingComparison:
+    def test_basic(self, small_trace):
+        ctx = ReplayContext(trace=small_trace, time_step=10)
+        graphs = [random_task_graph(8, seed=s) for s in range(6)]
+        res = mapping_comparison(ctx, arms(), graphs, seed=4)
+        assert all(v.shape == (6,) for v in res.times.values())
+        assert res.improvement("RPCA", "Baseline") > 0.0
+
+    def test_graph_too_large_rejected(self, small_trace):
+        ctx = ReplayContext(trace=small_trace, time_step=10)
+        with pytest.raises(ValidationError):
+            mapping_comparison(ctx, arms(), [random_task_graph(9, seed=0)])
+
+    def test_empty_graphs_rejected(self, small_trace):
+        ctx = ReplayContext(trace=small_trace, time_step=10)
+        with pytest.raises(ValidationError):
+            mapping_comparison(ctx, arms(), [])
+
+
+class TestReport:
+    def test_format_table_aligns(self):
+        out = format_table(["a", "bb"], [(1, 2.5), (10, 0.125)], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_series(self):
+        out = format_series("x", "y", [(1, 2.0)])
+        assert "x" in out and "2" in out

@@ -1,0 +1,146 @@
+"""Shape tests for the netsim-backed drivers (Figs 12–13) at small scale."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig12_interference, fig13_simulation
+from repro.experiments.netsim_support import build_scenario, calibrate_netsim_trace
+from repro.netsim.background import BackgroundConfig
+from repro.netsim.topology import GBIT
+
+MB = 1024 * 1024
+
+SMALL = dict(n_racks=4, servers_per_rack=8, cluster_size=10)
+#: Preserves the paper's 3.2:1 uplink oversubscription on 8-server racks.
+SMALL_CORE = 2.5 * GBIT
+
+
+class TestNetsimSupport:
+    def test_scenario_geometry(self):
+        sc = build_scenario(**SMALL, warmup_seconds=5.0, seed=0)
+        assert sc.topology.n_machines == 32
+        assert sc.n_machines == 10
+        assert len(set(sc.machines)) == 10
+
+    def test_placement_matches_topology(self):
+        sc = build_scenario(**SMALL, warmup_seconds=5.0, seed=1)
+        p = sc.placement()
+        for i, m in enumerate(sc.machines):
+            assert p.racks[i] == sc.topology.rack_of(m)
+
+    def test_calibrated_trace_shape(self):
+        sc = build_scenario(
+            **SMALL,
+            background=BackgroundConfig(n_pairs=8, message_bytes=20 * MB, mean_wait_seconds=2.0),
+            warmup_seconds=5.0,
+            seed=2,
+        )
+        trace = calibrate_netsim_trace(sc, n_snapshots=4, gap_seconds=5.0)
+        assert trace.n_snapshots == 4
+        assert trace.n_machines == 10
+        off = ~np.eye(10, dtype=bool)
+        assert np.all(trace.beta[:, off] > 0)
+        assert np.all(np.isfinite(trace.beta[:, off]))
+        assert np.all(np.diff(trace.timestamps) > 0)
+
+    def test_deterministic(self):
+        def run():
+            sc = build_scenario(
+                **SMALL,
+                background=BackgroundConfig(n_pairs=6, message_bytes=20 * MB),
+                warmup_seconds=5.0,
+                seed=3,
+            )
+            return calibrate_netsim_trace(sc, n_snapshots=2, gap_seconds=5.0)
+
+        t1, t2 = run(), run()
+        np.testing.assert_array_equal(t1.beta, t2.beta)
+
+
+class TestFig12:
+    def test_lambda_sweep_decreases_ne(self):
+        res = fig12_interference.run_lambda_sweep(
+            lambdas=(0.5, 20.0),
+            message_bytes=50 * MB,
+            n_pairs=24,
+            n_racks=4,
+            servers_per_rack=8,
+            cluster_size=10,
+            n_snapshots=6,
+            gap_seconds=10.0,
+            core_bandwidth=SMALL_CORE,
+            seed=4,
+        )
+        norms = res.norms()
+        assert norms[0] > norms[1]  # rare interference ⇒ calmer network
+
+    def test_msgsize_sweep_increases_ne(self):
+        res = fig12_interference.run_msgsize_sweep(
+            message_sizes=(5 * MB, 200 * MB),
+            mean_wait_seconds=3.0,
+            n_pairs=24,
+            n_racks=4,
+            servers_per_rack=8,
+            cluster_size=10,
+            n_snapshots=6,
+            gap_seconds=10.0,
+            core_bandwidth=SMALL_CORE,
+            seed=5,
+        )
+        norms = res.norms()
+        assert norms[-1] > norms[0]  # bigger messages ⇒ more interference
+
+    def test_rows_render(self):
+        res = fig12_interference.run_lambda_sweep(
+            lambdas=(5.0,),
+            n_pairs=4,
+            n_racks=2,
+            servers_per_rack=4,
+            cluster_size=4,
+            n_snapshots=2,
+            gap_seconds=2.0,
+            seed=6,
+        )
+        assert len(res.as_rows()) == 1
+
+
+class TestFig13:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig13_simulation.run(
+            n_racks=4,
+            servers_per_rack=8,
+            cluster_size=12,
+            background=BackgroundConfig(
+                n_pairs=64, message_bytes=100 * MB, mean_wait_seconds=1.0
+            ),
+            n_snapshots=10,
+            time_step=5,
+            gap_seconds=10.0,
+            repetitions=20,
+            solver="row_constant",
+            core_bandwidth=SMALL_CORE,
+            seed=7,
+        )
+
+    def test_all_four_arms_present(self, result):
+        assert set(result.broadcast.times) == {
+            "Baseline",
+            "Topology-aware",
+            "Heuristics",
+            "RPCA",
+        }
+
+    def test_rpca_beats_baseline(self, result):
+        assert result.broadcast.improvement("RPCA", "Baseline") > 0.0
+        assert result.scatter.improvement("RPCA", "Baseline") > 0.0
+
+    def test_rpca_at_least_topology(self, result):
+        # The paper: topology-aware ≈ baseline under dynamics; RPCA wins.
+        assert result.broadcast.mean("RPCA") <= result.broadcast.mean(
+            "Topology-aware"
+        ) * 1.02
+
+    def test_cdf(self, result):
+        v, f = result.broadcast_cdf("Baseline")
+        assert v.size == 20 and f[0] > 0

@@ -1,0 +1,54 @@
+"""Unit tests for the one-shot figures runner (and its CLI command)."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.figures_runner import FigureReport, run_all_figures
+
+
+class TestRunAllFigures:
+    @pytest.fixture(scope="class")
+    def reports(self):
+        return run_all_figures(scale="quick", seed=7)
+
+    def test_all_ec2_figures_present(self, reports):
+        ids = [r.figure for r in reports]
+        assert ids == [
+            "fig04", "fig05", "fig06", "fig07", "fig08", "fig09", "fig10", "fig11",
+        ]
+
+    def test_tables_render(self, reports):
+        for r in reports:
+            assert isinstance(r, FigureReport)
+            assert "Fig" in r.text
+            assert len(r.text.splitlines()) >= 3
+
+    def test_emit_callback_streams(self):
+        seen = []
+        run_all_figures(scale="quick", seed=7, emit=seen.append)
+        assert len(seen) == 8
+
+    def test_simulation_figures_optional(self):
+        reports = run_all_figures(scale="quick", include_simulation=True, seed=7)
+        ids = [r.figure for r in reports]
+        assert "fig12" in ids and "fig13" in ids
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError, match="scale"):
+            run_all_figures(scale="huge")
+
+
+class TestFiguresCLI:
+    def test_quick_run(self, capsys):
+        assert main(["figures", "--scale", "quick", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "regenerated 8 figures" in out
+        assert "Fig 7" in out
+
+    def test_output_file(self, tmp_path, capsys):
+        out_file = tmp_path / "figures.md"
+        assert main(["figures", "--scale", "quick", "--seed", "3",
+                     "--output", str(out_file)]) == 0
+        text = out_file.read_text()
+        assert "## fig04" in text and "## fig11" in text
+        assert "Fig 7" in text

@@ -1,0 +1,163 @@
+"""Unit tests for the simulated MPI communicator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.mpisim.comm import SimComm
+
+
+def make_comm(n=4, beta=1e8, weights=None):
+    alpha = np.zeros((n, n))
+    b = np.full((n, n), float(beta))
+    np.fill_diagonal(b, np.inf)
+    return SimComm(alpha, b, weights=weights)
+
+
+class TestConstruction:
+    def test_size(self):
+        assert make_comm(6).size == 6
+
+    def test_weight_shape_checked(self):
+        with pytest.raises(ValidationError):
+            make_comm(4, weights=np.zeros((3, 3)))
+
+    def test_network_resize_rejected(self):
+        comm = make_comm(4)
+        with pytest.raises(ValidationError):
+            comm.set_network(np.zeros((5, 5)), np.ones((5, 5)))
+
+
+class TestDataSemantics:
+    def test_bcast_delivers_everywhere(self):
+        comm = make_comm(5)
+        out = comm.bcast(np.arange(4), root=2)
+        assert len(out) == 5
+        for v in out:
+            np.testing.assert_array_equal(v, [0, 1, 2, 3])
+
+    def test_scatter_routes_chunks(self):
+        comm = make_comm(3)
+        out = comm.scatter(["a", "b", "c"], root=0)
+        assert out == ["a", "b", "c"]
+
+    def test_scatter_chunk_count_checked(self):
+        with pytest.raises(ValidationError):
+            make_comm(3).scatter(["a", "b"])
+
+    def test_gather_collects(self):
+        comm = make_comm(3)
+        out = comm.gather(None, root=1, all_values=[10, 20, 30])
+        assert out == [10, 20, 30]
+
+    def test_reduce_sum(self):
+        comm = make_comm(8)
+        total = comm.reduce(list(range(8)), op=lambda a, b: a + b, root=0)
+        assert total == sum(range(8))
+
+    def test_reduce_arrays(self):
+        comm = make_comm(4)
+        vals = [np.full(3, float(r)) for r in range(4)]
+        out = comm.reduce(vals, op=np.add, root=0)
+        np.testing.assert_array_equal(out, [6.0, 6.0, 6.0])
+
+    def test_allgather(self):
+        comm = make_comm(3)
+        out = comm.allgather([1, 2, 3])
+        assert out == [[1, 2, 3]] * 3
+
+    def test_alltoall_transpose_semantics(self):
+        n = 3
+        comm = make_comm(n)
+        matrix = [[f"{s}->{d}" for d in range(n)] for s in range(n)]
+        out = comm.alltoall(matrix)
+        # Rank d receives matrix[s][d] from every s.
+        assert out[1] == ["0->1", "1->1", "2->1"]
+
+    def test_alltoall_shape_checked(self):
+        with pytest.raises(ValidationError):
+            make_comm(3).alltoall([[1, 2], [3, 4]])
+
+
+class TestTimeAccounting:
+    def test_bcast_time_matches_exec_model(self):
+        from repro.collectives.exec_model import broadcast_time
+        from repro.collectives.trees import binomial_tree
+
+        n = 8
+        comm = make_comm(n)
+        payload = np.zeros(1000)
+        comm.bcast(payload, root=0)
+        expected = broadcast_time(
+            binomial_tree(n, 0), comm.alpha, comm.beta, payload.nbytes
+        )
+        assert comm.elapsed == pytest.approx(expected)
+
+    def test_stats_accumulate(self):
+        comm = make_comm(4)
+        comm.bcast(np.zeros(10))
+        comm.gather(None, all_values=[np.zeros(5)] * 4)
+        assert comm.stats.operations == 2
+        assert set(comm.stats.per_op_seconds) == {"bcast", "gather"}
+        assert comm.stats.bytes_moved > 0
+
+    def test_send_prices_single_link(self):
+        comm = make_comm(2, beta=100.0)
+        t = comm.send_time(0, 1, np.zeros(50))  # 400 bytes at 100 B/s
+        assert t == pytest.approx(4.0)
+
+    def test_self_send_free(self):
+        assert make_comm(2).send_time(1, 1, np.zeros(9)) == 0.0
+
+    def test_fnf_mode_faster_on_skewed_network(self):
+        n = 8
+        rng = np.random.default_rng(0)
+        alpha = np.zeros((n, n))
+        beta = rng.uniform(1e6, 1e8, size=(n, n))
+        np.fill_diagonal(beta, np.inf)
+        w = np.zeros((n, n))
+        off = ~np.eye(n, dtype=bool)
+        w[off] = 1.0 / beta[off]
+
+        naive = SimComm(alpha, beta)
+        aware = SimComm(alpha, beta, weights=w)
+        payload = np.zeros(10**6)
+        naive.bcast(payload)
+        aware.bcast(payload)
+        assert aware.elapsed < naive.elapsed
+
+    def test_set_network_changes_prices(self):
+        comm = make_comm(4, beta=1e8)
+        comm.bcast(np.zeros(1000))
+        t1 = comm.elapsed
+        b2 = np.full((4, 4), 5e7)
+        np.fill_diagonal(b2, np.inf)
+        comm.set_network(np.zeros((4, 4)), b2)
+        comm.bcast(np.zeros(1000))
+        assert comm.elapsed - t1 == pytest.approx(2 * t1)
+
+    def test_set_weights_clears_tree_cache(self):
+        comm = make_comm(4)
+        comm.bcast(np.zeros(10))  # caches the binomial tree
+        w = np.ones((4, 4))
+        np.fill_diagonal(w, 0.0)
+        comm.set_weights(w)
+        comm.bcast(np.zeros(10))  # must rebuild with FNF, not crash
+        assert comm.stats.operations == 2
+
+
+class TestAlgorithmOnSimComm:
+    def test_distributed_dot_product(self):
+        # A real algorithm written MPI-style: partial dots + reduce.
+        n = 4
+        comm = make_comm(n)
+        rng = np.random.default_rng(1)
+        x, y = rng.standard_normal(100), rng.standard_normal(100)
+        chunks_x = np.array_split(x, n)
+        chunks_y = np.array_split(y, n)
+        comm.scatter(chunks_x)
+        comm.scatter(chunks_y)
+        partials = [float(cx @ cy) for cx, cy in zip(chunks_x, chunks_y)]
+        total = comm.reduce(partials, op=lambda a, b: a + b)
+        assert total == pytest.approx(float(x @ y))
+        assert comm.elapsed > 0

@@ -1,0 +1,106 @@
+"""Unit tests for the α-β model and link statistics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.netmodel.alphabeta import (
+    AlphaBeta,
+    transfer_time,
+    transfer_time_matrix,
+    weight_matrix,
+)
+from repro.netmodel.linkstats import summarize_link_series
+
+
+class TestAlphaBeta:
+    def test_transfer_time_formula(self):
+        ab = AlphaBeta(alpha=0.001, beta=1e8)
+        assert ab.time(1e8) == pytest.approx(1.001)
+
+    def test_zero_bytes_is_latency(self):
+        ab = AlphaBeta(alpha=0.002, beta=1e6)
+        assert ab.time(0) == pytest.approx(0.002)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValidationError):
+            AlphaBeta(alpha=-1.0, beta=1e6)
+
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(ValidationError):
+            AlphaBeta(alpha=0.0, beta=0.0)
+
+    def test_scalar_function(self):
+        assert transfer_time(0.5, 2.0, 4.0) == pytest.approx(2.5)
+
+    def test_larger_message_takes_longer(self):
+        ab = AlphaBeta(alpha=0.001, beta=1e7)
+        assert ab.time(2e7) > ab.time(1e7)
+
+
+class TestTransferTimeMatrix:
+    def test_formula_and_zero_diagonal(self):
+        alpha = np.array([[0.0, 0.1], [0.2, 0.0]])
+        beta = np.array([[np.inf, 10.0], [20.0, np.inf]])
+        out = transfer_time_matrix(alpha, beta, 100.0)
+        assert out[0, 0] == 0.0 and out[1, 1] == 0.0
+        assert out[0, 1] == pytest.approx(10.1)
+        assert out[1, 0] == pytest.approx(5.2)
+
+    def test_inf_diagonal_bandwidth_ok(self):
+        alpha = np.zeros((2, 2))
+        beta = np.full((2, 2), np.inf)
+        beta[0, 1] = beta[1, 0] = 1.0
+        out = transfer_time_matrix(alpha, beta, 2.0)
+        assert out[0, 1] == 2.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            transfer_time_matrix(np.zeros((2, 2)), np.ones((3, 3)), 1.0)
+
+    def test_nonpositive_offdiag_bandwidth_rejected(self):
+        alpha = np.zeros((2, 2))
+        beta = np.zeros((2, 2))
+        with pytest.raises(ValueError, match="positive"):
+            transfer_time_matrix(alpha, beta, 1.0)
+
+    def test_weight_matrix_alias(self):
+        alpha = np.zeros((2, 2))
+        beta = np.full((2, 2), 4.0)
+        np.testing.assert_array_equal(
+            weight_matrix(alpha, beta, 8.0), transfer_time_matrix(alpha, beta, 8.0)
+        )
+
+
+class TestLinkStats:
+    def test_constant_series(self):
+        s = summarize_link_series(np.full(50, 3.0))
+        assert s.center == 3.0
+        assert s.spread == 0.0
+        assert s.volatility == 0.0
+        assert s.spike_fraction == 0.0
+
+    def test_band_detection(self):
+        rng = np.random.default_rng(0)
+        x = 10.0 * rng.lognormal(0, 0.05, size=2000)
+        s = summarize_link_series(x)
+        assert 9.5 < s.center < 10.5
+        assert 0.02 < s.volatility < 0.10
+
+    def test_spikes_detected(self):
+        rng = np.random.default_rng(1)
+        x = 10.0 + 0.1 * rng.standard_normal(1000)
+        x[::50] += 5.0  # 2% spikes far outside the band
+        s = summarize_link_series(x)
+        assert s.spike_fraction == pytest.approx(0.02, abs=0.005)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            summarize_link_series(np.array([]))
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValidationError):
+            summarize_link_series(np.array([1.0, np.nan]))
+
+    def test_n_samples(self):
+        assert summarize_link_series(np.ones(17)).n_samples == 17

@@ -1,0 +1,90 @@
+"""Unit tests for Vivaldi coordinates and triangle diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.cloudsim.tracegen import TraceConfig, generate_trace
+from repro.errors import ValidationError
+from repro.netmodel.coordinates import (
+    triangle_violation_stats,
+    vivaldi_embedding,
+)
+
+MB = 1024 * 1024
+
+
+def euclidean_matrix(n, dims=3, seed=0):
+    rng = np.random.default_rng(seed)
+    pts = rng.uniform(0, 10, size=(n, dims))
+    d = np.sqrt(((pts[:, None, :] - pts[None, :, :]) ** 2).sum(-1))
+    return d
+
+
+class TestTriangleStats:
+    def test_metric_space_has_no_violations(self):
+        d = euclidean_matrix(10)
+        stats = triangle_violation_stats(d)
+        assert stats.violation_fraction == 0.0
+        assert stats.median_excess == 0.0
+
+    def test_planted_violation_detected(self):
+        d = euclidean_matrix(6)
+        d[0, 1] = d[1, 0] = d.max() * 10  # shortcut through any j is cheaper
+        stats = triangle_violation_stats(d)
+        assert stats.violation_fraction > 0.0
+        assert stats.median_excess > 0.0
+
+    def test_triple_count(self):
+        stats = triangle_violation_stats(euclidean_matrix(5))
+        assert stats.n_triples == 5 * 4 * 3
+
+    def test_small_matrix_rejected(self):
+        with pytest.raises(ValidationError):
+            triangle_violation_stats(np.zeros((2, 2)))
+
+    def test_datacenter_trace_violates_triangles(self, small_trace):
+        # The paper's claim: DC weight matrices are not metric spaces.
+        w = small_trace.weights_at(0, 8 * MB).weights
+        stats = triangle_violation_stats(w)
+        assert stats.violation_fraction > 0.02
+
+
+class TestVivaldi:
+    def test_recovers_euclidean_geometry(self):
+        # On a genuinely metric input, Vivaldi generalizes well.
+        d = euclidean_matrix(16, dims=2, seed=1)
+        res = vivaldi_embedding(d, dims=2, sample_fraction=0.5, seed=2)
+        assert res.fit_error < 0.15
+        assert res.test_error < 0.25
+
+    def test_predicted_matrix_shape(self):
+        d = euclidean_matrix(8)
+        res = vivaldi_embedding(d, seed=0)
+        assert res.predicted.shape == (8, 8)
+        assert np.all(np.diagonal(res.predicted) == 0.0)
+        np.testing.assert_allclose(res.predicted, res.predicted.T, atol=1e-12)
+
+    def test_heights_nonnegative(self):
+        d = euclidean_matrix(8)
+        res = vivaldi_embedding(d, seed=0)
+        assert np.all(res.heights >= 0.0)
+
+    def test_deterministic(self):
+        d = euclidean_matrix(8)
+        a = vivaldi_embedding(d, seed=5)
+        b = vivaldi_embedding(d, seed=5)
+        np.testing.assert_array_equal(a.predicted, b.predicted)
+
+    def test_struggles_on_datacenter_weights(self, small_trace):
+        # The paper's point: coordinates mispredict non-metric DC distances
+        # far worse than they mispredict genuinely Euclidean ones.
+        w = small_trace.weights_at(0, 8 * MB).weights
+        dc = vivaldi_embedding(w, sample_fraction=0.5, seed=3)
+        metric = vivaldi_embedding(
+            euclidean_matrix(8, seed=4), sample_fraction=0.5, seed=3
+        )
+        assert dc.test_error > metric.test_error
+
+    def test_sample_fraction_validated(self):
+        with pytest.raises(ValidationError):
+            vivaldi_embedding(euclidean_matrix(6), sample_fraction=1.5)

@@ -1,0 +1,102 @@
+"""Unit tests for in-simulator collective execution."""
+
+import numpy as np
+import pytest
+
+from repro.collectives.exec_model import broadcast_time, scatter_time
+from repro.collectives.trees import CommTree, binomial_tree
+from repro.netsim.collective_runner import run_broadcast_in_sim, run_scatter_in_sim
+from repro.netsim.simulator import FlowSimulator
+from repro.netsim.topology import TreeTopology
+
+MB = 1024 * 1024
+
+
+def idle_sim(n_racks=2, servers=4):
+    return FlowSimulator(TreeTopology(n_racks=n_racks, servers_per_rack=servers))
+
+
+class TestBroadcastInSim:
+    def test_two_node_duration(self):
+        sim = idle_sim()
+        topo = sim.topology
+        tree = binomial_tree(2, 0)
+        res = run_broadcast_in_sim(sim, tree, [0, 1], topo.rack_bandwidth)
+        # 1 second of data + path latency.
+        assert res.elapsed == pytest.approx(1.0 + topo.path_latency(0, 1), rel=1e-6)
+        assert res.n_flows == 1
+
+    def test_matches_alpha_beta_model_on_idle_network(self):
+        # With no contention the fluid measurement must agree with the
+        # analytic α-β pricing using the topology's nominal parameters.
+        sim = idle_sim()
+        topo = sim.topology
+        machines = [0, 1, 2, 4, 5, 6]
+        n = len(machines)
+        tree = binomial_tree(n, 0)
+        measured = run_broadcast_in_sim(sim, tree, machines, 8 * MB)
+
+        alpha = np.zeros((n, n))
+        beta = np.zeros((n, n))
+        for i, mi in enumerate(machines):
+            for j, mj in enumerate(machines):
+                if i == j:
+                    beta[i, j] = np.inf
+                    continue
+                alpha[i, j] = topo.path_latency(mi, mj)
+                beta[i, j] = topo.rack_bandwidth  # access links bottleneck
+        predicted = broadcast_time(tree, alpha, beta, 8 * MB)
+        assert measured.elapsed == pytest.approx(predicted, rel=0.02)
+
+    def test_single_node_tree(self):
+        sim = idle_sim()
+        tree = CommTree(root=0, parent=np.array([-1]), children=((),))
+        res = run_broadcast_in_sim(sim, tree, [3], 1 * MB)
+        assert res.elapsed == 0.0 and res.n_flows == 0
+
+    def test_contention_slows_measurement(self):
+        sim = idle_sim()
+        topo = sim.topology
+        # Hog machine 0's uplink during the broadcast.
+        sim.schedule_flow(0.0, 0, 2, 200 * MB)
+        sim.run_until(0.01)
+        tree = binomial_tree(2, 0)
+        res = run_broadcast_in_sim(sim, tree, [0, 1], topo.rack_bandwidth)
+        assert res.elapsed > 1.5  # would be ~1 s uncontended
+
+    def test_sequential_sends_respected(self):
+        # Star tree: root sends to 3 children one after another.
+        sim = idle_sim()
+        topo = sim.topology
+        tree = CommTree(
+            root=0, parent=np.array([-1, 0, 0, 0]), children=((1, 2, 3), (), (), ())
+        )
+        res = run_broadcast_in_sim(sim, tree, [0, 1, 2, 3], topo.rack_bandwidth)
+        assert res.elapsed == pytest.approx(3.0, rel=1e-3)
+
+
+class TestScatterInSim:
+    def test_chain_blocks(self):
+        sim = idle_sim()
+        topo = sim.topology
+        tree = CommTree.from_parent(0, np.array([-1, 0, 1]))
+        res = run_scatter_in_sim(sim, tree, [0, 1, 2], topo.rack_bandwidth)
+        # Edge (0,1) carries 2 blocks (2 s), then (1,2) one block (1 s).
+        assert res.elapsed == pytest.approx(3.0, rel=1e-3)
+
+    def test_matches_model_on_idle_network(self):
+        sim = idle_sim()
+        topo = sim.topology
+        machines = [0, 1, 4, 5]
+        n = len(machines)
+        tree = binomial_tree(n, 0)
+        measured = run_scatter_in_sim(sim, tree, machines, 2 * MB)
+        alpha = np.zeros((n, n))
+        beta = np.full((n, n), topo.rack_bandwidth)
+        np.fill_diagonal(beta, np.inf)
+        for i, mi in enumerate(machines):
+            for j, mj in enumerate(machines):
+                if i != j:
+                    alpha[i, j] = topo.path_latency(mi, mj)
+        predicted = scatter_time(tree, alpha, beta, 2 * MB)
+        assert measured.elapsed == pytest.approx(predicted, rel=0.02)

@@ -1,0 +1,119 @@
+"""Unit tests for the fat-tree topology and its simulator integration."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TopologyError
+from repro.netsim.fattree import FatTreeTopology
+from repro.netsim.simulator import FlowSimulator
+
+MB = 1024 * 1024
+
+
+class TestGeometry:
+    def test_k4_counts(self):
+        t = FatTreeTopology(k=4)
+        assert t.n_machines == 16
+        assert t.n_edge_pairs == 16
+        assert t.n_core_pairs == 16
+        assert t.n_links == 2 * 16 + 2 * 16 + 2 * 16
+
+    def test_k6_machine_count(self):
+        assert FatTreeTopology(k=6).n_machines == 54
+
+    def test_odd_k_rejected(self):
+        with pytest.raises(TopologyError):
+            FatTreeTopology(k=3)
+
+    def test_pod_and_edge_assignment(self):
+        t = FatTreeTopology(k=4)
+        assert t.pod_of(0) == 0 and t.pod_of(15) == 3
+        assert t.edge_of(0) == 0 and t.edge_of(2) == 1
+
+    def test_link_ids_distinct(self):
+        t = FatTreeTopology(k=4)
+        ids = set()
+        for m in range(t.n_machines):
+            ids.add(t.host_up(m))
+            ids.add(t.host_down(m))
+        for pod in range(4):
+            for e in range(2):
+                for a in range(2):
+                    ids.add(t.edge_agg_up(pod, e, a))
+                    ids.add(t.agg_edge_down(pod, e, a))
+        for pod in range(4):
+            for a in range(2):
+                for p in range(2):
+                    ids.add(t.agg_core_up(pod, a, p))
+                    ids.add(t.core_agg_down(pod, a, p))
+        assert len(ids) == t.n_links
+        assert ids == set(range(t.n_links))
+
+
+class TestRouting:
+    def test_same_edge_two_hops(self):
+        t = FatTreeTopology(k=4)
+        assert len(t.path(0, 1)) == 2
+
+    def test_same_pod_four_hops(self):
+        t = FatTreeTopology(k=4)
+        assert len(t.path(0, 2)) == 4
+
+    def test_cross_pod_six_hops(self):
+        t = FatTreeTopology(k=4)
+        assert len(t.path(0, 15)) == 6
+
+    def test_paths_deterministic(self):
+        t = FatTreeTopology(k=4, seed=9)
+        assert t.path(0, 15) == t.path(0, 15)
+
+    def test_ecmp_spreads_pairs(self):
+        t = FatTreeTopology(k=4)
+        # Different destination pairs should not all share one core choice.
+        cores = {t.path(0, d)[2] for d in range(8, 16)}
+        assert len(cores) > 1
+
+    def test_path_links_in_range(self):
+        t = FatTreeTopology(k=6)
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            s, d = rng.choice(t.n_machines, size=2, replace=False)
+            for l in t.path(int(s), int(d)):
+                assert 0 <= l < t.n_links
+
+    def test_self_path_rejected(self):
+        with pytest.raises(TopologyError):
+            FatTreeTopology(k=4).path(3, 3)
+
+
+class TestSimulatorIntegration:
+    def test_single_flow_full_rate(self):
+        t = FatTreeTopology(k=4)
+        sim = FlowSimulator(t)
+        sim.schedule_flow(0.0, 0, 15, t.link_bandwidth)  # 1 second of data
+        sim.run_until_idle(horizon=10)
+        (rec,) = sim.completed
+        assert rec.duration == pytest.approx(1.0 + t.path_latency(0, 15))
+
+    def test_full_bisection_no_core_contention(self):
+        # One flow per host into a distinct host of another pod, on distinct
+        # core paths where ECMP allows: with full bisection bandwidth the
+        # slowdown relative to an idle transfer must stay small.
+        t = FatTreeTopology(k=4)
+        sim = FlowSimulator(t)
+        pairs = [(m, (m + 4) % 16) for m in range(4)]
+        for s, d in pairs:
+            sim.schedule_flow(0.0, s, d, t.link_bandwidth)
+        sim.run_until_idle(horizon=20)
+        durations = [r.duration for r in sim.completed]
+        # Ideal is ~1s; ECMP collisions can halve a flow at worst here.
+        assert max(durations) < 2.5
+
+    def test_host_link_contention_still_applies(self):
+        t = FatTreeTopology(k=4)
+        sim = FlowSimulator(t)
+        sim.schedule_flow(0.0, 0, 2, t.link_bandwidth)
+        sim.schedule_flow(0.0, 0, 3, t.link_bandwidth)
+        sim.run_until_idle(horizon=20)
+        for rec in sim.completed:
+            assert rec.end_time == pytest.approx(2.0, abs=1e-2)

@@ -1,0 +1,140 @@
+"""Unit tests for the tree topology and max-min fair sharing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError, TopologyError
+from repro.netsim.fairshare import build_incidence, max_min_fair_rates
+from repro.netsim.topology import GBIT, TreeTopology
+
+
+class TestTreeTopology:
+    def test_paper_default_geometry(self):
+        topo = TreeTopology()
+        assert topo.n_machines == 1024
+        assert topo.n_racks == 32
+        assert topo.rack_bandwidth == pytest.approx(1 * GBIT)
+        assert topo.core_bandwidth == pytest.approx(10 * GBIT)
+
+    def test_rack_of(self):
+        topo = TreeTopology(n_racks=4, servers_per_rack=8)
+        assert topo.rack_of(0) == 0
+        assert topo.rack_of(7) == 0
+        assert topo.rack_of(8) == 1
+        assert topo.rack_of(31) == 3
+
+    def test_same_rack_path_two_hops(self):
+        topo = TreeTopology(n_racks=2, servers_per_rack=4)
+        p = topo.path(0, 3)
+        assert len(p) == 2
+        assert p[0] == topo.access_up(0)
+        assert p[1] == topo.access_down(3)
+
+    def test_cross_rack_path_four_hops(self):
+        topo = TreeTopology(n_racks=2, servers_per_rack=4)
+        p = topo.path(0, 5)
+        assert len(p) == 4
+        assert p[1] == topo.uplink_up(0)
+        assert p[2] == topo.uplink_down(1)
+
+    def test_path_latency(self):
+        topo = TreeTopology(n_racks=2, servers_per_rack=4, hop_latency=1e-5)
+        assert topo.path_latency(0, 1) == pytest.approx(2e-5)
+        assert topo.path_latency(0, 5) == pytest.approx(4e-5)
+
+    def test_self_path_rejected(self):
+        topo = TreeTopology(n_racks=2, servers_per_rack=2)
+        with pytest.raises(TopologyError):
+            topo.path(1, 1)
+
+    def test_link_capacities_layout(self):
+        topo = TreeTopology(n_racks=2, servers_per_rack=2)
+        m = topo.n_machines
+        assert topo.capacities[topo.access_up(0)] == topo.rack_bandwidth
+        assert topo.capacities[topo.uplink_up(0)] == topo.core_bandwidth
+        assert topo.n_links == 2 * m + 4
+
+    def test_machine_out_of_range(self):
+        topo = TreeTopology(n_racks=2, servers_per_rack=2)
+        with pytest.raises(TopologyError):
+            topo.rack_of(99)
+
+    def test_geometry_validated(self):
+        with pytest.raises(TopologyError):
+            TreeTopology(n_racks=0)
+
+
+class TestMaxMinFair:
+    def test_single_flow_gets_capacity(self):
+        inc = build_incidence([(0,)], 1)
+        rates = max_min_fair_rates(inc, np.array([5.0]))
+        assert rates[0] == pytest.approx(5.0)
+
+    def test_two_flows_share_equally(self):
+        inc = build_incidence([(0,), (0,)], 1)
+        rates = max_min_fair_rates(inc, np.array([4.0]))
+        np.testing.assert_allclose(rates, [2.0, 2.0])
+
+    def test_bottleneck_frees_other_links(self):
+        # Flow A crosses links 0 and 1; flow B only link 1. Link 0 is the
+        # bottleneck for A, so B takes the leftover of link 1.
+        inc = build_incidence([(0, 1), (1,)], 2)
+        rates = max_min_fair_rates(inc, np.array([1.0, 10.0]))
+        np.testing.assert_allclose(rates, [1.0, 9.0])
+
+    def test_classic_three_flow_example(self):
+        # Two links cap 1; flows: A on both, B on link0, C on link1.
+        inc = build_incidence([(0, 1), (0,), (1,)], 2)
+        rates = max_min_fair_rates(inc, np.array([1.0, 1.0]))
+        np.testing.assert_allclose(rates, [0.5, 0.5, 0.5])
+
+    def test_feasibility(self):
+        rng = np.random.default_rng(0)
+        n_links = 12
+        paths = [tuple(rng.choice(n_links, size=3, replace=False)) for _ in range(30)]
+        caps = rng.uniform(1, 5, size=n_links)
+        rates = max_min_fair_rates(build_incidence(paths, n_links), caps)
+        load = np.zeros(n_links)
+        for p, r in zip(paths, rates):
+            for l in p:
+                load[l] += r
+        assert np.all(load <= caps * (1 + 1e-9))
+
+    def test_max_min_property(self):
+        # No flow can be raised without lowering a flow of smaller-or-equal
+        # rate: every flow crosses a saturated link whose minimum-rate flow
+        # is itself.
+        rng = np.random.default_rng(1)
+        n_links = 8
+        paths = [tuple(rng.choice(n_links, size=2, replace=False)) for _ in range(16)]
+        caps = rng.uniform(1, 3, size=n_links)
+        inc = build_incidence(paths, n_links)
+        rates = max_min_fair_rates(inc, caps)
+        load = inc.T.astype(float) @ rates
+        for f, path in enumerate(paths):
+            saturated = [l for l in path if load[l] >= caps[l] - 1e-6]
+            assert saturated, f"flow {f} crosses no saturated link"
+            # On at least one saturated link, f's rate is the max share rule:
+            ok = False
+            for l in saturated:
+                flows_on_l = np.flatnonzero(inc[:, l])
+                if rates[f] >= rates[flows_on_l].max() - 1e-9:
+                    ok = True
+            assert ok, f"flow {f} could be increased"
+
+    def test_empty_flows(self):
+        assert max_min_fair_rates(np.zeros((0, 3), dtype=bool), np.ones(3)).size == 0
+
+    def test_flow_without_links_rejected(self):
+        inc = np.zeros((1, 2), dtype=bool)
+        with pytest.raises(SimulationError, match="at least one link"):
+            max_min_fair_rates(inc, np.ones(2))
+
+    def test_nonpositive_capacity_rejected(self):
+        inc = build_incidence([(0,)], 1)
+        with pytest.raises(SimulationError):
+            max_min_fair_rates(inc, np.array([0.0]))
+
+    def test_bad_link_id_rejected(self):
+        with pytest.raises(SimulationError):
+            build_incidence([(5,)], 2)

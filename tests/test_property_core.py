@@ -1,0 +1,149 @@
+"""Property-based tests (hypothesis) for the core RPCA machinery."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.matrices import PerformanceMatrix, TCMatrix, TPMatrix
+from repro.core.metrics import pseudo_l0_norm, relative_difference, relative_error_norm
+from repro.core.row_constant import row_constant_decomposition
+from repro.core.svd_ops import singular_value_threshold, soft_threshold
+
+finite_matrices = hnp.arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(2, 8), st.integers(2, 12)),
+    elements=st.floats(-100, 100, allow_nan=False, allow_infinity=False, width=64),
+)
+
+taus = st.floats(0.0, 50.0, allow_nan=False)
+
+
+class TestSoftThresholdProperties:
+    @given(finite_matrices, taus)
+    def test_shrinkage_bound(self, x, tau):
+        out = soft_threshold(x, tau)
+        assert np.all(np.abs(out) <= np.maximum(np.abs(x) - tau, 0.0) + 1e-12)
+
+    @given(finite_matrices, taus)
+    def test_distance_at_most_tau(self, x, tau):
+        out = soft_threshold(x, tau)
+        assert np.all(np.abs(out - x) <= tau + 1e-12)
+
+    @given(finite_matrices)
+    def test_idempotent_at_zero(self, x):
+        np.testing.assert_array_equal(soft_threshold(x, 0.0), x)
+
+
+class TestSVTProperties:
+    @given(finite_matrices, st.floats(0.0, 20.0, allow_nan=False))
+    @settings(max_examples=40, deadline=None)
+    def test_nuclear_norm_shrinks(self, a, tau):
+        d, rank, _ = singular_value_threshold(a, tau)
+        s_a = np.linalg.svd(a, compute_uv=False)
+        s_d = np.linalg.svd(d, compute_uv=False)
+        assert s_d.sum() <= s_a.sum() + 1e-8
+        assert rank <= min(a.shape)
+
+    @given(finite_matrices, st.floats(0.0, 20.0, allow_nan=False))
+    @settings(max_examples=40, deadline=None)
+    def test_singular_values_shifted(self, a, tau):
+        d, _, _ = singular_value_threshold(a, tau)
+        s_a = np.linalg.svd(a, compute_uv=False)
+        s_d = np.linalg.svd(d, compute_uv=False)
+        expected = np.maximum(s_a - tau, 0.0)
+        np.testing.assert_allclose(np.sort(s_d), np.sort(expected), atol=1e-7)
+
+
+class TestRowConstantProperties:
+    @given(finite_matrices)
+    @settings(max_examples=60)
+    def test_exact_additive_split(self, a):
+        res = row_constant_decomposition(a)
+        np.testing.assert_allclose(res.low_rank + res.sparse, a, atol=1e-10)
+
+    @given(finite_matrices)
+    @settings(max_examples=60)
+    def test_l1_optimality_vs_mean(self, a):
+        # The median row never loses to the mean row in L1.
+        res = row_constant_decomposition(a)
+        err_median = np.abs(a - res.constant_row).sum()
+        err_mean = np.abs(a - a.mean(axis=0)).sum()
+        assert err_median <= err_mean + 1e-9
+
+    @given(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=st.tuples(st.integers(1, 6), st.integers(1, 10)),
+            elements=st.floats(0.1, 100, allow_nan=False, width=64),
+        ),
+        st.integers(2, 7),
+    )
+    @settings(max_examples=40)
+    def test_row_constant_input_recovered(self, row_mat, n_rows):
+        row = row_mat[0]
+        a = np.tile(row, (n_rows, 1))
+        res = row_constant_decomposition(a)
+        np.testing.assert_allclose(res.constant_row, row)
+        np.testing.assert_allclose(res.sparse, 0.0, atol=1e-12)
+
+
+class TestMetricProperties:
+    @given(finite_matrices)
+    def test_relative_error_norm_self_is_one(self, a):
+        if np.abs(a).sum() > 0:
+            assert relative_error_norm(a, a) == 1.0
+
+    @given(finite_matrices, st.floats(0.1, 10.0, allow_nan=False))
+    def test_relative_error_norm_scale_invariant(self, a, c):
+        if np.abs(a).sum() == 0:
+            return
+        e = a * 0.3
+        assert np.isclose(
+            relative_error_norm(e, a), relative_error_norm(e * c, a * c)
+        )
+
+    @given(finite_matrices)
+    def test_pseudo_l0_bounds(self, a):
+        n = pseudo_l0_norm(a)
+        assert 0 <= n <= a.size
+
+    @given(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=st.integers(1, 30),
+            elements=st.floats(-50, 50, allow_nan=False, width=64),
+        )
+    )
+    def test_relative_difference_identity(self, v):
+        assert relative_difference(v, v) == 0.0
+
+
+class TestMatrixRoundtripProperties:
+    @given(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=st.integers(2, 7).map(lambda n: (n, n)),
+            elements=st.floats(0.1, 100, allow_nan=False, width=64),
+        )
+    )
+    @settings(max_examples=60)
+    def test_flatten_roundtrip(self, w):
+        np.fill_diagonal(w, 0.0)
+        pm = PerformanceMatrix(weights=w)
+        back = PerformanceMatrix.from_flat(pm.flatten())
+        np.testing.assert_array_equal(back.weights, pm.weights)
+
+    @given(st.integers(2, 6), st.integers(1, 8))
+    def test_tc_matrix_rank(self, n, rows):
+        rng = np.random.default_rng(0)
+        row = rng.uniform(0.5, 2.0, size=n * n)
+        tc = TCMatrix(row=row, n_rows=rows, n_machines=n)
+        assert np.linalg.matrix_rank(tc.as_matrix()) == 1
+
+    @given(st.integers(2, 6), st.integers(2, 9))
+    def test_tp_head_preserves_rows(self, n, rows):
+        rng = np.random.default_rng(1)
+        tp = TPMatrix(data=rng.uniform(0.1, 1, size=(rows, n * n)), n_machines=n)
+        h = tp.head(rows - 1)
+        np.testing.assert_array_equal(h.data, tp.data[: rows - 1])

@@ -1,0 +1,76 @@
+"""Property-based tests for the flow simulator: conservation and sanity.
+
+The invariants here are the ones a fluid simulator must never break:
+every scheduled flow completes (given enough horizon), bytes are conserved,
+completions never precede arrivals, and durations are bounded below by the
+uncontended transfer time.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netsim.fattree import FatTreeTopology
+from repro.netsim.simulator import FlowSimulator
+from repro.netsim.topology import TreeTopology
+
+MB = 1024 * 1024
+
+
+def run_random_flows(topo, n_flows, seed):
+    rng = np.random.default_rng(seed)
+    sim = FlowSimulator(topo)
+    scheduled = []
+    for _ in range(n_flows):
+        s, d = rng.choice(topo.n_machines, size=2, replace=False)
+        size = float(rng.uniform(0.1, 20) * MB)
+        at = float(rng.uniform(0, 2))
+        sim.schedule_flow(at, int(s), int(d), size)
+        scheduled.append((int(s), int(d), size, at))
+    sim.run_until_idle(horizon=10_000)
+    return sim, scheduled
+
+
+class TestTreeConservation:
+    @given(st.integers(1, 25), st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_all_flows_complete_and_conserve_bytes(self, n_flows, seed):
+        topo = TreeTopology(n_racks=3, servers_per_rack=4)
+        sim, scheduled = run_random_flows(topo, n_flows, seed)
+        assert len(sim.completed) == n_flows
+        assert sim.n_active == 0
+        total_scheduled = sum(s for _, _, s, _ in scheduled)
+        total_delivered = sum(r.size_bytes for r in sim.completed)
+        assert np.isclose(total_delivered, total_scheduled, rtol=1e-12)
+
+    @given(st.integers(1, 20), st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_durations_bounded_below_by_uncontended_time(self, n_flows, seed):
+        topo = TreeTopology(n_racks=3, servers_per_rack=4)
+        sim, _ = run_random_flows(topo, n_flows, seed)
+        for rec in sim.completed:
+            path = topo.path(rec.src, rec.dst)
+            best_rate = min(topo.capacities[l] for l in path)
+            min_duration = rec.size_bytes / best_rate + topo.path_latency(
+                rec.src, rec.dst
+            )
+            assert rec.duration >= min_duration - 1e-6
+
+    @given(st.integers(1, 20), st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_completion_after_start(self, n_flows, seed):
+        topo = TreeTopology(n_racks=2, servers_per_rack=4)
+        sim, _ = run_random_flows(topo, n_flows, seed)
+        for rec in sim.completed:
+            assert rec.end_time > rec.start_time
+
+
+class TestFatTreeConservation:
+    @given(st.integers(1, 15), st.integers(0, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_fattree_flows_complete(self, n_flows, seed):
+        topo = FatTreeTopology(k=4)
+        sim, scheduled = run_random_flows(topo, n_flows, seed)
+        assert len(sim.completed) == n_flows
+        total = sum(s for _, _, s, _ in scheduled)
+        assert np.isclose(sum(r.size_bytes for r in sim.completed), total, rtol=1e-12)

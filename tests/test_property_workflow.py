@@ -1,0 +1,84 @@
+"""Property-based tests for the workflow makespan model."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.workflow import Workflow, WorkflowStage, montage_like_workflow, workflow_makespan
+
+MB = 1024 * 1024
+
+
+def uniform_net(n, beta=100.0 * MB):
+    a = np.zeros((n, n))
+    b = np.full((n, n), float(beta))
+    np.fill_diagonal(b, np.inf)
+    return a, b
+
+
+def random_assignment(order, n, rng):
+    machines = rng.choice(n, size=len(order), replace=len(order) > n)
+    return {name: int(m) for name, m in zip(order, machines)}
+
+
+class TestMakespanProperties:
+    @given(st.integers(2, 8), st.integers(0, 500))
+    @settings(max_examples=40, deadline=None)
+    def test_makespan_at_least_critical_compute(self, width, seed):
+        wf = montage_like_workflow(width=width, seed=seed)
+        g, order = wf.task_graph()
+        rng = np.random.default_rng(seed)
+        n = len(order)
+        alpha, beta = uniform_net(n)
+        assignment = random_assignment(order, n, rng)
+        ms = workflow_makespan(wf, assignment, alpha, beta)
+        # Lower bound: the compute on any root-to-sink path (take the
+        # heaviest single stage as a cheap certified bound).
+        heaviest = max(
+            wf.graph.nodes[s]["stage"].computation_seconds for s in order
+        )
+        assert ms >= heaviest
+
+    @given(st.integers(2, 6), st.integers(0, 300))
+    @settings(max_examples=30, deadline=None)
+    def test_all_on_one_machine_equals_serial_compute(self, width, seed):
+        wf = montage_like_workflow(width=width, seed=seed)
+        _, order = wf.task_graph()
+        alpha, beta = uniform_net(4)
+        assignment = {name: 0 for name in order}
+        ms = workflow_makespan(wf, assignment, alpha, beta)
+        serial = sum(
+            wf.graph.nodes[s]["stage"].computation_seconds for s in order
+        )
+        assert np.isclose(ms, serial)
+
+    @given(st.integers(2, 6), st.integers(0, 300), st.floats(1.5, 10.0))
+    @settings(max_examples=30, deadline=None)
+    def test_faster_network_never_hurts(self, width, seed, speedup):
+        wf = montage_like_workflow(width=width, seed=seed)
+        _, order = wf.task_graph()
+        rng = np.random.default_rng(seed)
+        n = len(order)
+        alpha, slow_b = uniform_net(n, beta=20.0 * MB)
+        _, fast_b = uniform_net(n, beta=20.0 * MB * speedup)
+        assignment = random_assignment(order, n, rng)
+        slow = workflow_makespan(wf, assignment, alpha, slow_b)
+        fast = workflow_makespan(wf, assignment, alpha, fast_b)
+        assert fast <= slow + 1e-9
+
+    @given(st.integers(0, 300))
+    @settings(max_examples=30, deadline=None)
+    def test_adding_an_edge_never_decreases_makespan(self, seed):
+        rng = np.random.default_rng(seed)
+        wf = Workflow()
+        for i in range(4):
+            wf.add_stage(WorkflowStage(f"s{i}", computation_seconds=float(rng.uniform(1, 5))))
+        wf.add_edge("s0", "s1", 10 * MB)
+        wf.add_edge("s1", "s3", 10 * MB)
+        _, order = wf.task_graph()
+        alpha, beta = uniform_net(4, beta=5 * MB)
+        assignment = {name: i for i, name in enumerate(order)}
+        before = workflow_makespan(wf, assignment, alpha, beta)
+        wf.add_edge("s2", "s3", 30 * MB)
+        after = workflow_makespan(wf, assignment, alpha, beta)
+        assert after >= before - 1e-9

@@ -1,0 +1,156 @@
+"""Unit tests for the Algorithm-1 runtime session."""
+
+import numpy as np
+import pytest
+
+from repro.cloudsim.bands import BandTiers
+from repro.cloudsim.dynamics import DynamicsConfig
+from repro.cloudsim.trace import CalibrationTrace
+from repro.cloudsim.tracegen import TraceConfig, generate_trace
+from repro.core.maintenance import MaintenanceDecision
+from repro.errors import ValidationError
+from repro.mapping.taskgraph import random_task_graph
+from repro.runtime.session import TraceSession
+
+MB = 1024 * 1024
+
+
+class TestSessionBasics:
+    def test_initial_calibration_charged(self, small_trace):
+        s = TraceSession(small_trace, time_step=10, calibration_cost=33.0,
+                         solver="row_constant")
+        assert s.stats.overhead_seconds == 33.0
+        assert s.stats.operations == 0
+        assert 0.0 <= s.norm_ne < 1.0
+        assert s.verdict in ("stable", "moderately-stable", "dynamic", "too-dynamic")
+
+    def test_collectives_advance_and_account(self, small_trace):
+        s = TraceSession(small_trace, time_step=10, calibration_cost=0.0,
+                         solver="row_constant")
+        r1 = s.broadcast(root=0)
+        r2 = s.scatter(root=3, block_bytes=1 * MB)
+        assert r1.snapshot == 10 and r2.snapshot == 11
+        assert s.stats.operations == 2
+        assert s.stats.communication_seconds == pytest.approx(
+            r1.elapsed + r2.elapsed
+        )
+        assert r1.expected > 0 and r1.elapsed > 0
+
+    def test_cursor_wraps(self, small_trace):
+        s = TraceSession(small_trace, time_step=10, calibration_cost=0.0,
+                         solver="row_constant", threshold=1e9)
+        snaps = [s.broadcast().snapshot for _ in range(20)]
+        assert max(snaps) == small_trace.n_snapshots - 1
+        assert snaps.count(10) >= 2  # wrapped back to the window start
+
+    def test_all_ops_supported(self, small_trace):
+        s = TraceSession(small_trace, time_step=10, calibration_cost=0.0,
+                         solver="row_constant", threshold=1e9)
+        for record in (s.broadcast(), s.scatter(), s.reduce(), s.gather()):
+            assert record.elapsed > 0
+
+    def test_map_tasks(self, small_trace):
+        s = TraceSession(small_trace, time_step=10, calibration_cost=0.0,
+                         solver="row_constant", threshold=1e9)
+        g = random_task_graph(8, seed=0)
+        mapping, elapsed = s.map_tasks(g)
+        assert len(set(mapping.tolist())) == 8
+        assert elapsed > 0
+        assert s.stats.history[-1].op == "mapping"
+
+    def test_too_large_graph_rejected(self, small_trace):
+        s = TraceSession(small_trace, time_step=10, solver="row_constant")
+        with pytest.raises(ValidationError):
+            s.map_tasks(random_task_graph(9, seed=0))
+
+    def test_short_trace_rejected(self, tiny_trace):
+        with pytest.raises(ValidationError):
+            TraceSession(tiny_trace, time_step=10)
+
+    def test_subcluster_operation(self, small_trace):
+        # Algorithm 1 line 3: run the operation on C' ⊆ C with the full
+        # cluster's constant component.
+        s = TraceSession(small_trace, time_step=10, solver="row_constant",
+                         calibration_cost=0.0, threshold=1e9)
+        rec = s.run_collective("broadcast", root=0, machines=[0, 2, 4, 6])
+        assert rec.elapsed > 0 and rec.expected > 0
+        # A 4-machine broadcast is cheaper than the full 8-machine one.
+        full = s.run_collective("broadcast", root=0)
+        assert rec.elapsed < full.elapsed
+
+    def test_subcluster_validation(self, small_trace):
+        s = TraceSession(small_trace, time_step=10, solver="row_constant")
+        with pytest.raises(ValidationError):
+            s.run_collective("broadcast", machines=[0])
+        with pytest.raises(ValidationError):
+            s.run_collective("broadcast", machines=[0, 0, 1])
+        with pytest.raises(ValidationError):
+            s.run_collective("broadcast", machines=[0, 99])
+
+    def test_communicator_bridges_to_mpisim(self, small_trace):
+        s = TraceSession(small_trace, time_step=10, solver="row_constant",
+                         calibration_cost=0.0)
+        comm = s.communicator()
+        assert comm.size == 8
+        out = comm.bcast(np.arange(5), root=2)
+        assert len(out) == 8 and comm.elapsed > 0
+        # Snapshot override and bounds checking.
+        comm2 = s.communicator(snapshot=12)
+        assert comm2.size == 8
+        with pytest.raises(ValidationError):
+            s.communicator(snapshot=99)
+
+
+class TestSessionMaintenance:
+    def _two_regime_trace(self):
+        dyn = DynamicsConfig(
+            volatility_sigma=0.03, spike_probability=0.0, hotspot_probability=0.0
+        )
+        a = generate_trace(
+            TraceConfig(n_machines=8, n_snapshots=15, dynamics=dyn), seed=1
+        )
+        b = generate_trace(
+            TraceConfig(
+                n_machines=8,
+                n_snapshots=15,
+                dynamics=dyn,
+                tiers=BandTiers(
+                    same_rack_bandwidth=125e6 / 4, cross_rack_bandwidth=50e6 / 4
+                ),
+            ),
+            seed=2,
+        )
+        return CalibrationTrace(
+            alpha=np.concatenate([a.alpha, b.alpha]),
+            beta=np.concatenate([a.beta, b.beta]),
+            timestamps=np.arange(30, dtype=float) * 1800.0,
+        )
+
+    def test_recalibrates_on_regime_change(self):
+        trace = self._two_regime_trace()
+        s = TraceSession(trace, time_step=10, threshold=1.0,
+                         calibration_cost=10.0, solver="row_constant")
+        decisions = [s.broadcast().decision for _ in range(12)]
+        assert MaintenanceDecision.RECALIBRATE in decisions
+        assert s.stats.recalibrations >= 1
+        # The estimate adapts: post-recalibration expectations track reality.
+        last = s.stats.history[-1]
+        assert abs(last.elapsed - last.expected) / last.expected < 1.0
+
+    def test_no_recalibration_on_stationary_trace(self, calm_trace):
+        s = TraceSession(calm_trace, time_step=10, threshold=1.0,
+                         calibration_cost=10.0, solver="row_constant")
+        for _ in range(10):
+            s.broadcast()
+        assert s.stats.recalibrations == 0
+        # Only the initial calibration was charged.
+        assert s.stats.overhead_seconds == 10.0
+
+    def test_average_total(self, calm_trace):
+        s = TraceSession(calm_trace, time_step=10, threshold=1e9,
+                         calibration_cost=5.0, solver="row_constant")
+        for _ in range(5):
+            s.broadcast()
+        assert s.stats.average_total_seconds == pytest.approx(
+            (s.stats.communication_seconds + 5.0) / 5
+        )
