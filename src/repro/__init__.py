@@ -20,7 +20,10 @@ True
 Sub-packages
 ------------
 core
-    RPCA solvers, TP/TC/TE matrices, Norm(N_E), Algorithm-1 maintenance.
+    RPCA solvers, TP/TC/TE matrices, Norm(N_E), Algorithm-1 maintenance,
+    and the warm-started :class:`DecompositionEngine`.
+observability
+    Counters, timers and per-solve span records; ``--profile`` plumbing.
 netmodel
     The α-β transfer-time model.
 cloudsim
@@ -48,15 +51,20 @@ from .core import (
     TEMatrix,
     decompose,
     Decomposition,
+    DecompositionEngine,
+    SolverResult,
     rpca_apg,
     rpca_ialm,
     row_constant_decomposition,
     solve_rpca,
     available_solvers,
+    register_solver,
+    solver_spec,
     relative_error_norm,
     MaintenanceController,
     MaintenanceDecision,
 )
+from .observability import Instrumentation, SolveSpan, instrumented
 from .cloudsim import TraceConfig, generate_trace, CalibrationTrace
 from .cloudsim.io import save_trace, load_trace, load_trace_csv
 from .collectives import binomial_tree, fnf_tree, CommTree, run_collective
@@ -77,12 +85,19 @@ __all__ = [
     "TEMatrix",
     "decompose",
     "Decomposition",
+    "DecompositionEngine",
+    "SolverResult",
     "rpca_apg",
     "rpca_ialm",
     "row_constant_decomposition",
     "solve_rpca",
     "available_solvers",
+    "register_solver",
+    "solver_spec",
     "relative_error_norm",
+    "Instrumentation",
+    "SolveSpan",
+    "instrumented",
     "MaintenanceController",
     "MaintenanceDecision",
     "TraceConfig",

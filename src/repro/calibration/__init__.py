@@ -9,7 +9,12 @@ model behind the paper's Fig 4 overhead numbers.
 """
 
 from .schedule import pairing_rounds, PairingSchedule
-from .calibrator import Calibrator, MeasurementSubstrate, TraceSubstrate
+from .calibrator import (
+    Calibrator,
+    CalibratorWindowSource,
+    MeasurementSubstrate,
+    TraceSubstrate,
+)
 from .overhead import CalibrationCostModel, calibration_overhead_seconds
 from .adaptive import AdaptiveStepResult, select_time_step_online
 
@@ -19,6 +24,7 @@ __all__ = [
     "pairing_rounds",
     "PairingSchedule",
     "Calibrator",
+    "CalibratorWindowSource",
     "MeasurementSubstrate",
     "TraceSubstrate",
     "CalibrationCostModel",

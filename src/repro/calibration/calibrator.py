@@ -20,7 +20,12 @@ from ..errors import CalibrationError
 from ..utils.seeding import spawn_rng
 from .schedule import PairingSchedule, pairing_rounds
 
-__all__ = ["MeasurementSubstrate", "TraceSubstrate", "Calibrator"]
+__all__ = [
+    "MeasurementSubstrate",
+    "TraceSubstrate",
+    "Calibrator",
+    "CalibratorWindowSource",
+]
 
 
 @runtime_checkable
@@ -73,6 +78,11 @@ class TraceSubstrate:
     def n_machines(self) -> int:
         return self.trace.n_machines
 
+    @property
+    def n_snapshots(self) -> int:
+        """Number of snapshots this substrate can answer probes for."""
+        return self.trace.n_snapshots
+
     def measure_round(
         self, pairs: tuple[tuple[int, int], ...], snapshot: int
     ) -> list[tuple[float, float]]:
@@ -102,12 +112,20 @@ class Calibrator:
     schedule:
         Pairing schedule; defaults to the circle method for the substrate's
         machine count.
+    cache_snapshots:
+        Memoize :meth:`calibrate_snapshot` results by snapshot index, so
+        overlapping re-calibration windows re-*use* measurements instead of
+        re-*taking* them (each snapshot costs ``2N`` probe rounds — paper
+        Fig 4). With a noisy substrate the cached draw is what gets reused;
+        that is the semantics of a rolling window over past measurements.
     """
 
     def __init__(
         self,
         substrate: MeasurementSubstrate,
         schedule: PairingSchedule | None = None,
+        *,
+        cache_snapshots: bool = False,
     ) -> None:
         self.substrate = substrate
         n = substrate.n_machines
@@ -117,9 +135,15 @@ class Calibrator:
                 f"schedule is for {self.schedule.n_machines} machines, "
                 f"substrate has {n}"
             )
+        self.cache_snapshots = bool(cache_snapshots)
+        self._snapshot_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
 
     def calibrate_snapshot(self, snapshot: int) -> tuple[np.ndarray, np.ndarray]:
         """Measure every ordered pair once; return full (α, β) matrices."""
+        if self.cache_snapshots:
+            cached = self._snapshot_cache.get(int(snapshot))
+            if cached is not None:
+                return cached
         n = self.substrate.n_machines
         alpha = np.zeros((n, n))
         beta = np.full((n, n), np.inf)
@@ -136,6 +160,10 @@ class Calibrator:
                     )
                 alpha[s, r] = a_v
                 beta[s, r] = b_v
+        if self.cache_snapshots:
+            alpha.setflags(write=False)
+            beta.setflags(write=False)
+            self._snapshot_cache[int(snapshot)] = (alpha, beta)
         return alpha, beta
 
     def calibrate(
@@ -157,3 +185,62 @@ class Calibrator:
         return TPMatrix(
             data=rows, n_machines=n, timestamps=np.asarray(snaps, dtype=np.float64)
         )
+
+    def engine(self, *, nbytes: float, n_snapshots: int | None = None, **kwargs):
+        """A :class:`~repro.core.engine.DecompositionEngine` over this calibrator.
+
+        The engine reads snapshots through :class:`CalibratorWindowSource`,
+        so rolling re-calibration windows share measurements (enable
+        ``cache_snapshots`` to also avoid re-probing) and warm-start their
+        solves. *n_snapshots* bounds the addressable snapshot range; it
+        defaults to the substrate's own ``n_snapshots`` when it has one.
+        Remaining keyword arguments go to the engine constructor
+        (``time_step``, ``solver``, ``warm_start``, ...).
+        """
+        from ..core.engine import DecompositionEngine
+
+        source = CalibratorWindowSource(self, n_snapshots=n_snapshots)
+        return DecompositionEngine(source, nbytes=nbytes, **kwargs)
+
+
+class CalibratorWindowSource:
+    """Adapt a :class:`Calibrator` to :class:`repro.core.engine.WindowSource`.
+
+    Each snapshot row is assembled with the same elementwise operations
+    :meth:`Calibrator.calibrate` uses, so engine windows are byte-identical
+    to direct ``calibrate(range(start, stop), nbytes)`` calls (given the
+    same measurement draws — use ``cache_snapshots=True`` on a noisy
+    substrate to pin them). Snapshot indices double as timestamps, matching
+    :meth:`Calibrator.calibrate`.
+    """
+
+    def __init__(self, calibrator: Calibrator, n_snapshots: int | None = None) -> None:
+        self.calibrator = calibrator
+        if n_snapshots is None:
+            n_snapshots = getattr(calibrator.substrate, "n_snapshots", None)
+        if n_snapshots is None:
+            raise CalibrationError(
+                "substrate does not expose n_snapshots; pass it explicitly"
+            )
+        if int(n_snapshots) < 1:
+            raise CalibrationError("n_snapshots must be >= 1")
+        self._n_snapshots = int(n_snapshots)
+        n = calibrator.substrate.n_machines
+        self._off = ~np.eye(n, dtype=bool)
+
+    @property
+    def n_machines(self) -> int:
+        return int(self.calibrator.substrate.n_machines)
+
+    @property
+    def n_snapshots(self) -> int:
+        return self._n_snapshots
+
+    def snapshot_row(self, k: int, nbytes: float) -> np.ndarray:
+        alpha, beta = self.calibrator.calibrate_snapshot(k)
+        w = np.zeros_like(alpha)
+        w[self._off] = alpha[self._off] + nbytes / beta[self._off]
+        return w.ravel()
+
+    def timestamp(self, k: int) -> float:
+        return float(k)

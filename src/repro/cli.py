@@ -13,7 +13,11 @@ Six subcommands cover the operational loop around the library:
 * ``repro figures`` — regenerate every paper figure at quick or paper scale.
 
 Trace-consuming commands accept ``.npz`` archives or ``.csv`` logs of real
-ping-pong measurements (see :func:`repro.load_trace_csv`).
+ping-pong measurements (see :func:`repro.load_trace_csv`). ``decompose`` and
+``compare`` accept ``--profile``, which activates an observability sink
+around the command and prints the instrumentation report (per-solve
+iteration/residual/wall-time spans, counters, timers) after the normal
+output.
 """
 
 from __future__ import annotations
@@ -56,6 +60,8 @@ def build_parser() -> argparse.ArgumentParser:
     dec.add_argument("--solver", default="apg")
     dec.add_argument("--time-step", type=int, default=10)
     dec.add_argument("--message-mb", type=float, default=8.0)
+    dec.add_argument("--profile", action="store_true",
+                     help="print the instrumentation report after the summary")
 
     cmp_ = sub.add_parser("compare", help="Baseline vs Heuristics vs RPCA replay")
     cmp_.add_argument("trace", help="trace .npz path")
@@ -66,6 +72,8 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_.add_argument("--solver", default="apg")
     cmp_.add_argument("--message-mb", type=float, default=8.0)
     cmp_.add_argument("--seed", type=int, default=0)
+    cmp_.add_argument("--profile", action="store_true",
+                      help="print the instrumentation report after the table")
 
     chg = sub.add_parser("changepoints", help="locate offline regime changes")
     chg.add_argument("trace", help="trace .npz path")
@@ -224,6 +232,15 @@ _COMMANDS = {
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    if getattr(args, "profile", False):
+        from .observability import Instrumentation, instrumented
+
+        instr = Instrumentation(args.command)
+        with instrumented(instr):
+            code = _COMMANDS[args.command](args)
+        print()
+        print(instr.report())
+        return code
     return _COMMANDS[args.command](args)
 
 

@@ -17,15 +17,25 @@ Public surface
 * :func:`relative_error_norm` — ``Norm(N_E)``, the effectiveness predictor.
 * :class:`MaintenanceController` — paper Algorithm 1 (adaptive update
   maintenance driven by expected-vs-real performance feedback).
+* :class:`DecompositionEngine` — rolling-window cache + warm-started
+  re-calibration + instrumentation, for long-running Algorithm-1 loops.
 """
 
 from .matrices import PerformanceMatrix, TPMatrix, TCMatrix, TEMatrix
 from .svd_ops import soft_threshold, singular_value_threshold, truncated_svd
+from .result import SolverResult
 from .apg import rpca_apg, APGResult
 from .ialm import rpca_ialm, IALMResult
 from .row_constant import row_constant_decomposition
-from .solvers import solve_rpca, available_solvers
+from .solvers import (
+    solve_rpca,
+    available_solvers,
+    register_solver,
+    solver_spec,
+    SolverSpec,
+)
 from .decompose import decompose, Decomposition, constant_row
+from .engine import DecompositionEngine, TraceWindowSource, WindowSource
 from .metrics import (
     pseudo_l0_norm,
     l1_norm,
@@ -44,6 +54,7 @@ __all__ = [
     "soft_threshold",
     "singular_value_threshold",
     "truncated_svd",
+    "SolverResult",
     "rpca_apg",
     "APGResult",
     "rpca_ialm",
@@ -51,9 +62,15 @@ __all__ = [
     "row_constant_decomposition",
     "solve_rpca",
     "available_solvers",
+    "register_solver",
+    "solver_spec",
+    "SolverSpec",
     "decompose",
     "Decomposition",
     "constant_row",
+    "DecompositionEngine",
+    "TraceWindowSource",
+    "WindowSource",
     "pseudo_l0_norm",
     "l1_norm",
     "relative_error_norm",

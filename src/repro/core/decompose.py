@@ -23,6 +23,7 @@ import numpy as np
 from ..errors import ValidationError
 from .matrices import PerformanceMatrix, TCMatrix, TEMatrix, TPMatrix
 from .metrics import StabilityReport, stability_report
+from .result import SolverResult
 from .solvers import solve_rpca
 from .svd_ops import truncated_svd
 
@@ -65,7 +66,12 @@ def constant_row(low_rank: np.ndarray, *, method: str = "mean") -> np.ndarray:
 
 @dataclass(frozen=True)
 class Decomposition:
-    """Result of :func:`decompose`: ``N_A ≈ N_D + N_E`` plus diagnostics."""
+    """Result of :func:`decompose`: ``N_A ≈ N_D + N_E`` plus diagnostics.
+
+    ``solver_result`` keeps the raw :class:`~repro.core.result.SolverResult`
+    so a later overlapping re-calibration can warm-start from this solve
+    (see :class:`~repro.core.engine.DecompositionEngine`).
+    """
 
     constant: TCMatrix
     error: TEMatrix
@@ -73,6 +79,7 @@ class Decomposition:
     solver: str
     solver_iterations: int
     solver_converged: bool
+    solver_result: SolverResult | None = None
 
     @property
     def norm_ne(self) -> float:
@@ -106,7 +113,7 @@ def decompose(
         Forwarded to the solver.
     """
     result = solve_rpca(tp.data, solver=solver, **solver_kwargs)
-    if hasattr(result, "constant_row"):
+    if getattr(result, "constant_row", None) is not None:
         # Exact row-constant solvers (row_constant, pca) carry their row.
         row = result.constant_row
     else:
@@ -125,4 +132,5 @@ def decompose(
         solver=solver,
         solver_iterations=result.iterations,
         solver_converged=result.converged,
+        solver_result=result if isinstance(result, SolverResult) else None,
     )

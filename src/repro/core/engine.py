@@ -1,0 +1,239 @@
+"""The decomposition engine: rolling windows, warm starts, instrumentation.
+
+Algorithm 1 keeps re-running "calibrate a window, RPCA it" as the trace
+advances, and historically every layer re-derived the TP-matrix from scratch
+(``trace.tp_matrix(...)``) and solved cold each time. The
+:class:`DecompositionEngine` owns that loop for long-running operation:
+
+* a **rolling window cache** — per-snapshot weight rows are computed once
+  and stitched into TP-matrix windows, byte-identical to
+  ``trace.tp_matrix(nbytes, start, count)``, so successive overlapping
+  windows share all their unchanged rows;
+* **warm-started recalibration** — when the registered solver supports it
+  (see :class:`~repro.core.solvers.SolverSpec.supports_warm_start`), each
+  solve is initialized from the previous window's solution, cutting the
+  iteration count of APG/IALM re-solves;
+* **instrumentation** — every solve lands a
+  :class:`~repro.observability.SolveSpan` plus warm/cold and cache-hit
+  counters in the engine's :class:`~repro.observability.Instrumentation`
+  (and any outer sink activated via
+  :func:`~repro.observability.instrumented`).
+
+The engine reads snapshots through the small :class:`WindowSource` protocol;
+a :class:`~repro.cloudsim.trace.CalibrationTrace` is adapted automatically,
+and :meth:`repro.calibration.calibrator.Calibrator.engine` adapts a live
+measurement substrate.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol, runtime_checkable
+
+import numpy as np
+
+from .._validation import check_nonnegative
+from ..errors import ValidationError
+from ..observability import Instrumentation, instrumented
+from .decompose import Decomposition, decompose
+from .matrices import TPMatrix
+from .solvers import solver_spec
+
+__all__ = ["WindowSource", "TraceWindowSource", "DecompositionEngine"]
+
+
+@runtime_checkable
+class WindowSource(Protocol):
+    """Anything the engine can read calibration snapshots from."""
+
+    @property
+    def n_machines(self) -> int:
+        """Number of machines per snapshot."""
+        ...
+
+    @property
+    def n_snapshots(self) -> int:
+        """Number of snapshots addressable by :meth:`snapshot_row`."""
+        ...
+
+    def snapshot_row(self, k: int, nbytes: float) -> np.ndarray:
+        """Snapshot *k* as a flattened ``N²`` weight row for *nbytes*."""
+        ...
+
+    def timestamp(self, k: int) -> float:
+        """Measurement time of snapshot *k* in seconds."""
+        ...
+
+
+class TraceWindowSource:
+    """Adapt a :class:`~repro.cloudsim.trace.CalibrationTrace` to :class:`WindowSource`.
+
+    Row values are computed exactly as ``trace.tp_matrix`` computes them
+    (same elementwise operations on the same α/β entries), so windows
+    assembled from these rows are byte-identical to the direct call.
+    """
+
+    def __init__(self, trace: Any) -> None:
+        for attr in ("alpha", "beta", "timestamps", "n_machines", "n_snapshots"):
+            if not hasattr(trace, attr):
+                raise ValidationError(
+                    f"trace-like source must expose {attr!r}; got {type(trace).__name__}"
+                )
+        self.trace = trace
+        self._off = ~np.eye(trace.n_machines, dtype=bool)
+
+    @property
+    def n_machines(self) -> int:
+        return int(self.trace.n_machines)
+
+    @property
+    def n_snapshots(self) -> int:
+        return int(self.trace.n_snapshots)
+
+    def snapshot_row(self, k: int, nbytes: float) -> np.ndarray:
+        a = self.trace.alpha[k]
+        b = self.trace.beta[k]
+        w = np.zeros_like(a)
+        w[self._off] = a[self._off] + nbytes / b[self._off]
+        return w.reshape(-1)
+
+    def timestamp(self, k: int) -> float:
+        return float(self.trace.timestamps[k])
+
+
+class DecompositionEngine:
+    """Warm-started decomposition over rolling windows of a snapshot source.
+
+    Parameters
+    ----------
+    source:
+        A :class:`WindowSource`, or a
+        :class:`~repro.cloudsim.trace.CalibrationTrace` (adapted
+        automatically).
+    nbytes:
+        Message size the TP-matrix windows are built for.
+    time_step:
+        Calibration window length (paper default 10).
+    solver:
+        Registered solver name; validated at construction.
+    extraction:
+        Constant-row extraction rule (see
+        :func:`~repro.core.decompose.constant_row`).
+    warm_start:
+        Initialize each solve from the previous window's solution when the
+        solver supports it. Disable for bitwise cold-path reproduction.
+    instrumentation:
+        Sink for counters and solve spans; a fresh one is created if omitted.
+    max_cached_rows:
+        Bound on the per-snapshot row cache (LRU eviction); ``None`` keeps
+        every row ever computed — right for replays that wrap around.
+    **solver_kwargs:
+        Forwarded to every solve (``tol``, ``max_iter``, ...); validated
+        against the solver's :class:`~repro.core.solvers.SolverSpec`.
+    """
+
+    def __init__(
+        self,
+        source: Any,
+        *,
+        nbytes: float,
+        time_step: int = 10,
+        solver: str = "apg",
+        extraction: str = "mean",
+        warm_start: bool = True,
+        instrumentation: Instrumentation | None = None,
+        max_cached_rows: int | None = None,
+        **solver_kwargs: Any,
+    ) -> None:
+        if not isinstance(source, WindowSource):
+            source = TraceWindowSource(source)
+        self.source: WindowSource = source
+        check_nonnegative(nbytes, "nbytes")
+        if int(time_step) < 1:
+            raise ValidationError("time_step must be >= 1")
+        if max_cached_rows is not None and int(max_cached_rows) < 1:
+            raise ValidationError("max_cached_rows must be >= 1 or None")
+        self.nbytes = float(nbytes)
+        self.time_step = int(time_step)
+        self.solver = solver
+        self.spec = solver_spec(solver)  # fails fast on unknown names
+        self.spec.validate_kwargs(solver_kwargs)
+        self.extraction = extraction
+        self.warm_start = bool(warm_start)
+        self.solver_kwargs = dict(solver_kwargs)
+        self.instrumentation = (
+            instrumentation if instrumentation is not None else Instrumentation("engine")
+        )
+        self.max_cached_rows = max_cached_rows
+        self._rows: dict[int, np.ndarray] = {}  # insertion order == LRU order
+        self._last: Decomposition | None = None
+
+    # -- state ------------------------------------------------------------
+    @property
+    def last(self) -> Decomposition | None:
+        """The most recent decomposition (the warm-start seed), if any."""
+        return self._last
+
+    def reset_warm_state(self) -> None:
+        """Forget the previous solution; the next solve starts cold."""
+        self._last = None
+
+    # -- rolling window cache ---------------------------------------------
+    def _row(self, k: int) -> np.ndarray:
+        row = self._rows.pop(k, None)
+        if row is None:
+            self.instrumentation.count("engine.window.miss")
+            row = np.asarray(self.source.snapshot_row(k, self.nbytes), dtype=np.float64)
+            row.setflags(write=False)
+        else:
+            self.instrumentation.count("engine.window.hit")
+        self._rows[k] = row  # re-insert: most recently used
+        if self.max_cached_rows is not None and len(self._rows) > self.max_cached_rows:
+            self._rows.pop(next(iter(self._rows)))  # least recently used
+        return row
+
+    def window(self, start: int, stop: int) -> TPMatrix:
+        """TP-matrix for snapshots ``[start, stop)`` from cached rows.
+
+        Byte-identical to ``trace.tp_matrix(nbytes, start=start,
+        count=stop-start)`` for trace-backed sources.
+        """
+        t = self.source.n_snapshots
+        if not 0 <= start < stop <= t:
+            raise ValidationError(f"invalid window [{start}, {stop}) for {t} snapshots")
+        rows = np.stack([self._row(k) for k in range(start, stop)])
+        ts = np.array([self.source.timestamp(k) for k in range(start, stop)])
+        return TPMatrix(data=rows, n_machines=self.source.n_machines, timestamps=ts)
+
+    # -- solving -----------------------------------------------------------
+    def solve(self, tp: TPMatrix) -> Decomposition:
+        """Decompose *tp*, warm-starting from the previous solve if possible."""
+        kwargs = dict(self.solver_kwargs)
+        seed = self._last.solver_result if self._last is not None else None
+        warm = (
+            self.warm_start
+            and self.spec.supports_warm_start
+            and seed is not None
+            and seed.shape == tp.data.shape
+        )
+        if warm:
+            kwargs["warm_start"] = seed
+        self.instrumentation.count(
+            "engine.solve.warm" if warm else "engine.solve.cold"
+        )
+        with instrumented(self.instrumentation):
+            with self.instrumentation.timed("engine.solve_seconds"):
+                dec = decompose(
+                    tp, solver=self.solver, extraction=self.extraction, **kwargs
+                )
+        self._last = dec
+        return dec
+
+    def calibrate(self, end: int) -> Decomposition:
+        """Solve the trailing ``time_step`` window ending at snapshot *end*.
+
+        The Algorithm-1 re-calibration primitive: windows from successive
+        calls overlap, so rows come from the cache and the solve warm-starts
+        from the previous solution.
+        """
+        start = max(0, end - self.time_step)
+        return self.solve(self.window(start, end))

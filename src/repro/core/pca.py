@@ -11,30 +11,19 @@ put.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
 from .._validation import as_float_matrix
+from .result import SolverResult
 from .svd_ops import truncated_svd
 
 __all__ = ["PCAResult", "pca_rank1_decomposition"]
 
-
-@dataclass(frozen=True, slots=True)
-class PCAResult:
-    """Outcome of :func:`pca_rank1_decomposition` (solver-result protocol)."""
-
-    low_rank: np.ndarray
-    sparse: np.ndarray
-    constant_row: np.ndarray
-    rank: int
-    iterations: int
-    converged: bool
-    residual: float
+# Backward-compatible alias: every solver now returns the shared contract.
+PCAResult = SolverResult
 
 
-def pca_rank1_decomposition(a: np.ndarray) -> PCAResult:
+def pca_rank1_decomposition(a: np.ndarray) -> SolverResult:
     """Best rank-one L2 approximation of *a* plus residual.
 
     ``low_rank = σ₁ u₁ v₁ᵀ`` — the classic PCA/SVD answer, optimal in the
@@ -47,18 +36,26 @@ def pca_rank1_decomposition(a: np.ndarray) -> PCAResult:
     u, s, vt = truncated_svd(A)
     if s.size == 0 or s[0] == 0.0:
         zero = np.zeros_like(A)
-        return PCAResult(zero, zero.copy(), np.zeros(A.shape[1]), 0, 1, True, 0.0)
+        return SolverResult(
+            low_rank=zero,
+            sparse=zero.copy(),
+            rank=0,
+            iterations=1,
+            converged=True,
+            residual=0.0,
+            constant_row=np.zeros(A.shape[1]),
+        )
     low = np.outer(u[:, 0] * s[0], vt[0])
     sparse = A - low
     row = low.mean(axis=0)
     norm_a = float(np.linalg.norm(A))
     residual = float(np.linalg.norm(sparse)) / norm_a if norm_a else 0.0
-    return PCAResult(
+    return SolverResult(
         low_rank=low,
         sparse=sparse,
-        constant_row=row,
         rank=1,
         iterations=1,
         converged=True,
         residual=residual,
+        constant_row=row,
     )

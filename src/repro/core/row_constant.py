@@ -17,45 +17,34 @@ a reference point in the solver ablation (DESIGN.md Sec 5).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
 from .._validation import as_float_matrix
+from .result import SolverResult
 
 __all__ = ["RowConstantResult", "row_constant_decomposition"]
 
+# Backward-compatible alias: every solver now returns the shared contract.
+RowConstantResult = SolverResult
 
-@dataclass(frozen=True, slots=True)
-class RowConstantResult:
-    """Outcome of :func:`row_constant_decomposition`.
+
+def row_constant_decomposition(a: np.ndarray) -> SolverResult:
+    """Split ``a`` into a row-constant matrix plus residual via column medians.
 
     ``low_rank`` has every row equal to ``constant_row``; ``sparse`` is the
     exact residual, so ``low_rank + sparse == a`` to machine precision.
     """
-
-    low_rank: np.ndarray
-    sparse: np.ndarray
-    constant_row: np.ndarray
-    rank: int
-    iterations: int
-    converged: bool
-    residual: float
-
-
-def row_constant_decomposition(a: np.ndarray) -> RowConstantResult:
-    """Split ``a`` into a row-constant matrix plus residual via column medians."""
     A = as_float_matrix(a, "a")
     row = np.median(A, axis=0)
     low_rank = np.broadcast_to(row, A.shape).copy()
     sparse = A - low_rank
     rank = 0 if not np.any(row) else 1
-    return RowConstantResult(
+    return SolverResult(
         low_rank=low_rank,
         sparse=sparse,
-        constant_row=row.copy(),
         rank=rank,
         iterations=1,
         converged=True,
         residual=0.0,
+        constant_row=row.copy(),
     )

@@ -6,6 +6,11 @@ each strategy's estimate but *priced on the measured network of the moment*
 (a later trace snapshot). Repetitions randomize the collective root and
 advance through evaluation snapshots; reported numbers are means over
 repetitions and are normalized to Baseline exactly as in Figs 7/11/13.
+
+Harness entry points emit into any active :mod:`repro.observability` sink
+(repetition/evaluation counters, strategy-fit timers, plus the solve spans
+the strategies' own RPCA calls produce), so ``repro compare --profile``
+and experiment drivers can report where replay time goes.
 """
 
 from __future__ import annotations
@@ -22,6 +27,7 @@ from ..mapping.evaluate import bandwidth_from_weights, mapping_total_time
 from ..mapping.greedy import greedy_mapping
 from ..mapping.ring import ring_mapping
 from ..mapping.taskgraph import TaskGraph
+from ..observability import emit_count, timed
 from ..strategies.base import Strategy
 from ..utils.seeding import spawn_rng
 
@@ -66,7 +72,9 @@ class ReplayContext:
         """Fit every strategy on the calibration prefix."""
         tp = self.trace.tp_matrix(self.nbytes, start=0, count=self.time_step)
         for s in strategies:
-            s.fit(tp)
+            with timed(f"harness.fit.{s.name}"):
+                s.fit(tp)
+        emit_count("harness.fits", len(strategies))
 
     def eval_snapshot(self, rep: int) -> int:
         """Evaluation snapshot index for repetition *rep* (cycles the window)."""
@@ -136,7 +144,9 @@ def collective_comparison(
             start = max(0, k - ctx.time_step)
             tp = ctx.trace.tp_matrix(ctx.nbytes, start=start, count=k - start)
             for s in strategies:
-                s.fit(tp)
+                with timed(f"harness.fit.{s.name}"):
+                    s.fit(tp)
+            emit_count("harness.fits", len(strategies))
         root = int(rng.integers(n))
         alpha = ctx.trace.alpha[k]
         beta = ctx.trace.beta[k]
@@ -144,6 +154,8 @@ def collective_comparison(
             weights = s.weight_matrix() if s.is_network_aware else None
             tree = build_tree(n, root, algorithm=s.tree_algorithm, weights=weights)
             out[s.name].append(collective_time(op, tree, alpha, beta, size))
+        emit_count("harness.repetitions")
+        emit_count("harness.evaluations", len(strategies))
     return ComparisonResult(times={k: np.asarray(v) for k, v in out.items()})
 
 
@@ -181,4 +193,6 @@ def mapping_comparison(
                 assert w is not None
                 mapping = greedy_mapping(g, bandwidth_from_weights(w))
             out[s.name].append(mapping_total_time(g, mapping, alpha, beta))
+        emit_count("harness.repetitions")
+        emit_count("harness.evaluations", len(strategies))
     return ComparisonResult(times={k: np.asarray(v) for k, v in out.items()})

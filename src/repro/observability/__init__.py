@@ -1,0 +1,90 @@
+"""Lightweight instrumentation for the decomposition stack.
+
+Two pieces:
+
+* :class:`Instrumentation` — a passive sink of counters, timers and
+  per-solve :class:`SolveSpan` records (see
+  :mod:`repro.observability.instrumentation`).
+* an *activation stack* — :func:`instrumented` pushes a sink for the
+  duration of a ``with`` block, and instrumented call sites
+  (:func:`repro.core.solvers.solve_rpca`, the engine, the replay harness)
+  emit into **every** active sink via :func:`emit_count` /
+  :func:`emit_span` / :func:`emit_time`.
+
+The stack design lets ownership and observation nest: a
+:class:`~repro.core.engine.DecompositionEngine` activates its own sink
+around each solve, while ``repro ... --profile`` activates a CLI-level sink
+around the whole command — both see the same spans without knowing about
+each other. With no sink active, emission is a cheap no-op, so library code
+can emit unconditionally.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from .instrumentation import Instrumentation, SolveSpan
+
+__all__ = [
+    "Instrumentation",
+    "SolveSpan",
+    "instrumented",
+    "active",
+    "emit_count",
+    "emit_span",
+    "emit_time",
+    "timed",
+]
+
+_STACK: list[Instrumentation] = []
+
+
+@contextmanager
+def instrumented(instr: Instrumentation | None = None) -> Iterator[Instrumentation]:
+    """Activate *instr* (a fresh sink if ``None``) for the enclosed block."""
+    sink = instr if instr is not None else Instrumentation()
+    _STACK.append(sink)
+    try:
+        yield sink
+    finally:
+        _STACK.remove(sink)
+
+
+def active() -> tuple[Instrumentation, ...]:
+    """The currently active sinks, innermost last, each listed once."""
+    seen: list[Instrumentation] = []
+    for sink in _STACK:
+        if not any(sink is s for s in seen):
+            seen.append(sink)
+    return tuple(seen)
+
+
+def emit_count(name: str, inc: int = 1) -> None:
+    """Increment counter *name* in every active sink."""
+    for sink in active():
+        sink.count(name, inc)
+
+
+def emit_span(span: SolveSpan) -> None:
+    """Record *span* in every active sink."""
+    for sink in active():
+        sink.record_span(span)
+
+
+def emit_time(name: str, seconds: float) -> None:
+    """Accumulate *seconds* under timer *name* in every active sink."""
+    for sink in active():
+        sink.add_time(name, seconds)
+
+
+@contextmanager
+def timed(name: str) -> Iterator[None]:
+    """Time the enclosed block into timer *name* of every active sink."""
+    import time
+
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        emit_time(name, time.perf_counter() - start)

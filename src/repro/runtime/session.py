@@ -9,6 +9,13 @@ expected time against the observed one and re-calibrates (from the trailing
 window, charging the calibration overhead) when the relative deviation
 crosses the threshold — exactly lines 4–9 of the paper's Algorithm 1.
 
+Calibration goes through a :class:`~repro.core.engine.DecompositionEngine`:
+TP-matrix rows are cached across overlapping windows and re-calibration
+solves warm-start from the previous solution (pass ``warm_start=False`` for
+the historical cold path). The engine's instrumentation — per-solve spans,
+warm/cold and cache counters — is exposed as
+:attr:`TraceSession.instrumentation`.
+
 The same class serves live substrates by first materializing their
 measurements as a trace (see
 :func:`~repro.experiments.netsim_support.calibrate_netsim_trace`).
@@ -25,12 +32,14 @@ from ..calibration.overhead import calibration_overhead_seconds
 from ..cloudsim.trace import CalibrationTrace
 from ..collectives.exec_model import collective_time, weights_to_alphabeta
 from ..collectives.fnf import fnf_tree
-from ..core.decompose import Decomposition, decompose
+from ..core.decompose import Decomposition
+from ..core.engine import DecompositionEngine
 from ..core.maintenance import MaintenanceController, MaintenanceDecision
 from ..errors import ValidationError
 from ..mapping.evaluate import bandwidth_from_weights, mapping_total_time
 from ..mapping.greedy import greedy_mapping
 from ..mapping.taskgraph import TaskGraph
+from ..observability import Instrumentation
 
 __all__ = ["OperationRecord", "SessionStats", "TraceSession"]
 
@@ -49,12 +58,20 @@ class OperationRecord:
 
 @dataclass
 class SessionStats:
-    """Aggregate accounting of a session's lifetime."""
+    """Aggregate accounting of a session's lifetime.
+
+    ``epochs`` counts how many times the replay cursor wrapped past the end
+    of the trace back to the evaluation-window start — i.e. how many times
+    the finite trace was reused. Long-running replays report it so "1000
+    operations" can be read as "the 20-snapshot trace replayed 50 times"
+    rather than mistaken for 1000 fresh measurements.
+    """
 
     operations: int = 0
     communication_seconds: float = 0.0
     overhead_seconds: float = 0.0
     recalibrations: int = 0
+    epochs: int = 0
     history: list[OperationRecord] = field(default_factory=list)
 
     @property
@@ -89,6 +106,14 @@ class TraceSession:
         RPCA backend.
     calibration_cost:
         Seconds charged per (re-)calibration; defaults to the Fig-4 model.
+    warm_start:
+        Warm-start re-calibration solves from the previous window's solution
+        (default on; only solvers that support it — APG/IALM — are affected).
+        Disable to reproduce the historical cold-solve path bit for bit.
+    instrumentation:
+        Observability sink shared with the session's
+        :class:`~repro.core.engine.DecompositionEngine`; a fresh one is
+        created if omitted (read it back via :attr:`instrumentation`).
     """
 
     def __init__(
@@ -101,6 +126,8 @@ class TraceSession:
         consecutive: int = 1,
         solver: str = "apg",
         calibration_cost: float | None = None,
+        warm_start: bool = True,
+        instrumentation: Instrumentation | None = None,
     ) -> None:
         if trace.n_snapshots <= time_step:
             raise ValidationError(
@@ -120,6 +147,18 @@ class TraceSession:
             else calibration_overhead_seconds(trace.n_machines, time_step)
         )
         check_nonnegative(self.calibration_cost, "calibration_cost")
+        self._engine = DecompositionEngine(
+            trace,
+            nbytes=self.nbytes,
+            time_step=self.time_step,
+            solver=solver,
+            warm_start=warm_start,
+            instrumentation=(
+                instrumentation
+                if instrumentation is not None
+                else Instrumentation("session")
+            ),
+        )
         self.stats = SessionStats()
         self._cursor = self.time_step  # next live snapshot
         self._decomposition: Decomposition | None = None
@@ -144,11 +183,14 @@ class TraceSession:
         """The current constant-component weight matrix."""
         return self.decomposition.performance_matrix().weights.copy()
 
+    @property
+    def instrumentation(self) -> Instrumentation:
+        """Counters/timers/solve spans of this session's engine."""
+        return self._engine.instrumentation
+
     # -- internals ----------------------------------------------------------
     def _calibrate(self, end: int, *, charge: bool) -> None:
-        start = max(0, end - self.time_step)
-        tp = self.trace.tp_matrix(self.nbytes, start=start, count=end - start)
-        self._decomposition = decompose(tp, solver=self.solver)
+        self._decomposition = self._engine.calibrate(end)
         if charge:
             self.stats.overhead_seconds += self.calibration_cost
 
@@ -157,6 +199,7 @@ class TraceSession:
         self._cursor += 1
         if self._cursor >= self.trace.n_snapshots:
             self._cursor = self.time_step  # wrap the evaluation window
+            self.stats.epochs += 1
         return k
 
     # -- operations -----------------------------------------------------------

@@ -71,6 +71,25 @@ class TestCommands:
                      "--repetitions", "4", "--solver", "row_constant"]) == 0
         assert "scatter" in capsys.readouterr().out
 
+    def test_decompose_profile(self, trace_file, capsys):
+        assert main(["decompose", trace_file, "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "instrumentation report [decompose]" in out
+        assert "iters" in out and "residual" in out and "ms" in out
+        assert "cold" in out
+
+    def test_compare_profile(self, trace_file, capsys):
+        assert main(["compare", trace_file, "--repetitions", "4",
+                     "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "instrumentation report [compare]" in out
+        assert "harness.repetitions" in out
+        assert "harness.fit.RPCA" in out
+
+    def test_no_profile_no_report(self, trace_file, capsys):
+        assert main(["decompose", trace_file]) == 0
+        assert "instrumentation report" not in capsys.readouterr().out
+
     def test_changepoints_none(self, trace_file, capsys):
         assert main(["changepoints", trace_file, "--threshold", "0.9"]) == 0
         assert "no regime changes" in capsys.readouterr().out

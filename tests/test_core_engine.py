@@ -1,0 +1,332 @@
+"""Engine layer: rolling-window cache, warm starts, registry validation.
+
+Covers the DecompositionEngine itself, its TraceSession integration
+(fixed-seed warm-vs-cold replay equivalence), the Calibrator adapter, and
+the solver-registry capability metadata the engine relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.calibration import Calibrator, CalibratorWindowSource, TraceSubstrate
+from repro.cloudsim.dynamics import DynamicsConfig
+from repro.cloudsim.tracegen import TraceConfig, generate_trace
+from repro.core.apg import rpca_apg
+from repro.core.engine import DecompositionEngine, TraceWindowSource, WindowSource
+from repro.core.ialm import rpca_ialm
+from repro.core.result import SolverResult
+from repro.core.solvers import register_solver, solve_rpca, solver_spec
+from repro.errors import CalibrationError, ValidationError
+from repro.observability import Instrumentation
+from repro.runtime.session import TraceSession
+
+MB = 1024 * 1024
+
+
+@pytest.fixture(scope="module")
+def busy_trace():
+    """A trace dynamic enough to trigger many Algorithm-1 re-calibrations."""
+    cfg = TraceConfig(
+        n_machines=8,
+        n_snapshots=30,
+        dynamics=DynamicsConfig(
+            volatility_sigma=0.08,
+            spike_probability=0.04,
+            spike_severity=2.0,
+            migration_rate=0.04,
+        ),
+    )
+    return generate_trace(cfg, seed=99)
+
+
+class TestWindowCache:
+    def test_window_byte_identical_to_tp_matrix(self, small_trace):
+        eng = DecompositionEngine(small_trace, nbytes=8 * MB)
+        for start, stop in [(0, 10), (3, 13), (5, 24)]:
+            direct = small_trace.tp_matrix(8 * MB, start=start, count=stop - start)
+            win = eng.window(start, stop)
+            assert win.data.tobytes() == direct.data.tobytes()
+            assert win.timestamps.tolist() == direct.timestamps.tolist()
+            assert win.n_machines == direct.n_machines
+
+    def test_overlapping_windows_hit_cache(self, small_trace):
+        eng = DecompositionEngine(small_trace, nbytes=8 * MB)
+        eng.window(0, 10)
+        assert eng.instrumentation.counters["engine.window.miss"] == 10
+        eng.window(2, 12)
+        assert eng.instrumentation.counters["engine.window.hit"] == 8
+        assert eng.instrumentation.counters["engine.window.miss"] == 12
+
+    def test_lru_bound_evicts(self, small_trace):
+        eng = DecompositionEngine(small_trace, nbytes=8 * MB, max_cached_rows=5)
+        eng.window(0, 10)
+        assert len(eng._rows) == 5
+        # Rows 5..9 are resident; re-reading them costs no misses.
+        misses = eng.instrumentation.counters["engine.window.miss"]
+        eng.window(5, 10)
+        assert eng.instrumentation.counters["engine.window.miss"] == misses
+
+    def test_invalid_window_rejected(self, small_trace):
+        eng = DecompositionEngine(small_trace, nbytes=8 * MB)
+        with pytest.raises(ValidationError):
+            eng.window(5, 5)
+        with pytest.raises(ValidationError):
+            eng.window(0, small_trace.n_snapshots + 1)
+
+    def test_trace_window_source_protocol(self, tiny_trace):
+        src = TraceWindowSource(tiny_trace)
+        assert isinstance(src, WindowSource)
+        assert src.n_machines == tiny_trace.n_machines
+        assert src.n_snapshots == tiny_trace.n_snapshots
+
+    def test_bad_source_rejected(self):
+        with pytest.raises(ValidationError, match="alpha"):
+            DecompositionEngine(object(), nbytes=8 * MB)
+
+
+class TestWarmStart:
+    @pytest.mark.parametrize("solver", ["apg", "ialm"])
+    def test_warm_uses_fewer_iterations_than_cold(self, small_trace, solver):
+        """On the same rolling windows, warm re-solves iterate strictly less."""
+        windows = [(0, 10), (2, 12), (4, 14), (6, 16)]
+
+        warm = DecompositionEngine(small_trace, nbytes=8 * MB, solver=solver)
+        cold = DecompositionEngine(
+            small_trace, nbytes=8 * MB, solver=solver, warm_start=False
+        )
+        warm_iters = cold_iters = 0
+        for start, stop in windows:
+            warm_iters += warm.solve(warm.window(start, stop)).solver_iterations
+            cold_iters += cold.solve(cold.window(start, stop)).solver_iterations
+        assert warm_iters < cold_iters
+        assert warm.instrumentation.counters["engine.solve.warm"] == len(windows) - 1
+        assert warm.instrumentation.counters["engine.solve.cold"] == 1
+        assert cold.instrumentation.counters["engine.solve.cold"] == len(windows)
+
+    @pytest.mark.parametrize(
+        "solver,tol",
+        [("apg", 0.05), ("ialm", 0.2)],  # ialm trades more drift for ~2x fewer iters
+    )
+    def test_warm_solution_close_to_cold(self, small_trace, solver, tol):
+        """Warm re-solves land within tolerance of the cold solution."""
+        warm = DecompositionEngine(small_trace, nbytes=8 * MB, solver=solver)
+        warm.calibrate(10)
+        d_warm = warm.calibrate(12)
+        d_cold = DecompositionEngine(
+            small_trace, nbytes=8 * MB, solver=solver, warm_start=False
+        ).calibrate(12)
+        assert d_warm.solver_result.warm_started
+        assert not d_cold.solver_result.warm_started
+        w_warm = d_warm.performance_matrix().weights
+        w_cold = d_cold.performance_matrix().weights
+        drift = np.linalg.norm(w_warm - w_cold) / np.linalg.norm(w_cold)
+        assert drift < tol
+
+    def test_first_solve_is_cold(self, small_trace):
+        eng = DecompositionEngine(small_trace, nbytes=8 * MB)
+        dec = eng.calibrate(10)
+        assert not dec.solver_result.warm_started
+        assert eng.last is dec
+
+    def test_reset_warm_state_forces_cold(self, small_trace):
+        eng = DecompositionEngine(small_trace, nbytes=8 * MB)
+        eng.calibrate(10)
+        eng.reset_warm_state()
+        assert eng.last is None
+        dec = eng.calibrate(12)
+        assert not dec.solver_result.warm_started
+
+    def test_shape_change_falls_back_to_cold(self, small_trace):
+        eng = DecompositionEngine(small_trace, nbytes=8 * MB, time_step=10)
+        eng.calibrate(10)
+        # A shorter head window (fewer rows) cannot reuse the 10-row seed.
+        dec = eng.solve(eng.window(0, 6))
+        assert not dec.solver_result.warm_started
+
+    def test_exact_solver_ignores_warm_start(self, small_trace):
+        """row_constant does not support warm starts; the engine stays cold."""
+        eng = DecompositionEngine(small_trace, nbytes=8 * MB, solver="row_constant")
+        eng.calibrate(10)
+        eng.calibrate(12)
+        assert eng.instrumentation.counters.get("engine.solve.warm", 0) == 0
+        assert eng.instrumentation.counters["engine.solve.cold"] == 2
+
+
+class TestSolverWarmStartAPI:
+    def test_warm_start_accepts_result_and_pair(self, small_trace):
+        a = small_trace.tp_matrix(8 * MB, start=0, count=10).data
+        cold = rpca_apg(a)
+        from_result = rpca_apg(a, warm_start=cold)
+        from_pair = rpca_apg(a, warm_start=(cold.low_rank, cold.sparse))
+        assert from_result.warm_started and from_pair.warm_started
+        assert from_result.iterations == from_pair.iterations
+
+    def test_warm_start_shape_mismatch(self, small_trace):
+        a = small_trace.tp_matrix(8 * MB, start=0, count=10).data
+        cold = rpca_apg(a)
+        with pytest.raises(ValueError, match="shape"):
+            rpca_apg(a[:5], warm_start=cold)
+        with pytest.raises(ValueError, match="shape"):
+            rpca_ialm(a[:5], warm_start=cold)
+
+    def test_warm_start_bad_type(self, small_trace):
+        a = small_trace.tp_matrix(8 * MB, start=0, count=10).data
+        with pytest.raises(TypeError):
+            rpca_apg(a, warm_start="previous")
+
+
+class TestRegistryValidation:
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_solver("apg", rpca_apg)
+
+    def test_overwrite_allows_replacement(self):
+        original = solver_spec("apg")
+        try:
+            register_solver("apg", rpca_apg, overwrite=True)
+        finally:
+            register_solver(
+                "apg", original.fn, overwrite=True,
+                supports_warm_start=original.supports_warm_start,
+            )
+        assert solver_spec("apg").supports_warm_start
+
+    @pytest.mark.parametrize("name", ["", None, 3])
+    def test_bad_names_rejected(self, name):
+        with pytest.raises(ValueError, match="non-empty string"):
+            register_solver(name, rpca_apg)
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(TypeError, match="callable"):
+            register_solver("not_a_solver", 42)
+
+    def test_unsupported_kwargs_raise(self, tiny_trace):
+        a = tiny_trace.tp_matrix(8 * MB).data
+        with pytest.raises(TypeError, match="does not accept"):
+            solve_rpca(a, solver="pca", tol=1e-9)
+        with pytest.raises(TypeError, match="warm_start"):
+            solve_rpca(a, solver="row_constant", warm_start=None)
+
+    def test_supported_kwargs_pass(self, tiny_trace):
+        a = tiny_trace.tp_matrix(8 * MB).data
+        res = solve_rpca(a, solver="apg", tol=1e-6, max_iter=50)
+        assert isinstance(res, SolverResult)
+
+    def test_engine_validates_at_construction(self, small_trace):
+        with pytest.raises(ValueError, match="unknown RPCA solver"):
+            DecompositionEngine(small_trace, nbytes=8 * MB, solver="nope")
+        with pytest.raises(TypeError, match="does not accept"):
+            DecompositionEngine(
+                small_trace, nbytes=8 * MB, solver="pca", tol=1e-9
+            )
+
+    def test_capability_metadata(self):
+        assert solver_spec("apg").supports_warm_start
+        assert solver_spec("ialm").supports_warm_start
+        assert solver_spec("row_constant").exact_row_constant
+        assert solver_spec("pca").exact_row_constant
+        assert not solver_spec("pca").supports_warm_start
+
+
+class TestSessionIntegration:
+    N_OPS = 120
+
+    def _replay(self, trace, warm_start):
+        session = TraceSession(trace, warm_start=warm_start)
+        for i in range(self.N_OPS):
+            session.broadcast(root=i % trace.n_machines)
+        return session
+
+    def test_warm_replay_matches_cold_stats(self, busy_trace):
+        """Acceptance: fixed-seed replay through the warm engine reproduces
+        the historical cold path's SessionStats, with >= 5 recalibrations."""
+        warm = self._replay(busy_trace, warm_start=True)
+        cold = self._replay(busy_trace, warm_start=False)
+        assert cold.stats.recalibrations >= 5
+        assert warm.stats.operations == cold.stats.operations
+        assert warm.stats.recalibrations == cold.stats.recalibrations
+        assert warm.stats.communication_seconds == pytest.approx(
+            cold.stats.communication_seconds, abs=1e-9
+        )
+        assert warm.stats.overhead_seconds == cold.stats.overhead_seconds
+        assert [r.decision for r in warm.stats.history] == [
+            r.decision for r in cold.stats.history
+        ]
+
+    def test_warm_replay_saves_iterations(self, busy_trace):
+        warm = self._replay(busy_trace, warm_start=True)
+        cold = self._replay(busy_trace, warm_start=False)
+        assert warm.instrumentation.warm_solves >= 5
+        assert cold.instrumentation.warm_solves == 0
+        assert (
+            warm.instrumentation.solve_iterations
+            < cold.instrumentation.solve_iterations
+        )
+
+    def test_epochs_count_cursor_wraps(self, busy_trace):
+        session = self._replay(busy_trace, warm_start=True)
+        # 120 ops over a 20-snapshot evaluation window wrap exactly 6 times.
+        n_eval = busy_trace.n_snapshots - session.time_step
+        assert session.stats.epochs == self.N_OPS // n_eval
+        fresh = TraceSession(busy_trace)
+        assert fresh.stats.epochs == 0
+
+    def test_session_shares_caller_sink(self, small_trace):
+        instr = Instrumentation("mine")
+        session = TraceSession(small_trace, instrumentation=instr)
+        assert session.instrumentation is instr
+        assert instr.solves == 1  # the initial calibration
+
+
+class TestCalibratorAdapter:
+    def test_engine_window_matches_calibrate(self, tiny_trace):
+        cal = Calibrator(TraceSubstrate(tiny_trace))
+        eng = cal.engine(nbytes=8 * MB, time_step=5)
+        direct = cal.calibrate(range(2, 8), 8 * MB)
+        assert eng.window(2, 8).data.tobytes() == direct.data.tobytes()
+
+    def test_snapshot_cache_stops_reprobing(self, tiny_trace):
+        class CountingSubstrate(TraceSubstrate):
+            rounds = 0
+
+            def measure_round(self, pairs, snapshot):
+                type(self).rounds += 1
+                return super().measure_round(pairs, snapshot)
+
+        sub = CountingSubstrate(tiny_trace)
+        cal = Calibrator(sub, cache_snapshots=True)
+        cal.calibrate_snapshot(0)
+        taken = CountingSubstrate.rounds
+        assert taken > 0
+        cal.calibrate_snapshot(0)
+        assert CountingSubstrate.rounds == taken
+
+    def test_cached_snapshot_pins_noisy_measurements(self, tiny_trace):
+        cal = Calibrator(
+            TraceSubstrate(tiny_trace, measurement_noise=0.2, seed=0),
+            cache_snapshots=True,
+        )
+        a1, b1 = cal.calibrate_snapshot(3)
+        a2, b2 = cal.calibrate_snapshot(3)
+        assert a1 is a2 and b1 is b2
+
+    def test_missing_n_snapshots_needs_explicit(self, tiny_trace):
+        class Bare:
+            n_machines = tiny_trace.n_machines
+
+            def measure_round(self, pairs, snapshot):
+                a = tiny_trace.alpha[snapshot]
+                b = tiny_trace.beta[snapshot]
+                return [(float(a[s, r]), float(b[s, r])) for s, r in pairs]
+
+        cal = Calibrator(Bare())
+        with pytest.raises(CalibrationError, match="n_snapshots"):
+            cal.engine(nbytes=8 * MB)
+        eng = cal.engine(nbytes=8 * MB, n_snapshots=tiny_trace.n_snapshots)
+        assert eng.source.n_snapshots == tiny_trace.n_snapshots
+
+    def test_source_is_window_source(self, tiny_trace):
+        cal = Calibrator(TraceSubstrate(tiny_trace))
+        assert isinstance(CalibratorWindowSource(cal), WindowSource)
