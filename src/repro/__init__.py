@@ -32,6 +32,9 @@ netsim
     ns-2 substitute: tree topology, max-min fair flow simulation, probes.
 calibration
     Pairing schedule, calibrator, overhead model.
+faults
+    Seeded fault models (probe loss, stragglers, corruption, VM/rack
+    outages) and injectors for traces and live substrates.
 collectives
     Binomial/FNF trees and the collective execution model.
 mapping
@@ -63,10 +66,25 @@ from .core import (
     relative_error_norm,
     MaintenanceController,
     MaintenanceDecision,
+    HealthState,
+    ResilienceConfig,
+    DegradedModeController,
 )
 from .observability import Instrumentation, SolveSpan, instrumented
 from .cloudsim import TraceConfig, generate_trace, CalibrationTrace
 from .cloudsim.io import save_trace, load_trace, load_trace_csv
+from .faults import (
+    FaultModel,
+    ProbeLoss,
+    ProbeStraggler,
+    CorruptedReadings,
+    VMOutage,
+    RackOutage,
+    FaultySubstrate,
+    inject_faults,
+    materialize_faults,
+    parse_fault_spec,
+)
 from .collectives import binomial_tree, fnf_tree, CommTree, run_collective
 from .runtime import TraceSession
 from .strategies import (
@@ -100,6 +118,19 @@ __all__ = [
     "instrumented",
     "MaintenanceController",
     "MaintenanceDecision",
+    "HealthState",
+    "ResilienceConfig",
+    "DegradedModeController",
+    "FaultModel",
+    "ProbeLoss",
+    "ProbeStraggler",
+    "CorruptedReadings",
+    "VMOutage",
+    "RackOutage",
+    "FaultySubstrate",
+    "inject_faults",
+    "materialize_faults",
+    "parse_fault_spec",
     "TraceConfig",
     "generate_trace",
     "CalibrationTrace",

@@ -13,6 +13,7 @@ from .calibrator import (
     Calibrator,
     CalibratorWindowSource,
     MeasurementSubstrate,
+    SnapshotMeasurement,
     TraceSubstrate,
 )
 from .overhead import CalibrationCostModel, calibration_overhead_seconds
@@ -26,6 +27,7 @@ __all__ = [
     "Calibrator",
     "CalibratorWindowSource",
     "MeasurementSubstrate",
+    "SnapshotMeasurement",
     "TraceSubstrate",
     "CalibrationCostModel",
     "calibration_overhead_seconds",

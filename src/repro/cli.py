@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Six subcommands cover the operational loop around the library:
+Seven subcommands cover the operational loop around the library:
 
 * ``repro generate`` — synthesize an EC2-like calibration trace to ``.npz``.
 * ``repro info`` — stability report of a trace (Norm(N_E), band spread,
@@ -9,6 +9,9 @@ Six subcommands cover the operational loop around the library:
   the decomposition summary.
 * ``repro compare`` — replay the Baseline/Heuristics/RPCA comparison on a
   trace and print the normalized table (a command-line Fig 7).
+* ``repro replay`` — run the adaptive Algorithm-1 session over a trace,
+  optionally with injected measurement faults (``--faults``) and
+  degraded-mode maintenance; prints health transitions and accounting.
 * ``repro changepoints`` — locate offline regime changes in a trace.
 * ``repro figures`` — regenerate every paper figure at quick or paper scale.
 
@@ -25,6 +28,8 @@ from __future__ import annotations
 import argparse
 import sys
 from collections.abc import Sequence
+
+from .errors import ReproError
 
 __all__ = ["main", "build_parser"]
 
@@ -74,6 +79,34 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_.add_argument("--seed", type=int, default=0)
     cmp_.add_argument("--profile", action="store_true",
                       help="print the instrumentation report after the table")
+
+    rep = sub.add_parser(
+        "replay",
+        help="adaptive session replay, optionally with injected faults",
+    )
+    rep.add_argument("trace", help="trace .npz or .csv path")
+    rep.add_argument("--op", default="broadcast",
+                     choices=["broadcast", "scatter", "reduce", "gather"])
+    rep.add_argument("--operations", type=int, default=60)
+    rep.add_argument("--time-step", type=int, default=10)
+    rep.add_argument("--threshold", type=float, default=1.0)
+    rep.add_argument("--consecutive", type=int, default=1)
+    rep.add_argument("--solver", default="apg")
+    rep.add_argument("--message-mb", type=float, default=8.0)
+    rep.add_argument("--cold", action="store_true",
+                     help="disable warm-started re-calibration solves")
+    rep.add_argument("--faults", default=None, metavar="SPEC",
+                     help="fault spec: a profile (mild, harsh) or tokens like "
+                          "probe_loss=0.1,straggler=0.05,vm_outage=3:12:2,"
+                          "rack_outage=0.01")
+    rep.add_argument("--fault-seed", type=int, default=0,
+                     help="seed for fault materialization")
+    rep.add_argument("--min-snapshot-observed", type=float, default=0.8,
+                     help="per-snapshot completeness floor in resilient mode")
+    rep.add_argument("--min-window-observed", type=float, default=0.5,
+                     help="per-window completeness floor in resilient mode")
+    rep.add_argument("--profile", action="store_true",
+                     help="print the instrumentation report after the summary")
 
     chg = sub.add_parser("changepoints", help="locate offline regime changes")
     chg.add_argument("trace", help="trace .npz path")
@@ -185,6 +218,55 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from .core.maintenance import ResilienceConfig
+    from .runtime import TraceSession
+
+    trace = _load_any_trace(args.trace)
+    resilience = None
+    if args.faults is not None:
+        resilience = ResilienceConfig(
+            min_snapshot_observed=args.min_snapshot_observed,
+            min_window_observed=args.min_window_observed,
+        )
+    session = TraceSession(
+        trace,
+        nbytes=args.message_mb * MB,
+        time_step=args.time_step,
+        threshold=args.threshold,
+        consecutive=args.consecutive,
+        solver=args.solver,
+        warm_start=not args.cold,
+        faults=args.faults,
+        fault_seed=args.fault_seed,
+        resilience=resilience,
+    )
+    for _ in range(args.operations):
+        session.run_collective(args.op, root=0)
+    stats = session.stats
+    print(f"operations:        {stats.operations} "
+          f"({stats.epochs} trace epoch(s))")
+    print(f"communication:     {stats.communication_seconds:.3f} s")
+    print(f"overhead:          {stats.overhead_seconds:.3f} s")
+    print(f"recalibrations:    {stats.recalibrations}")
+    if args.faults is not None:
+        print(f"failed recals:     {stats.failed_recalibrations}")
+        print(f"deferred recals:   {stats.deferred_recalibrations}")
+        print(f"degraded/holdover operations: {stats.holdover_operations}")
+        print(f"fault events:      {len(session.fault_events)}")
+        print(f"final health:      {session.health_state.value} "
+              f"(staleness {session.staleness} ops)")
+        transitions = session.health_transitions
+        if transitions:
+            print("health transitions:")
+            for t in transitions:
+                print(f"  op {t.operation:4d}: {t.previous.value} -> "
+                      f"{t.state.value}  ({t.reason})")
+    print(f"Norm(N_E):         {session.norm_ne:.4f}")
+    print(f"verdict:           {session.verdict}")
+    return 0
+
+
 def _cmd_changepoints(args: argparse.Namespace) -> int:
     from .analysis.changepoints import detect_regime_changes
 
@@ -224,6 +306,7 @@ _COMMANDS = {
     "info": _cmd_info,
     "decompose": _cmd_decompose,
     "compare": _cmd_compare,
+    "replay": _cmd_replay,
     "changepoints": _cmd_changepoints,
     "figures": _cmd_figures,
 }
@@ -241,7 +324,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         print()
         print(instr.report())
         return code
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -24,47 +24,138 @@ TRACE_FORMAT_VERSION = 1
 
 
 def save_trace(trace: CalibrationTrace, path: str | os.PathLike) -> None:
-    """Write *trace* to *path* as a compressed ``.npz`` archive."""
-    np.savez_compressed(
-        os.fspath(path),
+    """Write *trace* to *path* as a compressed ``.npz`` archive.
+
+    A partially-observed trace also persists its observation mask (the
+    array is simply absent for fully-observed traces, which keeps old
+    archives loadable and new full archives identical to old ones).
+    """
+    arrays = dict(
         format_version=np.int64(TRACE_FORMAT_VERSION),
         alpha=trace.alpha,
         beta=trace.beta,
         timestamps=trace.timestamps,
     )
+    if trace.mask is not None:
+        arrays["mask"] = trace.mask
+    np.savez_compressed(os.fspath(path), **arrays)
 
 
-def load_trace(path: str | os.PathLike) -> CalibrationTrace:
+def _finite_violations(alpha: np.ndarray, beta: np.ndarray) -> np.ndarray:
+    """Boolean (T, N, N) of off-diagonal entries with unusable values.
+
+    Unusable means non-finite, α < 0 or β ≤ 0 — values the α-β model cannot
+    price. The diagonal (α = 0, β = +inf by convention) is exempt.
+    """
+    n = alpha.shape[-1]
+    off = ~np.eye(n, dtype=bool)
+    bad = np.zeros(alpha.shape, dtype=bool)
+    a_off, b_off = alpha[:, off], beta[:, off]
+    bad[:, off] = (
+        ~np.isfinite(a_off) | ~np.isfinite(b_off) | (a_off < 0) | (b_off <= 0)
+    )
+    return bad
+
+
+def _sanitize(
+    alpha: np.ndarray,
+    beta: np.ndarray,
+    mask: np.ndarray | None,
+    *,
+    allow_missing: bool,
+    source: str,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+    """Validate values; either reject unusable entries or mask them out."""
+    bad = _finite_violations(alpha, beta)
+    if mask is not None:
+        bad = bad & mask  # already-masked entries may hold any placeholder
+    if bad.any():
+        if not allow_missing:
+            t, n = alpha.shape[0], alpha.shape[1]
+            raise ValidationError(
+                f"{source} has {int(bad.sum())} of {t * n * (n - 1)} "
+                "off-diagonal entries non-finite or out of range; pass "
+                "allow_missing=True to load them as unobserved"
+            )
+        alpha = np.where(bad, 0.0, alpha)
+        beta = np.where(bad, np.inf, beta)
+        mask = (~bad) if mask is None else (mask & ~bad)
+    return alpha, beta, mask
+
+
+def load_trace(
+    path: str | os.PathLike, *, allow_missing: bool = False
+) -> CalibrationTrace:
     """Read a trace written by :func:`save_trace`.
+
+    Parameters
+    ----------
+    path:
+        The ``.npz`` archive.
+    allow_missing:
+        Load non-finite / out-of-range (α, β) entries as *unobserved*
+        (masked out, with benign placeholders) instead of rejecting the
+        file. A persisted observation mask is honored either way.
 
     Raises
     ------
     ValidationError
-        If the file is missing required arrays or has an unknown format
-        version.
+        If the file is corrupted or truncated, missing required arrays,
+        has an unknown format version, or (without *allow_missing*)
+        contains unusable measurement values.
     """
-    with np.load(os.fspath(path)) as data:
-        missing = {"format_version", "alpha", "beta", "timestamps"} - set(data.files)
-        if missing:
-            raise ValidationError(f"trace file missing arrays: {sorted(missing)}")
-        version = int(data["format_version"])
-        if version != TRACE_FORMAT_VERSION:
-            raise ValidationError(
-                f"unsupported trace format version {version} "
-                f"(expected {TRACE_FORMAT_VERSION})"
+    try:
+        with np.load(os.fspath(path)) as data:
+            missing = {"format_version", "alpha", "beta", "timestamps"} - set(
+                data.files
             )
-        return CalibrationTrace(
-            alpha=data["alpha"].copy(),
-            beta=data["beta"].copy(),
-            timestamps=data["timestamps"].copy(),
-        )
+            if missing:
+                raise ValidationError(
+                    f"trace file missing arrays: {sorted(missing)}"
+                )
+            version = int(data["format_version"])
+            if version != TRACE_FORMAT_VERSION:
+                raise ValidationError(
+                    f"unsupported trace format version {version} "
+                    f"(expected {TRACE_FORMAT_VERSION})"
+                )
+            alpha = np.asarray(data["alpha"], dtype=np.float64).copy()
+            beta = np.asarray(data["beta"], dtype=np.float64).copy()
+            timestamps = data["timestamps"].copy()
+            mask = (
+                np.asarray(data["mask"], dtype=bool).copy()
+                if "mask" in data.files
+                else None
+            )
+    except ValidationError:
+        raise
+    except FileNotFoundError:
+        raise
+    except Exception as exc:  # zipfile.BadZipFile, zlib, EOF, pickle, ...
+        raise ValidationError(
+            f"unreadable trace file {os.fspath(path)!r}: {exc}"
+        ) from exc
+    if alpha.ndim != 3 or alpha.shape[1] != alpha.shape[2]:
+        raise ValidationError(f"alpha must be (T, N, N), got {alpha.shape}")
+    if beta.shape != alpha.shape:
+        raise ValidationError("alpha/beta shape mismatch in trace file")
+    if mask is not None and mask.shape != alpha.shape:
+        raise ValidationError("mask shape mismatch in trace file")
+    alpha, beta, mask = _sanitize(
+        alpha, beta, mask, allow_missing=allow_missing, source="trace file"
+    )
+    return CalibrationTrace(
+        alpha=alpha, beta=beta, timestamps=timestamps, mask=mask
+    )
 
 
 #: Required CSV header for :func:`load_trace_csv`.
 CSV_COLUMNS = ("snapshot", "src", "dst", "alpha_s", "beta_Bps")
 
 
-def load_trace_csv(path: str | os.PathLike) -> CalibrationTrace:
+def load_trace_csv(
+    path: str | os.PathLike, *, allow_missing: bool = False
+) -> CalibrationTrace:
     """Build a trace from a CSV log of real ping-pong measurements.
 
     Expected columns (header required): ``snapshot`` (0-based calibration
@@ -73,9 +164,15 @@ def load_trace_csv(path: str | os.PathLike) -> CalibrationTrace:
     ``timestamp`` column gives each snapshot's wall-clock second (the
     snapshot's first occurrence wins; defaults to the snapshot index).
 
-    Every ordered off-diagonal pair must be measured in every snapshot —
-    the paper's optimizations need the *all-link* matrix, so a partial
-    log is an error, not something to silently impute.
+    By default every ordered off-diagonal pair must be measured in every
+    snapshot with finite, in-range values — the paper's optimizations need
+    the *all-link* matrix, so a partial log is an error, not something to
+    silently impute. Real campaigns lose probes, though: with
+    ``allow_missing=True`` absent pairs and unusable readings (NaN/inf
+    ``alpha_s``/``beta_Bps``, negative latency, non-positive bandwidth —
+    the way many probe harnesses record timeouts) become *unobserved*
+    entries in the returned trace's observation mask, ready for masked
+    decomposition.
     """
     rows: list[dict[str, str]] = []
     with open(os.fspath(path), newline="", encoding="utf-8") as fh:
@@ -101,15 +198,24 @@ def load_trace_csv(path: str | os.PathLike) -> CalibrationTrace:
         raise ValidationError("snapshot and machine indices must be non-negative")
     if np.any(srcs == dsts):
         raise ValidationError("self-measurements (src == dst) are not allowed")
-    if np.any(alphas < 0) or np.any(betas <= 0):
-        raise ValidationError("need alpha_s >= 0 and beta_Bps > 0")
+    unusable = (
+        ~np.isfinite(alphas) | ~np.isfinite(betas) | (alphas < 0) | (betas <= 0)
+    )
+    if unusable.any() and not allow_missing:
+        raise ValidationError(
+            f"{int(unusable.sum())} measurement(s) have non-finite or "
+            "out-of-range values (need finite alpha_s >= 0 and finite "
+            "beta_Bps > 0); pass allow_missing=True to load them as "
+            "unobserved"
+        )
 
     n = int(max(srcs.max(), dsts.max())) + 1
     t = int(snaps.max()) + 1
     alpha = np.full((t, n, n), np.nan)
     beta = np.full((t, n, n), np.nan)
-    alpha[snaps, srcs, dsts] = alphas
-    beta[snaps, srcs, dsts] = betas
+    usable = ~unusable
+    alpha[snaps[usable], srcs[usable], dsts[usable]] = alphas[usable]
+    beta[snaps[usable], srcs[usable], dsts[usable]] = betas[usable]
 
     timestamps = np.arange(t, dtype=np.float64)
     if "timestamp" in rows[0]:
@@ -119,16 +225,27 @@ def load_trace_csv(path: str | os.PathLike) -> CalibrationTrace:
                 timestamps[k] = float(r["timestamp"])
 
     off = ~np.eye(n, dtype=bool)
-    missing = np.isnan(beta[:, off]).sum()
+    unobserved = np.isnan(beta)
+    unobserved[:, ~off] = False
+    missing = int(unobserved.sum())
+    mask = None
     if missing:
-        raise ValidationError(
-            f"CSV is missing {int(missing)} of {t * n * (n - 1)} ordered-pair "
-            "measurements; the all-link matrix must be complete"
-        )
+        if not allow_missing:
+            raise ValidationError(
+                f"CSV is missing {missing} of {t * n * (n - 1)} ordered-pair "
+                "measurements; the all-link matrix must be complete "
+                "(pass allow_missing=True to load a partial log)"
+            )
+        mask = ~unobserved
+        alpha = np.where(unobserved, 0.0, alpha)
+        beta = np.where(unobserved, np.inf, beta)
     for k in range(t):
         np.fill_diagonal(alpha[k], 0.0)
         np.fill_diagonal(beta[k], np.inf)
     order = np.argsort(timestamps, kind="stable")
     return CalibrationTrace(
-        alpha=alpha[order], beta=beta[order], timestamps=timestamps[order]
+        alpha=alpha[order],
+        beta=beta[order],
+        timestamps=timestamps[order],
+        mask=None if mask is None else mask[order],
     )

@@ -35,11 +35,20 @@ class CalibrationTrace:
         ``(T, N, N)`` bandwidths in bytes/second; diagonal +inf.
     timestamps:
         ``(T,)`` non-decreasing measurement times in seconds.
+    mask:
+        Optional ``(T, N, N)`` boolean observation mask (``True`` =
+        measured). ``None`` — the default and historical behavior — means
+        every entry was observed. Masked-out entries still hold *some*
+        value in ``alpha``/``beta`` (ground truth for injected faults,
+        benign placeholders for imported partial logs); the mask is the
+        source of truth for what a decomposition may trust. The diagonal is
+        always considered observed.
     """
 
     alpha: np.ndarray
     beta: np.ndarray
     timestamps: np.ndarray
+    mask: np.ndarray | None = None
 
     def __post_init__(self) -> None:
         a = np.asarray(self.alpha, dtype=np.float64)
@@ -56,11 +65,28 @@ class CalibrationTrace:
         a = np.ascontiguousarray(a)
         b = np.ascontiguousarray(b)
         ts = np.ascontiguousarray(ts)
+        mask = self.mask
+        if mask is not None:
+            m = np.asarray(mask)
+            if m.dtype != np.bool_:
+                raise ValidationError("mask must be a boolean array")
+            if m.shape != a.shape:
+                raise ValidationError(
+                    f"mask shape {m.shape} does not match trace shape {a.shape}"
+                )
+            if m.all():
+                mask = None  # fully observed — normalize to the unmasked form
+            else:
+                mask = np.ascontiguousarray(m).copy()
+                for k in range(mask.shape[0]):
+                    np.fill_diagonal(mask[k], True)
+                mask.setflags(write=False)
         for arr in (a, b, ts):
             arr.setflags(write=False)
         object.__setattr__(self, "alpha", a)
         object.__setattr__(self, "beta", b)
         object.__setattr__(self, "timestamps", ts)
+        object.__setattr__(self, "mask", mask)
 
     @property
     def n_snapshots(self) -> int:
@@ -69,6 +95,15 @@ class CalibrationTrace:
     @property
     def n_machines(self) -> int:
         return self.alpha.shape[1]
+
+    @property
+    def observed_fraction(self) -> float:
+        """Fraction of off-diagonal entries that were observed (1.0 unmasked)."""
+        if self.mask is None:
+            return 1.0
+        off = ~np.eye(self.n_machines, dtype=bool)
+        total = self.n_snapshots * int(off.sum())
+        return float(self.mask[:, off].sum()) / total if total else 1.0
 
     def weights_at(self, k: int, nbytes: float) -> PerformanceMatrix:
         """Snapshot *k* as a weight matrix for a message of *nbytes*."""
@@ -100,10 +135,14 @@ class CalibrationTrace:
         off = ~np.eye(n, dtype=bool)
         w = np.zeros_like(a)
         w[:, off] = a[:, off] + nbytes / b[:, off]
+        mask = None
+        if self.mask is not None:
+            mask = self.mask[start:stop].reshape(stop - start, n * n).copy()
         return TPMatrix(
             data=w.reshape(stop - start, n * n),
             n_machines=n,
             timestamps=self.timestamps[start:stop].copy(),
+            mask=mask,
         )
 
     def restrict(self, machines: np.ndarray | list[int]) -> "CalibrationTrace":
@@ -120,6 +159,7 @@ class CalibrationTrace:
             alpha=self.alpha[sel].copy(),
             beta=self.beta[sel].copy(),
             timestamps=self.timestamps.copy(),
+            mask=None if self.mask is None else self.mask[sel].copy(),
         )
 
     def window(self, start: int, stop: int) -> "CalibrationTrace":
@@ -130,6 +170,7 @@ class CalibrationTrace:
             alpha=self.alpha[start:stop].copy(),
             beta=self.beta[start:stop].copy(),
             timestamps=self.timestamps[start:stop].copy(),
+            mask=None if self.mask is None else self.mask[start:stop].copy(),
         )
 
     def with_multiplicative_noise(
@@ -154,4 +195,9 @@ class CalibrationTrace:
         for k in range(self.n_snapshots):
             np.fill_diagonal(alpha[k], 0.0)
             np.fill_diagonal(beta[k], np.inf)
-        return CalibrationTrace(alpha=alpha, beta=beta, timestamps=self.timestamps.copy())
+        return CalibrationTrace(
+            alpha=alpha,
+            beta=beta,
+            timestamps=self.timestamps.copy(),
+            mask=None if self.mask is None else self.mask.copy(),
+        )

@@ -18,7 +18,12 @@ Public surface
 * :class:`MaintenanceController` — paper Algorithm 1 (adaptive update
   maintenance driven by expected-vs-real performance feedback).
 * :class:`DecompositionEngine` — rolling-window cache + warm-started
-  re-calibration + instrumentation, for long-running Algorithm-1 loops.
+  re-calibration + instrumentation, for long-running Algorithm-1 loops;
+  masked windows (partial snapshots) complete through mask-aware RPCA.
+* :class:`DegradedModeController`, :class:`ResilienceConfig`,
+  :class:`HealthState` — the HEALTHY → DEGRADED → HOLDOVER machine that
+  keeps Algorithm 1 serving the last good constant component when
+  calibration itself fails.
 """
 
 from .matrices import PerformanceMatrix, TPMatrix, TCMatrix, TEMatrix
@@ -44,7 +49,15 @@ from .metrics import (
     stability_report,
     StabilityReport,
 )
-from .maintenance import MaintenanceController, MaintenanceDecision, MaintenanceStats
+from .maintenance import (
+    DegradedModeController,
+    HealthState,
+    HealthTransition,
+    MaintenanceController,
+    MaintenanceDecision,
+    MaintenanceStats,
+    ResilienceConfig,
+)
 
 __all__ = [
     "PerformanceMatrix",
@@ -80,4 +93,8 @@ __all__ = [
     "MaintenanceController",
     "MaintenanceDecision",
     "MaintenanceStats",
+    "HealthState",
+    "HealthTransition",
+    "ResilienceConfig",
+    "DegradedModeController",
 ]

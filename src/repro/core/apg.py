@@ -29,6 +29,17 @@ Because APG-with-continuation is path-dependent, the warm split can differ
 from the cold one at roughly the ``warm_mu_factor``-controlled level (about
 1e-3 relative on the constant row at the 0.1 default, measured on EC2-like
 traces); callers that need the bitwise cold answer simply omit ``warm_start``.
+
+Partial observations
+--------------------
+Real calibration snapshots lose probes and whole VMs; ``mask`` marks which
+entries of ``A`` were observed. The masked program replaces the coupling
+term with ``1/2 ||P_Ω(D + E - A)||_F²`` (Ω the observed set), so the
+gradient — and therefore all data pressure — vanishes on unobserved
+entries: the nuclear-norm prox *completes* ``D`` there, and ``E`` is kept
+supported on Ω (an unobserved entry cannot witness a transient error).
+With ``mask=None`` (or an all-true mask) every operation below reduces to
+the exact unmasked expressions, bit for bit.
 """
 
 from __future__ import annotations
@@ -36,11 +47,11 @@ from __future__ import annotations
 import numpy as np
 
 from .._validation import as_float_matrix, check_positive
-from ..errors import ConvergenceError
+from ..errors import ConvergenceError, ValidationError
 from .result import SolverResult
 from .svd_ops import singular_value_threshold, soft_threshold, truncated_svd
 
-__all__ = ["APGResult", "rpca_apg", "default_lambda"]
+__all__ = ["APGResult", "rpca_apg", "default_lambda", "validate_mask"]
 
 # Backward-compatible alias: every solver now returns the shared contract.
 APGResult = SolverResult
@@ -49,6 +60,30 @@ APGResult = SolverResult
 def default_lambda(shape: tuple[int, int]) -> float:
     """The standard RPCA trade-off ``λ = 1 / sqrt(max(m, n))`` (Candès et al.)."""
     return 1.0 / np.sqrt(max(shape))
+
+
+def validate_mask(
+    mask: object | None, shape: tuple[int, int]
+) -> np.ndarray | None:
+    """Validate an observation mask against the data shape.
+
+    Returns ``None`` when the mask is absent *or* all-true, so callers can
+    gate every masked code path on ``mask is not None`` and keep the
+    fully-observed path identical to the historical one. An all-false mask
+    is rejected — there is nothing to decompose.
+    """
+    if mask is None:
+        return None
+    m = np.asarray(mask)
+    if m.dtype != np.bool_:
+        raise ValidationError("mask must be a boolean array")
+    if m.shape != shape:
+        raise ValidationError(f"mask shape {m.shape} does not match data {shape}")
+    if m.all():
+        return None
+    if not m.any():
+        raise ValidationError("mask must observe at least one entry")
+    return np.ascontiguousarray(m)
 
 
 def _unpack_warm_start(
@@ -84,6 +119,7 @@ def rpca_apg(
     raise_on_fail: bool = False,
     warm_start: object | None = None,
     warm_mu_factor: float = 0.1,
+    mask: np.ndarray | None = None,
 ) -> SolverResult:
     """Decompose ``a ≈ D + E`` with the APG RPCA solver.
 
@@ -91,6 +127,11 @@ def rpca_apg(
     ----------
     a:
         Data matrix (the TP-matrix in this package's use).
+    mask:
+        Boolean observation mask of the same shape as *a* (``True`` =
+        observed). Unobserved entries of *a* are ignored — ``D`` is
+        completed there by the nuclear-norm prox and ``E`` is forced to
+        zero. ``None`` (or all-true) is the fully-observed path.
     lam:
         Sparsity trade-off λ; defaults to ``1/sqrt(max(m, n))``.
     tol:
@@ -125,6 +166,9 @@ def rpca_apg(
         raise ValueError(f"warm_mu_factor must be in (0, 1), got {warm_mu_factor}")
     if max_iter < 1:
         raise ValueError("max_iter must be >= 1")
+    omega = validate_mask(mask, A.shape)
+    if omega is not None:
+        A = np.where(omega, A, 0.0)  # placeholder values must carry no signal
 
     norm_a = np.linalg.norm(A)
     if norm_a == 0.0:
@@ -159,16 +203,24 @@ def rpca_apg(
         YD = D + beta * (D - D_prev)
         YE = E + beta * (E - E_prev)
 
-        # Gradient of 1/2||D+E-A||_F^2 w.r.t. both blocks is (YD + YE - A);
-        # the Lipschitz constant over the joint block variable is 2.
+        # Gradient of 1/2||P_Ω(D+E-A)||_F^2 w.r.t. both blocks is
+        # P_Ω(YD + YE - A); the Lipschitz constant over the joint block
+        # variable is 2. Unmasked, P_Ω is the identity.
         G = 0.5 * (YD + YE - A)
+        if omega is not None:
+            G *= omega
         D_new, rank, _ = singular_value_threshold(YD - G, mu / 2.0)
         E_new = soft_threshold(YE - G, lam_v * mu / 2.0)
+        if omega is not None:
+            E_new *= omega  # a transient error needs a witness
 
         # Stationarity gap of the reference implementation:
         # S = 2(Y - X_{k+1}) + (X_{k+1} - Y) summed over blocks.
-        SD = 2.0 * (YD - D_new) + (D_new + E_new - YD - YE)
-        SE = 2.0 * (YE - E_new) + (D_new + E_new - YD - YE)
+        diff = D_new + E_new - YD - YE
+        if omega is not None:
+            diff = diff * omega
+        SD = 2.0 * (YD - D_new) + diff
+        SE = 2.0 * (YE - E_new) + diff
         residual = float(
             np.sqrt(np.linalg.norm(SD) ** 2 + np.linalg.norm(SE) ** 2) / norm_a
         )

@@ -24,7 +24,7 @@ from ..errors import ValidationError
 from .matrices import PerformanceMatrix, TCMatrix, TEMatrix, TPMatrix
 from .metrics import StabilityReport, stability_report
 from .result import SolverResult
-from .solvers import solve_rpca
+from .solvers import solve_rpca, solver_spec
 from .svd_ops import truncated_svd
 
 __all__ = ["Decomposition", "decompose", "constant_row"]
@@ -103,7 +103,11 @@ def decompose(
     Parameters
     ----------
     tp:
-        The calibrated temporal performance matrix ``N_A``.
+        The calibrated temporal performance matrix ``N_A``. When it carries
+        an observation mask (partial snapshot), the mask is forwarded to the
+        solver — which must support masked decomposition (APG/IALM do) —
+        and unobserved entries are excluded from the error component and
+        the stability report.
     solver:
         RPCA backend name (see :func:`~repro.core.solvers.available_solvers`).
     extraction:
@@ -112,6 +116,15 @@ def decompose(
     **solver_kwargs:
         Forwarded to the solver.
     """
+    if tp.mask is not None:
+        spec = solver_spec(solver)
+        if not spec.accepts_any_kwargs and "mask" not in spec.accepted_kwargs:
+            raise ValidationError(
+                f"solver {solver!r} cannot decompose a partially-observed "
+                f"TP-matrix ({tp.observed_fraction:.1%} observed); use a "
+                "mask-aware solver such as 'apg' or 'ialm'"
+            )
+        solver_kwargs = dict(solver_kwargs, mask=tp.mask)
     result = solve_rpca(tp.data, solver=solver, **solver_kwargs)
     if getattr(result, "constant_row", None) is not None:
         # Exact row-constant solvers (row_constant, pca) carry their row.
@@ -121,10 +134,15 @@ def decompose(
     tc = TCMatrix(row=row, n_rows=tp.n_snapshots, n_machines=tp.n_machines)
     # Define the error against the row-constant component actually used for
     # optimization (not the solver's possibly rank>1 D): the effectiveness
-    # metric must reflect what the optimizer sees.
-    err = tp.data - tc.as_matrix()
+    # metric must reflect what the optimizer sees. An unobserved entry has
+    # no measured error — for the report it is treated as if it sat exactly
+    # on the constant component (zero numerator, constant-level denominator).
+    data = tp.data
+    if tp.mask is not None:
+        data = np.where(tp.mask, data, tc.as_matrix())
+    err = data - tc.as_matrix()
     te = TEMatrix(data=err, n_machines=tp.n_machines)
-    report = stability_report(err, tp.data, rank=result.rank)
+    report = stability_report(err, data, rank=result.rank)
     return Decomposition(
         constant=tc,
         error=te,

@@ -31,8 +31,8 @@ from typing import Any, Protocol, runtime_checkable
 
 import numpy as np
 
-from .._validation import check_nonnegative
-from ..errors import ValidationError
+from .._validation import check_nonnegative, check_probability
+from ..errors import CalibrationError, ValidationError
 from ..observability import Instrumentation, instrumented
 from .decompose import Decomposition, decompose
 from .matrices import TPMatrix
@@ -62,6 +62,13 @@ class WindowSource(Protocol):
     def timestamp(self, k: int) -> float:
         """Measurement time of snapshot *k* in seconds."""
         ...
+
+    # Sources backed by unreliable measurements may additionally expose
+    #     snapshot_mask(k) -> np.ndarray | None
+    # returning a flattened N² boolean observation mask for snapshot *k*
+    # (True = observed), or None when the snapshot is complete. The engine
+    # calls it immediately after snapshot_row(k, ...) for the same k, so a
+    # source can memoize one measurement to answer both consistently.
 
 
 class TraceWindowSource:
@@ -96,6 +103,13 @@ class TraceWindowSource:
         w[self._off] = a[self._off] + nbytes / b[self._off]
         return w.reshape(-1)
 
+    def snapshot_mask(self, k: int) -> np.ndarray | None:
+        """Flattened observation mask for snapshot *k*, if the trace has one."""
+        mask = getattr(self.trace, "mask", None)
+        if mask is None:
+            return None
+        return np.asarray(mask[k], dtype=bool).reshape(-1)
+
     def timestamp(self, k: int) -> float:
         return float(self.trace.timestamps[k])
 
@@ -126,6 +140,13 @@ class DecompositionEngine:
     max_cached_rows:
         Bound on the per-snapshot row cache (LRU eviction); ``None`` keeps
         every row ever computed — right for replays that wrap around.
+    min_snapshot_observed:
+        Minimum off-diagonal observed fraction a single snapshot must reach
+        for a window containing it to be usable; below it :meth:`window`
+        raises :class:`~repro.errors.CalibrationError`. 0.0 (default)
+        accepts any snapshot with at least one observation.
+    min_window_observed:
+        Same threshold for the window as a whole.
     **solver_kwargs:
         Forwarded to every solve (``tol``, ``max_iter``, ...); validated
         against the solver's :class:`~repro.core.solvers.SolverSpec`.
@@ -142,6 +163,8 @@ class DecompositionEngine:
         warm_start: bool = True,
         instrumentation: Instrumentation | None = None,
         max_cached_rows: int | None = None,
+        min_snapshot_observed: float = 0.0,
+        min_window_observed: float = 0.0,
         **solver_kwargs: Any,
     ) -> None:
         if not isinstance(source, WindowSource):
@@ -164,7 +187,14 @@ class DecompositionEngine:
             instrumentation if instrumentation is not None else Instrumentation("engine")
         )
         self.max_cached_rows = max_cached_rows
-        self._rows: dict[int, np.ndarray] = {}  # insertion order == LRU order
+        self.min_snapshot_observed = check_probability(
+            min_snapshot_observed, "min_snapshot_observed"
+        )
+        self.min_window_observed = check_probability(
+            min_window_observed, "min_window_observed"
+        )
+        # Insertion order == LRU order; values are (row, mask_row | None).
+        self._rows: dict[int, tuple[np.ndarray, np.ndarray | None]] = {}
         self._last: Decomposition | None = None
 
     # -- state ------------------------------------------------------------
@@ -178,31 +208,73 @@ class DecompositionEngine:
         self._last = None
 
     # -- rolling window cache ---------------------------------------------
-    def _row(self, k: int) -> np.ndarray:
-        row = self._rows.pop(k, None)
-        if row is None:
+    def _row(self, k: int) -> tuple[np.ndarray, np.ndarray | None]:
+        entry = self._rows.pop(k, None)
+        if entry is None:
             self.instrumentation.count("engine.window.miss")
             row = np.asarray(self.source.snapshot_row(k, self.nbytes), dtype=np.float64)
             row.setflags(write=False)
+            mask_fn = getattr(self.source, "snapshot_mask", None)
+            mask_row = mask_fn(k) if callable(mask_fn) else None
+            if mask_row is not None:
+                mask_row = np.asarray(mask_row, dtype=bool).reshape(-1)
+                if mask_row.all():
+                    mask_row = None
+                else:
+                    mask_row.setflags(write=False)
+                    self.instrumentation.count("engine.window.masked_rows")
+            entry = (row, mask_row)
         else:
             self.instrumentation.count("engine.window.hit")
-        self._rows[k] = row  # re-insert: most recently used
+        self._rows[k] = entry  # re-insert: most recently used
         if self.max_cached_rows is not None and len(self._rows) > self.max_cached_rows:
             self._rows.pop(next(iter(self._rows)))  # least recently used
-        return row
+        return entry
 
     def window(self, start: int, stop: int) -> TPMatrix:
         """TP-matrix for snapshots ``[start, stop)`` from cached rows.
 
         Byte-identical to ``trace.tp_matrix(nbytes, start=start,
         count=stop-start)`` for trace-backed sources.
+
+        Raises
+        ------
+        CalibrationError
+            When the source reports unobserved entries and a snapshot (or
+            the window as a whole) falls below the configured completeness
+            thresholds.
         """
         t = self.source.n_snapshots
         if not 0 <= start < stop <= t:
             raise ValidationError(f"invalid window [{start}, {stop}) for {t} snapshots")
-        rows = np.stack([self._row(k) for k in range(start, stop)])
+        entries = [self._row(k) for k in range(start, stop)]
+        rows = np.stack([row for row, _ in entries])
         ts = np.array([self.source.timestamp(k) for k in range(start, stop)])
-        return TPMatrix(data=rows, n_machines=self.source.n_machines, timestamps=ts)
+        mask = None
+        if any(m is not None for _, m in entries):
+            full = np.ones(rows.shape[1], dtype=bool)
+            mask = np.stack([full if m is None else m for _, m in entries])
+        tp = TPMatrix(
+            data=rows, n_machines=self.source.n_machines, timestamps=ts, mask=mask
+        )
+        if tp.mask is not None:
+            fractions = tp.row_observed_fractions()
+            worst = int(np.argmin(fractions))
+            if fractions[worst] < self.min_snapshot_observed:
+                self.instrumentation.count("engine.window.rejected")
+                raise CalibrationError(
+                    f"snapshot {start + worst} is only "
+                    f"{fractions[worst]:.1%} observed "
+                    f"(< {self.min_snapshot_observed:.1%} required)"
+                )
+            if tp.observed_fraction < self.min_window_observed:
+                self.instrumentation.count("engine.window.rejected")
+                raise CalibrationError(
+                    f"window [{start}, {stop}) is only "
+                    f"{tp.observed_fraction:.1%} observed "
+                    f"(< {self.min_window_observed:.1%} required)"
+                )
+        return tp
 
     # -- solving -----------------------------------------------------------
     def solve(self, tp: TPMatrix) -> Decomposition:
@@ -220,6 +292,8 @@ class DecompositionEngine:
         self.instrumentation.count(
             "engine.solve.warm" if warm else "engine.solve.cold"
         )
+        if tp.mask is not None:
+            self.instrumentation.count("engine.solve.masked")
         with instrumented(self.instrumentation):
             with self.instrumentation.timed("engine.solve_seconds"):
                 dec = decompose(

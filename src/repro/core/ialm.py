@@ -24,6 +24,17 @@ any inexact path-following method the warm split can differ from the cold
 one (a few percent on the constant row at the default 8 steps on EC2-like
 traces); pass ``warm_mu_steps=0`` for maximum fidelity or omit
 ``warm_start`` for the bitwise cold answer.
+
+Partial observations
+--------------------
+``mask`` switches to the RPCA-with-missing-entries program (Candès et al.
+Sec 1.6): ``min ||D||_* + λ||P_Ω(E)||_1  s.t.  P_Ω(D + E) = P_Ω(A)``. The
+implementation follows the standard completion trick — before each
+``D``-step the unobserved entries of the working matrix are replaced by the
+current iterate's own values, so the constraint (and the dual ascent) only
+ever acts on Ω while the nuclear-norm shrinkage completes the holes. With
+``mask=None`` every expression reduces to the unmasked original, bit for
+bit.
 """
 
 from __future__ import annotations
@@ -32,7 +43,7 @@ import numpy as np
 
 from .._validation import as_float_matrix, check_nonnegative, check_positive
 from ..errors import ConvergenceError
-from .apg import _unpack_warm_start, default_lambda
+from .apg import _unpack_warm_start, default_lambda, validate_mask
 from .result import SolverResult
 from .svd_ops import singular_value_threshold, soft_threshold
 
@@ -52,6 +63,7 @@ def rpca_ialm(
     raise_on_fail: bool = False,
     warm_start: object | None = None,
     warm_mu_steps: float = 8.0,
+    mask: np.ndarray | None = None,
 ) -> SolverResult:
     """Decompose ``a ≈ D + E`` with the IALM RPCA solver.
 
@@ -59,6 +71,11 @@ def rpca_ialm(
     ----------
     a:
         Data matrix.
+    mask:
+        Boolean observation mask of the same shape as *a* (``True`` =
+        observed). Unobserved entries are completed by the nuclear-norm
+        shrinkage; ``E`` is kept supported on the observed set. ``None``
+        (or all-true) is the fully-observed path.
     lam:
         Sparsity trade-off; defaults to ``1/sqrt(max(m, n))``.
     tol:
@@ -84,6 +101,9 @@ def rpca_ialm(
     if rho <= 1.0:
         raise ValueError(f"rho must exceed 1, got {rho}")
     check_nonnegative(warm_mu_steps, "warm_mu_steps")
+    omega = validate_mask(mask, A.shape)
+    if omega is not None:
+        A = np.where(omega, A, 0.0)  # placeholder values must carry no signal
 
     norm_a = np.linalg.norm(A)
     if norm_a == 0.0:
@@ -111,9 +131,19 @@ def rpca_ialm(
     iterations = 0
 
     for iterations in range(1, max_iter + 1):
-        D, rank, _ = singular_value_threshold(A - E + Y / mu, 1.0 / mu)
-        E = soft_threshold(A - D + Y / mu, lam_v / mu)
-        Z = A - D - E
+        if omega is None:
+            D, rank, _ = singular_value_threshold(A - E + Y / mu, 1.0 / mu)
+            E = soft_threshold(A - D + Y / mu, lam_v / mu)
+            Z = A - D - E
+        else:
+            # Completion trick: off Ω the working matrix carries the current
+            # iterate's own values, so the D-step sees no spurious zeros and
+            # the constraint only binds on observed entries.
+            A_work = np.where(omega, A, D + E)
+            D, rank, _ = singular_value_threshold(A_work - E + Y / mu, 1.0 / mu)
+            E = soft_threshold(A - D + Y / mu, lam_v / mu)
+            E *= omega
+            Z = (A - D - E) * omega
         Y = Y + mu * Z
         mu = min(mu * rho, mu_bar)
         residual = float(np.linalg.norm(Z) / norm_a)

@@ -20,9 +20,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from enum import Enum
 
-from .._validation import check_nonnegative, check_positive
+from .._validation import check_nonnegative, check_positive, check_probability
 
-__all__ = ["MaintenanceDecision", "MaintenanceController", "MaintenanceStats"]
+__all__ = [
+    "MaintenanceDecision",
+    "MaintenanceController",
+    "MaintenanceStats",
+    "HealthState",
+    "HealthTransition",
+    "ResilienceConfig",
+    "DegradedModeController",
+]
 
 
 class MaintenanceDecision(Enum):
@@ -103,3 +111,173 @@ class MaintenanceController:
     def reset(self) -> None:
         """Clear streak state (counters in :attr:`stats` are preserved)."""
         self._streak = 0
+
+
+class HealthState(Enum):
+    """Calibration-plane health of an adaptive session.
+
+    Algorithm 1 assumes re-calibration always succeeds; under injected (or
+    real) measurement faults it can fail — too few probes answered, RPCA
+    budget exhausted. The session then keeps optimizing on the *last good*
+    constant component while retrying with backoff:
+
+    * ``HEALTHY`` — the current constant component comes from a successful,
+      sufficiently complete calibration.
+    * ``DEGRADED`` — at least one re-calibration attempt failed; the stale
+      constant component is still in use and retries are being paced.
+    * ``HOLDOVER`` — failures have persisted past the configured limit; the
+      session has settled on the stale component (clock-discipline style
+      holdover) and retries continue at the maximum backoff.
+    """
+
+    HEALTHY = "healthy"
+    DEGRADED = "degraded"
+    HOLDOVER = "holdover"
+
+
+@dataclass(frozen=True, slots=True)
+class HealthTransition:
+    """One edge of the health state machine, for post-hoc inspection."""
+
+    operation: int
+    previous: HealthState
+    state: HealthState
+    reason: str
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Tunables for fault-tolerant calibration and degraded-mode operation.
+
+    Attributes
+    ----------
+    max_probe_retries:
+        How many times a failed probe is re-attempted within one snapshot
+        measurement (transient faults re-roll per attempt).
+    retry_backoff_seconds:
+        Wall-clock cost charged for the first probe retry wave; each further
+        wave doubles it (exponential backoff, accounted as overhead).
+    min_snapshot_observed:
+        Minimum off-diagonal observed fraction per snapshot for a
+        calibration window to be accepted (see
+        :class:`~repro.core.engine.DecompositionEngine`).
+    min_window_observed:
+        Same threshold for the window as a whole.
+    recal_backoff_operations:
+        Operations to wait after the first failed re-calibration before the
+        next attempt.
+    recal_backoff_factor:
+        Growth factor of the wait after each consecutive failure.
+    recal_backoff_max:
+        Cap on the wait, in operations.
+    holdover_after:
+        Consecutive failed re-calibrations before ``DEGRADED`` becomes
+        ``HOLDOVER``.
+    strict_convergence:
+        Ask the solver to raise
+        :class:`~repro.errors.ConvergenceError` on budget exhaustion (when
+        it supports ``raise_on_fail``) so a non-converged solve is treated
+        as a calibration failure instead of silently trusted.
+    """
+
+    max_probe_retries: int = 2
+    retry_backoff_seconds: float = 0.5
+    min_snapshot_observed: float = 0.8
+    min_window_observed: float = 0.5
+    recal_backoff_operations: int = 1
+    recal_backoff_factor: float = 2.0
+    recal_backoff_max: int = 8
+    holdover_after: int = 3
+    strict_convergence: bool = True
+
+    def __post_init__(self) -> None:
+        if int(self.max_probe_retries) < 0:
+            raise ValueError("max_probe_retries must be >= 0")
+        check_nonnegative(self.retry_backoff_seconds, "retry_backoff_seconds")
+        check_probability(self.min_snapshot_observed, "min_snapshot_observed")
+        check_probability(self.min_window_observed, "min_window_observed")
+        if int(self.recal_backoff_operations) < 0:
+            raise ValueError("recal_backoff_operations must be >= 0")
+        if float(self.recal_backoff_factor) < 1.0:
+            raise ValueError("recal_backoff_factor must be >= 1")
+        if int(self.recal_backoff_max) < int(self.recal_backoff_operations):
+            raise ValueError("recal_backoff_max must be >= recal_backoff_operations")
+        if int(self.holdover_after) < 1:
+            raise ValueError("holdover_after must be >= 1")
+
+    def backoff_operations(self, failures: int) -> int:
+        """Operations to wait after the *failures*-th consecutive failure."""
+        if failures <= 0:
+            return 0
+        wait = float(self.recal_backoff_operations) * (
+            float(self.recal_backoff_factor) ** (failures - 1)
+        )
+        return int(min(wait, float(self.recal_backoff_max)))
+
+
+class DegradedModeController:
+    """HEALTHY → DEGRADED → HOLDOVER state machine over calibration outcomes.
+
+    The session reports each re-calibration attempt's outcome and ticks the
+    controller once per executed operation; the controller paces retry
+    attempts (exponential backoff measured in operations) and accounts for
+    staleness — how many operations have run on the current constant
+    component since it was last refreshed.
+    """
+
+    def __init__(self, config: ResilienceConfig | None = None) -> None:
+        self.config = config if config is not None else ResilienceConfig()
+        self.state = HealthState.HEALTHY
+        self.consecutive_failures = 0
+        self.staleness = 0  # operations since the last successful calibration
+        self.max_staleness = 0
+        self._cooldown = 0  # operations until the next retry is allowed
+        self.transitions: list[HealthTransition] = []
+        self._operation = 0
+
+    @property
+    def healthy(self) -> bool:
+        return self.state is HealthState.HEALTHY
+
+    def tick(self) -> None:
+        """Advance by one executed operation (staleness + backoff clocks)."""
+        self._operation += 1
+        self.staleness += 1
+        if self.staleness > self.max_staleness:
+            self.max_staleness = self.staleness
+        if self._cooldown > 0:
+            self._cooldown -= 1
+
+    def should_attempt(self) -> bool:
+        """Whether a re-calibration attempt is allowed right now."""
+        return self._cooldown == 0
+
+    def _transition(self, state: HealthState, reason: str) -> None:
+        if state is not self.state:
+            self.transitions.append(
+                HealthTransition(
+                    operation=self._operation,
+                    previous=self.state,
+                    state=state,
+                    reason=reason,
+                )
+            )
+            self.state = state
+
+    def record_success(self) -> None:
+        """A calibration succeeded: back to HEALTHY, clocks reset."""
+        self.consecutive_failures = 0
+        self._cooldown = 0
+        self.staleness = 0
+        self._transition(HealthState.HEALTHY, "calibration succeeded")
+
+    def record_failure(self, error: BaseException | str) -> None:
+        """A calibration attempt failed: degrade and push out the next retry."""
+        self.consecutive_failures += 1
+        self._cooldown = self.config.backoff_operations(self.consecutive_failures)
+        target = (
+            HealthState.HOLDOVER
+            if self.consecutive_failures >= self.config.holdover_after
+            else HealthState.DEGRADED
+        )
+        self._transition(target, str(error))

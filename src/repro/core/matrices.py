@@ -91,11 +91,20 @@ class TPMatrix:
 
     ``data[k]`` is the row-major flattening of the k-th snapshot; rows are
     ordered by measurement time (``timestamps`` must be non-decreasing).
+
+    ``mask`` marks which entries were actually *observed* (``True``) versus
+    lost to probe failures or VM outages (``False``). ``None`` — the default
+    and the historical behavior — means fully observed. Masked-out entries
+    still hold a finite placeholder value (conventionally 0.0) so the array
+    stays dense; solvers that understand masks ignore those values, and
+    everything else must refuse a partially-observed matrix rather than
+    treat the placeholders as measurements.
     """
 
     data: np.ndarray
     n_machines: int
     timestamps: np.ndarray = field(default=None)  # type: ignore[assignment]
+    mask: np.ndarray | None = None
 
     def __post_init__(self) -> None:
         d = as_float_matrix(self.data, "data")
@@ -114,15 +123,51 @@ class TPMatrix:
                 raise ValidationError("timestamps length must equal number of rows")
             if np.any(np.diff(ts) < 0):
                 raise ValidationError("timestamps must be non-decreasing")
+        mask = self.mask
+        if mask is not None:
+            m = np.asarray(mask)
+            if m.dtype != np.bool_:
+                raise ValidationError("mask must be a boolean array")
+            if m.shape != d.shape:
+                raise ValidationError(
+                    f"mask shape {m.shape} does not match data shape {d.shape}"
+                )
+            if not m.any():
+                raise ValidationError("mask must observe at least one entry")
+            if m.all():
+                mask = None  # fully observed — normalize to the unmasked form
+            else:
+                mask = np.ascontiguousarray(m)
+                mask.setflags(write=False)
         d.setflags(write=False)
         ts.setflags(write=False)
         object.__setattr__(self, "data", d)
         object.__setattr__(self, "n_machines", n)
         object.__setattr__(self, "timestamps", ts)
+        object.__setattr__(self, "mask", mask)
 
     @property
     def n_snapshots(self) -> int:
         return self.data.shape[0]
+
+    @property
+    def observed_fraction(self) -> float:
+        """Fraction of *off-diagonal* entries that were observed (1.0 unmasked)."""
+        if self.mask is None:
+            return 1.0
+        n = self.n_machines
+        off = ~np.eye(n, dtype=bool).ravel()
+        total = self.n_snapshots * int(off.sum())
+        return float(self.mask[:, off].sum()) / total if total else 1.0
+
+    def row_observed_fractions(self) -> np.ndarray:
+        """Per-snapshot observed fraction over off-diagonal entries."""
+        n = self.n_machines
+        off = ~np.eye(n, dtype=bool).ravel()
+        if self.mask is None:
+            return np.ones(self.n_snapshots)
+        denom = float(off.sum()) or 1.0
+        return self.mask[:, off].sum(axis=1) / denom
 
     @classmethod
     def from_snapshots(cls, snapshots: list[PerformanceMatrix]) -> "TPMatrix":
@@ -152,6 +197,7 @@ class TPMatrix:
             data=self.data[:k].copy(),
             n_machines=self.n_machines,
             timestamps=self.timestamps[:k].copy(),
+            mask=None if self.mask is None else self.mask[:k].copy(),
         )
 
 

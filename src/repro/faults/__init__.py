@@ -1,0 +1,45 @@
+"""Fault injection for the measurement and calibration plane.
+
+Seeded, composable models of the failure modes a real IaaS measurement
+campaign hits — lost probes, stragglers, corrupted readings, VM and rack
+outages — plus injectors that apply them to a replayed
+:class:`~repro.cloudsim.trace.CalibrationTrace` or a live measurement
+substrate. Faults only touch what the calibrator *observes*; the underlying
+network (and hence live operation pricing) is unaffected, matching reality.
+"""
+
+from .inject import (
+    FAULT_PROFILES,
+    FaultySubstrate,
+    InjectedTrace,
+    inject_faults,
+    parse_fault_spec,
+)
+from .models import (
+    CorruptedReadings,
+    FaultEvent,
+    FaultModel,
+    FaultSchedule,
+    ProbeLoss,
+    ProbeStraggler,
+    RackOutage,
+    VMOutage,
+    materialize_faults,
+)
+
+__all__ = [
+    "FaultEvent",
+    "FaultSchedule",
+    "FaultModel",
+    "ProbeLoss",
+    "ProbeStraggler",
+    "CorruptedReadings",
+    "VMOutage",
+    "RackOutage",
+    "materialize_faults",
+    "InjectedTrace",
+    "inject_faults",
+    "FaultySubstrate",
+    "FAULT_PROFILES",
+    "parse_fault_spec",
+]

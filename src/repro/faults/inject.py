@@ -1,0 +1,298 @@
+"""Apply fault models to traces and live measurement substrates.
+
+Two injection points, matching the two ways the pipeline consumes
+measurements:
+
+* :func:`inject_faults` — *trace-level*: derive a faulty
+  :class:`~repro.cloudsim.trace.CalibrationTrace` view from a ground-truth
+  trace. Perturbed entries (stragglers, corruption) carry inflated weights;
+  lost entries are marked in the trace's observation mask while keeping the
+  ground-truth values underneath (a probe that never returned doesn't change
+  the network — only what the calibrator knows about it).
+* :class:`FaultySubstrate` — *probe-level*: wrap any
+  :class:`~repro.calibration.calibrator.MeasurementSubstrate` so each probe
+  attempt independently suffers the transient models (a retry re-rolls and
+  may succeed) while persistent outages hold for their scheduled snapshots
+  no matter how often the calibrator retries. Lost probes come back as
+  ``(nan, nan)``, the wire format for "no answer".
+
+:func:`parse_fault_spec` turns the CLI's ``--faults`` string into a model
+list, including the named ``mild``/``harsh`` profiles used by the CI
+fault-injection job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cloudsim.trace import CalibrationTrace
+from ..errors import ValidationError
+from ..observability import emit_count
+from ..utils.seeding import derive_seed, spawn_rng
+from .models import (
+    CorruptedReadings,
+    FaultModel,
+    FaultSchedule,
+    ProbeLoss,
+    ProbeStraggler,
+    RackOutage,
+    VMOutage,
+    materialize_faults,
+)
+
+__all__ = [
+    "InjectedTrace",
+    "inject_faults",
+    "FaultySubstrate",
+    "FAULT_PROFILES",
+    "parse_fault_spec",
+]
+
+
+@dataclass(frozen=True)
+class InjectedTrace:
+    """A faulty trace view plus the schedule that produced it."""
+
+    trace: CalibrationTrace
+    schedule: FaultSchedule
+
+    @property
+    def events(self):
+        return self.schedule.events
+
+
+def inject_faults(
+    trace: CalibrationTrace,
+    models: list[FaultModel] | tuple[FaultModel, ...],
+    *,
+    seed: int | None = None,
+) -> InjectedTrace:
+    """Derive a faulty view of *trace* under the given fault models.
+
+    The returned trace has suspect entries perturbed (``alpha * factor``,
+    ``beta / factor``) and lost entries masked out — their α/β values stay
+    at ground truth, which is exactly what a downstream consumer must not
+    rely on (the mask is the source of truth). Any mask already on *trace*
+    is intersected with the fault mask.
+    """
+    schedule = materialize_faults(
+        models, trace.n_snapshots, trace.n_machines, seed=seed
+    )
+    perturbed = (
+        trace.with_multiplicative_noise(schedule.factor)
+        if schedule.suspect.any()
+        else trace
+    )
+    observed = ~schedule.missing
+    if perturbed.mask is not None:
+        observed = observed & perturbed.mask
+    faulty = CalibrationTrace(
+        alpha=perturbed.alpha,
+        beta=perturbed.beta,
+        timestamps=perturbed.timestamps,
+        mask=observed,
+    )
+    return InjectedTrace(trace=faulty, schedule=schedule)
+
+
+class FaultySubstrate:
+    """Wrap a measurement substrate with scheduled and per-attempt faults.
+
+    Persistent models (VM/rack outages) are materialized once at
+    construction into a :class:`~repro.faults.models.FaultSchedule`; a probe
+    touching a dark machine fails on every attempt for the outage's
+    duration. Transient models (probe loss, stragglers, corruption) are
+    rolled independently per probe *attempt*, so a retrying calibrator can
+    recover from them — the asymmetry that makes retry-with-backoff
+    worthwhile and outage detection necessary.
+
+    Lost probes are reported as ``(nan, nan)``; perturbed probes return
+    ``(alpha * f, beta / f)``.
+
+    Parameters
+    ----------
+    substrate:
+        The healthy substrate to wrap.
+    models:
+        Fault models to apply.
+    n_snapshots:
+        Horizon for materializing persistent outages; defaults to the
+        substrate's own ``n_snapshots``. Only required when persistent
+        models are present.
+    seed:
+        Drives both outage materialization and per-attempt rolls.
+    """
+
+    def __init__(
+        self,
+        substrate,
+        models: list[FaultModel] | tuple[FaultModel, ...],
+        *,
+        n_snapshots: int | None = None,
+        seed: int | None = None,
+    ) -> None:
+        for i, model in enumerate(models):
+            if not isinstance(model, FaultModel):
+                raise ValidationError(
+                    f"faults[{i}] is {type(model).__name__}, not a FaultModel"
+                )
+        self.substrate = substrate
+        self.models = tuple(models)
+        self.transient = tuple(m for m in self.models if not m.persistent)
+        persistent = tuple(m for m in self.models if m.persistent)
+        if seed is None:
+            seed = int(spawn_rng(None).integers(0, 2**31 - 1))
+        self.seed = int(seed)
+        if n_snapshots is None:
+            n_snapshots = getattr(substrate, "n_snapshots", None)
+        if persistent:
+            if n_snapshots is None:
+                raise ValidationError(
+                    "persistent fault models need n_snapshots; the substrate "
+                    "does not expose it — pass n_snapshots explicitly"
+                )
+            self.schedule = materialize_faults(
+                persistent, int(n_snapshots), substrate.n_machines, seed=self.seed
+            )
+        else:
+            self.schedule = None
+        self._n_snapshots = None if n_snapshots is None else int(n_snapshots)
+        self._rng = spawn_rng(derive_seed(self.seed, "probe_attempts"))
+
+    @property
+    def n_machines(self) -> int:
+        return int(self.substrate.n_machines)
+
+    @property
+    def n_snapshots(self) -> int | None:
+        return self._n_snapshots
+
+    def outage_entries(self, snapshot: int) -> np.ndarray | None:
+        """Scheduled-missing mask for *snapshot*, or None when clean."""
+        if self.schedule is None:
+            return None
+        if not 0 <= snapshot < self.schedule.n_snapshots:
+            return None
+        missing = self.schedule.missing[snapshot]
+        return missing if missing.any() else None
+
+    def measure_round(
+        self, pairs: tuple[tuple[int, int], ...], snapshot: int
+    ) -> list[tuple[float, float]]:
+        results = self.substrate.measure_round(pairs, snapshot)
+        dark = self.outage_entries(snapshot)
+        out: list[tuple[float, float]] = []
+        for (s, r), (a_v, b_v) in zip(pairs, results):
+            if dark is not None and dark[s, r]:
+                emit_count("faults.probe.outage")
+                out.append((float("nan"), float("nan")))
+                continue
+            lost = False
+            factor = 1.0
+            for model in self.transient:
+                m_lost, m_factor = model.probe_effect(self._rng)
+                lost = lost or m_lost
+                factor *= m_factor
+            if lost:
+                emit_count("faults.probe.lost")
+                out.append((float("nan"), float("nan")))
+            elif factor != 1.0:
+                emit_count("faults.probe.perturbed")
+                out.append((a_v * factor, b_v / factor))
+            else:
+                out.append((a_v, b_v))
+        return out
+
+
+# Named profiles for the CI fault-injection job and quick CLI use.
+FAULT_PROFILES: dict[str, str] = {
+    "mild": "probe_loss=0.05,straggler=0.02",
+    "harsh": "probe_loss=0.1,straggler=0.05,corrupt=0.01,vm_outage=0.01",
+}
+
+
+def _parse_rate_or_fields(value: str, token: str) -> tuple[float | None, list[int]]:
+    """A spec value is either a float rate or colon-separated int fields."""
+    if ":" in value:
+        try:
+            return None, [int(part) for part in value.split(":")]
+        except ValueError:
+            raise ValidationError(f"bad fault token {token!r}") from None
+    try:
+        return float(value), []
+    except ValueError:
+        raise ValidationError(f"bad fault token {token!r}") from None
+
+
+def parse_fault_spec(spec: str) -> list[FaultModel]:
+    """Parse a ``--faults`` specification into fault models.
+
+    Grammar: a profile name (``mild``, ``harsh``) or comma-separated tokens:
+
+    * ``probe_loss=RATE``
+    * ``straggler=RATE`` (timeout/straggler inflation)
+    * ``corrupt=RATE`` (garbage readings)
+    * ``vm_outage=RATE`` or ``vm_outage=MACHINE:START[:DURATION]``
+    * ``rack_outage=RATE`` or ``rack_outage=START[:DURATION]``
+      (random rack membership)
+
+    Example: ``probe_loss=0.1,vm_outage=3:5:2`` — 10% probe loss plus
+    machine 3 dark for snapshots 5–6.
+    """
+    text = spec.strip()
+    if not text:
+        raise ValidationError("empty fault specification")
+    if text in FAULT_PROFILES:
+        text = FAULT_PROFILES[text]
+    models: list[FaultModel] = []
+    for token in text.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        if "=" not in token:
+            raise ValidationError(
+                f"bad fault token {token!r}; expected name=value "
+                f"or a profile in {sorted(FAULT_PROFILES)}"
+            )
+        name, _, value = token.partition("=")
+        name = name.strip()
+        rate, fields = _parse_rate_or_fields(value.strip(), token)
+        if name == "probe_loss" and rate is not None:
+            models.append(ProbeLoss(rate=rate))
+        elif name == "straggler" and rate is not None:
+            models.append(ProbeStraggler(rate=rate))
+        elif name == "corrupt" and rate is not None:
+            models.append(CorruptedReadings(rate=rate))
+        elif name == "vm_outage":
+            if rate is not None:
+                models.append(VMOutage(rate=rate))
+            elif len(fields) in (2, 3):
+                machine, start = fields[0], fields[1]
+                duration = fields[2] if len(fields) == 3 else 2
+                models.append(
+                    VMOutage(machine=machine, start=start, duration=duration)
+                )
+            else:
+                raise ValidationError(
+                    f"bad fault token {token!r}; expected vm_outage=RATE "
+                    "or vm_outage=MACHINE:START[:DURATION]"
+                )
+        elif name == "rack_outage":
+            if rate is not None:
+                models.append(RackOutage(rate=rate))
+            elif len(fields) in (1, 2):
+                start = fields[0]
+                duration = fields[1] if len(fields) == 2 else 2
+                models.append(RackOutage(start=start, duration=duration))
+            else:
+                raise ValidationError(
+                    f"bad fault token {token!r}; expected rack_outage=RATE "
+                    "or rack_outage=START[:DURATION]"
+                )
+        else:
+            raise ValidationError(f"unknown fault model in token {token!r}")
+    if not models:
+        raise ValidationError("fault specification names no models")
+    return models

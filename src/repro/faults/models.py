@@ -1,0 +1,472 @@
+"""Composable, seeded fault models for calibration measurements.
+
+The paper's own EC2 campaign (and every follow-up — Duplyakin et al.'s "the
+only constant is change" line of work) treats lost probes, stragglers and
+vanishing VMs as the *normal* operating condition of IaaS measurement, not an
+exception. Each :class:`FaultModel` here describes one such failure mode; a
+list of models is *materialized* into a :class:`FaultSchedule` — dense
+per-entry ``missing``/``suspect`` masks plus multiplicative weight-inflation
+factors over a ``(T, N, N)`` trace — by :func:`materialize_faults`.
+
+Determinism contract: materialization draws from a child RNG derived via
+:func:`repro.utils.seeding.derive_seed` from ``(seed, model index, model
+kind)``, so the same seed and model list always produce the identical fault
+schedule, and inserting a model never perturbs the draws of its neighbours.
+
+Two classes of model:
+
+* **transient** (``persistent = False``): probe loss, stragglers, corrupted
+  readings. In a trace-level injection the materialized entry is simply
+  lost/perturbed; at the probe level (:class:`~repro.faults.inject.FaultySubstrate`)
+  each *attempt* re-rolls, so a retry can succeed — which is what makes
+  retry-with-backoff worth doing.
+* **persistent** (``persistent = True``): VM and rack outages. A dark
+  machine stays dark for the scheduled snapshots; retries cannot help.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._validation import check_probability
+from ..errors import ValidationError
+from ..utils.seeding import derive_seed, spawn_rng
+
+__all__ = [
+    "FaultEvent",
+    "FaultSchedule",
+    "FaultModel",
+    "ProbeLoss",
+    "ProbeStraggler",
+    "CorruptedReadings",
+    "VMOutage",
+    "RackOutage",
+    "materialize_faults",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class FaultEvent:
+    """One scheduled fault occurrence, for observability and replay reports.
+
+    Entry-level models (probe loss, stragglers, corruption) emit one summary
+    event per affected snapshot with ``detail`` = number of affected entries;
+    outage models emit one event per outage with ``detail`` = duration in
+    snapshots.
+    """
+
+    kind: str
+    snapshot: int
+    machines: tuple[int, ...]
+    detail: float
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """Materialized fault plan over a ``(T, N, N)`` measurement tensor.
+
+    Attributes
+    ----------
+    missing:
+        ``True`` where the measurement is lost entirely (never observed).
+    suspect:
+        ``True`` where a value *is* returned but was perturbed (straggler
+        inflation, corruption). Suspect entries stay observed — absorbing
+        them is exactly what RPCA's sparse term is for.
+    factor:
+        Multiplicative weight inflation per entry (1.0 = untouched). Applied
+        as ``alpha * factor`` and ``beta / factor`` so the α-β transfer time
+        scales by roughly ``factor``.
+    events:
+        Flat record of everything scheduled, ordered by model then snapshot.
+    """
+
+    missing: np.ndarray
+    suspect: np.ndarray
+    factor: np.ndarray
+    events: tuple[FaultEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        m = np.asarray(self.missing, dtype=bool)
+        s = np.asarray(self.suspect, dtype=bool)
+        f = np.asarray(self.factor, dtype=np.float64)
+        if m.ndim != 3 or m.shape[1] != m.shape[2]:
+            raise ValidationError(f"missing must be (T, N, N), got {m.shape}")
+        if s.shape != m.shape or f.shape != m.shape:
+            raise ValidationError("missing/suspect/factor shape mismatch")
+        if np.any(f <= 0) or not np.all(np.isfinite(f)):
+            raise ValidationError("factors must be positive and finite")
+        for k in range(m.shape[0]):  # the diagonal is never measured
+            np.fill_diagonal(m[k], False)
+            np.fill_diagonal(s[k], False)
+            np.fill_diagonal(f[k], 1.0)
+        object.__setattr__(self, "missing", m)
+        object.__setattr__(self, "suspect", s)
+        object.__setattr__(self, "factor", f)
+        object.__setattr__(self, "events", tuple(self.events))
+
+    @property
+    def n_snapshots(self) -> int:
+        return self.missing.shape[0]
+
+    @property
+    def n_machines(self) -> int:
+        return self.missing.shape[1]
+
+    @classmethod
+    def clean(cls, n_snapshots: int, n_machines: int) -> "FaultSchedule":
+        """A schedule with no faults at all."""
+        shape = (int(n_snapshots), int(n_machines), int(n_machines))
+        return cls(
+            missing=np.zeros(shape, dtype=bool),
+            suspect=np.zeros(shape, dtype=bool),
+            factor=np.ones(shape),
+        )
+
+    def merge(self, other: "FaultSchedule") -> "FaultSchedule":
+        """Union of two schedules (factors compose multiplicatively)."""
+        if other.missing.shape != self.missing.shape:
+            raise ValidationError("cannot merge schedules of different shapes")
+        return FaultSchedule(
+            missing=self.missing | other.missing,
+            suspect=self.suspect | other.suspect,
+            factor=self.factor * other.factor,
+            events=self.events + other.events,
+        )
+
+    def count(self, kind: str) -> int:
+        """Number of scheduled events of the given kind."""
+        return sum(1 for e in self.events if e.kind == kind)
+
+
+class FaultModel(abc.ABC):
+    """One failure mode of the measurement plane.
+
+    Subclasses define ``kind`` (a stable string id used for seed derivation
+    and the CLI spec) and ``persistent`` (whether a retry can ever succeed
+    against this fault).
+    """
+
+    kind: str = "fault"
+    persistent: bool = False
+
+    @abc.abstractmethod
+    def materialize(
+        self, n_snapshots: int, n_machines: int, rng: np.random.Generator
+    ) -> FaultSchedule:
+        """Draw this model's concrete fault plan for a (T, N) campaign."""
+
+    def probe_effect(self, rng: np.random.Generator) -> tuple[bool, float]:
+        """Per-attempt effect on one probe: ``(lost, weight_factor)``.
+
+        Used by the probe-level injector, where each retry re-rolls.
+        Persistent models keep the default no-op — their effect comes from
+        the materialized schedule instead.
+        """
+        return (False, 1.0)
+
+
+def _entry_events(
+    kind: str, affected: np.ndarray
+) -> tuple[FaultEvent, ...]:
+    """One summary event per snapshot with any affected entries."""
+    events = []
+    for k in range(affected.shape[0]):
+        n_hit = int(affected[k].sum())
+        if n_hit:
+            events.append(
+                FaultEvent(kind=kind, snapshot=k, machines=(), detail=float(n_hit))
+            )
+    return tuple(events)
+
+
+def _off_diagonal(n_snapshots: int, n_machines: int) -> np.ndarray:
+    return np.broadcast_to(
+        ~np.eye(n_machines, dtype=bool), (n_snapshots, n_machines, n_machines)
+    )
+
+
+@dataclass(frozen=True)
+class ProbeLoss(FaultModel):
+    """Each directed probe is lost independently with probability ``rate``."""
+
+    rate: float
+    kind = "probe_loss"
+    persistent = False
+
+    def __post_init__(self) -> None:
+        check_probability(self.rate, "rate")
+
+    def materialize(
+        self, n_snapshots: int, n_machines: int, rng: np.random.Generator
+    ) -> FaultSchedule:
+        sched = FaultSchedule.clean(n_snapshots, n_machines)
+        lost = (rng.random(sched.missing.shape) < self.rate) & _off_diagonal(
+            n_snapshots, n_machines
+        )
+        return FaultSchedule(
+            missing=lost,
+            suspect=sched.suspect,
+            factor=sched.factor,
+            events=_entry_events(self.kind, lost),
+        )
+
+    def probe_effect(self, rng: np.random.Generator) -> tuple[bool, float]:
+        return (bool(rng.random() < self.rate), 1.0)
+
+
+@dataclass(frozen=True)
+class ProbeStraggler(FaultModel):
+    """A probe hits a straggler/timeout with probability ``rate``.
+
+    The measurement completes but reports a transfer time inflated by
+    ``inflation`` — the classic tail-latency artifact. The entry is marked
+    *suspect*, not missing: the pipeline's robustness (RPCA's sparse term)
+    must absorb it.
+    """
+
+    rate: float
+    inflation: float = 10.0
+    kind = "straggler"
+    persistent = False
+
+    def __post_init__(self) -> None:
+        check_probability(self.rate, "rate")
+        if not np.isfinite(self.inflation) or self.inflation <= 1.0:
+            raise ValidationError(
+                f"inflation must exceed 1, got {self.inflation!r}"
+            )
+
+    def materialize(
+        self, n_snapshots: int, n_machines: int, rng: np.random.Generator
+    ) -> FaultSchedule:
+        sched = FaultSchedule.clean(n_snapshots, n_machines)
+        hit = (rng.random(sched.missing.shape) < self.rate) & _off_diagonal(
+            n_snapshots, n_machines
+        )
+        factor = np.where(hit, self.inflation, 1.0)
+        return FaultSchedule(
+            missing=sched.missing,
+            suspect=hit,
+            factor=factor,
+            events=_entry_events(self.kind, hit),
+        )
+
+    def probe_effect(self, rng: np.random.Generator) -> tuple[bool, float]:
+        if rng.random() < self.rate:
+            return (False, float(self.inflation))
+        return (False, 1.0)
+
+
+@dataclass(frozen=True)
+class CorruptedReadings(FaultModel):
+    """A reading comes back garbage with probability ``rate``.
+
+    The corrupted value is off by ``scale``× in either direction (too slow
+    or impossibly fast), chosen per entry. Marked suspect, not missing.
+    """
+
+    rate: float
+    scale: float = 50.0
+    kind = "corruption"
+    persistent = False
+
+    def __post_init__(self) -> None:
+        check_probability(self.rate, "rate")
+        if not np.isfinite(self.scale) or self.scale <= 1.0:
+            raise ValidationError(f"scale must exceed 1, got {self.scale!r}")
+
+    def _draw_factor(self, rng: np.random.Generator, shape) -> np.ndarray:
+        return np.where(rng.random(shape) < 0.5, self.scale, 1.0 / self.scale)
+
+    def materialize(
+        self, n_snapshots: int, n_machines: int, rng: np.random.Generator
+    ) -> FaultSchedule:
+        sched = FaultSchedule.clean(n_snapshots, n_machines)
+        hit = (rng.random(sched.missing.shape) < self.rate) & _off_diagonal(
+            n_snapshots, n_machines
+        )
+        factor = np.where(hit, self._draw_factor(rng, hit.shape), 1.0)
+        return FaultSchedule(
+            missing=sched.missing,
+            suspect=hit,
+            factor=factor,
+            events=_entry_events(self.kind, hit),
+        )
+
+    def probe_effect(self, rng: np.random.Generator) -> tuple[bool, float]:
+        if rng.random() < self.rate:
+            return (False, float(self.scale if rng.random() < 0.5 else 1.0 / self.scale))
+        return (False, 1.0)
+
+
+def _outage_mask(
+    n_snapshots: int,
+    n_machines: int,
+    outages: list[tuple[int, tuple[int, ...], int]],
+) -> np.ndarray:
+    """Missing-mask for (start, machines, duration) outages: dark row + column."""
+    missing = np.zeros((n_snapshots, n_machines, n_machines), dtype=bool)
+    for start, machines, duration in outages:
+        stop = min(start + duration, n_snapshots)
+        for m in machines:
+            missing[start:stop, m, :] = True
+            missing[start:stop, :, m] = True
+    return missing
+
+
+@dataclass(frozen=True)
+class VMOutage(FaultModel):
+    """A VM goes dark — every probe to or from it fails — for a while.
+
+    Either schedule one deterministic outage (``machine``/``start`` given)
+    or draw random ones: each machine independently starts an outage with
+    probability ``rate`` per snapshot. Persistent: retries within the
+    outage window cannot succeed.
+    """
+
+    rate: float = 0.0
+    duration: int = 2
+    machine: int | None = None
+    start: int | None = None
+    kind = "vm_outage"
+    persistent = True
+
+    def __post_init__(self) -> None:
+        check_probability(self.rate, "rate")
+        if int(self.duration) < 1:
+            raise ValidationError("duration must be >= 1 snapshot")
+        if (self.machine is None) != (self.start is None):
+            raise ValidationError(
+                "deterministic outage needs both machine and start"
+            )
+        if self.machine is None and self.rate == 0.0:
+            raise ValidationError(
+                "VMOutage needs either a positive rate or machine+start"
+            )
+
+    def materialize(
+        self, n_snapshots: int, n_machines: int, rng: np.random.Generator
+    ) -> FaultSchedule:
+        sched = FaultSchedule.clean(n_snapshots, n_machines)
+        outages: list[tuple[int, tuple[int, ...], int]] = []
+        if self.machine is not None:
+            if not 0 <= int(self.machine) < n_machines:
+                raise ValidationError(f"machine {self.machine} out of range")
+            if not 0 <= int(self.start) < n_snapshots:
+                raise ValidationError(f"start {self.start} out of range")
+            outages.append((int(self.start), (int(self.machine),), int(self.duration)))
+        else:
+            starts = rng.random((n_snapshots, n_machines)) < self.rate
+            for k, m in np.argwhere(starts):
+                outages.append((int(k), (int(m),), int(self.duration)))
+        events = tuple(
+            FaultEvent(
+                kind=self.kind, snapshot=start, machines=machines,
+                detail=float(duration),
+            )
+            for start, machines, duration in outages
+        )
+        return FaultSchedule(
+            missing=_outage_mask(n_snapshots, n_machines, outages),
+            suspect=sched.suspect,
+            factor=sched.factor,
+            events=events,
+        )
+
+
+@dataclass(frozen=True)
+class RackOutage(FaultModel):
+    """A correlated outage: a whole rack's worth of VMs goes dark together.
+
+    The rack membership is either given (``machines``) or drawn once per
+    materialization (``group_size`` random machines). The rack then blips
+    with probability ``rate`` per snapshot (or deterministically at
+    ``start``), taking every member dark for ``duration`` snapshots.
+    """
+
+    rate: float = 0.0
+    duration: int = 2
+    group_size: int = 4
+    machines: tuple[int, ...] | None = None
+    start: int | None = None
+    kind = "rack_outage"
+    persistent = True
+
+    def __post_init__(self) -> None:
+        check_probability(self.rate, "rate")
+        if int(self.duration) < 1:
+            raise ValidationError("duration must be >= 1 snapshot")
+        if int(self.group_size) < 1:
+            raise ValidationError("group_size must be >= 1")
+        if self.start is None and self.rate == 0.0:
+            raise ValidationError(
+                "RackOutage needs either a positive rate or a start snapshot"
+            )
+
+    def materialize(
+        self, n_snapshots: int, n_machines: int, rng: np.random.Generator
+    ) -> FaultSchedule:
+        sched = FaultSchedule.clean(n_snapshots, n_machines)
+        if self.machines is not None:
+            group = tuple(int(m) for m in self.machines)
+            if any(not 0 <= m < n_machines for m in group):
+                raise ValidationError("rack machine index out of range")
+        else:
+            size = min(int(self.group_size), n_machines)
+            group = tuple(
+                int(m) for m in rng.choice(n_machines, size=size, replace=False)
+            )
+        outages: list[tuple[int, tuple[int, ...], int]] = []
+        if self.start is not None:
+            if not 0 <= int(self.start) < n_snapshots:
+                raise ValidationError(f"start {self.start} out of range")
+            outages.append((int(self.start), group, int(self.duration)))
+        else:
+            starts = rng.random(n_snapshots) < self.rate
+            for k in np.flatnonzero(starts):
+                outages.append((int(k), group, int(self.duration)))
+        events = tuple(
+            FaultEvent(
+                kind=self.kind, snapshot=start, machines=machines,
+                detail=float(duration),
+            )
+            for start, machines, duration in outages
+        )
+        return FaultSchedule(
+            missing=_outage_mask(n_snapshots, n_machines, outages),
+            suspect=sched.suspect,
+            factor=sched.factor,
+            events=events,
+        )
+
+
+def materialize_faults(
+    models: list[FaultModel] | tuple[FaultModel, ...],
+    n_snapshots: int,
+    n_machines: int,
+    *,
+    seed: int | None = None,
+) -> FaultSchedule:
+    """Materialize a list of fault models into one merged schedule.
+
+    Each model draws from its own child stream derived from ``(seed, index,
+    kind)``, so the composite schedule is reproducible and insensitive to
+    how many random draws sibling models consume.
+    """
+    if int(n_snapshots) < 1 or int(n_machines) < 1:
+        raise ValidationError("need at least one snapshot and one machine")
+    if seed is None:
+        seed = int(spawn_rng(None).integers(0, 2**31 - 1))
+    sched = FaultSchedule.clean(n_snapshots, n_machines)
+    for i, model in enumerate(models):
+        if not isinstance(model, FaultModel):
+            raise ValidationError(
+                f"faults[{i}] is {type(model).__name__}, not a FaultModel"
+            )
+        rng = spawn_rng(derive_seed(int(seed), i, model.kind))
+        sched = sched.merge(model.materialize(int(n_snapshots), int(n_machines), rng))
+    return sched

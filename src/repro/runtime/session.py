@@ -34,8 +34,17 @@ from ..collectives.exec_model import collective_time, weights_to_alphabeta
 from ..collectives.fnf import fnf_tree
 from ..core.decompose import Decomposition
 from ..core.engine import DecompositionEngine
-from ..core.maintenance import MaintenanceController, MaintenanceDecision
-from ..errors import ValidationError
+from ..core.maintenance import (
+    DegradedModeController,
+    HealthState,
+    HealthTransition,
+    MaintenanceController,
+    MaintenanceDecision,
+    ResilienceConfig,
+)
+from ..core.solvers import solver_spec
+from ..errors import CalibrationError, ConvergenceError, ValidationError
+from ..faults import FaultModel, FaultSchedule, inject_faults, parse_fault_spec
 from ..mapping.evaluate import bandwidth_from_weights, mapping_total_time
 from ..mapping.greedy import greedy_mapping
 from ..mapping.taskgraph import TaskGraph
@@ -54,6 +63,7 @@ class OperationRecord:
     elapsed: float
     expected: float
     decision: MaintenanceDecision
+    health: str = HealthState.HEALTHY.value
 
 
 @dataclass
@@ -71,6 +81,9 @@ class SessionStats:
     communication_seconds: float = 0.0
     overhead_seconds: float = 0.0
     recalibrations: int = 0
+    failed_recalibrations: int = 0
+    deferred_recalibrations: int = 0
+    holdover_operations: int = 0
     epochs: int = 0
     history: list[OperationRecord] = field(default_factory=list)
 
@@ -114,6 +127,22 @@ class TraceSession:
         Observability sink shared with the session's
         :class:`~repro.core.engine.DecompositionEngine`; a fresh one is
         created if omitted (read it back via :attr:`instrumentation`).
+    faults:
+        Fault models to inject into the *calibration view* of the trace — a
+        list of :class:`~repro.faults.FaultModel` or a spec string for
+        :func:`~repro.faults.parse_fault_spec` (e.g.
+        ``"probe_loss=0.1,vm_outage=3:12:2"`` or ``"harsh"``). Faults only
+        affect what calibration observes; operations are still priced on
+        the ground-truth trace (a lost probe does not slow the network).
+        Enables degraded-mode maintenance (see *resilience*).
+    fault_seed:
+        Seed for fault materialization (default: derived fresh).
+    resilience:
+        :class:`~repro.core.maintenance.ResilienceConfig` controlling
+        snapshot-completeness thresholds, re-calibration backoff and the
+        HEALTHY → DEGRADED → HOLDOVER health machine. Defaults to the
+        standard config when *faults* are given, ``None`` (strict
+        historical behavior: calibration failures propagate) otherwise.
     """
 
     def __init__(
@@ -128,6 +157,9 @@ class TraceSession:
         calibration_cost: float | None = None,
         warm_start: bool = True,
         instrumentation: Instrumentation | None = None,
+        faults: list[FaultModel] | tuple[FaultModel, ...] | str | None = None,
+        fault_seed: int | None = None,
+        resilience: ResilienceConfig | None = None,
     ) -> None:
         if trace.n_snapshots <= time_step:
             raise ValidationError(
@@ -147,8 +179,32 @@ class TraceSession:
             else calibration_overhead_seconds(trace.n_machines, time_step)
         )
         check_nonnegative(self.calibration_cost, "calibration_cost")
+
+        self.fault_schedule: FaultSchedule | None = None
+        calibration_view = trace
+        if faults is not None:
+            models = parse_fault_spec(faults) if isinstance(faults, str) else faults
+            injected = inject_faults(trace, models, seed=fault_seed)
+            calibration_view = injected.trace
+            self.fault_schedule = injected.schedule
+            if resilience is None:
+                resilience = ResilienceConfig()
+        self.resilience = resilience
+        self.health: DegradedModeController | None = (
+            DegradedModeController(resilience) if resilience is not None else None
+        )
+
+        engine_kwargs: dict = {}
+        if resilience is not None:
+            engine_kwargs["min_snapshot_observed"] = resilience.min_snapshot_observed
+            engine_kwargs["min_window_observed"] = resilience.min_window_observed
+            spec = solver_spec(solver)
+            if resilience.strict_convergence and (
+                spec.accepts_any_kwargs or "raise_on_fail" in spec.accepted_kwargs
+            ):
+                engine_kwargs["raise_on_fail"] = True
         self._engine = DecompositionEngine(
-            trace,
+            calibration_view,
             nbytes=self.nbytes,
             time_step=self.time_step,
             solver=solver,
@@ -158,11 +214,18 @@ class TraceSession:
                 if instrumentation is not None
                 else Instrumentation("session")
             ),
+            **engine_kwargs,
         )
         self.stats = SessionStats()
         self._cursor = self.time_step  # next live snapshot
         self._decomposition: Decomposition | None = None
+        # The session cannot start without one good constant component, so
+        # the initial calibration is not fault-tolerant: a failure here
+        # propagates even in resilient mode (pick fault schedules, window
+        # position or thresholds that let the session boot).
         self._calibrate(end=self.time_step, charge=True)
+        if self.health is not None:
+            self.health.record_success()
 
     # -- state ------------------------------------------------------------
     @property
@@ -188,11 +251,62 @@ class TraceSession:
         """Counters/timers/solve spans of this session's engine."""
         return self._engine.instrumentation
 
+    @property
+    def health_state(self) -> HealthState:
+        """Current calibration-plane health (HEALTHY without resilience)."""
+        return self.health.state if self.health is not None else HealthState.HEALTHY
+
+    @property
+    def health_transitions(self) -> list[HealthTransition]:
+        """Recorded health state machine edges (empty without resilience)."""
+        return list(self.health.transitions) if self.health is not None else []
+
+    @property
+    def staleness(self) -> int:
+        """Operations run on the current constant component since its solve."""
+        return self.health.staleness if self.health is not None else 0
+
+    @property
+    def fault_events(self):
+        """Materialized fault events, if faults were injected."""
+        return self.fault_schedule.events if self.fault_schedule is not None else ()
+
     # -- internals ----------------------------------------------------------
     def _calibrate(self, end: int, *, charge: bool) -> None:
         self._decomposition = self._engine.calibrate(end)
         if charge:
             self.stats.overhead_seconds += self.calibration_cost
+
+    def _request_recalibration(self, end: int) -> None:
+        """Algorithm-1 re-calibration, degraded-mode aware.
+
+        Without a health controller this is the historical strict path: a
+        calibration failure propagates to the caller. With one, a failed
+        attempt (not enough probes answered, solver budget exhausted) keeps
+        the last good constant component in service — HOLDOVER — and backs
+        off exponentially before the next attempt; a deferred request
+        (still inside backoff) is counted but does not re-measure.
+        """
+        if self.health is None:
+            self._calibrate(end=end, charge=True)
+            self.stats.recalibrations += 1
+            return
+        if not self.health.should_attempt():
+            self.stats.deferred_recalibrations += 1
+            self.instrumentation.count("session.recalibration.deferred")
+            return
+        try:
+            self._calibrate(end=end, charge=True)
+        except (CalibrationError, ConvergenceError) as exc:
+            self.stats.failed_recalibrations += 1
+            self.instrumentation.count("session.recalibration.failed")
+            self.health.record_failure(exc)
+            # The engine may have been left warm-seeded by a failed solve's
+            # predecessor; the last *good* decomposition stays in service.
+            return
+        self.stats.recalibrations += 1
+        self.instrumentation.count("session.recalibration.ok")
+        self.health.record_success()
 
     def _advance(self) -> int:
         k = self._cursor
@@ -200,6 +314,10 @@ class TraceSession:
         if self._cursor >= self.trace.n_snapshots:
             self._cursor = self.time_step  # wrap the evaluation window
             self.stats.epochs += 1
+        if self.health is not None:
+            self.health.tick()
+            if not self.health.healthy:
+                self.stats.holdover_operations += 1
         return k
 
     # -- operations -----------------------------------------------------------
@@ -241,12 +359,12 @@ class TraceSession:
 
         decision = self.controller.observe(expected, elapsed)
         if decision is MaintenanceDecision.RECALIBRATE:
-            self._calibrate(end=k + 1, charge=True)
-            self.stats.recalibrations += 1
+            self._request_recalibration(end=k + 1)
 
         record = OperationRecord(
             op=op, snapshot=k, root=int(root), elapsed=elapsed,
             expected=expected, decision=decision,
+            health=self.health_state.value,
         )
         self.stats.operations += 1
         self.stats.communication_seconds += elapsed
@@ -302,14 +420,14 @@ class TraceSession:
         )
         decision = self.controller.observe(expected, elapsed)
         if decision is MaintenanceDecision.RECALIBRATE:
-            self._calibrate(end=k + 1, charge=True)
-            self.stats.recalibrations += 1
+            self._request_recalibration(end=k + 1)
         self.stats.operations += 1
         self.stats.communication_seconds += elapsed
         self.stats.history.append(
             OperationRecord(
                 op="mapping", snapshot=k, root=-1, elapsed=elapsed,
                 expected=expected, decision=decision,
+                health=self.health_state.value,
             )
         )
         return mapping, elapsed

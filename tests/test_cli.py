@@ -22,9 +22,8 @@ class TestParser:
         sub = next(
             a for a in parser._actions if isinstance(a, type(parser._subparsers._group_actions[0]))
         )
-        assert {"generate", "info", "decompose", "compare", "changepoints"} <= set(
-            sub.choices
-        )
+        assert {"generate", "info", "decompose", "compare", "changepoints",
+                "replay"} <= set(sub.choices)
 
     def test_requires_command(self):
         with pytest.raises(SystemExit):
@@ -93,6 +92,35 @@ class TestCommands:
     def test_changepoints_none(self, trace_file, capsys):
         assert main(["changepoints", trace_file, "--threshold", "0.9"]) == 0
         assert "no regime changes" in capsys.readouterr().out
+
+    def test_replay(self, trace_file, capsys):
+        assert main(["replay", trace_file, "--operations", "20",
+                     "--threshold", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "operations" in out and "recalibrations" in out
+        assert "Norm(N_E)" in out and "verdict" in out
+        assert "health" not in out  # fault-free replays skip the health block
+
+    def test_replay_with_faults_reports_health(self, trace_file, capsys):
+        assert main(["replay", trace_file, "--operations", "40",
+                     "--threshold", "0.01",
+                     "--faults", "probe_loss=0.1,vm_outage=2:12:3",
+                     "--fault-seed", "11",
+                     "--min-snapshot-observed", "0.7"]) == 0
+        out = capsys.readouterr().out
+        assert "fault events" in out
+        assert "final health" in out
+        assert "health transitions" in out
+        assert "degraded" in out or "holdover" in out
+
+    def test_replay_with_fault_profile(self, trace_file, capsys):
+        assert main(["replay", trace_file, "--operations", "10",
+                     "--faults", "mild", "--fault-seed", "2"]) == 0
+        assert "final health" in capsys.readouterr().out
+
+    def test_replay_bad_fault_spec_rejected(self, trace_file, capsys):
+        assert main(["replay", trace_file, "--faults", "bogus=1"]) == 1
+        assert "error" in capsys.readouterr().err.lower()
 
     def test_csv_trace_accepted(self, tmp_path, capsys):
         rows = ["snapshot,src,dst,alpha_s,beta_Bps"]

@@ -125,3 +125,113 @@ class TestCsvImport:
         path.write_text("snapshot,src,dst,alpha_s,beta_Bps\n")
         with pytest.raises(ValidationError, match="no measurements"):
             load_trace_csv(str(path))
+
+
+class TestRobustLoading:
+    def test_corrupted_file_raises_validation_error(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"this is definitely not a zip archive")
+        with pytest.raises(ValidationError, match="unreadable"):
+            load_trace(path)
+
+    def test_truncated_file_raises_validation_error(self, tiny_trace, tmp_path):
+        path = tmp_path / "ok.npz"
+        save_trace(tiny_trace, path)
+        blob = path.read_bytes()
+        trunc = tmp_path / "trunc.npz"
+        trunc.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(ValidationError, match="unreadable"):
+            load_trace(trunc)
+
+    def test_missing_file_keeps_oserror(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_trace(tmp_path / "nope.npz")
+
+    def test_nonfinite_values_rejected_by_default(self, tiny_trace, tmp_path):
+        alpha = tiny_trace.alpha.copy()
+        alpha[0, 1, 2] = np.nan
+        path = tmp_path / "nf.npz"
+        np.savez_compressed(
+            path,
+            format_version=np.int64(TRACE_FORMAT_VERSION),
+            alpha=alpha,
+            beta=tiny_trace.beta,
+            timestamps=tiny_trace.timestamps,
+        )
+        with pytest.raises(ValidationError, match="non-finite"):
+            load_trace(path)
+
+    def test_allow_missing_masks_nonfinite_values(self, tiny_trace, tmp_path):
+        alpha = tiny_trace.alpha.copy()
+        beta = tiny_trace.beta.copy()
+        alpha[0, 1, 2] = np.nan
+        beta[1, 0, 3] = -5.0
+        path = tmp_path / "nf.npz"
+        np.savez_compressed(
+            path,
+            format_version=np.int64(TRACE_FORMAT_VERSION),
+            alpha=alpha,
+            beta=beta,
+            timestamps=tiny_trace.timestamps,
+        )
+        back = load_trace(path, allow_missing=True)
+        assert back.mask is not None
+        assert not back.mask[0, 1, 2]
+        assert not back.mask[1, 0, 3]
+        assert back.alpha[0, 1, 2] == 0.0  # benign placeholder
+        assert np.isinf(back.beta[1, 0, 3])
+
+    def test_mask_round_trips(self, tiny_trace, tmp_path):
+        mask = np.ones(tiny_trace.alpha.shape, dtype=bool)
+        mask[2, 0, 1] = False
+        masked = type(tiny_trace)(
+            alpha=tiny_trace.alpha,
+            beta=tiny_trace.beta,
+            timestamps=tiny_trace.timestamps,
+            mask=mask,
+        )
+        path = tmp_path / "masked.npz"
+        save_trace(masked, path)
+        back = load_trace(path)
+        assert back.mask is not None
+        np.testing.assert_array_equal(back.mask, masked.mask)
+
+    def test_full_trace_archive_has_no_mask_array(self, tiny_trace, tmp_path):
+        path = tmp_path / "full.npz"
+        save_trace(tiny_trace, path)
+        with np.load(path) as data:
+            assert "mask" not in data.files
+
+
+class TestCsvPartialLogs:
+    def test_missing_pair_allowed_when_opted_in(self, tmp_path):
+        rows = full_csv_rows()[:-1]  # drop one measurement
+        path = write_csv(tmp_path / "m.csv", rows)
+        trace = load_trace_csv(path, allow_missing=True)
+        assert trace.mask is not None
+        assert (~trace.mask).sum() == 1
+
+    def test_nan_reading_rejected_by_default(self, tmp_path):
+        rows = full_csv_rows()
+        rows[0] = "0,0,1,nan,1e8"
+        path = write_csv(tmp_path / "m.csv", rows)
+        with pytest.raises(ValidationError, match="non-finite"):
+            load_trace_csv(path)
+
+    def test_nan_reading_masked_when_opted_in(self, tmp_path):
+        rows = full_csv_rows()
+        rows[0] = "0,0,1,nan,1e8"
+        path = write_csv(tmp_path / "m.csv", rows)
+        trace = load_trace_csv(path, allow_missing=True)
+        assert trace.mask is not None
+        assert not trace.mask[0, 0, 1]
+        assert trace.observed_fraction < 1.0
+
+    def test_partial_log_decomposes(self, tmp_path):
+        rows = [r for r in full_csv_rows(t=8, n=4) if not r.startswith("3,0,1")]
+        path = write_csv(tmp_path / "m.csv", rows)
+        trace = load_trace_csv(path, allow_missing=True)
+        from repro.core.decompose import decompose
+
+        dec = decompose(trace.tp_matrix(8 << 20), solver="apg")
+        assert dec.solver_converged

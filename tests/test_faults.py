@@ -1,0 +1,235 @@
+"""Fault models, schedules and injectors (repro.faults)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.calibration.calibrator import TraceSubstrate
+from repro.errors import ValidationError
+from repro.faults import (
+    FAULT_PROFILES,
+    CorruptedReadings,
+    FaultSchedule,
+    FaultySubstrate,
+    ProbeLoss,
+    ProbeStraggler,
+    RackOutage,
+    VMOutage,
+    inject_faults,
+    materialize_faults,
+    parse_fault_spec,
+)
+
+pytestmark = pytest.mark.faults
+
+ALL_MODELS = [
+    ProbeLoss(0.1),
+    ProbeStraggler(0.05, inflation=8.0),
+    CorruptedReadings(0.02, scale=30.0),
+    VMOutage(machine=2, start=3, duration=2),
+    VMOutage(rate=0.02, duration=2),
+    RackOutage(start=6, duration=2, group_size=3),
+    RackOutage(rate=0.03, group_size=2),
+]
+
+
+class TestSchedules:
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: type(m).__name__)
+    def test_every_model_is_seed_deterministic(self, model):
+        a = materialize_faults([model], 12, 6, seed=5)
+        b = materialize_faults([model], 12, 6, seed=5)
+        assert np.array_equal(a.missing, b.missing)
+        assert np.array_equal(a.suspect, b.suspect)
+        assert np.array_equal(a.factor, b.factor)
+        assert a.events == b.events
+
+    def test_different_seeds_differ(self):
+        a = materialize_faults([ProbeLoss(0.2)], 12, 6, seed=1)
+        b = materialize_faults([ProbeLoss(0.2)], 12, 6, seed=2)
+        assert not np.array_equal(a.missing, b.missing)
+
+    def test_sibling_models_draw_independent_streams(self):
+        # Inserting a model must not perturb another model's draws.
+        alone = materialize_faults([ProbeLoss(0.2)], 12, 6, seed=9)
+        paired = materialize_faults(
+            [ProbeLoss(0.2), ProbeStraggler(0.3)], 12, 6, seed=9
+        )
+        loss_only = paired.missing  # straggler adds no missing entries
+        assert np.array_equal(alone.missing, loss_only)
+
+    def test_diagonal_never_faulted(self):
+        sched = materialize_faults(ALL_MODELS, 10, 5, seed=3)
+        for k in range(10):
+            assert not np.diag(sched.missing[k]).any()
+            assert not np.diag(sched.suspect[k]).any()
+            assert np.all(np.diag(sched.factor[k]) == 1.0)
+
+    def test_merge_validates_shape(self):
+        a = FaultSchedule.clean(4, 3)
+        b = FaultSchedule.clean(4, 4)
+        with pytest.raises(ValidationError):
+            a.merge(b)
+
+    def test_factors_must_be_positive_finite(self):
+        bad = np.ones((2, 3, 3))
+        bad[0, 0, 1] = -1.0
+        with pytest.raises(ValidationError):
+            FaultSchedule(
+                missing=np.zeros((2, 3, 3), bool),
+                suspect=np.zeros((2, 3, 3), bool),
+                factor=bad,
+            )
+
+    def test_non_model_rejected(self):
+        with pytest.raises(ValidationError):
+            materialize_faults(["probe_loss"], 4, 4, seed=0)
+
+    def test_vm_outage_darkens_row_and_column(self):
+        sched = materialize_faults(
+            [VMOutage(machine=1, start=2, duration=3)], 8, 4, seed=0
+        )
+        for k in (2, 3, 4):
+            assert sched.missing[k, 1, [0, 2, 3]].all()
+            assert sched.missing[k, [0, 2, 3], 1].all()
+        assert not sched.missing[1].any()
+        assert not sched.missing[5].any()
+        assert sched.count("vm_outage") == 1
+
+    def test_vm_outage_clipped_at_trace_end(self):
+        sched = materialize_faults(
+            [VMOutage(machine=0, start=6, duration=10)], 8, 4, seed=0
+        )
+        assert sched.missing[7, 0, 1]
+
+    def test_rack_outage_is_correlated(self):
+        sched = materialize_faults(
+            [RackOutage(start=1, duration=1, group_size=3)], 4, 8, seed=2
+        )
+        (event,) = sched.events
+        assert len(event.machines) == 3
+        for m in event.machines:
+            assert sched.missing[1, m, :].sum() == 7  # all off-diag partners
+
+    def test_model_parameter_validation(self):
+        with pytest.raises(ValidationError):
+            ProbeLoss(1.5)
+        with pytest.raises(ValidationError):
+            ProbeStraggler(0.1, inflation=0.5)
+        with pytest.raises(ValidationError):
+            CorruptedReadings(0.1, scale=1.0)
+        with pytest.raises(ValidationError):
+            VMOutage()  # neither rate nor machine+start
+        with pytest.raises(ValidationError):
+            VMOutage(machine=3)  # machine without start
+        with pytest.raises(ValidationError):
+            RackOutage()
+
+
+class TestInjectTrace:
+    def test_holes_keep_ground_truth_values(self, small_trace):
+        inj = inject_faults(small_trace, [ProbeLoss(0.15)], seed=4)
+        assert inj.trace.mask is not None
+        holes = ~inj.trace.mask
+        assert holes.any()
+        assert np.array_equal(inj.trace.alpha, small_trace.alpha)
+        assert np.array_equal(inj.trace.beta, small_trace.beta)
+
+    def test_suspect_entries_are_perturbed_not_masked(self, small_trace):
+        inj = inject_faults(small_trace, [ProbeStraggler(0.2, inflation=5.0)], seed=4)
+        sus = inj.schedule.suspect
+        assert sus.any()
+        assert inj.trace.mask is None  # stragglers answer, nothing missing
+        np.testing.assert_allclose(
+            inj.trace.alpha[sus], small_trace.alpha[sus] * 5.0
+        )
+        np.testing.assert_allclose(
+            inj.trace.beta[sus], small_trace.beta[sus] / 5.0
+        )
+
+    def test_existing_mask_is_intersected(self, small_trace):
+        first = inject_faults(small_trace, [ProbeLoss(0.1)], seed=1).trace
+        second = inject_faults(first, [ProbeLoss(0.1)], seed=2).trace
+        assert second.observed_fraction <= first.observed_fraction
+
+    def test_injection_is_deterministic(self, small_trace):
+        a = inject_faults(small_trace, [ProbeLoss(0.1), VMOutage(rate=0.02)], seed=6)
+        b = inject_faults(small_trace, [ProbeLoss(0.1), VMOutage(rate=0.02)], seed=6)
+        assert np.array_equal(a.trace.mask, b.trace.mask)
+        assert a.events == b.events
+
+
+class TestFaultySubstrate:
+    def test_outage_fails_every_attempt(self, small_trace):
+        sub = FaultySubstrate(
+            TraceSubstrate(small_trace),
+            [VMOutage(machine=1, start=0, duration=small_trace.n_snapshots)],
+            seed=3,
+        )
+        for _ in range(5):  # retries cannot help a persistent outage
+            (res,) = sub.measure_round(((1, 2),), 0)
+            assert np.isnan(res[0]) and np.isnan(res[1])
+
+    def test_transient_loss_can_recover_on_retry(self, small_trace):
+        sub = FaultySubstrate(TraceSubstrate(small_trace), [ProbeLoss(0.5)], seed=3)
+        results = [sub.measure_round(((0, 1),), 0)[0] for _ in range(40)]
+        lost = [r for r in results if np.isnan(r[0])]
+        ok = [r for r in results if not np.isnan(r[0])]
+        assert lost and ok  # both outcomes occur across attempts
+
+    def test_clean_pairs_pass_through_exactly(self, small_trace):
+        sub = FaultySubstrate(TraceSubstrate(small_trace), [ProbeLoss(0.0)], seed=3)
+        (res,) = sub.measure_round(((2, 5),), 4)
+        assert res == (
+            float(small_trace.alpha[4, 2, 5]),
+            float(small_trace.beta[4, 2, 5]),
+        )
+
+    def test_straggler_inflates_weight_both_ways(self, small_trace):
+        sub = FaultySubstrate(
+            TraceSubstrate(small_trace), [ProbeStraggler(1.0, inflation=4.0)], seed=3
+        )
+        (res,) = sub.measure_round(((0, 1),), 0)
+        assert res[0] == pytest.approx(small_trace.alpha[0, 0, 1] * 4.0)
+        assert res[1] == pytest.approx(small_trace.beta[0, 0, 1] / 4.0)
+
+    def test_persistent_models_need_horizon(self, small_trace):
+        class Headless:
+            n_machines = small_trace.n_machines
+
+            def measure_round(self, pairs, snapshot):
+                return [(0.0, 1.0)] * len(pairs)
+
+        with pytest.raises(ValidationError):
+            FaultySubstrate(Headless(), [VMOutage(rate=0.1)], seed=0)
+
+
+class TestParseFaultSpec:
+    def test_profiles_expand(self):
+        for profile in FAULT_PROFILES:
+            models = parse_fault_spec(profile)
+            assert models
+
+    def test_token_grammar(self):
+        models = parse_fault_spec(
+            "probe_loss=0.1,straggler=0.05,corrupt=0.01,"
+            "vm_outage=3:5:2,rack_outage=0.02"
+        )
+        kinds = [m.kind for m in models]
+        assert kinds == [
+            "probe_loss", "straggler", "corruption", "vm_outage", "rack_outage",
+        ]
+        vm = models[3]
+        assert (vm.machine, vm.start, vm.duration) == (3, 5, 2)
+
+    def test_rack_deterministic_form(self):
+        (rack,) = parse_fault_spec("rack_outage=4:3")
+        assert (rack.start, rack.duration) == (4, 3)
+
+    @pytest.mark.parametrize(
+        "spec",
+        ["", "bogus=1", "probe_loss", "probe_loss=x", "vm_outage=1:2:3:4", ","],
+    )
+    def test_bad_specs_rejected(self, spec):
+        with pytest.raises(ValidationError):
+            parse_fault_spec(spec)
