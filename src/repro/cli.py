@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Seven subcommands cover the operational loop around the library:
+Eight subcommands cover the operational loop around the library:
 
 * ``repro generate`` — synthesize an EC2-like calibration trace to ``.npz``.
 * ``repro info`` — stability report of a trace (Norm(N_E), band spread,
@@ -10,8 +10,12 @@ Seven subcommands cover the operational loop around the library:
 * ``repro compare`` — replay the Baseline/Heuristics/RPCA comparison on a
   trace and print the normalized table (a command-line Fig 7).
 * ``repro replay`` — run the adaptive Algorithm-1 session over a trace,
-  optionally with injected measurement faults (``--faults``) and
-  degraded-mode maintenance; prints health transitions and accounting.
+  optionally with injected measurement faults (``--faults``), degraded-mode
+  maintenance, online CUSUM regime detection (``--regime``) and crash-safe
+  persistence (``--checkpoint-dir``); prints health transitions and
+  accounting, or a machine-readable summary with ``--json``.
+* ``repro resume`` — recover a crashed (or stopped) ``replay`` session from
+  its checkpoint directory and continue it to the operation target.
 * ``repro changepoints`` — locate offline regime changes in a trace.
 * ``repro figures`` — regenerate every paper figure at quick or paper scale.
 
@@ -105,8 +109,42 @@ def build_parser() -> argparse.ArgumentParser:
                      help="per-snapshot completeness floor in resilient mode")
     rep.add_argument("--min-window-observed", type=float, default=0.5,
                      help="per-window completeness floor in resilient mode")
+    rep.add_argument("--regime", action="store_true",
+                     help="enable online CUSUM regime-shift detection "
+                          "(SHIFT forces a cold re-calibration)")
+    rep.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                     help="enable crash-safe persistence into DIR "
+                          "(write-ahead journal + periodic checkpoints)")
+    rep.add_argument("--checkpoint-every", type=int, default=100,
+                     help="operations between checkpoints (default 100)")
+    rep.add_argument("--crash-after", type=int, default=None, metavar="OP",
+                     help="SIGKILL this process at operation OP "
+                          "(chaos-harness hook)")
+    rep.add_argument("--json", action="store_true",
+                     help="print a machine-readable JSON summary instead of text")
     rep.add_argument("--profile", action="store_true",
                      help="print the instrumentation report after the summary")
+
+    res = sub.add_parser(
+        "resume",
+        help="recover a crashed replay session and continue it",
+    )
+    res.add_argument("directory", help="checkpoint directory of the dead session")
+    res.add_argument("--trace", default=None,
+                     help="trace path override (default: the path recorded "
+                          "in the checkpoint)")
+    res.add_argument("--op", default="broadcast",
+                     choices=["broadcast", "scatter", "reduce", "gather"])
+    res.add_argument("--operations", type=int, default=60,
+                     help="total operation target, counting replayed ones")
+    res.add_argument("--faults", default=None, metavar="SPEC",
+                     help="measurement-fault override (default: the spec "
+                          "recorded in the checkpoint)")
+    res.add_argument("--crash-after", type=int, default=None, metavar="OP",
+                     help="SIGKILL this process at operation OP "
+                          "(chaos-harness hook)")
+    res.add_argument("--json", action="store_true",
+                     help="print a machine-readable JSON summary instead of text")
 
     chg = sub.add_parser("changepoints", help="locate offline regime changes")
     chg.add_argument("trace", help="trace .npz path")
@@ -218,38 +256,51 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_replay(args: argparse.Namespace) -> int:
-    from .core.maintenance import ResilienceConfig
-    from .runtime import TraceSession
+def _session_summary(session, *, recovered_at: int | None = None) -> dict:
+    """Machine-readable session summary (the ``--json`` payload).
 
-    trace = _load_any_trace(args.trace)
-    resilience = None
-    if args.faults is not None:
-        resilience = ResilienceConfig(
-            min_snapshot_observed=args.min_snapshot_observed,
-            min_window_observed=args.min_window_observed,
-        )
-    session = TraceSession(
-        trace,
-        nbytes=args.message_mb * MB,
-        time_step=args.time_step,
-        threshold=args.threshold,
-        consecutive=args.consecutive,
-        solver=args.solver,
-        warm_start=not args.cold,
-        faults=args.faults,
-        fault_seed=args.fault_seed,
-        resilience=resilience,
-    )
-    for _ in range(args.operations):
-        session.run_collective(args.op, root=0)
+    ``constant_row`` carries the full constant component so external
+    harnesses (CI chaos job, kill-and-recover tests) can assert bit-level
+    ``P_D`` parity across crash/recovery boundaries.
+    """
     stats = session.stats
+    return {
+        "operations": stats.operations,
+        "epochs": stats.epochs,
+        "communication_seconds": stats.communication_seconds,
+        "overhead_seconds": stats.overhead_seconds,
+        "recalibrations": stats.recalibrations,
+        "failed_recalibrations": stats.failed_recalibrations,
+        "deferred_recalibrations": stats.deferred_recalibrations,
+        "holdover_operations": stats.holdover_operations,
+        "regime_shifts": stats.regime_shifts,
+        "regime_spikes": stats.regime_spikes,
+        "health": session.health_state.value,
+        "staleness": session.staleness,
+        "fault_events": len(session.fault_events),
+        "norm_ne": session.norm_ne,
+        "verdict": session.verdict,
+        "n_machines": session.trace.n_machines,
+        "constant_row": [float(v) for v in session.decomposition.constant.row],
+        "recovered_at": recovered_at,
+    }
+
+
+def _print_session_summary(
+    session, *, show_faults: bool, recovered_at: int | None = None
+) -> None:
+    stats = session.stats
+    if recovered_at is not None:
+        print(f"recovered:         at operation {recovered_at}")
     print(f"operations:        {stats.operations} "
           f"({stats.epochs} trace epoch(s))")
     print(f"communication:     {stats.communication_seconds:.3f} s")
     print(f"overhead:          {stats.overhead_seconds:.3f} s")
     print(f"recalibrations:    {stats.recalibrations}")
-    if args.faults is not None:
+    if session.regime_detector is not None:
+        print(f"regime shifts:     {stats.regime_shifts} "
+              f"({stats.regime_spikes} transient spike(s))")
+    if show_faults:
         print(f"failed recals:     {stats.failed_recalibrations}")
         print(f"deferred recals:   {stats.deferred_recalibrations}")
         print(f"degraded/holdover operations: {stats.holdover_operations}")
@@ -264,6 +315,78 @@ def _cmd_replay(args: argparse.Namespace) -> int:
                       f"{t.state.value}  ({t.reason})")
     print(f"Norm(N_E):         {session.norm_ne:.4f}")
     print(f"verdict:           {session.verdict}")
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    import json
+
+    from .core.maintenance import ResilienceConfig
+    from .persistence import PersistenceConfig
+    from .runtime import TraceSession
+
+    trace = _load_any_trace(args.trace)
+    resilience = None
+    if args.faults is not None:
+        resilience = ResilienceConfig(
+            min_snapshot_observed=args.min_snapshot_observed,
+            min_window_observed=args.min_window_observed,
+        )
+    persistence = None
+    if args.checkpoint_dir is not None:
+        persistence = PersistenceConfig(
+            directory=args.checkpoint_dir,
+            checkpoint_every=args.checkpoint_every,
+            trace_path=args.trace,
+        )
+    session = TraceSession(
+        trace,
+        nbytes=args.message_mb * MB,
+        time_step=args.time_step,
+        threshold=args.threshold,
+        consecutive=args.consecutive,
+        solver=args.solver,
+        warm_start=not args.cold,
+        faults=args.faults,
+        fault_seed=args.fault_seed,
+        resilience=resilience,
+        persistence=persistence,
+        regime=args.regime,
+        crash_after=args.crash_after,
+    )
+    for _ in range(args.operations):
+        session.run_collective(args.op, root=0)
+    session.close()
+    if args.json:
+        print(json.dumps(_session_summary(session)))
+    else:
+        _print_session_summary(session, show_faults=args.faults is not None)
+    return 0
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    import json
+
+    from .runtime import TraceSession
+
+    trace = None if args.trace is None else _load_any_trace(args.trace)
+    session = TraceSession.resume(
+        args.directory,
+        trace=trace,
+        faults=args.faults,
+        crash_after=args.crash_after,
+    )
+    recovered_at = session.stats.operations
+    while session.stats.operations < args.operations:
+        session.run_collective(args.op, root=0)
+    session.close()
+    if args.json:
+        print(json.dumps(_session_summary(session, recovered_at=recovered_at)))
+    else:
+        _print_session_summary(
+            session,
+            show_faults=session.fault_schedule is not None,
+            recovered_at=recovered_at,
+        )
     return 0
 
 
@@ -307,6 +430,7 @@ _COMMANDS = {
     "decompose": _cmd_decompose,
     "compare": _cmd_compare,
     "replay": _cmd_replay,
+    "resume": _cmd_resume,
     "changepoints": _cmd_changepoints,
     "figures": _cmd_figures,
 }

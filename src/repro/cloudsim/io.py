@@ -113,7 +113,17 @@ def load_trace(
                 raise ValidationError(
                     f"trace file missing arrays: {sorted(missing)}"
                 )
-            version = int(data["format_version"])
+            raw_version = np.asarray(data["format_version"])
+            if (
+                raw_version.size != 1
+                or not np.issubdtype(raw_version.dtype, np.number)
+                or float(raw_version) != int(raw_version)
+            ):
+                raise ValidationError(
+                    "malformed trace format version "
+                    f"{raw_version!r} (expected a single integer)"
+                )
+            version = int(raw_version)
             if version != TRACE_FORMAT_VERSION:
                 raise ValidationError(
                     f"unsupported trace format version {version} "

@@ -207,6 +207,54 @@ class DecompositionEngine:
         """Forget the previous solution; the next solve starts cold."""
         self._last = None
 
+    def restore_warm_state(self, dec: Decomposition) -> None:
+        """Seed the warm-start chain with a restored decomposition.
+
+        The recovery path re-materializes the checkpointed decomposition and
+        hands it back here, so post-recovery re-calibrations warm-start from
+        exactly the solution the crashed process would have used.
+        """
+        self._last = dec
+
+    def snapshot_residual(self, k: int) -> float:
+        """Relative L1 residual of snapshot *k* against the constant in service.
+
+        ``||row_k − c||₁ / ||row_k||₁`` over observed entries — the
+        per-snapshot analogue of ``Norm(N_E)``, fed to the
+        :class:`~repro.core.maintenance.CusumRegimeDetector`. Requires a
+        previous solve (the constant row ``c`` comes from :attr:`last`).
+        """
+        if self._last is None:
+            raise ValidationError("no decomposition yet; calibrate first")
+        row, mask_row = self._row(int(k))
+        c = self._last.constant.row
+        if mask_row is not None:
+            row = row[mask_row]
+            c = c[mask_row]
+        denom = float(np.abs(row).sum())
+        if denom == 0.0:
+            return 0.0
+        return float(np.abs(row - c).sum()) / denom
+
+    # -- persistence -------------------------------------------------------
+    def export_cache(self) -> dict[int, tuple[np.ndarray, np.ndarray | None]]:
+        """The rolling row cache, LRU order preserved (oldest first)."""
+        return dict(self._rows)
+
+    def import_cache(
+        self, rows: dict[int, tuple[np.ndarray, np.ndarray | None]]
+    ) -> None:
+        """Replace the row cache with a restored one (insertion order = LRU)."""
+        restored: dict[int, tuple[np.ndarray, np.ndarray | None]] = {}
+        for k, (row, mask_row) in rows.items():
+            row = np.asarray(row, dtype=np.float64)
+            row.setflags(write=False)
+            if mask_row is not None:
+                mask_row = np.asarray(mask_row, dtype=bool)
+                mask_row.setflags(write=False)
+            restored[int(k)] = (row, mask_row)
+        self._rows = restored
+
     # -- rolling window cache ---------------------------------------------
     def _row(self, k: int) -> tuple[np.ndarray, np.ndarray | None]:
         entry = self._rows.pop(k, None)

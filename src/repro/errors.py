@@ -37,6 +37,24 @@ class CalibrationError(ReproError, RuntimeError):
     """A calibration run could not produce a usable TP-matrix."""
 
 
+class PersistenceError(ReproError, RuntimeError):
+    """A durable-state operation (checkpoint, journal, recovery) failed.
+
+    Raised when no usable state can be produced — e.g. recovery finds no
+    valid checkpoint at all. Individual corrupt artifacts are skipped
+    silently where a fallback exists (an older checkpoint, a torn journal
+    tail); this error means the fallbacks are exhausted too.
+    """
+
+
+class CheckpointCorruption(PersistenceError):
+    """A single checkpoint file failed its integrity checks.
+
+    Recovery catches this internally and falls back to the next-older
+    checkpoint; it only escapes when a caller reads one file directly.
+    """
+
+
 class TopologyError(ReproError, ValueError):
     """A network topology description is inconsistent."""
 

@@ -17,6 +17,7 @@ from .inject import (
 )
 from .models import (
     CorruptedReadings,
+    CrashFault,
     FaultEvent,
     FaultModel,
     FaultSchedule,
@@ -36,6 +37,7 @@ __all__ = [
     "CorruptedReadings",
     "VMOutage",
     "RackOutage",
+    "CrashFault",
     "materialize_faults",
     "InjectedTrace",
     "inject_faults",

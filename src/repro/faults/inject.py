@@ -33,6 +33,7 @@ from ..observability import emit_count
 from ..utils.seeding import derive_seed, spawn_rng
 from .models import (
     CorruptedReadings,
+    CrashFault,
     FaultModel,
     FaultSchedule,
     ProbeLoss,
@@ -237,6 +238,8 @@ def parse_fault_spec(spec: str) -> list[FaultModel]:
     * ``vm_outage=RATE`` or ``vm_outage=MACHINE:START[:DURATION]``
     * ``rack_outage=RATE`` or ``rack_outage=START[:DURATION]``
       (random rack membership)
+    * ``crash=OPERATION`` (SIGKILL the process when the session's
+      operation counter reaches OPERATION — the chaos-harness fault)
 
     Example: ``probe_loss=0.1,vm_outage=3:5:2`` — 10% probe loss plus
     machine 3 dark for snapshots 5–6.
@@ -291,6 +294,13 @@ def parse_fault_spec(spec: str) -> list[FaultModel]:
                     f"bad fault token {token!r}; expected rack_outage=RATE "
                     "or rack_outage=START[:DURATION]"
                 )
+        elif name == "crash":
+            if rate is None or rate != int(rate) or rate < 0:
+                raise ValidationError(
+                    f"bad fault token {token!r}; expected crash=OPERATION "
+                    "with a non-negative integer operation index"
+                )
+            models.append(CrashFault(at_operation=int(rate)))
         else:
             raise ValidationError(f"unknown fault model in token {token!r}")
     if not models:

@@ -27,6 +27,8 @@ Two classes of model:
 from __future__ import annotations
 
 import abc
+import os
+import signal as _signal
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -44,6 +46,7 @@ __all__ = [
     "CorruptedReadings",
     "VMOutage",
     "RackOutage",
+    "CrashFault",
     "materialize_faults",
 ]
 
@@ -442,6 +445,61 @@ class RackOutage(FaultModel):
             factor=sched.factor,
             events=events,
         )
+
+
+@dataclass(frozen=True)
+class CrashFault(FaultModel):
+    """The *process* dies — SIGKILL, OOM-kill, spot-instance preemption.
+
+    Unlike every other model, this one attacks the optimization runtime
+    itself rather than the measurement plane: when the session's operation
+    counter reaches ``at_operation``, :meth:`trigger` kills the current
+    process without any chance to clean up (no ``atexit``, no ``finally``).
+    Surviving it is the persistence layer's job — the kill-and-recover
+    chaos harness (:mod:`repro.persistence.chaos`) schedules exactly this
+    fault in a child process and asserts recovery converges to the same
+    ``P_D`` as an uninterrupted run.
+
+    ``materialize`` contributes no measurement faults, only a ``crash``
+    event (``snapshot`` holds the operation index, ``detail`` 0), so a
+    CrashFault composes freely with measurement models in one spec.
+    """
+
+    at_operation: int
+    kind = "crash"
+    persistent = True
+
+    def __post_init__(self) -> None:
+        if int(self.at_operation) < 0:
+            raise ValidationError("at_operation must be >= 0")
+
+    def materialize(
+        self, n_snapshots: int, n_machines: int, rng: np.random.Generator
+    ) -> FaultSchedule:
+        sched = FaultSchedule.clean(n_snapshots, n_machines)
+        return FaultSchedule(
+            missing=sched.missing,
+            suspect=sched.suspect,
+            factor=sched.factor,
+            events=(
+                FaultEvent(
+                    kind=self.kind,
+                    snapshot=int(self.at_operation),
+                    machines=(),
+                    detail=0.0,
+                ),
+            ),
+        )
+
+    def fires(self, operation: int) -> bool:
+        """Whether the crash is scheduled for this operation index."""
+        return int(operation) == int(self.at_operation)
+
+    def trigger(self) -> None:  # pragma: no cover - kills the test process
+        """Die, now, uncleanly. SIGKILL where available, hard exit otherwise."""
+        if hasattr(_signal, "SIGKILL"):
+            os.kill(os.getpid(), _signal.SIGKILL)
+        os._exit(137)
 
 
 def materialize_faults(

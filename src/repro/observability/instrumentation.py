@@ -12,8 +12,8 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass
-from typing import Iterator
+from dataclasses import asdict, dataclass
+from typing import Any, Iterator
 
 __all__ = ["SolveSpan", "Instrumentation"]
 
@@ -94,6 +94,28 @@ class Instrumentation:
         self.counters.clear()
         self.timers.clear()
         self.spans.clear()
+
+    # -- persistence ------------------------------------------------------
+    def state_dict(self) -> dict[str, Any]:
+        """JSON-serializable snapshot of everything recorded so far.
+
+        Used by session checkpoints so counters, timers and solve spans
+        survive a crash: a recovered session's instrumentation reflects the
+        whole lifetime, not just the post-recovery stretch.
+        """
+        return {
+            "name": self.name,
+            "counters": dict(self.counters),
+            "timers": dict(self.timers),
+            "spans": [asdict(s) for s in self.spans],
+        }
+
+    def restore_state(self, state: dict[str, Any]) -> None:
+        """Inverse of :meth:`state_dict`; replaces all recorded data."""
+        self.name = str(state["name"])
+        self.counters = {str(k): int(v) for k, v in state["counters"].items()}
+        self.timers = {str(k): float(v) for k, v in state["timers"].items()}
+        self.spans = [SolveSpan(**span) for span in state["spans"]]
 
     # -- aggregates -------------------------------------------------------
     @property

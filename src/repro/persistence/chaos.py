@@ -1,0 +1,240 @@
+"""Kill-and-recover chaos harness for the crash-safe session runtime.
+
+The acceptance test for the persistence layer is behavioral, not unit-level:
+SIGKILL a session process mid-run — no ``atexit``, no ``finally`` — recover
+it, kill it again, and when it finally runs to completion the constant
+component ``P_D`` must be *bit-identical* to an uninterrupted run of the
+same workload. :func:`kill_and_recover` drives exactly that, as real
+subprocesses of the ``repro`` CLI:
+
+1. ``repro replay --checkpoint-dir D --crash-after K₀`` — the child arms a
+   :class:`~repro.faults.CrashFault` against itself and dies by SIGKILL at
+   operation K₀.
+2. ``repro resume D --crash-after Kᵢ`` for each further kill point — each
+   child recovers its predecessor's state and dies in turn.
+3. ``repro resume D`` — the survivor runs to the operation target and emits
+   its ``--json`` summary.
+4. ``repro replay`` with no persistence at all — the uninterrupted
+   reference.
+
+The harness then compares the two summaries' ``constant_row`` (and
+operation/communication accounting) for parity.
+
+Run it directly for the CI chaos job::
+
+    python -m repro.persistence.chaos TRACE WORKDIR --kill-at 7,19 --operations 40
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from ..errors import PersistenceError
+
+__all__ = ["ChaosResult", "kill_and_recover", "main"]
+
+# SIGKILL shows up as -9 (POSIX waitpid) or 137 (shell-style) depending on
+# how the platform reports it; anything else means the child didn't die the
+# way the harness scheduled.
+_KILLED_CODES = (-9, 137)
+
+
+@dataclass(frozen=True)
+class ChaosResult:
+    """Outcome of one kill-and-recover round-trip.
+
+    ``parity`` is the headline: the recovered run's constant component is
+    exactly equal to the uninterrupted reference's. ``max_abs_diff`` is 0.0
+    when parity holds and quantifies the divergence when it does not.
+    """
+
+    parity: bool
+    kills: int
+    max_abs_diff: float
+    reference: dict[str, Any]
+    recovered: dict[str, Any]
+
+
+def _python_env() -> dict[str, str]:
+    """Child environment that can import this very ``repro`` package."""
+    env = dict(os.environ)
+    package_root = os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    )
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        package_root if not existing else package_root + os.pathsep + existing
+    )
+    return env
+
+
+def _run_cli(cli_args: Sequence[str], *, expect_kill: bool) -> dict[str, Any] | None:
+    """Run one ``repro`` CLI child; parse its JSON summary unless killed."""
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.cli", *cli_args],
+        env=_python_env(),
+        capture_output=True,
+        text=True,
+    )
+    if expect_kill:
+        if proc.returncode not in _KILLED_CODES:
+            raise PersistenceError(
+                f"child was supposed to die by SIGKILL but exited "
+                f"{proc.returncode}: {proc.stderr.strip()[:500]}"
+            )
+        return None
+    if proc.returncode != 0:
+        raise PersistenceError(
+            f"child failed ({proc.returncode}): {proc.stderr.strip()[:500]}"
+        )
+    return json.loads(proc.stdout)
+
+
+def kill_and_recover(
+    trace_path: str | os.PathLike,
+    workdir: str | os.PathLike,
+    *,
+    kill_at: Sequence[int] = (7,),
+    operations: int = 40,
+    time_step: int = 8,
+    op: str = "broadcast",
+    threshold: float = 1.0,
+    checkpoint_every: int = 5,
+    faults: str | None = None,
+    fault_seed: int = 0,
+    regime: bool = False,
+) -> ChaosResult:
+    """SIGKILL a session at each *kill_at* operation, recover, assert parity.
+
+    ``kill_at`` must be strictly increasing and below *operations*; each
+    entry is an operation index (over the whole session lifetime) at which
+    one child process is killed. The checkpoint directory is
+    ``workdir/checkpoints``; *workdir* must not already contain one.
+    """
+    kills = [int(k) for k in kill_at]
+    if kills != sorted(set(kills)):
+        raise PersistenceError("kill_at must be strictly increasing")
+    if kills and kills[-1] >= int(operations):
+        raise PersistenceError("kill points must lie before the operation target")
+    trace_path = os.fspath(trace_path)
+    ckpt_dir = os.path.join(os.fspath(workdir), "checkpoints")
+    if os.path.exists(ckpt_dir):
+        raise PersistenceError(f"{ckpt_dir!r} already exists; use a fresh workdir")
+
+    common = ["--op", op, "--operations", str(operations), "--json"]
+    fault_args: list[str] = []
+    if faults is not None:
+        fault_args = ["--faults", faults]
+
+    replay = [
+        "replay", trace_path,
+        "--time-step", str(time_step),
+        "--threshold", str(threshold),
+        "--fault-seed", str(fault_seed),
+        *fault_args,
+        *(["--regime"] if regime else []),
+        *common,
+    ]
+    # The uninterrupted reference: same workload, no persistence, no kills.
+    reference = _run_cli(replay, expect_kill=False)
+
+    # Round 1: a fresh persisted session that self-destructs at kills[0]
+    # (or survives outright when no kill points were requested).
+    persisted = [
+        *replay,
+        "--checkpoint-dir", ckpt_dir,
+        "--checkpoint-every", str(checkpoint_every),
+    ]
+    if kills:
+        _run_cli([*persisted, "--crash-after", str(kills[0])], expect_kill=True)
+    else:
+        recovered = _run_cli(persisted, expect_kill=False)
+        return _compare(reference, recovered, kills=0)
+
+    # Rounds 2..n: each resume recovers the previous corpse and dies at the
+    # next kill point; the final resume runs to the operation target.
+    resume = ["resume", ckpt_dir, *fault_args, *common]
+    for k in kills[1:]:
+        _run_cli([*resume, "--crash-after", str(k)], expect_kill=True)
+    recovered = _run_cli(resume, expect_kill=False)
+    return _compare(reference, recovered, kills=len(kills))
+
+
+def _compare(
+    reference: dict[str, Any], recovered: dict[str, Any], *, kills: int
+) -> ChaosResult:
+    ref_row = reference["constant_row"]
+    rec_row = recovered["constant_row"]
+    if len(ref_row) != len(rec_row):
+        max_diff = float("inf")
+    else:
+        max_diff = max(
+            (abs(a - b) for a, b in zip(ref_row, rec_row)), default=0.0
+        )
+    parity = (
+        max_diff == 0.0
+        and reference["operations"] == recovered["operations"]
+        and reference["recalibrations"] == recovered["recalibrations"]
+        and reference["communication_seconds"] == recovered["communication_seconds"]
+    )
+    return ChaosResult(
+        parity=parity,
+        kills=kills,
+        max_abs_diff=max_diff,
+        reference=reference,
+        recovered=recovered,
+    )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CI entry point: run one kill-and-recover round-trip, exit 0 on parity."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.persistence.chaos",
+        description="SIGKILL a session mid-run, recover it, assert P_D parity",
+    )
+    parser.add_argument("trace", help="trace .npz path")
+    parser.add_argument("workdir", help="fresh working directory for checkpoints")
+    parser.add_argument("--kill-at", default="7",
+                        help="comma-separated operation indices to kill at")
+    parser.add_argument("--operations", type=int, default=40)
+    parser.add_argument("--time-step", type=int, default=8)
+    parser.add_argument("--op", default="broadcast",
+                        choices=["broadcast", "scatter", "reduce", "gather"])
+    parser.add_argument("--threshold", type=float, default=1.0)
+    parser.add_argument("--checkpoint-every", type=int, default=5)
+    parser.add_argument("--faults", default=None)
+    parser.add_argument("--fault-seed", type=int, default=0)
+    parser.add_argument("--regime", action="store_true")
+    args = parser.parse_args(argv)
+
+    kill_at = [int(tok) for tok in args.kill_at.split(",") if tok.strip()]
+    result = kill_and_recover(
+        args.trace,
+        args.workdir,
+        kill_at=kill_at,
+        operations=args.operations,
+        time_step=args.time_step,
+        op=args.op,
+        threshold=args.threshold,
+        checkpoint_every=args.checkpoint_every,
+        faults=args.faults,
+        fault_seed=args.fault_seed,
+        regime=args.regime,
+    )
+    print(
+        f"chaos: {result.kills} kill(s), parity={result.parity}, "
+        f"max |dP_D|={result.max_abs_diff:.3e}, "
+        f"ops={result.recovered['operations']}, "
+        f"recals={result.recovered['recalibrations']}"
+    )
+    return 0 if result.parity else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

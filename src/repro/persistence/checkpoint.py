@@ -1,0 +1,257 @@
+"""Versioned, checksummed checkpoints with atomic writes and fallback loading.
+
+A checkpoint is one self-contained file holding a dict of numpy arrays plus a
+JSON metadata dict (the session's scalars: cursor, counters, config, schema
+version). On disk:
+
+``RPCK`` magic + ``uint32`` format version + ``uint64`` payload length +
+``uint32`` CRC32(payload) (little-endian), followed by the payload: the
+JSON metadata block, then a flat directory of raw C-order numpy arrays
+(name, dtype string, shape, bytes — all length-prefixed). The flat layout
+is deliberate: checkpoints sit on the session's hot path, and a zip
+container (``.npz``) costs more than the arrays themselves at this size.
+
+Writes go through a temp file in the same directory followed by
+``os.replace``, so a reader (including a recovery racing a dying writer)
+only ever sees a complete old file or a complete new file. Any mismatch —
+magic, version, length, checksum, unreadable archive — raises
+:class:`~repro.errors.CheckpointCorruption`, which
+:meth:`CheckpointStore.load_latest` treats as "try the next-older one".
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from ..errors import CheckpointCorruption, PersistenceError
+
+__all__ = [
+    "CHECKPOINT_MAGIC",
+    "CHECKPOINT_VERSION",
+    "Checkpoint",
+    "write_checkpoint",
+    "read_checkpoint",
+    "CheckpointStore",
+]
+
+CHECKPOINT_MAGIC = b"RPCK"
+CHECKPOINT_VERSION = 1
+
+_HEADER = struct.Struct("<4sIQI")  # magic, version, payload length, crc32
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+_NAME_RE = re.compile(r"^ckpt-(\d{8})\.ckpt$")
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """One loaded checkpoint: arrays + metadata + where it came from."""
+
+    arrays: dict[str, np.ndarray]
+    meta: dict[str, Any]
+    path: str
+
+
+def _encode_payload(arrays: dict[str, np.ndarray], meta: dict[str, Any]) -> bytes:
+    meta_blob = json.dumps(meta, sort_keys=True).encode("utf-8")
+    pieces = [_U32.pack(len(meta_blob)), meta_blob, _U32.pack(len(arrays))]
+    for name, value in arrays.items():
+        arr = np.ascontiguousarray(value)
+        if arr.dtype.hasobject:
+            raise PersistenceError(
+                f"array {name!r} has an object dtype and cannot be checkpointed"
+            )
+        name_b = name.encode("utf-8")
+        dtype_b = arr.dtype.str.encode("ascii")
+        data = arr.tobytes()
+        pieces += [
+            _U32.pack(len(name_b)), name_b,
+            _U32.pack(len(dtype_b)), dtype_b,
+            _U32.pack(arr.ndim),
+            *(_U64.pack(dim) for dim in arr.shape),
+            _U64.pack(len(data)), data,
+        ]
+    return b"".join(pieces)
+
+
+def _decode_payload(payload: bytes, path: str) -> tuple[dict[str, np.ndarray], dict]:
+    def bad(why: str) -> CheckpointCorruption:
+        return CheckpointCorruption(f"{path}: unreadable payload: {why}")
+
+    try:
+        offset = 0
+
+        def take_u32() -> int:
+            nonlocal offset
+            (value,) = _U32.unpack_from(payload, offset)
+            offset += _U32.size
+            return value
+
+        def take_u64() -> int:
+            nonlocal offset
+            (value,) = _U64.unpack_from(payload, offset)
+            offset += _U64.size
+            return value
+
+        def take_bytes(length: int) -> bytes:
+            nonlocal offset
+            if offset + length > len(payload):
+                raise bad("truncated block")
+            block = payload[offset : offset + length]
+            offset += length
+            return block
+
+        meta = json.loads(take_bytes(take_u32()).decode("utf-8"))
+        arrays: dict[str, np.ndarray] = {}
+        for _ in range(take_u32()):
+            name = take_bytes(take_u32()).decode("utf-8")
+            dtype = np.dtype(take_bytes(take_u32()).decode("ascii"))
+            shape = tuple(take_u64() for _ in range(take_u32()))
+            raw = take_bytes(take_u64())
+            arrays[name] = np.frombuffer(raw, dtype=dtype).reshape(shape).copy()
+        if offset != len(payload):
+            raise bad(f"{len(payload) - offset} trailing bytes")
+    except CheckpointCorruption:
+        raise
+    except Exception as exc:  # struct/json/dtype/reshape failures
+        raise bad(str(exc)) from exc
+    return arrays, meta
+
+
+def write_checkpoint(
+    path: str | os.PathLike,
+    arrays: dict[str, np.ndarray],
+    meta: dict[str, Any],
+    *,
+    fsync: bool = False,
+) -> None:
+    """Atomically write a checkpoint file (temp file + rename)."""
+    target = os.fspath(path)
+    payload = _encode_payload(arrays, meta)
+    header = _HEADER.pack(
+        CHECKPOINT_MAGIC,
+        CHECKPOINT_VERSION,
+        len(payload),
+        zlib.crc32(payload) & 0xFFFFFFFF,
+    )
+    directory = os.path.dirname(target) or "."
+    # Fixed temp name rather than mkstemp: the store is single-writer by
+    # design, and os.replace keeps the swap atomic either way.
+    tmp = target + ".tmp"
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(header)
+            fh.write(payload)
+            fh.flush()
+            if fsync:
+                os.fsync(fh.fileno())
+        os.replace(tmp, target)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    if fsync:
+        dir_fd = os.open(directory, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+
+
+def read_checkpoint(path: str | os.PathLike) -> Checkpoint:
+    """Read and verify one checkpoint file.
+
+    Raises
+    ------
+    CheckpointCorruption
+        On any integrity failure: wrong magic, unsupported version,
+        truncated payload, CRC mismatch, or an unreadable archive. A single
+        flipped byte anywhere in the payload is caught by the CRC.
+    """
+    target = os.fspath(path)
+    with open(target, "rb") as fh:
+        blob = fh.read()
+    if len(blob) < _HEADER.size:
+        raise CheckpointCorruption(f"{target}: truncated header")
+    magic, version, length, crc = _HEADER.unpack_from(blob, 0)
+    if magic != CHECKPOINT_MAGIC:
+        raise CheckpointCorruption(f"{target}: bad magic {magic!r}")
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointCorruption(
+            f"{target}: unsupported checkpoint version {version} "
+            f"(expected {CHECKPOINT_VERSION})"
+        )
+    payload = blob[_HEADER.size :]
+    if len(payload) != length:
+        raise CheckpointCorruption(
+            f"{target}: payload is {len(payload)} bytes, header says {length}"
+        )
+    if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+        raise CheckpointCorruption(f"{target}: checksum mismatch")
+    arrays, meta = _decode_payload(payload, target)
+    return Checkpoint(arrays=arrays, meta=meta, path=target)
+
+
+class CheckpointStore:
+    """A directory of numbered checkpoints with retention and fallback.
+
+    Files are named ``ckpt-<seq>.ckpt`` with a monotonically increasing
+    sequence number; :meth:`save` prunes all but the newest *keep* files,
+    and :meth:`load_latest` walks newest → oldest skipping anything that
+    fails verification — the fallback path recovery relies on.
+    """
+
+    def __init__(
+        self, directory: str | os.PathLike, *, keep: int = 3, fsync: bool = False
+    ) -> None:
+        if int(keep) < 1:
+            raise PersistenceError("keep must be >= 1")
+        self.directory = os.fspath(directory)
+        self.keep = int(keep)
+        self.fsync = bool(fsync)
+        os.makedirs(self.directory, exist_ok=True)
+
+    def _paths(self) -> list[tuple[int, str]]:
+        """(seq, path) pairs of present checkpoint files, oldest first."""
+        found = []
+        for name in os.listdir(self.directory):
+            m = _NAME_RE.match(name)
+            if m:
+                found.append((int(m.group(1)), os.path.join(self.directory, name)))
+        return sorted(found)
+
+    @property
+    def next_seq(self) -> int:
+        paths = self._paths()
+        return paths[-1][0] + 1 if paths else 0
+
+    def save(self, arrays: dict[str, np.ndarray], meta: dict[str, Any]) -> str:
+        """Write the next checkpoint and prune beyond the retention limit."""
+        seq = self.next_seq
+        path = os.path.join(self.directory, f"ckpt-{seq:08d}.ckpt")
+        write_checkpoint(path, arrays, meta, fsync=self.fsync)
+        for _, old in self._paths()[: -self.keep]:
+            try:
+                os.unlink(old)
+            except OSError:
+                pass
+        return path
+
+    def load_latest(self) -> Checkpoint | None:
+        """Newest checkpoint that passes verification; None if none does."""
+        for _, path in reversed(self._paths()):
+            try:
+                return read_checkpoint(path)
+            except (CheckpointCorruption, OSError):
+                continue
+        return None

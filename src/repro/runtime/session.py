@@ -16,6 +16,20 @@ the historical cold path). The engine's instrumentation — per-solve spans,
 warm/cold and cache counters — is exposed as
 :attr:`TraceSession.instrumentation`.
 
+Two orthogonal hardening layers ride on the loop:
+
+* **Crash safety** (``persistence=``): every operation is committed to a
+  write-ahead journal *before* it executes and a full checkpoint of session
+  state is written every ``checkpoint_every`` operations, so a SIGKILLed
+  process resumes via :meth:`TraceSession.resume` — newest valid checkpoint
+  plus deterministic re-execution of the journal tail — and converges to
+  the same ``P_D`` as an uninterrupted run.
+* **Regime detection** (``regime=``): a CUSUM change-point detector over
+  per-snapshot residual norms distinguishes transient interference spikes
+  (keep serving ``P_D`` — RPCA's sparse term absorbs them) from sustained
+  regime shifts, which force a *cold* re-calibration that drops the
+  warm-start chain.
+
 The same class serves live substrates by first materializing their
 measurements as a trace (see
 :func:`~repro.experiments.netsim_support.calibrate_netsim_trace`).
@@ -23,7 +37,9 @@ measurements as a trace (see
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
@@ -35,20 +51,47 @@ from ..collectives.fnf import fnf_tree
 from ..core.decompose import Decomposition
 from ..core.engine import DecompositionEngine
 from ..core.maintenance import (
+    CusumRegimeDetector,
     DegradedModeController,
     HealthState,
     HealthTransition,
     MaintenanceController,
     MaintenanceDecision,
+    RegimeConfig,
+    RegimeVerdict,
     ResilienceConfig,
 )
 from ..core.solvers import solver_spec
-from ..errors import CalibrationError, ConvergenceError, ValidationError
-from ..faults import FaultModel, FaultSchedule, inject_faults, parse_fault_spec
+from ..errors import (
+    CalibrationError,
+    ConvergenceError,
+    PersistenceError,
+    ValidationError,
+)
+from ..faults import (
+    CrashFault,
+    FaultModel,
+    FaultSchedule,
+    inject_faults,
+    parse_fault_spec,
+)
 from ..mapping.evaluate import bandwidth_from_weights, mapping_total_time
 from ..mapping.greedy import greedy_mapping
 from ..mapping.taskgraph import TaskGraph
 from ..observability import Instrumentation
+from ..utils.seeding import spawn_rng
+from ..persistence import (
+    CheckpointStore,
+    PersistenceConfig,
+    SnapshotJournal,
+    capture_session_state,
+    decomposition_from_state,
+    engine_cache_from_state,
+    history_rows_from_state,
+    journal_path,
+    recover,
+    trace_sha256,
+)
 
 __all__ = ["OperationRecord", "SessionStats", "TraceSession"]
 
@@ -64,6 +107,7 @@ class OperationRecord:
     expected: float
     decision: MaintenanceDecision
     health: str = HealthState.HEALTHY.value
+    regime: str = RegimeVerdict.STABLE.value
 
 
 @dataclass
@@ -85,6 +129,8 @@ class SessionStats:
     deferred_recalibrations: int = 0
     holdover_operations: int = 0
     epochs: int = 0
+    regime_shifts: int = 0
+    regime_spikes: int = 0
     history: list[OperationRecord] = field(default_factory=list)
 
     @property
@@ -135,14 +181,33 @@ class TraceSession:
         affect what calibration observes; operations are still priced on
         the ground-truth trace (a lost probe does not slow the network).
         Enables degraded-mode maintenance (see *resilience*).
+        :class:`~repro.faults.CrashFault` models in the list arm a
+        process-level SIGKILL instead of touching measurements.
     fault_seed:
-        Seed for fault materialization (default: derived fresh).
+        Seed for fault materialization. Drawn fresh (and remembered, so a
+        resumed session reproduces the identical fault schedule) when
+        omitted and faults are present.
     resilience:
         :class:`~repro.core.maintenance.ResilienceConfig` controlling
         snapshot-completeness thresholds, re-calibration backoff and the
         HEALTHY → DEGRADED → HOLDOVER health machine. Defaults to the
-        standard config when *faults* are given, ``None`` (strict
-        historical behavior: calibration failures propagate) otherwise.
+        standard config when measurement *faults* are given, ``None``
+        (strict historical behavior: calibration failures propagate)
+        otherwise.
+    persistence:
+        A :class:`~repro.persistence.PersistenceConfig` (or a bare
+        directory) enabling crash safety: operations are write-ahead
+        journaled and checkpoints are written every
+        ``checkpoint_every`` operations. The directory must not already
+        hold another session's state — use :meth:`resume` for that.
+    regime:
+        Enable the CUSUM regime-shift detector: ``True`` for defaults or a
+        :class:`~repro.core.maintenance.RegimeConfig`. A detected SHIFT
+        forces a cold re-calibration (warm-start chain dropped, backoff
+        bypassed); SPIKEs are counted but keep ``P_D`` in service.
+    crash_after:
+        Arm a :class:`~repro.faults.CrashFault` at this operation index —
+        shorthand for putting one in *faults*, used by the chaos harness.
     """
 
     def __init__(
@@ -160,6 +225,9 @@ class TraceSession:
         faults: list[FaultModel] | tuple[FaultModel, ...] | str | None = None,
         fault_seed: int | None = None,
         resilience: ResilienceConfig | None = None,
+        persistence: PersistenceConfig | str | os.PathLike | None = None,
+        regime: RegimeConfig | bool | None = None,
+        crash_after: int | None = None,
     ) -> None:
         if trace.n_snapshots <= time_step:
             raise ValidationError(
@@ -180,29 +248,25 @@ class TraceSession:
         )
         check_nonnegative(self.calibration_cost, "calibration_cost")
 
-        self.fault_schedule: FaultSchedule | None = None
-        calibration_view = trace
-        if faults is not None:
-            models = parse_fault_spec(faults) if isinstance(faults, str) else faults
-            injected = inject_faults(trace, models, seed=fault_seed)
-            calibration_view = injected.trace
-            self.fault_schedule = injected.schedule
-            if resilience is None:
-                resilience = ResilienceConfig()
+        # Fault view. The seed is resolved (and remembered) here so a
+        # resumed session re-materializes the identical schedule.
+        self.faults_spec = faults if isinstance(faults, str) else None
+        if faults is not None and fault_seed is None:
+            fault_seed = int(spawn_rng(None).integers(0, 2**31 - 1))
+        self.fault_seed = None if fault_seed is None else int(fault_seed)
+        calibration_view, self.fault_schedule, crash_models = (
+            self._build_fault_view(trace, faults, self.fault_seed)
+        )
+        if crash_after is not None:
+            crash_models = crash_models + (CrashFault(at_operation=crash_after),)
+        self._crash_models = crash_models
+        if self.fault_schedule is not None and resilience is None:
+            resilience = ResilienceConfig()
         self.resilience = resilience
         self.health: DegradedModeController | None = (
             DegradedModeController(resilience) if resilience is not None else None
         )
 
-        engine_kwargs: dict = {}
-        if resilience is not None:
-            engine_kwargs["min_snapshot_observed"] = resilience.min_snapshot_observed
-            engine_kwargs["min_window_observed"] = resilience.min_window_observed
-            spec = solver_spec(solver)
-            if resilience.strict_convergence and (
-                spec.accepts_any_kwargs or "raise_on_fail" in spec.accepted_kwargs
-            ):
-                engine_kwargs["raise_on_fail"] = True
         self._engine = DecompositionEngine(
             calibration_view,
             nbytes=self.nbytes,
@@ -214,11 +278,21 @@ class TraceSession:
                 if instrumentation is not None
                 else Instrumentation("session")
             ),
-            **engine_kwargs,
+            **self._engine_kwargs(resilience, solver),
         )
+        if regime is True:
+            regime = RegimeConfig()
+        self.regime_detector: CusumRegimeDetector | None = (
+            CusumRegimeDetector(regime) if regime else None
+        )
+
         self.stats = SessionStats()
+        self._trace_sha = trace_sha256(trace)  # hashed once, reused per checkpoint
         self._cursor = self.time_step  # next live snapshot
         self._decomposition: Decomposition | None = None
+        self._replaying = False
+        self._journal: SnapshotJournal | None = None
+        self._store: CheckpointStore | None = None
         # The session cannot start without one good constant component, so
         # the initial calibration is not fault-tolerant: a failure here
         # propagates even in resilient mode (pick fault schedules, window
@@ -226,6 +300,78 @@ class TraceSession:
         self._calibrate(end=self.time_step, charge=True)
         if self.health is not None:
             self.health.record_success()
+
+        self.persistence = self._coerce_persistence(persistence)
+        if self.persistence is not None:
+            self._attach_persistence(self.persistence, fresh=True)
+            self.checkpoint()  # checkpoint 0: the booted state
+
+    # -- construction helpers ----------------------------------------------
+    @staticmethod
+    def _coerce_persistence(
+        persistence: PersistenceConfig | str | os.PathLike | None,
+    ) -> PersistenceConfig | None:
+        if persistence is None or isinstance(persistence, PersistenceConfig):
+            return persistence
+        return PersistenceConfig(directory=os.fspath(persistence))
+
+    @staticmethod
+    def _build_fault_view(
+        trace: CalibrationTrace,
+        faults: list[FaultModel] | tuple[FaultModel, ...] | str | None,
+        seed: int | None,
+    ) -> tuple[CalibrationTrace, FaultSchedule | None, tuple[CrashFault, ...]]:
+        """Split fault models into the measurement plane and the crash plane.
+
+        Crash models are filtered out *before* injection so a spec with and
+        without ``crash=`` tokens yields bit-identical measurement
+        schedules — the property the kill-and-recover parity check rests on.
+        """
+        if faults is None:
+            return trace, None, ()
+        models = parse_fault_spec(faults) if isinstance(faults, str) else list(faults)
+        crash = tuple(m for m in models if isinstance(m, CrashFault))
+        measurement = [m for m in models if not isinstance(m, CrashFault)]
+        if not measurement:
+            return trace, None, crash
+        injected = inject_faults(trace, measurement, seed=seed)
+        return injected.trace, injected.schedule, crash
+
+    @staticmethod
+    def _engine_kwargs(
+        resilience: ResilienceConfig | None, solver: str
+    ) -> dict[str, Any]:
+        kwargs: dict[str, Any] = {}
+        if resilience is not None:
+            kwargs["min_snapshot_observed"] = resilience.min_snapshot_observed
+            kwargs["min_window_observed"] = resilience.min_window_observed
+            spec = solver_spec(solver)
+            if resilience.strict_convergence and (
+                spec.accepts_any_kwargs or "raise_on_fail" in spec.accepted_kwargs
+            ):
+                kwargs["raise_on_fail"] = True
+        return kwargs
+
+    def _attach_persistence(self, config: PersistenceConfig, *, fresh: bool) -> None:
+        directory = os.fspath(config.directory)
+        os.makedirs(directory, exist_ok=True)
+        store = CheckpointStore(
+            directory, keep=config.keep_checkpoints, fsync=config.fsync
+        )
+        jpath = journal_path(directory)
+        if fresh:
+            # An empty (header-only) journal is not prior state — a fresh
+            # session may have died between creating it and checkpoint 0.
+            occupied = bool(store._paths()) or (
+                os.path.exists(jpath) and SnapshotJournal.scan(jpath).records
+            )
+            if occupied:
+                raise PersistenceError(
+                    f"{directory!r} already holds session state; "
+                    "use TraceSession.resume() to continue it"
+                )
+        self._store = store
+        self._journal = SnapshotJournal(jpath, fsync=config.fsync)
 
     # -- state ------------------------------------------------------------
     @property
@@ -271,6 +417,52 @@ class TraceSession:
         """Materialized fault events, if faults were injected."""
         return self.fault_schedule.events if self.fault_schedule is not None else ()
 
+    # -- persistence --------------------------------------------------------
+    def checkpoint(self) -> str | None:
+        """Write a full checkpoint now; returns its path (None if disabled)."""
+        if self._store is None:
+            return None
+        arrays, meta = capture_session_state(self)
+        path = self._store.save(arrays, meta)
+        self.instrumentation.count("session.checkpoint.written")
+        return path
+
+    def close(self) -> None:
+        """Flush and release persistence resources (idempotent)."""
+        if self._journal is not None:
+            self._journal.close()
+            self._journal = None
+
+    def _commit(self, record: dict[str, Any]) -> None:
+        """Write-ahead commit of one operation (no-op when not persisting).
+
+        The append happens *before* the operation executes, so after a crash
+        the operation either replays in full from the journal or never
+        happened — the recovery protocol's atomicity unit.
+        """
+        if self._journal is not None and not self._replaying:
+            self._journal.append_json(record)
+
+    def _check_crash(self) -> None:
+        """Fire any armed crash fault scheduled for the upcoming operation.
+
+        Checked after the journal commit and before execution: the record of
+        the operation the process died inside is on disk and will replay on
+        recovery. Suppressed during replay — a crash is a process-lifetime
+        event, not part of the deterministic history.
+        """
+        if self._replaying:
+            return
+        for model in self._crash_models:
+            if model.fires(self.stats.operations):
+                model.trigger()
+
+    def _maybe_checkpoint(self) -> None:
+        if self._store is None or self._replaying or self.persistence is None:
+            return
+        if self.stats.operations % int(self.persistence.checkpoint_every) == 0:
+            self.checkpoint()
+
     # -- internals ----------------------------------------------------------
     def _calibrate(self, end: int, *, charge: bool) -> None:
         self._decomposition = self._engine.calibrate(end)
@@ -308,6 +500,52 @@ class TraceSession:
         self.instrumentation.count("session.recalibration.ok")
         self.health.record_success()
 
+    def _force_cold_recalibration(self, end: int) -> None:
+        """Regime shift: the constant component itself has moved.
+
+        Drop the warm-start chain (the old solution would pull the solver
+        toward the dead regime) and re-solve cold, bypassing retry backoff —
+        holding over a stale ``P_D`` is exactly wrong when the change is
+        structural rather than a measurement fault.
+        """
+        self._engine.reset_warm_state()
+        self.controller.reset()
+        self.instrumentation.count("session.regime.cold_recalibration")
+        try:
+            self._calibrate(end=end, charge=True)
+        except (CalibrationError, ConvergenceError) as exc:
+            self.stats.failed_recalibrations += 1
+            self.instrumentation.count("session.recalibration.failed")
+            if self.health is None:
+                raise
+            self.health.record_failure(exc)
+            return
+        self.stats.recalibrations += 1
+        self.instrumentation.count("session.recalibration.ok")
+        if self.health is not None:
+            self.health.record_success()
+
+    def _observe_regime(self, k: int) -> str:
+        """Feed snapshot *k*'s residual to the detector; act on the verdict.
+
+        Must run before any re-calibration at this operation: the residual
+        is measured against the constant component *in service*, and a SHIFT
+        pre-empts the ordinary threshold-triggered re-calibration (the cold
+        path subsumes it).
+        """
+        if self.regime_detector is None:
+            return RegimeVerdict.STABLE.value
+        residual = self._engine.snapshot_residual(k)
+        verdict = self.regime_detector.observe(residual)
+        if verdict is RegimeVerdict.SHIFT:
+            self.stats.regime_shifts += 1
+            self.instrumentation.count("session.regime.shift")
+            self._force_cold_recalibration(end=k + 1)
+        elif verdict is RegimeVerdict.SPIKE:
+            self.stats.regime_spikes += 1
+            self.instrumentation.count("session.regime.spike")
+        return verdict.value
+
     def _advance(self) -> int:
         k = self._cursor
         self._cursor += 1
@@ -338,15 +576,27 @@ class TraceSession:
         """
         size = self.nbytes if nbytes is None else float(nbytes)
         check_positive(size, "nbytes")
-        k = self._advance()
-        weights = self.weight_matrix()
-        live_alpha, live_beta = self.trace.alpha[k], self.trace.beta[k]
+        idx: np.ndarray | None = None
         if machines is not None:
             idx = np.asarray(machines, dtype=np.intp)
             if idx.size < 2 or len(set(idx.tolist())) != idx.size:
                 raise ValidationError("machines must be >= 2 distinct indices")
             if idx.min() < 0 or idx.max() >= self.trace.n_machines:
                 raise ValidationError("machine index out of range")
+        self._commit(
+            {
+                "kind": "collective",
+                "op": op,
+                "root": int(root),
+                "nbytes": size,
+                "machines": None if idx is None else idx.tolist(),
+            }
+        )
+        self._check_crash()
+        k = self._advance()
+        weights = self.weight_matrix()
+        live_alpha, live_beta = self.trace.alpha[k], self.trace.beta[k]
+        if idx is not None:
             sel = np.ix_(idx, idx)
             weights = weights[sel]
             np.fill_diagonal(weights, 0.0)
@@ -358,17 +608,22 @@ class TraceSession:
         elapsed = collective_time(op, tree, live_alpha, live_beta, size)
 
         decision = self.controller.observe(expected, elapsed)
-        if decision is MaintenanceDecision.RECALIBRATE:
+        regime = self._observe_regime(k)
+        if (
+            regime != RegimeVerdict.SHIFT.value
+            and decision is MaintenanceDecision.RECALIBRATE
+        ):
             self._request_recalibration(end=k + 1)
 
         record = OperationRecord(
             op=op, snapshot=k, root=int(root), elapsed=elapsed,
             expected=expected, decision=decision,
-            health=self.health_state.value,
+            health=self.health_state.value, regime=regime,
         )
         self.stats.operations += 1
         self.stats.communication_seconds += elapsed
         self.stats.history.append(record)
+        self._maybe_checkpoint()
         return record
 
     def broadcast(self, *, root: int = 0, nbytes: float | None = None) -> OperationRecord:
@@ -410,6 +665,8 @@ class TraceSession:
         """
         if graph.n_tasks > self.trace.n_machines:
             raise ValidationError("task graph larger than the cluster")
+        self._commit({"kind": "mapping", "volumes": graph.volumes.tolist()})
+        self._check_crash()
         k = self._advance()
         weights = self.weight_matrix()
         mapping = greedy_mapping(graph, bandwidth_from_weights(weights))
@@ -419,7 +676,11 @@ class TraceSession:
             graph, mapping, self.trace.alpha[k], self.trace.beta[k]
         )
         decision = self.controller.observe(expected, elapsed)
-        if decision is MaintenanceDecision.RECALIBRATE:
+        regime = self._observe_regime(k)
+        if (
+            regime != RegimeVerdict.SHIFT.value
+            and decision is MaintenanceDecision.RECALIBRATE
+        ):
             self._request_recalibration(end=k + 1)
         self.stats.operations += 1
         self.stats.communication_seconds += elapsed
@@ -427,7 +688,228 @@ class TraceSession:
             OperationRecord(
                 op="mapping", snapshot=k, root=-1, elapsed=elapsed,
                 expected=expected, decision=decision,
-                health=self.health_state.value,
+                health=self.health_state.value, regime=regime,
             )
         )
+        self._maybe_checkpoint()
         return mapping, elapsed
+
+    # -- recovery -----------------------------------------------------------
+    def _replay_record(self, record: dict[str, Any]) -> None:
+        kind = record.get("kind")
+        if kind == "collective":
+            self.run_collective(
+                record["op"],
+                root=int(record["root"]),
+                nbytes=float(record["nbytes"]),
+                machines=record["machines"],
+            )
+        elif kind == "mapping":
+            self.map_tasks(
+                TaskGraph(volumes=np.asarray(record["volumes"], dtype=np.float64))
+            )
+        else:
+            raise PersistenceError(f"unknown journal record kind {kind!r}")
+
+    @classmethod
+    def resume(
+        cls,
+        directory: str | os.PathLike,
+        *,
+        trace: CalibrationTrace | None = None,
+        faults: list[FaultModel] | tuple[FaultModel, ...] | str | None = None,
+        instrumentation: Instrumentation | None = None,
+        persistence: PersistenceConfig | None = None,
+        crash_after: int | None = None,
+    ) -> "TraceSession":
+        """Resurrect a crashed (or cleanly stopped) session from *directory*.
+
+        Loads the newest checkpoint that passes verification (falling back
+        to older ones past corruption), restores the full session state —
+        engine row cache, warm-start chain, controllers, detector, stats,
+        instrumentation — and deterministically re-executes the journal
+        records committed after the checkpoint. The resumed session then
+        continues exactly where the dead one would have been: same cursor,
+        same ``P_D``, same warm-start seed.
+
+        Parameters
+        ----------
+        directory:
+            The persistence directory of the dead session.
+        trace:
+            The ground-truth trace. Loaded from the path recorded in the
+            checkpoint when omitted; either way its content hash must match
+            the checkpointed one.
+        faults:
+            Measurement-fault override. Defaults to the fault spec string
+            recorded in the checkpoint (sessions built from model *lists*
+            record no spec and need this argument). Crash models recorded
+            in the spec are never re-armed — a crash belongs to the process
+            that scheduled it, not to the history.
+        instrumentation:
+            Sink to restore the checkpointed counters/spans into; a fresh
+            one is created if omitted.
+        persistence:
+            Settings for the *resumed* session's own checkpointing
+            (cadence, retention, fsync). The journal and checkpoints always
+            stay in *directory* — recovery continuity depends on it.
+        crash_after:
+            Arm a fresh :class:`~repro.faults.CrashFault` at this operation
+            index (counted over the whole session lifetime, replayed
+            operations included) — the chaos harness's repeated-kill knob.
+        """
+        directory = os.fspath(directory)
+        state = recover(directory)
+        meta = state.meta
+        cfg = meta["config"]
+
+        if trace is None:
+            path = meta["trace"]["path"]
+            if path is None:
+                raise PersistenceError(
+                    "checkpoint records no trace path; pass trace= explicitly"
+                )
+            from ..cloudsim.io import load_trace, load_trace_csv
+
+            trace = (
+                load_trace_csv(path)
+                if str(path).lower().endswith(".csv")
+                else load_trace(path)
+            )
+        trace_sha = trace_sha256(trace)
+        if trace_sha != meta["trace"]["sha256"]:
+            raise PersistenceError(
+                "trace content does not match the checkpointed session "
+                "(sha256 mismatch) — resuming on a different trace would "
+                "silently diverge"
+            )
+
+        self = cls.__new__(cls)
+        self.trace = trace
+        self._trace_sha = trace_sha
+        self.nbytes = float(cfg["nbytes"])
+        self.time_step = int(cfg["time_step"])
+        self.solver = cfg["solver"]
+        self.calibration_cost = float(cfg["calibration_cost"])
+        self.controller = MaintenanceController(
+            threshold=cfg["threshold"], consecutive=cfg["consecutive"]
+        )
+        ctrl_state = dict(meta["controller"])
+        ctrl_state["deviations"] = state.arrays["ctrl_deviations"].tolist()
+        self.controller.restore_state(ctrl_state)
+
+        res_meta = cfg["resilience"]
+        resilience = None if res_meta is None else ResilienceConfig(**res_meta)
+        self.resilience = resilience
+        self.health = (
+            DegradedModeController(resilience) if resilience is not None else None
+        )
+        if self.health is not None and meta["health"] is not None:
+            self.health.restore_state(meta["health"])
+
+        self.faults_spec = cfg["faults_spec"]
+        self.fault_seed = cfg["fault_seed"]
+        fault_source = faults if faults is not None else self.faults_spec
+        calibration_view, self.fault_schedule, _ = self._build_fault_view(
+            trace, fault_source, self.fault_seed
+        )
+        self._crash_models = (
+            (CrashFault(at_operation=crash_after),) if crash_after is not None else ()
+        )
+
+        self._engine = DecompositionEngine(
+            calibration_view,
+            nbytes=self.nbytes,
+            time_step=self.time_step,
+            solver=self.solver,
+            warm_start=bool(cfg["warm_start"]),
+            instrumentation=(
+                instrumentation
+                if instrumentation is not None
+                else Instrumentation("session")
+            ),
+            **self._engine_kwargs(resilience, self.solver),
+        )
+        self._engine.import_cache(engine_cache_from_state(state.arrays))
+        self._engine.instrumentation.restore_state(meta["instrumentation"])
+        dec = decomposition_from_state(state.arrays, meta["decomposition"])
+        self._decomposition = dec
+        self._engine.restore_warm_state(dec)
+
+        regime_cfg = cfg["regime"]
+        self.regime_detector = (
+            CusumRegimeDetector(RegimeConfig(**regime_cfg))
+            if regime_cfg is not None
+            else None
+        )
+        if self.regime_detector is not None and meta["regime_state"] is not None:
+            self.regime_detector.restore_state(meta["regime_state"])
+
+        st = meta["stats"]
+        self.stats = SessionStats(
+            operations=int(st["operations"]),
+            communication_seconds=float(st["communication_seconds"]),
+            overhead_seconds=float(st["overhead_seconds"]),
+            recalibrations=int(st["recalibrations"]),
+            failed_recalibrations=int(st["failed_recalibrations"]),
+            deferred_recalibrations=int(st["deferred_recalibrations"]),
+            holdover_operations=int(st["holdover_operations"]),
+            epochs=int(st["epochs"]),
+            regime_shifts=int(st["regime_shifts"]),
+            regime_spikes=int(st["regime_spikes"]),
+            history=[
+                OperationRecord(
+                    op=h["op"],
+                    snapshot=h["snapshot"],
+                    root=h["root"],
+                    elapsed=h["elapsed"],
+                    expected=h["expected"],
+                    decision=MaintenanceDecision(h["decision"]),
+                    health=h["health"],
+                    regime=h["regime"],
+                )
+                for h in history_rows_from_state(
+                    state.arrays, st["history_legends"]
+                )
+            ],
+        )
+        self._cursor = int(meta["cursor"])
+
+        if persistence is None:
+            persistence = PersistenceConfig(
+                directory=directory, trace_path=meta["trace"]["path"]
+            )
+        elif os.path.abspath(os.fspath(persistence.directory)) != os.path.abspath(
+            directory
+        ):
+            raise PersistenceError(
+                "a resumed session must keep persisting into the directory "
+                "it recovered from"
+            )
+        self.persistence = persistence
+        self._store = CheckpointStore(
+            directory, keep=persistence.keep_checkpoints, fsync=persistence.fsync
+        )
+        self._journal = None  # replay first; reattach in append mode after
+
+        self._replaying = True
+        try:
+            for record in state.pending:
+                self._replay_record(record)
+        finally:
+            self._replaying = False
+        self._journal = SnapshotJournal(
+            journal_path(directory), fsync=persistence.fsync
+        )
+        if self._journal.seq != self.stats.operations:
+            raise PersistenceError(
+                f"journal/state divergence after replay: journal at seq "
+                f"{self._journal.seq}, session at {self.stats.operations} "
+                "operations"
+            )
+        self.instrumentation.count("session.recovered")
+        if state.fallbacks:
+            self.instrumentation.count(
+                "session.recovery.fallbacks", state.fallbacks
+            )
+        return self

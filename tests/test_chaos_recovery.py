@@ -1,0 +1,100 @@
+"""Kill-and-recover chaos tests: SIGKILL a live session, resume, check parity.
+
+Each case drives the real CLI in subprocesses via the chaos harness: an
+uninterrupted reference replay, then a persisted replay that is SIGKILLed
+mid-run and resumed to completion. Parity means the final constant
+component, operation count, recalibration count, and communication time are
+identical to the reference — the crash left no trace in the results.
+
+Marked ``chaos`` so the (subprocess-heavy) cases can be selected or skipped
+with ``-m chaos`` / ``-m "not chaos"``.
+"""
+
+import pytest
+
+from repro.cloudsim.dynamics import DynamicsConfig
+from repro.cloudsim.io import save_trace
+from repro.cloudsim.tracegen import TraceConfig, generate_trace
+from repro.errors import PersistenceError
+from repro.persistence.chaos import kill_and_recover
+
+pytestmark = pytest.mark.chaos
+
+
+def _trace_file(tmp_path, seed):
+    cfg = TraceConfig(
+        n_machines=6,
+        n_snapshots=30,
+        dynamics=DynamicsConfig(volatility_sigma=0.05),
+    )
+    path = tmp_path / f"trace-{seed}.npz"
+    save_trace(generate_trace(cfg, seed=seed), path)
+    return str(path)
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_single_kill_parity(tmp_path, seed):
+    result = kill_and_recover(
+        _trace_file(tmp_path, seed),
+        tmp_path / "work",
+        kill_at=(9,),
+        operations=24,
+        checkpoint_every=5,
+    )
+    assert result.kills == 1
+    # The WAL record of the killed operation replays on recovery, so the
+    # resumed child starts one past the kill point.
+    assert result.recovered["recovered_at"] == 10
+    assert result.parity, f"state diverged after recovery: {result.max_abs_diff}"
+    assert result.max_abs_diff == 0.0
+
+
+def test_repeated_kills_with_recalibrations(tmp_path):
+    # A low threshold makes Algorithm 1 recalibrate repeatedly, so kills
+    # land between warm-started re-solves — the hardest state to restore.
+    result = kill_and_recover(
+        _trace_file(tmp_path, 7),
+        tmp_path / "work",
+        kill_at=(6, 15),
+        operations=24,
+        threshold=0.2,
+        checkpoint_every=5,
+    )
+    assert result.kills == 2
+    assert result.parity
+    assert result.reference["operations"] == 24
+
+
+def test_kill_under_measurement_faults_and_regime(tmp_path):
+    result = kill_and_recover(
+        _trace_file(tmp_path, 13),
+        tmp_path / "work",
+        kill_at=(8,),
+        operations=20,
+        faults="probe_loss=0.05",
+        fault_seed=0,
+        regime=True,
+        checkpoint_every=5,
+    )
+    assert result.parity
+    assert result.max_abs_diff == 0.0
+
+
+class TestHarnessValidation:
+    def test_kill_schedule_must_be_increasing(self, tmp_path):
+        with pytest.raises(PersistenceError, match="strictly increasing"):
+            kill_and_recover(
+                _trace_file(tmp_path, 1),
+                tmp_path / "work",
+                kill_at=(9, 9),
+                operations=24,
+            )
+
+    def test_kills_must_precede_completion(self, tmp_path):
+        with pytest.raises(PersistenceError, match="before the operation target"):
+            kill_and_recover(
+                _trace_file(tmp_path, 1),
+                tmp_path / "work",
+                kill_at=(30,),
+                operations=24,
+            )

@@ -203,6 +203,69 @@ class TestRobustLoading:
             assert "mask" not in data.files
 
 
+class TestSchemaHardening:
+    """Malformed archives must fail loud with ValidationError, not load."""
+
+    def _write(self, path, tiny_trace, **overrides):
+        arrays = dict(
+            format_version=np.int64(TRACE_FORMAT_VERSION),
+            alpha=tiny_trace.alpha,
+            beta=tiny_trace.beta,
+            timestamps=tiny_trace.timestamps,
+        )
+        arrays.update(overrides)
+        np.savez_compressed(path, **arrays)
+        return path
+
+    def test_mask_shape_mismatch_rejected(self, tiny_trace, tmp_path):
+        bad_mask = np.ones(
+            (tiny_trace.n_snapshots + 1,) + tiny_trace.alpha.shape[1:], dtype=bool
+        )
+        path = self._write(tmp_path / "badmask.npz", tiny_trace, mask=bad_mask)
+        with pytest.raises(ValidationError, match="mask shape"):
+            load_trace(path)
+
+    def test_alpha_beta_shape_mismatch_rejected(self, tiny_trace, tmp_path):
+        path = self._write(
+            tmp_path / "badbeta.npz", tiny_trace, beta=tiny_trace.beta[:-1]
+        )
+        with pytest.raises(ValidationError, match="shape mismatch"):
+            load_trace(path)
+
+    def test_future_schema_version_rejected(self, tiny_trace, tmp_path):
+        path = self._write(
+            tmp_path / "v2.npz",
+            tiny_trace,
+            format_version=np.int64(TRACE_FORMAT_VERSION + 1),
+        )
+        with pytest.raises(ValidationError, match="unsupported trace format"):
+            load_trace(path)
+
+    def test_fractional_version_rejected_not_truncated(self, tiny_trace, tmp_path):
+        # int(1.5) == 1 would silently accept a file written by nobody.
+        path = self._write(
+            tmp_path / "v15.npz", tiny_trace, format_version=np.float64(1.5)
+        )
+        with pytest.raises(ValidationError, match="malformed trace format"):
+            load_trace(path)
+
+    def test_non_scalar_version_rejected(self, tiny_trace, tmp_path):
+        path = self._write(
+            tmp_path / "varr.npz",
+            tiny_trace,
+            format_version=np.array([1, 1], dtype=np.int64),
+        )
+        with pytest.raises(ValidationError, match="malformed trace format"):
+            load_trace(path)
+
+    def test_non_numeric_version_rejected(self, tiny_trace, tmp_path):
+        path = self._write(
+            tmp_path / "vstr.npz", tiny_trace, format_version=np.str_("one")
+        )
+        with pytest.raises(ValidationError, match="malformed trace format"):
+            load_trace(path)
+
+
 class TestCsvPartialLogs:
     def test_missing_pair_allowed_when_opted_in(self, tmp_path):
         rows = full_csv_rows()[:-1]  # drop one measurement

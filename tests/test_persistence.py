@@ -1,0 +1,267 @@
+"""Unit tests for the journal / checkpoint / recovery persistence layer."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import CheckpointCorruption, PersistenceError
+from repro.persistence import (
+    CheckpointStore,
+    PersistenceConfig,
+    SnapshotJournal,
+    read_checkpoint,
+    recover,
+    trace_from_arrays,
+    trace_sha256,
+    trace_to_arrays,
+    write_checkpoint,
+)
+from repro.persistence.checkpoint import CHECKPOINT_MAGIC
+from repro.persistence.journal import JOURNAL_MAGIC
+from repro.persistence.recovery import journal_path
+from repro.persistence.state import STATE_SCHEMA_VERSION
+
+
+class TestJournal:
+    def test_append_and_replay(self, tmp_path):
+        path = tmp_path / "j.journal"
+        with SnapshotJournal(path) as j:
+            assert j.append_json({"op": "broadcast", "root": 0}) == 0
+            assert j.append_json({"op": "reduce", "root": 3}) == 1
+            assert j.seq == 2
+        records = list(SnapshotJournal.replay(path))
+        assert records == [{"op": "broadcast", "root": 0}, {"op": "reduce", "root": 3}]
+
+    def test_scan_empty_journal(self, tmp_path):
+        path = tmp_path / "j.journal"
+        SnapshotJournal(path).close()
+        scan = SnapshotJournal.scan(path)
+        assert scan.records == () and scan.discarded_bytes == 0
+
+    def test_torn_tail_is_amputated_not_fatal(self, tmp_path):
+        path = tmp_path / "j.journal"
+        with SnapshotJournal(path) as j:
+            j.append(b"first record")
+            j.append(b"second record")
+        blob = path.read_bytes()
+        path.write_bytes(blob[:-5])  # tear the last frame mid-payload
+        scan = SnapshotJournal.scan(path)
+        assert scan.records == (b"first record",)
+        assert scan.discarded_bytes > 0
+
+    def test_reopen_truncates_torn_tail_and_continues(self, tmp_path):
+        path = tmp_path / "j.journal"
+        with SnapshotJournal(path) as j:
+            j.append(b"alpha")
+            j.append(b"beta")
+        path.write_bytes(path.read_bytes()[:-3])
+        with SnapshotJournal(path) as j:
+            assert j.seq == 1  # torn record gone
+            j.append(b"gamma")
+        assert SnapshotJournal.scan(path).records == (b"alpha", b"gamma")
+
+    def test_corrupted_frame_ends_the_stream(self, tmp_path):
+        path = tmp_path / "j.journal"
+        with SnapshotJournal(path) as j:
+            j.append(b"good")
+            j.append(b"flipped")
+        blob = bytearray(path.read_bytes())
+        blob[-3] ^= 0xFF  # flip a payload byte of the last record
+        path.write_bytes(bytes(blob))
+        assert SnapshotJournal.scan(path).records == (b"good",)
+
+    def test_foreign_file_rejected(self, tmp_path):
+        path = tmp_path / "notes.txt"
+        path.write_bytes(b"definitely not " + JOURNAL_MAGIC + b" framed data")
+        with pytest.raises(PersistenceError, match="not a journal"):
+            SnapshotJournal.scan(path)
+
+    def test_fsync_mode_appends(self, tmp_path):
+        path = tmp_path / "j.journal"
+        with SnapshotJournal(path, fsync=True) as j:
+            j.append(b"durable")
+        assert SnapshotJournal.scan(path).records == (b"durable",)
+
+
+class TestCheckpointFile:
+    def _payload(self):
+        arrays = {
+            "row": np.arange(16, dtype=np.float64),
+            "mask": np.array([True, False, True]),
+        }
+        meta = {"schema": STATE_SCHEMA_VERSION, "cursor": 12, "note": "x"}
+        return arrays, meta
+
+    def test_round_trip(self, tmp_path):
+        arrays, meta = self._payload()
+        path = tmp_path / "c.ckpt"
+        write_checkpoint(path, arrays, meta)
+        ckpt = read_checkpoint(path)
+        assert ckpt.meta == meta
+        np.testing.assert_array_equal(ckpt.arrays["row"], arrays["row"])
+        np.testing.assert_array_equal(ckpt.arrays["mask"], arrays["mask"])
+
+    @pytest.mark.parametrize("offset", [0, 4, 8, 17, -1])
+    def test_flipped_byte_detected(self, tmp_path, offset):
+        arrays, meta = self._payload()
+        path = tmp_path / "c.ckpt"
+        write_checkpoint(path, arrays, meta)
+        blob = bytearray(path.read_bytes())
+        blob[offset] ^= 0x01
+        path.write_bytes(bytes(blob))
+        with pytest.raises(CheckpointCorruption):
+            read_checkpoint(path)
+
+    def test_truncated_file_detected(self, tmp_path):
+        arrays, meta = self._payload()
+        path = tmp_path / "c.ckpt"
+        write_checkpoint(path, arrays, meta)
+        path.write_bytes(path.read_bytes()[:-20])
+        with pytest.raises(CheckpointCorruption):
+            read_checkpoint(path)
+
+    def test_foreign_magic_detected(self, tmp_path):
+        path = tmp_path / "c.ckpt"
+        path.write_bytes(b"XXXX" + b"\x00" * 64)
+        assert CHECKPOINT_MAGIC != b"XXXX"
+        with pytest.raises(CheckpointCorruption):
+            read_checkpoint(path)
+
+    def test_no_temp_file_left_behind(self, tmp_path):
+        arrays, meta = self._payload()
+        write_checkpoint(tmp_path / "c.ckpt", arrays, meta)
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["c.ckpt"]
+
+
+class TestCheckpointStore:
+    def _save(self, store, n):
+        paths = []
+        for i in range(n):
+            paths.append(
+                store.save(
+                    {"x": np.full(4, float(i))},
+                    {"schema": STATE_SCHEMA_VERSION, "journal_seq": i},
+                )
+            )
+        return paths
+
+    def test_retention_prunes_oldest(self, tmp_path):
+        store = CheckpointStore(tmp_path, keep=3)
+        self._save(store, 5)
+        names = sorted(p.name for p in tmp_path.iterdir())
+        assert names == [
+            "ckpt-00000002.ckpt", "ckpt-00000003.ckpt", "ckpt-00000004.ckpt",
+        ]
+
+    def test_load_latest_returns_newest(self, tmp_path):
+        store = CheckpointStore(tmp_path, keep=3)
+        self._save(store, 4)
+        ckpt = store.load_latest()
+        assert ckpt is not None and ckpt.meta["journal_seq"] == 3
+
+    def test_load_latest_skips_corrupt_newest(self, tmp_path):
+        store = CheckpointStore(tmp_path, keep=3)
+        paths = self._save(store, 3)
+        blob = bytearray(open(paths[-1], "rb").read())
+        blob[10] ^= 0xFF
+        open(paths[-1], "wb").write(bytes(blob))
+        ckpt = store.load_latest()
+        assert ckpt is not None and ckpt.meta["journal_seq"] == 1
+
+    def test_empty_store(self, tmp_path):
+        assert CheckpointStore(tmp_path).load_latest() is None
+
+
+class TestRecovery:
+    def _populate(self, directory, n_ckpts=2, extra_records=2):
+        store = CheckpointStore(directory, keep=4)
+        for i in range(n_ckpts):
+            store.save(
+                {"x": np.full(3, float(i))},
+                {"schema": STATE_SCHEMA_VERSION, "journal_seq": i * 2},
+            )
+        with SnapshotJournal(journal_path(directory)) as j:
+            for k in range((n_ckpts - 1) * 2 + extra_records):
+                j.append_json({"op": "broadcast", "root": k})
+        return store
+
+    def test_happy_path(self, tmp_path):
+        self._populate(tmp_path, n_ckpts=2, extra_records=2)
+        state = recover(tmp_path)
+        assert state.meta["journal_seq"] == 2
+        assert state.fallbacks == 0
+        assert [r["root"] for r in state.pending] == [2, 3]
+
+    def test_fallback_past_flipped_byte(self, tmp_path):
+        """The acceptance criterion: corrupt the newest checkpoint, recover
+        from the previous one, and the journal tail just gets longer."""
+        self._populate(tmp_path, n_ckpts=2, extra_records=2)
+        newest = sorted(tmp_path.glob("ckpt-*.ckpt"))[-1]
+        blob = bytearray(newest.read_bytes())
+        blob[25] ^= 0x01
+        newest.write_bytes(bytes(blob))
+        state = recover(tmp_path)
+        assert state.fallbacks == 1
+        assert state.meta["journal_seq"] == 0
+        assert [r["root"] for r in state.pending] == [0, 1, 2, 3]
+
+    def test_all_checkpoints_corrupt_raises(self, tmp_path):
+        self._populate(tmp_path, n_ckpts=2)
+        for p in tmp_path.glob("ckpt-*.ckpt"):
+            blob = bytearray(p.read_bytes())
+            blob[6] ^= 0xFF
+            p.write_bytes(bytes(blob))
+        with pytest.raises(PersistenceError, match="no valid checkpoint"):
+            recover(tmp_path)
+
+    def test_wrong_schema_version_is_corruption(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save({"x": np.zeros(2)}, {"schema": STATE_SCHEMA_VERSION + 7,
+                                        "journal_seq": 0})
+        with pytest.raises(PersistenceError, match="no valid checkpoint"):
+            recover(tmp_path)
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(PersistenceError, match="no persistence directory"):
+            recover(tmp_path / "nope")
+
+    def test_torn_journal_tail_tolerated(self, tmp_path):
+        self._populate(tmp_path, n_ckpts=1, extra_records=3)
+        jpath = journal_path(tmp_path)
+        blob = open(jpath, "rb").read()
+        open(jpath, "wb").write(blob[:-4])
+        state = recover(tmp_path)
+        assert state.discarded_tail_bytes > 0
+        assert [r["root"] for r in state.pending] == [0, 1]
+
+
+class TestTraceStateHelpers:
+    def test_trace_round_trip(self, tiny_trace):
+        arrays = trace_to_arrays(tiny_trace)
+        back = trace_from_arrays(arrays)
+        np.testing.assert_array_equal(back.alpha, tiny_trace.alpha)
+        np.testing.assert_array_equal(back.beta, tiny_trace.beta)
+        assert trace_sha256(back) == trace_sha256(tiny_trace)
+
+    def test_sha_changes_with_content(self, tiny_trace):
+        other = type(tiny_trace)(
+            alpha=tiny_trace.alpha * 1.000001,
+            beta=tiny_trace.beta,
+            timestamps=tiny_trace.timestamps,
+        )
+        assert trace_sha256(other) != trace_sha256(tiny_trace)
+
+
+class TestPersistenceConfig:
+    def test_validation(self, tmp_path):
+        with pytest.raises(PersistenceError):
+            PersistenceConfig(directory=tmp_path, checkpoint_every=0)
+        with pytest.raises(PersistenceError):
+            PersistenceConfig(directory=tmp_path, keep_checkpoints=0)
+
+    def test_defaults(self, tmp_path):
+        cfg = PersistenceConfig(directory=tmp_path)
+        assert cfg.checkpoint_every == 100 and cfg.keep_checkpoints == 3
+        assert cfg.fsync is False and cfg.trace_path is None
+        assert os.fspath(cfg.directory) == os.fspath(tmp_path)

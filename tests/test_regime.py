@@ -1,0 +1,165 @@
+"""CUSUM regime detection: detector unit behavior + session-level wiring.
+
+The session-level tests are the issue's acceptance scenario: a *permanent*
+bandwidth-band change must be classified as a regime SHIFT and force a cold
+re-calibration, while an *equal-magnitude transient* spike must be absorbed
+(SPIKE verdict, ``P_D`` kept in service, no re-calibration).
+"""
+
+import numpy as np
+import pytest
+
+from repro.cloudsim.dynamics import DynamicsConfig
+from repro.cloudsim.trace import CalibrationTrace
+from repro.cloudsim.tracegen import TraceConfig, generate_trace
+from repro.core.maintenance import (
+    CusumRegimeDetector,
+    RegimeConfig,
+    RegimeVerdict,
+)
+from repro.runtime.session import TraceSession
+
+
+class TestDetectorUnit:
+    def test_warmup_is_always_stable(self):
+        det = CusumRegimeDetector(RegimeConfig(warmup=5))
+        for _ in range(5):
+            assert det.observe(1000.0) is RegimeVerdict.STABLE
+        assert det.warmed_up
+
+    def test_stable_signal_stays_stable(self):
+        det = CusumRegimeDetector(RegimeConfig(warmup=4))
+        rng = np.random.default_rng(3)
+        verdicts = {det.observe(0.1 + 0.01 * rng.standard_normal())
+                    for _ in range(50)}
+        assert verdicts == {RegimeVerdict.STABLE}
+
+    def test_single_spike_is_spike_not_shift(self):
+        det = CusumRegimeDetector(RegimeConfig(warmup=4))
+        for v in (0.10, 0.11, 0.09, 0.10):
+            det.observe(v)
+        assert det.observe(5.0) is RegimeVerdict.SPIKE  # violent outlier
+        assert det.observe(0.10) is RegimeVerdict.STABLE  # back to baseline
+        assert det.shifts == 0 and det.spikes == 1
+
+    def test_sustained_elevation_is_shift(self):
+        det = CusumRegimeDetector(RegimeConfig(warmup=4))
+        for v in (0.10, 0.11, 0.09, 0.10):
+            det.observe(v)
+        verdicts = [det.observe(5.0) for _ in range(6)]
+        assert RegimeVerdict.SHIFT in verdicts
+        assert det.shifts == 1
+
+    def test_shift_resets_baseline(self):
+        det = CusumRegimeDetector(RegimeConfig(warmup=4))
+        for v in (0.10, 0.11, 0.09, 0.10):
+            det.observe(v)
+        while det.observe(5.0) is not RegimeVerdict.SHIFT:
+            pass
+        assert not det.warmed_up and det.cusum == 0.0
+        # the new level becomes the new baseline
+        for _ in range(4):
+            det.observe(5.0)
+        assert det.observe(5.0) is RegimeVerdict.STABLE
+
+    def test_winsorization_caps_single_contribution(self):
+        cfg = RegimeConfig(warmup=4, spike_z=4.0, drift=0.5, decision=8.0)
+        det = CusumRegimeDetector(cfg)
+        for v in (0.10, 0.11, 0.09, 0.10):
+            det.observe(v)
+        det.observe(1e6)  # absurd outlier
+        assert det.cusum <= cfg.spike_z - cfg.drift + 1e-9
+
+    def test_non_finite_observation_rejected(self):
+        det = CusumRegimeDetector()
+        with pytest.raises(ValueError, match="finite"):
+            det.observe(float("nan"))
+
+    def test_state_round_trip(self):
+        det = CusumRegimeDetector(RegimeConfig(warmup=3))
+        for v in (0.1, 0.2, 0.15, 0.4, 0.12):
+            det.observe(v)
+        clone = CusumRegimeDetector(det.config)
+        clone.restore_state(det.state_dict())
+        assert clone.state_dict() == det.state_dict()
+        assert clone.observe(0.3) == det.observe(0.3)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="warmup"):
+            RegimeConfig(warmup=1)
+        with pytest.raises(ValueError, match="decision must exceed"):
+            RegimeConfig(decision=1.0, spike_z=4.0, drift=0.5)
+
+
+@pytest.fixture(scope="module")
+def regime_base_trace():
+    """Near-calm ground truth to build shift/spike variants from."""
+    cfg = TraceConfig(
+        n_machines=6,
+        n_snapshots=40,
+        dynamics=DynamicsConfig(
+            volatility_sigma=0.02,
+            spike_probability=0.0,
+            hotspot_probability=0.0,
+            migration_rate=0.0,
+        ),
+    )
+    return generate_trace(cfg, seed=5)
+
+
+def _band_change(trace, start, stop, factor):
+    """Divide bandwidth by *factor* over snapshots [start, stop)."""
+    beta = trace.beta.copy()
+    beta[start:stop] = beta[start:stop] / factor
+    return CalibrationTrace(
+        alpha=trace.alpha, beta=beta, timestamps=trace.timestamps
+    )
+
+
+def _run(trace, ops=28):
+    # threshold=10 parks Algorithm 1's own maintenance loop so any
+    # re-calibration observed here is attributable to the regime detector.
+    session = TraceSession(trace, time_step=8, threshold=10.0,
+                           regime=RegimeConfig())
+    for i in range(ops):
+        session.run_collective("broadcast", root=i % trace.n_machines)
+    return session
+
+
+class TestSessionRegimeWiring:
+    def test_permanent_band_change_forces_cold_recalibration(
+        self, regime_base_trace
+    ):
+        session = _run(_band_change(regime_base_trace, 20, 40, 3.0))
+        assert session.stats.regime_shifts == 1
+        assert session.stats.recalibrations == 1
+        counters = session.instrumentation.counters
+        assert counters.get("session.regime.cold_recalibration") == 1
+        assert counters.get("engine.solve.cold", 0) >= 2  # boot + forced cold
+        assert any(r.regime == "shift" for r in session.stats.history)
+
+    def test_equal_magnitude_transient_spike_is_absorbed(
+        self, regime_base_trace
+    ):
+        session = _run(_band_change(regime_base_trace, 20, 21, 3.0))
+        assert session.stats.regime_shifts == 0
+        assert session.stats.regime_spikes >= 1
+        assert session.stats.recalibrations == 0  # P_D stayed in service
+        assert any(r.regime == "spike" for r in session.stats.history)
+
+    def test_calm_trace_stays_stable(self, regime_base_trace):
+        session = _run(regime_base_trace)
+        assert session.stats.regime_shifts == 0
+        assert session.stats.regime_spikes == 0
+        assert {r.regime for r in session.stats.history} == {"stable"}
+
+    def test_regime_off_by_default(self, regime_base_trace):
+        session = TraceSession(regime_base_trace, time_step=8)
+        session.broadcast()
+        assert session.regime_detector is None
+        assert session.stats.history[-1].regime == "stable"
+
+    def test_regime_true_uses_defaults(self, regime_base_trace):
+        session = TraceSession(regime_base_trace, time_step=8, regime=True)
+        assert session.regime_detector is not None
+        assert session.regime_detector.config == RegimeConfig()
