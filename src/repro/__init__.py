@@ -39,6 +39,9 @@ collectives
     Binomial/FNF trees and the collective execution model.
 mapping
     Task graphs, greedy/ring mapping, evaluation.
+fleet
+    Parallel multi-cluster decomposition service: shared-memory trace
+    transport, process-pool scheduling, deterministic per-cluster results.
 strategies
     The four comparison arms.
 apps
@@ -86,7 +89,15 @@ from .faults import (
     parse_fault_spec,
 )
 from .collectives import binomial_tree, fnf_tree, CommTree, run_collective
-from .runtime import TraceSession
+from .runtime import OperationSpec, SessionCapsule, TraceSession
+from .fleet import (
+    ClusterReport,
+    ClusterSpec,
+    FleetConfig,
+    FleetReport,
+    FleetScheduler,
+)
+from .api import SessionConfig, SolveConfig, open_session, run_fleet, solve
 from .strategies import (
     BaselineStrategy,
     HeuristicStrategy,
@@ -138,6 +149,18 @@ __all__ = [
     "load_trace",
     "load_trace_csv",
     "TraceSession",
+    "OperationSpec",
+    "SessionCapsule",
+    "solve",
+    "open_session",
+    "run_fleet",
+    "SolveConfig",
+    "SessionConfig",
+    "FleetConfig",
+    "ClusterSpec",
+    "FleetScheduler",
+    "FleetReport",
+    "ClusterReport",
     "binomial_tree",
     "fnf_tree",
     "CommTree",

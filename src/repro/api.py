@@ -1,0 +1,214 @@
+"""The v1 public API facade.
+
+Three verbs cover the package's common uses, each a thin layer over the
+underlying machinery with one consistent configuration vocabulary:
+
+* :func:`solve` — one-shot decomposition of a trace into constant + error
+  components (:class:`~repro.core.decompose.Decomposition`).
+* :func:`open_session` — an Algorithm-1
+  :class:`~repro.runtime.session.TraceSession` over one cluster.
+* :func:`run_fleet` — many clusters concurrently via
+  :class:`~repro.fleet.FleetScheduler`.
+
+Configuration is a frozen dataclass per verb (:class:`SolveConfig`,
+:class:`SessionConfig`, :class:`~repro.fleet.FleetConfig`) sharing canonical
+field names: ``window`` for the calibration window length, ``threshold``
+for the maintenance threshold, ``n_workers`` for parallelism. Keyword
+overrides beat the config object.
+
+Deprecation policy
+------------------
+Historical spellings that accumulated across layers — ``time_step``,
+``nsnap``, ``n_snapshots`` (all meaning ``window``), ``thresh``
+(``threshold``) and ``workers`` (``n_workers``) — are accepted as keyword
+overrides by every facade function for **one release**: they are remapped
+to the canonical field and raise a :class:`DeprecationWarning`. They will
+become errors in v2. The repo's own test suite runs with
+``error::DeprecationWarning`` so nothing inside the package can depend on
+them.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, fields, replace
+from typing import Any, Iterable
+
+from .cloudsim.trace import CalibrationTrace
+from .core.decompose import Decomposition, decompose
+from .errors import ValidationError
+from .fleet import ClusterSpec, FleetConfig, FleetReport, FleetScheduler
+from .observability import Instrumentation
+from .runtime.session import TraceSession
+
+__all__ = [
+    "SessionConfig",
+    "SolveConfig",
+    "open_session",
+    "run_fleet",
+    "solve",
+]
+
+_MB = 1024 * 1024
+
+# Legacy keyword -> canonical field. Kept for one release; every use warns.
+_LEGACY_ALIASES = {
+    "time_step": "window",
+    "nsnap": "window",
+    "n_snapshots": "window",
+    "thresh": "threshold",
+    "workers": "n_workers",
+}
+
+
+@dataclass(frozen=True)
+class SolveConfig:
+    """Settings for a one-shot :func:`solve`.
+
+    ``window`` is the number of leading snapshots to calibrate from
+    (``None`` — the default — uses the whole trace).
+    """
+
+    nbytes: float = 8.0 * _MB
+    window: int | None = None
+    solver: str = "apg"
+    extraction: str = "mean"
+
+    def __post_init__(self) -> None:
+        if self.window is not None and int(self.window) < 2:
+            raise ValidationError("window must be >= 2 or None")
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Settings for :func:`open_session` (paper defaults throughout)."""
+
+    nbytes: float = 8.0 * _MB
+    window: int = 10
+    threshold: float = 1.0
+    consecutive: int = 1
+    solver: str = "apg"
+    warm_start: bool = True
+
+    def __post_init__(self) -> None:
+        if int(self.window) < 1:
+            raise ValidationError("window must be >= 1")
+
+
+def _resolve(default_cls: type, config: Any, overrides: dict[str, Any]) -> Any:
+    """Merge a config object with keyword overrides (canonical or legacy)."""
+    if config is None:
+        config = default_cls()
+    elif not isinstance(config, default_cls):
+        raise ValidationError(
+            f"config must be a {default_cls.__name__}, got {type(config).__name__}"
+        )
+    if not overrides:
+        return config
+    allowed = {f.name for f in fields(default_cls)}
+    resolved: dict[str, Any] = {}
+    for key, value in overrides.items():
+        canonical = _LEGACY_ALIASES.get(key, key)
+        if canonical != key:
+            warnings.warn(
+                f"keyword {key!r} is deprecated and will be removed in v2; "
+                f"use {canonical!r}",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+        if canonical not in allowed:
+            raise TypeError(
+                f"unexpected keyword {key!r} for {default_cls.__name__}"
+            )
+        if canonical in resolved:
+            raise TypeError(f"got multiple values for {canonical!r}")
+        resolved[canonical] = value
+    return replace(config, **resolved)
+
+
+def solve(
+    trace: CalibrationTrace,
+    config: SolveConfig | None = None,
+    **overrides: Any,
+) -> Decomposition:
+    """Decompose *trace* into constant + error components, one shot.
+
+    >>> dec = solve(trace, window=10, solver="apg")
+    >>> dec.report.verdict
+    'stable'
+    """
+    cfg = _resolve(SolveConfig, config, overrides)
+    count = None if cfg.window is None else int(cfg.window)
+    tp = trace.tp_matrix(cfg.nbytes, start=0, count=count)
+    return decompose(tp, solver=cfg.solver, extraction=cfg.extraction)
+
+
+def open_session(
+    trace: CalibrationTrace,
+    config: SessionConfig | None = None,
+    *,
+    instrumentation: Instrumentation | None = None,
+    **overrides: Any,
+) -> TraceSession:
+    """Open an Algorithm-1 maintenance session over *trace*.
+
+    >>> session = open_session(trace, window=10, threshold=1.0)
+    >>> session.broadcast(root=0)
+    """
+    cfg = _resolve(SessionConfig, config, overrides)
+    return TraceSession(
+        trace,
+        nbytes=cfg.nbytes,
+        time_step=cfg.window,
+        threshold=cfg.threshold,
+        consecutive=cfg.consecutive,
+        solver=cfg.solver,
+        warm_start=cfg.warm_start,
+        instrumentation=instrumentation,
+    )
+
+
+def _coerce_clusters(
+    clusters: Iterable[Any],
+) -> tuple[ClusterSpec, ...]:
+    specs: list[ClusterSpec] = []
+    for i, item in enumerate(clusters):
+        if isinstance(item, ClusterSpec):
+            specs.append(item)
+        elif isinstance(item, CalibrationTrace):
+            specs.append(ClusterSpec(name=f"cluster-{i}", trace=item))
+        elif isinstance(item, tuple) and len(item) == 2:
+            name, trace = item
+            specs.append(ClusterSpec(name=str(name), trace=trace))
+        else:
+            raise ValidationError(
+                "clusters must be ClusterSpec, CalibrationTrace, or "
+                f"(name, trace) pairs; got {type(item).__name__}"
+            )
+    return tuple(specs)
+
+
+def run_fleet(
+    clusters: Iterable[ClusterSpec | CalibrationTrace | tuple[str, CalibrationTrace]],
+    config: FleetConfig | None = None,
+    *,
+    instrumentation: Instrumentation | None = None,
+    serial: bool = False,
+    **overrides: Any,
+) -> FleetReport:
+    """Run many clusters' maintenance loops concurrently; returns the report.
+
+    *clusters* may be :class:`~repro.fleet.ClusterSpec` objects, bare
+    traces (auto-named ``cluster-<i>``) or ``(name, trace)`` pairs.
+    ``serial=True`` runs the identical plan in-process — the determinism
+    oracle and throughput baseline.
+
+    >>> report = run_fleet([("a", trace_a), ("b", trace_b)], n_workers=4)
+    >>> report.clusters["a"].verdict
+    'stable'
+    """
+    cfg = _resolve(FleetConfig, config, overrides)
+    scheduler = FleetScheduler(
+        _coerce_clusters(clusters), cfg, instrumentation=instrumentation
+    )
+    return scheduler.run_serial() if serial else scheduler.run()

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Eight subcommands cover the operational loop around the library:
+Nine subcommands cover the operational loop around the library:
 
 * ``repro generate`` — synthesize an EC2-like calibration trace to ``.npz``.
 * ``repro info`` — stability report of a trace (Norm(N_E), band spread,
@@ -16,6 +16,10 @@ Eight subcommands cover the operational loop around the library:
   accounting, or a machine-readable summary with ``--json``.
 * ``repro resume`` — recover a crashed (or stopped) ``replay`` session from
   its checkpoint directory and continue it to the operation target.
+* ``repro fleet`` — run many clusters' Algorithm-1 sessions concurrently
+  across a process pool (traces given as files, or ``--synthesize N``);
+  per-cluster results are bit-identical to serial runs (``--serial`` is the
+  baseline arm).
 * ``repro changepoints`` — locate offline regime changes in a trace.
 * ``repro figures`` — regenerate every paper figure at quick or paper scale.
 
@@ -145,6 +149,42 @@ def build_parser() -> argparse.ArgumentParser:
                           "(chaos-harness hook)")
     res.add_argument("--json", action="store_true",
                      help="print a machine-readable JSON summary instead of text")
+
+    flt = sub.add_parser(
+        "fleet",
+        help="run many clusters' sessions concurrently across a process pool",
+    )
+    flt.add_argument("traces", nargs="*",
+                     help="trace .npz/.csv paths, one cluster per file")
+    flt.add_argument("--synthesize", type=int, default=None, metavar="N",
+                     help="synthesize N clusters instead of loading traces")
+    flt.add_argument("--machines", type=int, default=8,
+                     help="machines per synthesized cluster")
+    flt.add_argument("--snapshots", type=int, default=24,
+                     help="snapshots per synthesized cluster")
+    flt.add_argument("--seed", type=int, default=0,
+                     help="base seed for synthesized clusters")
+    flt.add_argument("--n-workers", type=int, default=2)
+    flt.add_argument("--operations", type=int, default=60,
+                     help="operations per cluster")
+    flt.add_argument("--op", default="broadcast",
+                     choices=["broadcast", "scatter", "reduce", "gather"])
+    flt.add_argument("--window", type=int, default=10,
+                     help="calibration window length")
+    flt.add_argument("--threshold", type=float, default=1.0)
+    flt.add_argument("--solver", default="apg")
+    flt.add_argument("--message-mb", type=float, default=8.0)
+    flt.add_argument("--batch-size", type=int, default=8,
+                     help="operations shipped per scheduler tick")
+    flt.add_argument("--checkpoint-root", default=None, metavar="DIR",
+                     help="write per-cluster checkpoints under DIR")
+    flt.add_argument("--serial", action="store_true",
+                     help="run the identical plan in-process (baseline arm)")
+    flt.add_argument("--json", action="store_true",
+                     help="print a machine-readable JSON summary instead of text")
+    flt.add_argument("--profile", action="store_true",
+                     help="print the aggregated instrumentation report "
+                          "(per-cluster counters and solve spans merged)")
 
     chg = sub.add_parser("changepoints", help="locate offline regime changes")
     chg.add_argument("trace", help="trace .npz path")
@@ -390,6 +430,77 @@ def _cmd_resume(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from .fleet import ClusterSpec, FleetConfig, FleetScheduler
+    from .observability import active
+
+    if args.synthesize is not None:
+        if args.traces:
+            print("error: give trace files or --synthesize, not both",
+                  file=sys.stderr)
+            return 2
+        if args.synthesize < 1:
+            print("error: --synthesize must be >= 1", file=sys.stderr)
+            return 2
+        from .cloudsim.tracegen import TraceConfig, generate_trace
+
+        cfg_t = TraceConfig(n_machines=args.machines, n_snapshots=args.snapshots)
+        clusters = [
+            ClusterSpec(
+                name=f"cluster-{i:02d}",
+                trace=generate_trace(cfg_t, seed=args.seed + i),
+            )
+            for i in range(args.synthesize)
+        ]
+    elif args.traces:
+        clusters = []
+        for i, path in enumerate(args.traces):
+            stem = os.path.splitext(os.path.basename(path))[0]
+            clusters.append(
+                ClusterSpec(name=f"{i:02d}-{stem}", trace=_load_any_trace(path))
+            )
+    else:
+        print("error: give trace files or --synthesize N", file=sys.stderr)
+        return 2
+
+    config = FleetConfig(
+        n_workers=args.n_workers,
+        window=args.window,
+        threshold=args.threshold,
+        nbytes=args.message_mb * MB,
+        solver=args.solver,
+        operations=args.operations,
+        op=args.op,
+        batch_size=args.batch_size,
+        checkpoint_root=args.checkpoint_root,
+    )
+    # Under --profile the CLI sink is active: make it the fleet sink so the
+    # per-cluster counters and solve spans merged back from the workers show
+    # up in the final report.
+    sinks = active()
+    scheduler = FleetScheduler(
+        clusters, config, instrumentation=sinks[0] if sinks else None
+    )
+    report = scheduler.run_serial() if args.serial else scheduler.run()
+    if args.json:
+        print(json.dumps(report.summary()))
+        return 0
+    mode = "serial" if args.serial else f"{report.n_workers} worker(s)"
+    print(f"fleet:      {len(report.clusters)} cluster(s), {mode}")
+    print(f"operations: {report.total_operations} "
+          f"({report.total_batches} batches)")
+    print(f"elapsed:    {report.elapsed_s:.3f} s "
+          f"({report.throughput_ops_s:.1f} ops/s)")
+    for name in sorted(report.clusters):
+        rep = report.clusters[name]
+        print(f"  {name}: ops={rep.operations} recals={rep.recalibrations} "
+              f"Norm(N_E)={rep.norm_ne:.4f} verdict={rep.verdict}")
+    return 0
+
+
 def _cmd_changepoints(args: argparse.Namespace) -> int:
     from .analysis.changepoints import detect_regime_changes
 
@@ -431,6 +542,7 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "replay": _cmd_replay,
     "resume": _cmd_resume,
+    "fleet": _cmd_fleet,
     "changepoints": _cmd_changepoints,
     "figures": _cmd_figures,
 }

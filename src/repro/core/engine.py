@@ -27,6 +27,7 @@ measurement substrate.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Protocol, runtime_checkable
 
 import numpy as np
@@ -38,7 +39,31 @@ from .decompose import Decomposition, decompose
 from .matrices import TPMatrix
 from .solvers import solver_spec
 
-__all__ = ["WindowSource", "TraceWindowSource", "DecompositionEngine"]
+__all__ = [
+    "WindowSource",
+    "TraceWindowSource",
+    "DecompositionEngine",
+    "EngineWarmState",
+]
+
+
+@dataclass(frozen=True)
+class EngineWarmState:
+    """Picklable capsule of an engine's warm state.
+
+    Everything a :class:`DecompositionEngine` accumulates across solves that
+    is worth shipping to another process: the rolling row cache (LRU order
+    preserved by dict insertion order) and the last decomposition — the
+    warm-start seed. Both are plain numpy arrays and frozen dataclasses, so
+    the capsule round-trips losslessly through ``pickle`` (and therefore
+    through multiprocessing queues); a solve resumed from an imported
+    capsule is bit-identical to one that never crossed the process
+    boundary. The fleet scheduler round-trips this between ticks so any
+    worker can pick up any cluster's next window.
+    """
+
+    rows: dict[int, tuple[np.ndarray, np.ndarray | None]]
+    last: Decomposition | None
 
 
 @runtime_checkable
@@ -196,6 +221,9 @@ class DecompositionEngine:
         # Insertion order == LRU order; values are (row, mask_row | None).
         self._rows: dict[int, tuple[np.ndarray, np.ndarray | None]] = {}
         self._last: Decomposition | None = None
+        # Shared all-True mask row, allocated once and reused by every
+        # partially-masked window instead of per call.
+        self._full_mask_row: np.ndarray | None = None
 
     # -- state ------------------------------------------------------------
     @property
@@ -240,6 +268,17 @@ class DecompositionEngine:
     def export_cache(self) -> dict[int, tuple[np.ndarray, np.ndarray | None]]:
         """The rolling row cache, LRU order preserved (oldest first)."""
         return dict(self._rows)
+
+    def export_warm_state(self) -> EngineWarmState:
+        """Everything warm about this engine, as a picklable capsule."""
+        return EngineWarmState(rows=self.export_cache(), last=self._last)
+
+    def import_warm_state(self, state: EngineWarmState) -> None:
+        """Adopt a capsule exported (possibly in another process) by
+        :meth:`export_warm_state`; subsequent solves are bit-identical to
+        the exporting engine's."""
+        self.import_cache(state.rows)
+        self._last = state.last
 
     def import_cache(
         self, rows: dict[int, tuple[np.ndarray, np.ndarray | None]]
@@ -295,13 +334,26 @@ class DecompositionEngine:
         t = self.source.n_snapshots
         if not 0 <= start < stop <= t:
             raise ValidationError(f"invalid window [{start}, {stop}) for {t} snapshots")
-        entries = [self._row(k) for k in range(start, stop)]
-        rows = np.stack([row for row, _ in entries])
+        row_list: list[np.ndarray] = []
+        mask_list: list[np.ndarray | None] = []
+        has_mask = False
+        for k in range(start, stop):
+            row, mask_row = self._row(k)
+            row_list.append(row)
+            mask_list.append(mask_row)
+            has_mask = has_mask or mask_row is not None
+        rows = np.stack(row_list)
         ts = np.array([self.source.timestamp(k) for k in range(start, stop)])
+        # Fully-observed windows (every cached mask None) short-circuit to
+        # mask=None — no per-call mask allocation on the fleet hot loop.
         mask = None
-        if any(m is not None for _, m in entries):
-            full = np.ones(rows.shape[1], dtype=bool)
-            mask = np.stack([full if m is None else m for _, m in entries])
+        if has_mask:
+            full = self._full_mask_row
+            if full is None or full.shape[0] != rows.shape[1]:
+                full = np.ones(rows.shape[1], dtype=bool)
+                full.setflags(write=False)
+                self._full_mask_row = full
+            mask = np.stack([full if m is None else m for m in mask_list])
         tp = TPMatrix(
             data=rows, n_machines=self.source.n_machines, timestamps=ts, mask=mask
         )

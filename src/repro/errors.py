@@ -55,6 +55,27 @@ class CheckpointCorruption(PersistenceError):
     """
 
 
+class FleetError(ReproError, RuntimeError):
+    """The fleet scheduler could not complete a cluster's work.
+
+    Carries the failing cluster's name (``cluster``) and, when the failure
+    happened inside a worker process, the worker-side traceback text
+    (``worker_traceback``) — the original exception object cannot cross the
+    process boundary reliably.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        cluster: str | None = None,
+        worker_traceback: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.cluster = cluster
+        self.worker_traceback = worker_traceback
+
+
 class TopologyError(ReproError, ValueError):
     """A network topology description is inconsistent."""
 

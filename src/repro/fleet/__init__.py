@@ -1,0 +1,28 @@
+"""Fleet-scale parallel decomposition service.
+
+Runs many independent per-cluster calibration/maintenance sessions (paper
+Algorithm 1) concurrently across a process pool, with traces shipped
+zero-copy through shared memory and warm solver state round-tripped between
+scheduler and workers as picklable session capsules. See
+:class:`FleetScheduler` for the scheduling contract (bounded queue,
+backpressure, round-robin fairness, deterministic per-cluster results).
+"""
+
+from .config import ClusterSpec, FleetConfig
+from .report import ClusterReport, FleetReport
+from .scheduler import FleetScheduler
+from .shm import SharedTraceBlock, TraceBlockDescriptor
+from .worker import BatchResult, BatchTask, worker_main
+
+__all__ = [
+    "BatchResult",
+    "BatchTask",
+    "ClusterReport",
+    "ClusterSpec",
+    "FleetConfig",
+    "FleetReport",
+    "FleetScheduler",
+    "SharedTraceBlock",
+    "TraceBlockDescriptor",
+    "worker_main",
+]

@@ -1,0 +1,134 @@
+"""Fleet configuration: one frozen dataclass, canonical v1 names.
+
+``FleetConfig`` follows the v1 naming convention shared with
+:class:`~repro.api.SolveConfig` and :class:`~repro.api.SessionConfig`:
+``n_workers`` (never ``workers``), ``window`` (never ``time_step`` /
+``nsnap`` / ``n_snapshots``), ``threshold`` (never ``thresh``). Legacy
+spellings are accepted — with a ``DeprecationWarning`` — only at the
+:func:`repro.api.run_fleet` facade, not here.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from .._validation import check_positive
+from ..cloudsim.trace import CalibrationTrace
+from ..errors import ValidationError
+
+__all__ = ["ClusterSpec", "FleetConfig"]
+
+_MB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """One virtual cluster the fleet serves.
+
+    Attributes
+    ----------
+    name:
+        Unique fleet-wide identifier; also names the cluster's checkpoint
+        directory under the fleet root.
+    trace:
+        The cluster's calibration trace (its ground truth). The scheduler
+        copies it into a shared-memory block once; workers map views of
+        that block instead of receiving pickled copies.
+    operations:
+        Per-cluster override of :attr:`FleetConfig.operations`; ``None``
+        uses the fleet-wide value.
+    """
+
+    name: str
+    trace: CalibrationTrace
+    operations: int | None = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise ValidationError("cluster name must be a non-empty string")
+        if any(sep in self.name for sep in (os.sep, "\x00")) or self.name in (
+            ".",
+            "..",
+        ):
+            raise ValidationError(
+                f"cluster name {self.name!r} must be usable as a directory name"
+            )
+        if self.operations is not None and int(self.operations) < 1:
+            raise ValidationError("operations must be >= 1 or None")
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """How the fleet scheduler runs many clusters concurrently.
+
+    Attributes
+    ----------
+    n_workers:
+        Worker processes in the pool.
+    window:
+        Calibration window length per cluster (the engine's ``time_step``;
+        paper default 10).
+    threshold:
+        Maintenance threshold per cluster (paper default 1.0).
+    consecutive:
+        Consecutive above-threshold observations before re-calibration.
+    nbytes:
+        Message size for calibration weights and collectives.
+    solver:
+        RPCA backend for every cluster.
+    warm_start:
+        Warm-start re-calibration solves (per cluster).
+    operations:
+        Operations to run per cluster (unless a :class:`ClusterSpec`
+        overrides it).
+    op:
+        Collective executed at each operation.
+    batch_size:
+        Operations per scheduler tick: the unit of work shipped to a
+        worker. Larger batches amortize the capsule round-trip; smaller
+        ones re-balance stragglers sooner.
+    queue_depth:
+        Bounded backlog beyond the workers themselves. The task queue
+        holds at most ``n_workers + queue_depth`` entries, so a scheduler
+        racing ahead of slow workers blocks (backpressure) instead of
+        buffering the whole fleet's plan in memory.
+    checkpoint_root:
+        When set, every completed batch's capsule is written as a
+        checkpoint under ``checkpoint_root/<cluster name>/`` — one
+        directory per cluster under one fleet root — and a
+        ``fleet.json`` manifest is written at the root.
+    keep_checkpoints:
+        Per-cluster checkpoint retention (see
+        :class:`~repro.persistence.CheckpointStore`).
+    """
+
+    n_workers: int = 2
+    window: int = 10
+    threshold: float = 1.0
+    consecutive: int = 1
+    nbytes: float = 8.0 * _MB
+    solver: str = "apg"
+    warm_start: bool = True
+    operations: int = 60
+    op: str = "broadcast"
+    batch_size: int = 8
+    queue_depth: int = 2
+    checkpoint_root: str | None = field(default=None)
+    keep_checkpoints: int = 3
+
+    def __post_init__(self) -> None:
+        for name in ("n_workers", "window", "consecutive", "operations",
+                     "batch_size", "keep_checkpoints"):
+            if int(getattr(self, name)) < 1:
+                raise ValidationError(f"{name} must be >= 1")
+        if int(self.queue_depth) < 0:
+            raise ValidationError("queue_depth must be >= 0")
+        check_positive(self.nbytes, "nbytes")
+        if self.threshold < 0:
+            raise ValidationError("threshold must be >= 0")
+
+    @property
+    def max_inflight(self) -> int:
+        """Bound on dispatched-but-unfinished tasks (the backpressure cap)."""
+        return int(self.n_workers) + int(self.queue_depth)

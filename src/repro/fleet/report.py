@@ -1,0 +1,71 @@
+"""Result objects returned by a fleet run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+__all__ = ["ClusterReport", "FleetReport"]
+
+
+@dataclass(frozen=True)
+class ClusterReport:
+    """Final state of one cluster after its operation budget ran out.
+
+    ``constant_row`` is the flattened constant component ``P_D`` of the
+    cluster's latest decomposition — the fleet's headline per-cluster
+    output, and the quantity the throughput benchmark checks for
+    bit-identity against a serial run.
+    """
+
+    name: str
+    operations: int
+    constant_row: np.ndarray
+    norm_ne: float
+    verdict: str
+    recalibrations: int
+    worker_batches: int
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "operations": self.operations,
+            "norm_ne": round(float(self.norm_ne), 6),
+            "verdict": self.verdict,
+            "recalibrations": self.recalibrations,
+            "worker_batches": self.worker_batches,
+        }
+
+
+@dataclass(frozen=True)
+class FleetReport:
+    """Aggregate outcome of one :meth:`FleetScheduler.run` call."""
+
+    clusters: dict[str, ClusterReport]
+    n_workers: int
+    elapsed_s: float
+    total_operations: int
+    total_batches: int
+    instrumentation: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def throughput_ops_s(self) -> float:
+        """Fleet-wide completed operations per wall-clock second."""
+        return self.total_operations / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    def constant_rows(self) -> dict[str, np.ndarray]:
+        return {name: rep.constant_row for name, rep in self.clusters.items()}
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "n_workers": self.n_workers,
+            "elapsed_s": round(self.elapsed_s, 3),
+            "total_operations": self.total_operations,
+            "total_batches": self.total_batches,
+            "throughput_ops_s": round(self.throughput_ops_s, 2),
+            "clusters": [
+                self.clusters[name].summary() for name in sorted(self.clusters)
+            ],
+        }

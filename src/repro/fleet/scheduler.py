@@ -1,0 +1,340 @@
+"""Fleet-scale parallel decomposition scheduling.
+
+One :class:`FleetScheduler` drives many independent Algorithm-1 sessions —
+one per virtual cluster — concurrently across a pool of worker processes:
+
+* Each cluster's trace is copied into a shared-memory block **once**
+  (:class:`~repro.fleet.shm.SharedTraceBlock`); workers map views. The only
+  per-batch IPC is the operation specs going out and the session capsule
+  coming back.
+* Work is shipped in batches of ``batch_size`` operations over a **bounded**
+  task queue (``n_workers + queue_depth`` slots). When workers fall behind,
+  dispatch blocks — backpressure, not unbounded buffering.
+* At most one batch per cluster is in flight at a time (the capsule is the
+  cluster's single warm-state token), and completed clusters re-enter the
+  ready queue at the **back**. Together these give round-robin fairness: a
+  straggler cluster — say one whose network is too dynamic and re-solves
+  every window — occupies at most one worker while the rest of the fleet
+  flows around it.
+* Results are deterministic by construction: each cluster's operations run
+  sequentially in order, and the capsule round-trip is lossless, so per-
+  cluster ``P_D`` is bit-identical to a serial run regardless of worker
+  count or which worker served which batch. :meth:`FleetScheduler.run_serial`
+  is that reference run (also the throughput baseline).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing as mp
+import os
+import queue as queue_mod
+import time
+from collections import deque
+from dataclasses import dataclass
+
+from ..errors import FleetError, ValidationError
+from ..observability import Instrumentation
+from ..persistence import CheckpointStore
+from ..runtime.session import OperationSpec, SessionCapsule, TraceSession
+from .config import ClusterSpec, FleetConfig
+from .report import ClusterReport, FleetReport
+from .shm import SharedTraceBlock
+from .worker import BatchResult, BatchTask, worker_main
+
+__all__ = ["FleetScheduler"]
+
+
+@dataclass
+class _ClusterState:
+    """Scheduler-side bookkeeping for one cluster."""
+
+    spec: ClusterSpec
+    remaining: int
+    capsule: SessionCapsule | None = None
+    inflight: bool = False
+    batches: int = 0
+    store: CheckpointStore | None = None
+
+
+class FleetScheduler:
+    """Run many clusters' calibration/maintenance loops across a process pool.
+
+    Parameters
+    ----------
+    clusters:
+        The fleet. Cluster names must be unique.
+    config:
+        Fleet-wide settings; defaults to ``FleetConfig()``.
+    instrumentation:
+        Fleet-level sink. Per-cluster engine counters, timers and solve
+        spans (accumulated worker-side, carried home inside each capsule)
+        are merged into it at the end of :meth:`run`, alongside the
+        scheduler's own ``fleet.*`` counters.
+    """
+
+    def __init__(
+        self,
+        clusters: list[ClusterSpec] | tuple[ClusterSpec, ...],
+        config: FleetConfig | None = None,
+        *,
+        instrumentation: Instrumentation | None = None,
+    ) -> None:
+        clusters = tuple(clusters)
+        if not clusters:
+            raise ValidationError("fleet needs at least one cluster")
+        names = [c.name for c in clusters]
+        if len(set(names)) != len(names):
+            raise ValidationError("cluster names must be unique")
+        self.clusters = clusters
+        self.config = config if config is not None else FleetConfig()
+        self.instrumentation = (
+            instrumentation if instrumentation is not None else Instrumentation("fleet")
+        )
+
+    # -- planning ------------------------------------------------------
+
+    def _session_kwargs(self) -> dict[str, object]:
+        cfg = self.config
+        return {
+            "nbytes": cfg.nbytes,
+            "time_step": cfg.window,
+            "threshold": cfg.threshold,
+            "consecutive": cfg.consecutive,
+            "solver": cfg.solver,
+            "warm_start": cfg.warm_start,
+        }
+
+    def _operations_for(self, spec: ClusterSpec) -> int:
+        return int(
+            spec.operations if spec.operations is not None else self.config.operations
+        )
+
+    def _next_specs(self, state: _ClusterState) -> tuple[OperationSpec, ...]:
+        n = min(int(self.config.batch_size), state.remaining)
+        return tuple(OperationSpec(op=self.config.op) for _ in range(n))
+
+    def _make_store(self, name: str) -> CheckpointStore | None:
+        root = self.config.checkpoint_root
+        if root is None:
+            return None
+        directory = os.path.join(os.fspath(root), name)
+        os.makedirs(directory, exist_ok=True)
+        return CheckpointStore(directory, keep=self.config.keep_checkpoints)
+
+    def _write_manifest(self) -> None:
+        root = self.config.checkpoint_root
+        if root is None:
+            return
+        os.makedirs(root, exist_ok=True)
+        manifest = {
+            "clusters": sorted(c.name for c in self.clusters),
+            "n_workers": self.config.n_workers,
+            "window": self.config.window,
+            "threshold": self.config.threshold,
+            "solver": self.config.solver,
+            "op": self.config.op,
+        }
+        with open(os.path.join(root, "fleet.json"), "w", encoding="utf-8") as fh:
+            json.dump(manifest, fh, indent=2, sort_keys=True)
+
+    # -- serial reference ---------------------------------------------
+
+    def run_serial(self) -> FleetReport:
+        """Run the identical plan in-process, one cluster after another.
+
+        The determinism oracle and the throughput baseline: per-cluster
+        results must (and do) match :meth:`run` bit for bit.
+        """
+        t0 = time.perf_counter()
+        kwargs = self._session_kwargs()
+        reports: dict[str, ClusterReport] = {}
+        total_ops = 0
+        total_batches = 0
+        for spec in self.clusters:
+            ops = self._operations_for(spec)
+            session = TraceSession(spec.trace, **kwargs)
+            op_spec = OperationSpec(op=self.config.op)
+            batches = 0
+            for start in range(0, ops, int(self.config.batch_size)):
+                for _ in range(min(int(self.config.batch_size), ops - start)):
+                    session.step(op_spec)
+                batches += 1
+            session.instrumentation.count("fleet.worker.batches", batches)
+            capsule = session.capture_capsule()
+            self.instrumentation.merge(capsule.meta["instrumentation"])
+            reports[spec.name] = self._cluster_report(spec.name, capsule, batches)
+            total_ops += ops
+            total_batches += batches
+        elapsed = time.perf_counter() - t0
+        self._account(n_workers=1, elapsed=elapsed, ops=total_ops, batches=total_batches)
+        return FleetReport(
+            clusters=reports,
+            n_workers=1,
+            elapsed_s=elapsed,
+            total_operations=total_ops,
+            total_batches=total_batches,
+            instrumentation=self.instrumentation.state_dict(),
+        )
+
+    # -- parallel run --------------------------------------------------
+
+    def run(self) -> FleetReport:
+        """Run the fleet across ``n_workers`` processes; returns the report."""
+        cfg = self.config
+        t0 = time.perf_counter()
+        self._write_manifest()
+        states = {
+            spec.name: _ClusterState(
+                spec=spec,
+                remaining=self._operations_for(spec),
+                store=self._make_store(spec.name),
+            )
+            for spec in self.clusters
+        }
+        n_workers = min(int(cfg.n_workers), len(self.clusters))
+        ctx = mp.get_context()
+        task_queue = ctx.Queue(maxsize=cfg.max_inflight)
+        result_queue = ctx.Queue()
+        blocks: dict[str, SharedTraceBlock] = {}
+        workers: list[mp.process.BaseProcess] = []
+        try:
+            for spec in self.clusters:
+                blocks[spec.name] = SharedTraceBlock.create(spec.trace)
+            for _ in range(n_workers):
+                proc = ctx.Process(
+                    target=worker_main, args=(task_queue, result_queue), daemon=True
+                )
+                proc.start()
+                workers.append(proc)
+
+            total_batches = self._drive(states, blocks, task_queue, result_queue, workers)
+
+            for _ in workers:
+                task_queue.put(None)
+            for proc in workers:
+                proc.join(timeout=30.0)
+        finally:
+            for proc in workers:
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=5.0)
+            for block in blocks.values():
+                block.unlink()
+
+        reports: dict[str, ClusterReport] = {}
+        total_ops = 0
+        for name, state in states.items():
+            assert state.capsule is not None
+            self.instrumentation.merge(state.capsule.meta["instrumentation"])
+            reports[name] = self._cluster_report(name, state.capsule, state.batches)
+            total_ops += self._operations_for(state.spec)
+        elapsed = time.perf_counter() - t0
+        self._account(
+            n_workers=n_workers, elapsed=elapsed, ops=total_ops, batches=total_batches
+        )
+        return FleetReport(
+            clusters=reports,
+            n_workers=n_workers,
+            elapsed_s=elapsed,
+            total_operations=total_ops,
+            total_batches=total_batches,
+            instrumentation=self.instrumentation.state_dict(),
+        )
+
+    def _drive(
+        self,
+        states: dict[str, _ClusterState],
+        blocks: dict[str, SharedTraceBlock],
+        task_queue,
+        result_queue,
+        workers,
+    ) -> int:
+        """The scheduler loop: dispatch ready clusters, drain results.
+
+        ``ready`` is a FIFO deque — clusters rejoin at the back after each
+        completed batch, so with one batch in flight per cluster the fleet
+        round-robins and no cluster can starve another.
+        """
+        cfg = self.config
+        kwargs = self._session_kwargs()
+        ready: deque[str] = deque(sorted(states))
+        inflight = 0
+        done = 0
+        total_batches = 0
+        while done < len(states):
+            while ready and inflight < cfg.max_inflight:
+                name = ready.popleft()
+                state = states[name]
+                task = BatchTask(
+                    cluster=name,
+                    descriptor=blocks[name].descriptor,
+                    specs=self._next_specs(state),
+                    capsule=state.capsule,
+                    session_kwargs={} if state.capsule is not None else dict(kwargs),
+                )
+                task_queue.put(task)
+                state.inflight = True
+                inflight += 1
+
+            result = self._next_result(result_queue, workers)
+            inflight -= 1
+            total_batches += 1
+            state = states[result.cluster]
+            state.inflight = False
+            if result.error is not None:
+                raise FleetError(
+                    f"cluster {result.cluster!r} failed in worker "
+                    f"{result.worker_pid}",
+                    cluster=result.cluster,
+                    worker_traceback=result.error,
+                )
+            state.capsule = result.capsule
+            state.remaining -= result.operations
+            state.batches += 1
+            if state.store is not None:
+                state.store.save(result.capsule.arrays, result.capsule.meta)
+            if state.remaining > 0:
+                ready.append(result.cluster)
+            else:
+                done += 1
+        return total_batches
+
+    @staticmethod
+    def _next_result(result_queue, workers) -> BatchResult:
+        """Blocking result fetch that notices dead workers instead of hanging."""
+        while True:
+            try:
+                return result_queue.get(timeout=1.0)
+            except queue_mod.Empty:
+                dead = [p for p in workers if not p.is_alive()]
+                if dead and len(dead) == len(workers):
+                    codes = sorted({p.exitcode for p in dead})
+                    raise FleetError(
+                        f"all fleet workers exited (exit codes {codes}) "
+                        "with work still pending"
+                    ) from None
+
+    # -- reporting -----------------------------------------------------
+
+    @staticmethod
+    def _cluster_report(
+        name: str, capsule: SessionCapsule, batches: int
+    ) -> ClusterReport:
+        return ClusterReport(
+            name=name,
+            operations=capsule.operations,
+            constant_row=capsule.constant_row,
+            norm_ne=capsule.norm_ne,
+            verdict=capsule.verdict,
+            recalibrations=int(capsule.meta["stats"]["recalibrations"]),
+            worker_batches=batches,
+        )
+
+    def _account(self, *, n_workers: int, elapsed: float, ops: int, batches: int) -> None:
+        sink = self.instrumentation
+        sink.count("fleet.clusters", len(self.clusters))
+        sink.count("fleet.operations", ops)
+        sink.count("fleet.batches", batches)
+        sink.count("fleet.workers", n_workers)
+        sink.add_time("fleet.elapsed", elapsed)

@@ -1,0 +1,183 @@
+"""Zero-copy trace transport between the fleet scheduler and its workers.
+
+Shipping a :class:`~repro.cloudsim.trace.CalibrationTrace` to a worker by
+pickling it copies ``2 * T * N * N`` float64s per batch — the dominant IPC
+cost for realistic traces. Instead the scheduler writes each cluster's trace
+into one :class:`multiprocessing.shared_memory.SharedMemory` segment *once*
+and passes workers a tiny :class:`TraceBlockDescriptor` (name + shape).
+Workers map the segment and hand the engine read-only numpy views of it; no
+trace bytes ever cross a pipe.
+
+Layout of a block (single contiguous segment)::
+
+    [ alpha: T*N*N float64 | beta: T*N*N float64 | timestamps: T float64
+      | mask: T*N*N uint8 (only when the trace has one) ]
+
+``alpha``/``beta``/``timestamps`` views are genuinely zero-copy:
+``CalibrationTrace.__post_init__`` calls ``np.ascontiguousarray`` which is a
+no-op for these already-contiguous float64 views, then marks them read-only
+— exactly the aliasing we want. The boolean mask is copied on construction
+by the trace itself (it normalizes and re-diagonalizes), which is fine: the
+mask is 1/16 the size of the measurement payload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import multiprocessing
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from ..cloudsim.trace import CalibrationTrace
+from ..errors import FleetError
+
+__all__ = ["SharedTraceBlock", "TraceBlockDescriptor"]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceBlockDescriptor:
+    """Pickle-cheap handle for a shared trace block (name + geometry)."""
+
+    name: str
+    n_snapshots: int
+    n_machines: int
+    has_mask: bool
+
+    @property
+    def nbytes(self) -> int:
+        cube = self.n_snapshots * self.n_machines * self.n_machines
+        total = (2 * cube + self.n_snapshots) * 8
+        if self.has_mask:
+            total += cube
+        return total
+
+
+class SharedTraceBlock:
+    """A calibration trace resident in one shared-memory segment.
+
+    The creating process (the scheduler) owns the segment and must call
+    :meth:`unlink` when the fleet run ends; attaching processes (workers)
+    only :meth:`close` their mapping. Use as a context manager for the
+    owner side.
+    """
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        descriptor: TraceBlockDescriptor,
+        *,
+        owner: bool,
+    ) -> None:
+        self._shm = shm
+        self.descriptor = descriptor
+        self._owner = owner
+        self._closed = False
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def create(cls, trace: CalibrationTrace) -> "SharedTraceBlock":
+        """Copy *trace* into a fresh shared-memory segment (owner side)."""
+        t, n = trace.n_snapshots, trace.n_machines
+        desc_probe = TraceBlockDescriptor(
+            name="", n_snapshots=t, n_machines=n, has_mask=trace.mask is not None
+        )
+        shm = shared_memory.SharedMemory(create=True, size=desc_probe.nbytes)
+        descriptor = TraceBlockDescriptor(
+            name=shm.name, n_snapshots=t, n_machines=n, has_mask=trace.mask is not None
+        )
+        block = cls(shm, descriptor, owner=True)
+        alpha, beta, ts, mask = block._views()
+        alpha[...] = trace.alpha
+        beta[...] = trace.beta
+        ts[...] = trace.timestamps
+        if mask is not None:
+            mask[...] = trace.mask.astype(np.uint8)
+        return block
+
+    @classmethod
+    def attach(cls, descriptor: TraceBlockDescriptor) -> "SharedTraceBlock":
+        """Map an existing segment (worker side); never takes ownership."""
+        try:
+            shm = shared_memory.SharedMemory(name=descriptor.name)
+        except FileNotFoundError as exc:
+            raise FleetError(
+                f"shared trace block {descriptor.name!r} is gone "
+                "(scheduler unlinked it early?)"
+            ) from exc
+        # CPython's SharedMemory registers *every* handle with a resource
+        # tracker. Under spawn the attaching child runs its *own* tracker,
+        # which at child exit "cleans up" — i.e. destroys — a segment the
+        # scheduler still owns, so the attach must be deregistered. Under
+        # fork the tracker process is shared with the creator: registration
+        # is idempotent there, and unregistering would strip the *owner's*
+        # entry instead. Ownership is strictly creator-side either way.
+        if multiprocessing.get_start_method(allow_none=True) != "fork":
+            try:
+                resource_tracker.unregister(shm._name, "shared_memory")
+            except Exception:
+                pass
+        return cls(shm, descriptor, owner=False)
+
+    # -- access --------------------------------------------------------
+
+    def _views(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray | None]:
+        if self._closed:
+            raise FleetError("shared trace block is closed")
+        d = self.descriptor
+        t, n = d.n_snapshots, d.n_machines
+        cube = t * n * n
+        buf = self._shm.buf
+        alpha = np.ndarray((t, n, n), dtype=np.float64, buffer=buf, offset=0)
+        beta = np.ndarray((t, n, n), dtype=np.float64, buffer=buf, offset=cube * 8)
+        ts = np.ndarray((t,), dtype=np.float64, buffer=buf, offset=2 * cube * 8)
+        mask = None
+        if d.has_mask:
+            mask = np.ndarray(
+                (t, n, n), dtype=np.uint8, buffer=buf, offset=(2 * cube + t) * 8
+            )
+        return alpha, beta, ts, mask
+
+    def trace(self) -> CalibrationTrace:
+        """Rebuild the trace as read-only views over the segment.
+
+        The returned trace aliases this block's memory: keep the block
+        open for as long as the trace (or any session built on it) lives.
+        """
+        alpha, beta, ts, mask = self._views()
+        return CalibrationTrace(
+            alpha=alpha,
+            beta=beta,
+            timestamps=ts,
+            mask=None if mask is None else mask.astype(bool),
+        )
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self) -> None:
+        """Drop this process's mapping (safe to call twice)."""
+        if not self._closed:
+            self._closed = True
+            self._shm.close()
+
+    def unlink(self) -> None:
+        """Destroy the segment. Owner side only; implies :meth:`close`."""
+        if not self._owner:
+            raise FleetError("only the creating process may unlink a trace block")
+        self.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass
+
+    def __enter__(self) -> "SharedTraceBlock":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._owner:
+            self.unlink()
+        else:
+            self.close()

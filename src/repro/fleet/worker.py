@@ -1,0 +1,106 @@
+"""Worker-process side of the fleet scheduler.
+
+A worker is a plain loop over a task queue. Each :class:`BatchTask` names a
+cluster, carries a batch of :class:`~repro.runtime.session.OperationSpec`\\ s
+and either the cluster's warm :class:`~repro.runtime.session.SessionCapsule`
+(later batches) or the session constructor kwargs (first batch). The trace
+itself never rides along — only a :class:`TraceBlockDescriptor`, which the
+worker maps once per cluster and caches for the rest of its life.
+
+Workers are deliberately stateless about *sessions*: the capsule goes back
+to the scheduler with every :class:`BatchResult`, so the next batch for a
+cluster can land on any worker. Because the capsule round-trip is lossless
+(bit-identical resume), which worker serves which batch cannot change the
+cluster's results — only its wall-clock.
+"""
+
+from __future__ import annotations
+
+import os
+import traceback
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..cloudsim.trace import CalibrationTrace
+from ..runtime.session import OperationSpec, SessionCapsule, TraceSession
+from .shm import SharedTraceBlock, TraceBlockDescriptor
+
+__all__ = ["BatchResult", "BatchTask", "worker_main"]
+
+
+@dataclass(frozen=True, slots=True)
+class BatchTask:
+    """One scheduler tick's worth of work for one cluster."""
+
+    cluster: str
+    descriptor: TraceBlockDescriptor
+    specs: tuple[OperationSpec, ...]
+    capsule: SessionCapsule | None = None
+    session_kwargs: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True, slots=True)
+class BatchResult:
+    """What a worker sends back after (attempting) a batch."""
+
+    cluster: str
+    capsule: SessionCapsule | None
+    operations: int
+    worker_pid: int
+    error: str | None = None
+
+
+def _run_batch(
+    task: BatchTask, traces: dict[str, CalibrationTrace]
+) -> SessionCapsule:
+    trace = traces[task.descriptor.name]
+    if task.capsule is None:
+        session = TraceSession(trace, **task.session_kwargs)
+    else:
+        session = TraceSession.from_capsule(trace, task.capsule)
+    for spec in task.specs:
+        session.step(spec)
+    session.instrumentation.count("fleet.worker.batches")
+    return session.capture_capsule()
+
+
+def worker_main(task_queue: Any, result_queue: Any) -> None:
+    """Worker loop: consume :class:`BatchTask`\\ s until the ``None`` sentinel.
+
+    Runs in a child process. Any exception inside a batch is caught and
+    shipped back as text in :attr:`BatchResult.error` — exception *objects*
+    don't survive process boundaries reliably, and a poisoned cluster must
+    not take the worker (and every other cluster queued behind it) down.
+    """
+    pid = os.getpid()
+    blocks: dict[str, SharedTraceBlock] = {}
+    traces: dict[str, CalibrationTrace] = {}
+    try:
+        while True:
+            task = task_queue.get()
+            if task is None:
+                break
+            try:
+                if task.descriptor.name not in blocks:
+                    block = SharedTraceBlock.attach(task.descriptor)
+                    blocks[task.descriptor.name] = block
+                    traces[task.descriptor.name] = block.trace()
+                capsule = _run_batch(task, traces)
+                result = BatchResult(
+                    cluster=task.cluster,
+                    capsule=capsule,
+                    operations=len(task.specs),
+                    worker_pid=pid,
+                )
+            except BaseException:
+                result = BatchResult(
+                    cluster=task.cluster,
+                    capsule=None,
+                    operations=0,
+                    worker_pid=pid,
+                    error=traceback.format_exc(),
+                )
+            result_queue.put(result)
+    finally:
+        for block in blocks.values():
+            block.close()

@@ -117,6 +117,22 @@ class Instrumentation:
         self.timers = {str(k): float(v) for k, v in state["timers"].items()}
         self.spans = [SolveSpan(**span) for span in state["spans"]]
 
+    def merge(self, other: "Instrumentation | dict[str, Any]") -> None:
+        """Fold another sink's recorded data into this one (additive).
+
+        Counters and timers accumulate, spans append. The fleet scheduler
+        uses this to aggregate per-worker/per-cluster instrumentation
+        (shipped across process boundaries as :meth:`state_dict` payloads)
+        into one fleet-level report; the merged-in sink's name is dropped.
+        """
+        state = other.state_dict() if isinstance(other, Instrumentation) else other
+        for key, value in state["counters"].items():
+            self.count(str(key), int(value))
+        for key, value in state["timers"].items():
+            self.add_time(str(key), float(value))
+        for span in state["spans"]:
+            self.record_span(span if isinstance(span, SolveSpan) else SolveSpan(**span))
+
     # -- aggregates -------------------------------------------------------
     @property
     def solves(self) -> int:

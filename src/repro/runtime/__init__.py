@@ -7,6 +7,18 @@ and task mapping against the live network, re-calibrating itself when the
 expected-vs-real feedback says the constant component went stale.
 """
 
-from .session import OperationRecord, SessionStats, TraceSession
+from .session import (
+    OperationRecord,
+    OperationSpec,
+    SessionCapsule,
+    SessionStats,
+    TraceSession,
+)
 
-__all__ = ["TraceSession", "OperationRecord", "SessionStats"]
+__all__ = [
+    "TraceSession",
+    "OperationRecord",
+    "OperationSpec",
+    "SessionCapsule",
+    "SessionStats",
+]

@@ -93,7 +93,13 @@ from ..persistence import (
     trace_sha256,
 )
 
-__all__ = ["OperationRecord", "SessionStats", "TraceSession"]
+__all__ = [
+    "OperationRecord",
+    "OperationSpec",
+    "SessionCapsule",
+    "SessionStats",
+    "TraceSession",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -108,6 +114,62 @@ class OperationRecord:
     decision: MaintenanceDecision
     health: str = HealthState.HEALTHY.value
     regime: str = RegimeVerdict.STABLE.value
+
+
+@dataclass(frozen=True, slots=True)
+class OperationSpec:
+    """One operation an *external* driver asks a session to execute.
+
+    The session's own methods (:meth:`TraceSession.broadcast`, ...) bundle
+    deciding *what* to run with running it; a spec separates the two so a
+    scheduler that owns the loop — the fleet scheduler ticking many
+    sessions — can plan operations ahead of time, ship them across process
+    boundaries (the dataclass is picklable) and feed them to
+    :meth:`TraceSession.step` one batch at a time.
+    """
+
+    op: str = "broadcast"
+    root: int = 0
+    nbytes: float | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class SessionCapsule:
+    """Full session state as a picklable value (no files involved).
+
+    The in-memory sibling of a checkpoint: the same ``(arrays, meta)``
+    payload :func:`~repro.persistence.capture_session_state` produces,
+    kept as plain numpy arrays + JSON-able metadata instead of being
+    written to disk. It round-trips losslessly through ``pickle``, so a
+    session can be suspended in one process and resumed bit-identically in
+    another via :meth:`TraceSession.from_capsule` — the contract the fleet
+    scheduler uses to migrate clusters between workers. A capsule is also
+    directly writable as a checkpoint
+    (:meth:`~repro.persistence.CheckpointStore.save` accepts its fields).
+    """
+
+    arrays: dict[str, np.ndarray]
+    meta: dict[str, Any]
+
+    @property
+    def operations(self) -> int:
+        """Operations the captured session had executed."""
+        return int(self.meta["stats"]["operations"])
+
+    @property
+    def constant_row(self) -> np.ndarray:
+        """The captured constant component ``P_D`` (representative row)."""
+        return self.arrays["dec_row"]
+
+    @property
+    def norm_ne(self) -> float:
+        """Captured ``Norm(N_E)``."""
+        return float(self.meta["decomposition"]["report"]["norm_ne"])
+
+    @property
+    def verdict(self) -> str:
+        """Captured stability verdict."""
+        return str(self.meta["decomposition"]["report"]["verdict"])
 
 
 @dataclass
@@ -626,6 +688,17 @@ class TraceSession:
         self._maybe_checkpoint()
         return record
 
+    def step(self, spec: OperationSpec | None = None) -> OperationRecord:
+        """Execute one externally-planned operation (non-owning driver mode).
+
+        The inversion of the session's usual control flow: the caller — a
+        fleet scheduler, a replay harness — owns the loop and feeds specs;
+        the session only executes and maintains. Equivalent to calling
+        :meth:`run_collective` with the spec's fields.
+        """
+        spec = spec if spec is not None else OperationSpec()
+        return self.run_collective(spec.op, root=spec.root, nbytes=spec.nbytes)
+
     def broadcast(self, *, root: int = 0, nbytes: float | None = None) -> OperationRecord:
         return self.run_collective("broadcast", root=root, nbytes=nbytes)
 
@@ -693,6 +766,49 @@ class TraceSession:
         )
         self._maybe_checkpoint()
         return mapping, elapsed
+
+    # -- suspension (in-memory) ---------------------------------------------
+    def capture_capsule(self) -> SessionCapsule:
+        """Capture full session state as a picklable :class:`SessionCapsule`."""
+        arrays, meta = capture_session_state(self)
+        return SessionCapsule(arrays=arrays, meta=meta)
+
+    @classmethod
+    def from_capsule(
+        cls,
+        trace: CalibrationTrace,
+        capsule: SessionCapsule,
+        *,
+        instrumentation: Instrumentation | None = None,
+        faults: list[FaultModel] | tuple[FaultModel, ...] | str | None = None,
+        verify_trace: bool = False,
+    ) -> "TraceSession":
+        """Resurrect a session from an in-memory capsule (no files, no replay).
+
+        The process-migration counterpart of :meth:`resume`: state comes
+        from a :class:`SessionCapsule` instead of a checkpoint directory and
+        there is no journal tail to re-execute, so the rebuilt session is
+        *exactly* the captured one — same cursor, same ``P_D``, same
+        warm-start seed — and continues bit-identically. *trace* must be
+        the same trace the captured session ran on (e.g. a shared-memory
+        view of it); pass ``verify_trace=True`` to check its content hash
+        against the captured one instead of trusting the caller — off by
+        default because hashing the whole trace on every fleet batch would
+        dwarf the work being resumed.
+        """
+        if verify_trace and trace_sha256(trace) != capsule.meta["trace"]["sha256"]:
+            raise PersistenceError(
+                "trace content does not match the captured session "
+                "(sha256 mismatch) — resuming on a different trace would "
+                "silently diverge"
+            )
+        return cls._rebuild(
+            trace,
+            capsule.arrays,
+            capsule.meta,
+            instrumentation=instrumentation,
+            faults=faults,
+        )
 
     # -- recovery -----------------------------------------------------------
     def _replay_record(self, record: dict[str, Any]) -> None:
@@ -784,9 +900,74 @@ class TraceSession:
                 "silently diverge"
             )
 
+        self = cls._rebuild(
+            trace, state.arrays, meta, instrumentation=instrumentation, faults=faults
+        )
+
+        if persistence is None:
+            persistence = PersistenceConfig(
+                directory=directory, trace_path=meta["trace"]["path"]
+            )
+        elif os.path.abspath(os.fspath(persistence.directory)) != os.path.abspath(
+            directory
+        ):
+            raise PersistenceError(
+                "a resumed session must keep persisting into the directory "
+                "it recovered from"
+            )
+        self.persistence = persistence
+        self._crash_models = (
+            (CrashFault(at_operation=crash_after),) if crash_after is not None else ()
+        )
+        self._store = CheckpointStore(
+            directory, keep=persistence.keep_checkpoints, fsync=persistence.fsync
+        )
+        self._journal = None  # replay first; reattach in append mode after
+
+        self._replaying = True
+        try:
+            for record in state.pending:
+                self._replay_record(record)
+        finally:
+            self._replaying = False
+        self._journal = SnapshotJournal(
+            journal_path(directory), fsync=persistence.fsync
+        )
+        if self._journal.seq != self.stats.operations:
+            raise PersistenceError(
+                f"journal/state divergence after replay: journal at seq "
+                f"{self._journal.seq}, session at {self.stats.operations} "
+                "operations"
+            )
+        self.instrumentation.count("session.recovered")
+        if state.fallbacks:
+            self.instrumentation.count(
+                "session.recovery.fallbacks", state.fallbacks
+            )
+        return self
+
+    @classmethod
+    def _rebuild(
+        cls,
+        trace: CalibrationTrace,
+        arrays: dict[str, np.ndarray],
+        meta: dict[str, Any],
+        *,
+        instrumentation: Instrumentation | None = None,
+        faults: list[FaultModel] | tuple[FaultModel, ...] | str | None = None,
+    ) -> "TraceSession":
+        """Rebuild a session object from captured state (arrays + meta).
+
+        Shared by :meth:`resume` (state from a checkpoint file; the caller
+        then attaches persistence and replays the journal tail) and
+        :meth:`from_capsule` (state from an in-memory capsule; nothing else
+        to do). The rebuilt session has no persistence attached and no
+        crash models armed.
+        """
+        cfg = meta["config"]
         self = cls.__new__(cls)
         self.trace = trace
-        self._trace_sha = trace_sha
+        self._trace_sha = meta["trace"]["sha256"]
         self.nbytes = float(cfg["nbytes"])
         self.time_step = int(cfg["time_step"])
         self.solver = cfg["solver"]
@@ -795,7 +976,7 @@ class TraceSession:
             threshold=cfg["threshold"], consecutive=cfg["consecutive"]
         )
         ctrl_state = dict(meta["controller"])
-        ctrl_state["deviations"] = state.arrays["ctrl_deviations"].tolist()
+        ctrl_state["deviations"] = arrays["ctrl_deviations"].tolist()
         self.controller.restore_state(ctrl_state)
 
         res_meta = cfg["resilience"]
@@ -813,9 +994,7 @@ class TraceSession:
         calibration_view, self.fault_schedule, _ = self._build_fault_view(
             trace, fault_source, self.fault_seed
         )
-        self._crash_models = (
-            (CrashFault(at_operation=crash_after),) if crash_after is not None else ()
-        )
+        self._crash_models = ()
 
         self._engine = DecompositionEngine(
             calibration_view,
@@ -830,9 +1009,9 @@ class TraceSession:
             ),
             **self._engine_kwargs(resilience, self.solver),
         )
-        self._engine.import_cache(engine_cache_from_state(state.arrays))
+        self._engine.import_cache(engine_cache_from_state(arrays))
         self._engine.instrumentation.restore_state(meta["instrumentation"])
-        dec = decomposition_from_state(state.arrays, meta["decomposition"])
+        dec = decomposition_from_state(arrays, meta["decomposition"])
         self._decomposition = dec
         self._engine.restore_warm_state(dec)
 
@@ -868,48 +1047,13 @@ class TraceSession:
                     health=h["health"],
                     regime=h["regime"],
                 )
-                for h in history_rows_from_state(
-                    state.arrays, st["history_legends"]
-                )
+                for h in history_rows_from_state(arrays, st["history_legends"])
             ],
         )
         self._cursor = int(meta["cursor"])
 
-        if persistence is None:
-            persistence = PersistenceConfig(
-                directory=directory, trace_path=meta["trace"]["path"]
-            )
-        elif os.path.abspath(os.fspath(persistence.directory)) != os.path.abspath(
-            directory
-        ):
-            raise PersistenceError(
-                "a resumed session must keep persisting into the directory "
-                "it recovered from"
-            )
-        self.persistence = persistence
-        self._store = CheckpointStore(
-            directory, keep=persistence.keep_checkpoints, fsync=persistence.fsync
-        )
-        self._journal = None  # replay first; reattach in append mode after
-
-        self._replaying = True
-        try:
-            for record in state.pending:
-                self._replay_record(record)
-        finally:
-            self._replaying = False
-        self._journal = SnapshotJournal(
-            journal_path(directory), fsync=persistence.fsync
-        )
-        if self._journal.seq != self.stats.operations:
-            raise PersistenceError(
-                f"journal/state divergence after replay: journal at seq "
-                f"{self._journal.seq}, session at {self.stats.operations} "
-                "operations"
-            )
-        self.instrumentation.count("session.recovered")
-        if state.fallbacks:
-            self.instrumentation.count(
-                "session.recovery.fallbacks", state.fallbacks
-            )
+        self.persistence = None
+        self._store = None
+        self._journal = None
+        self._replaying = False
         return self

@@ -330,3 +330,104 @@ class TestCalibratorAdapter:
     def test_source_is_window_source(self, tiny_trace):
         cal = Calibrator(TraceSubstrate(tiny_trace))
         assert isinstance(CalibratorWindowSource(cal), WindowSource)
+
+
+class TestWarmStatePickling:
+    """Warm state must survive process boundaries losslessly (fleet contract)."""
+
+    def test_engine_warm_state_pickle_round_trip(self, small_trace):
+        import pickle
+
+        from repro.core.engine import EngineWarmState
+
+        a = DecompositionEngine(small_trace, nbytes=8 * MB)
+        b = DecompositionEngine(small_trace, nbytes=8 * MB)
+        a.calibrate(10)
+        state = pickle.loads(pickle.dumps(a.export_warm_state()))
+        assert isinstance(state, EngineWarmState)
+        b.import_warm_state(state)
+
+        # Continuing either engine yields bit-identical solves: same warm
+        # seed, same row cache, same result arrays.
+        dec_a = a.calibrate(14)
+        dec_b = b.calibrate(14)
+        assert np.array_equal(dec_a.constant.row, dec_b.constant.row)
+        assert dec_a.norm_ne == dec_b.norm_ne
+        assert dec_a.solver_iterations == dec_b.solver_iterations
+        # The imported cache served the overlap: no extra window misses
+        # beyond the four genuinely new snapshots.
+        assert b.instrumentation.counters["engine.window.miss"] == 4
+
+    def test_warm_vectors_through_shared_memory_views(self, small_trace):
+        """An engine fed shm-backed trace views solves bit-identically."""
+        from repro.fleet.shm import SharedTraceBlock
+
+        plain = DecompositionEngine(small_trace, nbytes=8 * MB)
+        with SharedTraceBlock.create(small_trace) as block:
+            shm_trace = block.trace()
+            shared = DecompositionEngine(shm_trace, nbytes=8 * MB)
+            for start, stop in [(0, 10), (2, 12), (4, 14)]:
+                dp = plain.calibrate(stop)
+                ds = shared.calibrate(stop)
+                assert np.array_equal(dp.constant.row, ds.constant.row)
+                assert dp.norm_ne == ds.norm_ne
+
+    def test_session_capsule_pickle_round_trip(self, busy_trace):
+        import pickle
+
+        interrupted = TraceSession(busy_trace, nbytes=8 * MB, time_step=10)
+        control = TraceSession(busy_trace, nbytes=8 * MB, time_step=10)
+        for _ in range(7):
+            interrupted.broadcast(root=0)
+            control.broadcast(root=0)
+
+        capsule = pickle.loads(pickle.dumps(interrupted.capture_capsule()))
+        resumed = TraceSession.from_capsule(busy_trace, capsule)
+        assert resumed.stats.operations == 7
+        for _ in range(8):
+            resumed.broadcast(root=0)
+            control.broadcast(root=0)
+
+        assert np.array_equal(
+            resumed.decomposition.constant.row,
+            control.decomposition.constant.row,
+        )
+        assert resumed.stats.recalibrations == control.stats.recalibrations
+        assert resumed.norm_ne == control.norm_ne
+        assert [r.elapsed for r in resumed.stats.history] == [
+            r.elapsed for r in control.stats.history
+        ]
+
+    def test_from_capsule_verifies_trace_hash_when_asked(self, busy_trace, tiny_trace):
+        from repro.errors import PersistenceError
+
+        session = TraceSession(busy_trace, nbytes=8 * MB, time_step=10)
+        capsule = session.capture_capsule()
+        with pytest.raises(PersistenceError, match="sha256 mismatch"):
+            TraceSession.from_capsule(tiny_trace, capsule, verify_trace=True)
+
+
+class TestWindowMaskFastPath:
+    def test_unmasked_windows_carry_no_mask(self, small_trace):
+        eng = DecompositionEngine(small_trace, nbytes=8 * MB)
+        assert eng.window(0, 10).mask is None
+        # The cached full-mask row is never materialized on the pure path.
+        assert eng._full_mask_row is None
+
+    def test_mixed_window_reuses_full_mask_row(self):
+        from repro.cloudsim.trace import CalibrationTrace
+
+        base = generate_trace(TraceConfig(n_machines=5, n_snapshots=12), seed=17)
+        mask = np.ones(base.alpha.shape, dtype=bool)
+        mask[3, 0, 1] = False  # exactly one partially-observed snapshot
+        trace = CalibrationTrace(
+            alpha=base.alpha, beta=base.beta, timestamps=base.timestamps, mask=mask
+        )
+        eng = DecompositionEngine(trace, nbytes=8 * MB)
+        win = eng.window(0, 8)
+        assert win.mask is not None
+        assert not win.mask[3].all() and win.mask[0].all()
+        first = eng._full_mask_row
+        assert first is not None and not first.flags.writeable
+        eng.window(2, 10)
+        assert eng._full_mask_row is first  # reused, not reallocated
