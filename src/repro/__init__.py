@@ -59,6 +59,8 @@ from .core import (
     Decomposition,
     DecompositionEngine,
     SolverResult,
+    SVD_BACKENDS,
+    spectral_norm,
     rpca_apg,
     rpca_ialm,
     row_constant_decomposition,
@@ -116,6 +118,8 @@ __all__ = [
     "Decomposition",
     "DecompositionEngine",
     "SolverResult",
+    "SVD_BACKENDS",
+    "spectral_norm",
     "rpca_apg",
     "rpca_ialm",
     "row_constant_decomposition",

@@ -36,6 +36,7 @@ from typing import Any, Iterable
 
 from .cloudsim.trace import CalibrationTrace
 from .core.decompose import Decomposition, decompose
+from .core.kernels import validate_backend
 from .errors import ValidationError
 from .fleet import ClusterSpec, FleetConfig, FleetReport, FleetScheduler
 from .observability import Instrumentation
@@ -73,10 +74,12 @@ class SolveConfig:
     window: int | None = None
     solver: str = "apg"
     extraction: str = "mean"
+    svd_backend: str = "exact"
 
     def __post_init__(self) -> None:
         if self.window is not None and int(self.window) < 2:
             raise ValidationError("window must be >= 2 or None")
+        validate_backend(self.svd_backend)
 
 
 @dataclass(frozen=True)
@@ -89,10 +92,12 @@ class SessionConfig:
     consecutive: int = 1
     solver: str = "apg"
     warm_start: bool = True
+    svd_backend: str = "exact"
 
     def __post_init__(self) -> None:
         if int(self.window) < 1:
             raise ValidationError("window must be >= 1")
+        validate_backend(self.svd_backend)
 
 
 def _resolve(default_cls: type, config: Any, overrides: dict[str, Any]) -> Any:
@@ -140,7 +145,11 @@ def solve(
     cfg = _resolve(SolveConfig, config, overrides)
     count = None if cfg.window is None else int(cfg.window)
     tp = trace.tp_matrix(cfg.nbytes, start=0, count=count)
-    return decompose(tp, solver=cfg.solver, extraction=cfg.extraction)
+    # "exact" stays None so non-SVT solvers (pca, row_constant) keep working.
+    backend = None if cfg.svd_backend == "exact" else cfg.svd_backend
+    return decompose(
+        tp, solver=cfg.solver, extraction=cfg.extraction, svd_backend=backend
+    )
 
 
 def open_session(
@@ -164,6 +173,7 @@ def open_session(
         consecutive=cfg.consecutive,
         solver=cfg.solver,
         warm_start=cfg.warm_start,
+        svd_backend=cfg.svd_backend,
         instrumentation=instrumentation,
     )
 

@@ -71,6 +71,10 @@ def build_parser() -> argparse.ArgumentParser:
     dec = sub.add_parser("decompose", help="RPCA-decompose a trace")
     dec.add_argument("trace", help="trace .npz path")
     dec.add_argument("--solver", default="apg")
+    dec.add_argument("--svd-backend", default="exact",
+                     choices=["exact", "gram", "randomized", "auto"],
+                     help="SVD kernel for the solver's thresholding "
+                          "(default exact — the bit-identical full SVD)")
     dec.add_argument("--time-step", type=int, default=10)
     dec.add_argument("--message-mb", type=float, default=8.0)
     dec.add_argument("--profile", action="store_true",
@@ -100,6 +104,10 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--threshold", type=float, default=1.0)
     rep.add_argument("--consecutive", type=int, default=1)
     rep.add_argument("--solver", default="apg")
+    rep.add_argument("--svd-backend", default="exact",
+                     choices=["exact", "gram", "randomized", "auto"],
+                     help="SVD kernel for re-calibration solves "
+                          "(default exact — the bit-identical full SVD)")
     rep.add_argument("--message-mb", type=float, default=8.0)
     rep.add_argument("--cold", action="store_true",
                      help="disable warm-started re-calibration solves")
@@ -173,6 +181,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="calibration window length")
     flt.add_argument("--threshold", type=float, default=1.0)
     flt.add_argument("--solver", default="apg")
+    flt.add_argument("--svd-backend", default="exact",
+                     choices=["exact", "gram", "randomized", "auto"],
+                     help="SVD kernel for every cluster's solver "
+                          "(default exact — the bit-identical full SVD)")
     flt.add_argument("--message-mb", type=float, default=8.0)
     flt.add_argument("--batch-size", type=int, default=8,
                      help="operations shipped per scheduler tick")
@@ -256,7 +268,8 @@ def _cmd_decompose(args: argparse.Namespace) -> int:
     trace = _load_any_trace(args.trace)
     count = min(args.time_step, trace.n_snapshots)
     tp = trace.tp_matrix(args.message_mb * MB, start=0, count=count)
-    dec = decompose(tp, solver=args.solver)
+    backend = None if args.svd_backend == "exact" else args.svd_backend
+    dec = decompose(tp, solver=args.solver, svd_backend=backend)
     print(f"solver:     {dec.solver} ({dec.solver_iterations} iterations, "
           f"converged={dec.solver_converged})")
     print(f"rank(D):    {dec.report.rank}")
@@ -386,6 +399,7 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         consecutive=args.consecutive,
         solver=args.solver,
         warm_start=not args.cold,
+        svd_backend=args.svd_backend,
         faults=args.faults,
         fault_seed=args.fault_seed,
         resilience=resilience,
@@ -472,6 +486,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         threshold=args.threshold,
         nbytes=args.message_mb * MB,
         solver=args.solver,
+        svd_backend=args.svd_backend,
         operations=args.operations,
         op=args.op,
         batch_size=args.batch_size,

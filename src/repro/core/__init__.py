@@ -14,6 +14,8 @@ Public surface
 * :func:`decompose` — TP → (TC, TE) via a chosen RPCA solver.
 * :func:`rpca_apg`, :func:`rpca_ialm`, :func:`row_constant_decomposition` —
   the individual solvers.
+* :class:`SVTKernel`, :class:`RankPredictor`, :data:`SVD_BACKENDS` — the
+  pluggable partial-SVD kernel layer under the solvers (``svd_backend=``).
 * :func:`relative_error_norm` — ``Norm(N_E)``, the effectiveness predictor.
 * :class:`MaintenanceController` — paper Algorithm 1 (adaptive update
   maintenance driven by expected-vs-real performance feedback).
@@ -27,7 +29,19 @@ Public surface
 """
 
 from .matrices import PerformanceMatrix, TPMatrix, TCMatrix, TEMatrix
-from .svd_ops import soft_threshold, singular_value_threshold, truncated_svd
+from .svd_ops import (
+    soft_threshold,
+    singular_value_threshold,
+    spectral_norm,
+    truncated_svd,
+)
+from .kernels import (
+    SVD_BACKENDS,
+    RankPredictor,
+    SolveWorkspace,
+    SVTKernel,
+    validate_backend,
+)
 from .result import SolverResult
 from .apg import rpca_apg, APGResult
 from .ialm import rpca_ialm, IALMResult
@@ -66,7 +80,13 @@ __all__ = [
     "TEMatrix",
     "soft_threshold",
     "singular_value_threshold",
+    "spectral_norm",
     "truncated_svd",
+    "SVD_BACKENDS",
+    "RankPredictor",
+    "SolveWorkspace",
+    "SVTKernel",
+    "validate_backend",
     "SolverResult",
     "rpca_apg",
     "APGResult",

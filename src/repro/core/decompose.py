@@ -96,6 +96,7 @@ def decompose(
     *,
     solver: str = "apg",
     extraction: str = "mean",
+    svd_backend: str | None = None,
     **solver_kwargs: Any,
 ) -> Decomposition:
     """Decompose a TP-matrix into constant + error components.
@@ -113,9 +114,22 @@ def decompose(
     extraction:
         Constant-row extraction rule (see :func:`constant_row`). Ignored for
         the ``row_constant`` solver, whose output is exactly row-constant.
+    svd_backend:
+        SVD kernel for the per-iteration thresholding — one of
+        :data:`repro.core.kernels.SVD_BACKENDS`. Only meaningful for solvers
+        built on singular value thresholding (APG/IALM); ``None`` (default)
+        leaves the solver on its own default (``"exact"``).
     **solver_kwargs:
         Forwarded to the solver.
     """
+    if svd_backend is not None:
+        spec = solver_spec(solver)
+        if not spec.accepts_any_kwargs and "svd_backend" not in spec.accepted_kwargs:
+            raise ValidationError(
+                f"solver {solver!r} does not take an SVD backend; "
+                "only SVT-based solvers such as 'apg' or 'ialm' do"
+            )
+        solver_kwargs = dict(solver_kwargs, svd_backend=svd_backend)
     if tp.mask is not None:
         spec = solver_spec(solver)
         if not spec.accepts_any_kwargs and "mask" not in spec.accepted_kwargs:

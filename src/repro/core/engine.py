@@ -27,7 +27,7 @@ measurement substrate.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Protocol, runtime_checkable
 
 import numpy as np
@@ -36,6 +36,7 @@ from .._validation import check_nonnegative, check_probability
 from ..errors import CalibrationError, ValidationError
 from ..observability import Instrumentation, instrumented
 from .decompose import Decomposition, decompose
+from .kernels import RankPredictor, validate_backend
 from .matrices import TPMatrix
 from .solvers import solver_spec
 
@@ -60,10 +61,19 @@ class EngineWarmState:
     capsule is bit-identical to one that never crossed the process
     boundary. The fleet scheduler round-trips this between ticks so any
     worker can pick up any cluster's next window.
+
+    ``predictors`` carries the per-shape
+    :class:`~repro.core.kernels.RankPredictor` state (keyed by the short
+    side of the solved matrices) when the engine runs a partial SVD
+    backend, so a resumed engine's steady-state rank prediction is as warm
+    as its warm-start seed. Capsules from older releases lack the field;
+    :meth:`DecompositionEngine.import_warm_state` treats that as "no
+    predictor state".
     """
 
     rows: dict[int, tuple[np.ndarray, np.ndarray | None]]
     last: Decomposition | None
+    predictors: dict[int, RankPredictor] = field(default_factory=dict)
 
 
 @runtime_checkable
@@ -160,6 +170,15 @@ class DecompositionEngine:
     warm_start:
         Initialize each solve from the previous window's solution when the
         solver supports it. Disable for bitwise cold-path reproduction.
+    svd_backend:
+        SVD kernel for the solver's singular value thresholding — one of
+        :data:`repro.core.kernels.SVD_BACKENDS` (default ``"exact"``, the
+        historical bit-identical path). With a partial backend the engine
+        additionally keeps one
+        :class:`~repro.core.kernels.RankPredictor` per solved shape and
+        threads it through successive solves, so warm re-calibrations skip
+        the rank ramp-up. Requires a solver that takes ``svd_backend``
+        (APG/IALM).
     instrumentation:
         Sink for counters and solve spans; a fresh one is created if omitted.
     max_cached_rows:
@@ -186,6 +205,7 @@ class DecompositionEngine:
         solver: str = "apg",
         extraction: str = "mean",
         warm_start: bool = True,
+        svd_backend: str = "exact",
         instrumentation: Instrumentation | None = None,
         max_cached_rows: int | None = None,
         min_snapshot_observed: float = 0.0,
@@ -207,6 +227,14 @@ class DecompositionEngine:
         self.spec.validate_kwargs(solver_kwargs)
         self.extraction = extraction
         self.warm_start = bool(warm_start)
+        self.svd_backend = validate_backend(svd_backend)
+        if svd_backend != "exact" and not (
+            self.spec.accepts_any_kwargs or "svd_backend" in self.spec.accepted_kwargs
+        ):
+            raise ValidationError(
+                f"solver {solver!r} does not take an SVD backend; "
+                "only SVT-based solvers such as 'apg' or 'ialm' do"
+            )
         self.solver_kwargs = dict(solver_kwargs)
         self.instrumentation = (
             instrumentation if instrumentation is not None else Instrumentation("engine")
@@ -221,6 +249,10 @@ class DecompositionEngine:
         # Insertion order == LRU order; values are (row, mask_row | None).
         self._rows: dict[int, tuple[np.ndarray, np.ndarray | None]] = {}
         self._last: Decomposition | None = None
+        # Per-shape adaptive rank prediction (partial SVD backends only),
+        # keyed by the short side of the solved matrix and threaded through
+        # every solve so recalibrations keep the steady-state rank.
+        self._predictors: dict[int, RankPredictor] = {}
         # Shared all-True mask row, allocated once and reused by every
         # partially-masked window instead of per call.
         self._full_mask_row: np.ndarray | None = None
@@ -271,7 +303,11 @@ class DecompositionEngine:
 
     def export_warm_state(self) -> EngineWarmState:
         """Everything warm about this engine, as a picklable capsule."""
-        return EngineWarmState(rows=self.export_cache(), last=self._last)
+        return EngineWarmState(
+            rows=self.export_cache(),
+            last=self._last,
+            predictors=dict(self._predictors),
+        )
 
     def import_warm_state(self, state: EngineWarmState) -> None:
         """Adopt a capsule exported (possibly in another process) by
@@ -279,6 +315,10 @@ class DecompositionEngine:
         the exporting engine's."""
         self.import_cache(state.rows)
         self._last = state.last
+        # Older capsules predate predictor state; keep whatever we have.
+        predictors = getattr(state, "predictors", None)
+        if predictors:
+            self._predictors = dict(predictors)
 
     def import_cache(
         self, rows: dict[int, tuple[np.ndarray, np.ndarray | None]]
@@ -389,6 +429,14 @@ class DecompositionEngine:
         )
         if warm:
             kwargs["warm_start"] = seed
+        if self.svd_backend != "exact":
+            kwargs["svd_backend"] = self.svd_backend
+            min_dim = min(tp.data.shape)
+            predictor = self._predictors.get(min_dim)
+            if predictor is None:
+                predictor = RankPredictor.for_shape(tp.data.shape)
+                self._predictors[min_dim] = predictor
+            kwargs["rank_predictor"] = predictor
         self.instrumentation.count(
             "engine.solve.warm" if warm else "engine.solve.cold"
         )

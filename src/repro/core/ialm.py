@@ -44,8 +44,9 @@ import numpy as np
 from .._validation import as_float_matrix, check_nonnegative, check_positive
 from ..errors import ConvergenceError
 from .apg import _unpack_warm_start, default_lambda, validate_mask
+from .kernels import RankPredictor, SolveWorkspace, SVTKernel, validate_backend
 from .result import SolverResult
-from .svd_ops import singular_value_threshold, soft_threshold
+from .svd_ops import singular_value_threshold, soft_threshold, spectral_norm
 
 __all__ = ["IALMResult", "rpca_ialm"]
 
@@ -64,6 +65,8 @@ def rpca_ialm(
     warm_start: object | None = None,
     warm_mu_steps: float = 8.0,
     mask: np.ndarray | None = None,
+    svd_backend: str = "exact",
+    rank_predictor: RankPredictor | None = None,
 ) -> SolverResult:
     """Decompose ``a ≈ D + E`` with the IALM RPCA solver.
 
@@ -94,6 +97,17 @@ def rpca_ialm(
         How many ``rho``-steps up the penalty ramp a warm solve starts
         (default 8). Larger skips more iterations but lets the warm split
         drift further from the cold one; 0 keeps the cold ramp.
+    svd_backend:
+        SVD kernel used for the per-iteration singular value thresholding —
+        one of :data:`repro.core.kernels.SVD_BACKENDS`. ``"exact"`` (the
+        default) is the historical full-``gesdd`` path, bit for bit; the
+        other backends route through :class:`~repro.core.kernels.SVTKernel`
+        (partial SVD + preallocated workspace) and agree to solver
+        tolerance rather than bitwise.
+    rank_predictor:
+        Optional :class:`~repro.core.kernels.RankPredictor` carried across
+        solves (the engine passes one per TP-matrix shape) so warm
+        recalibrations skip the rank ramp-up. Ignored by ``"exact"``.
     """
     A = as_float_matrix(a, "a")
     m, n = A.shape
@@ -101,6 +115,7 @@ def rpca_ialm(
     if rho <= 1.0:
         raise ValueError(f"rho must exceed 1, got {rho}")
     check_nonnegative(warm_mu_steps, "warm_mu_steps")
+    validate_backend(svd_backend)
     omega = validate_mask(mask, A.shape)
     if omega is not None:
         A = np.where(omega, A, 0.0)  # placeholder values must carry no signal
@@ -109,6 +124,22 @@ def rpca_ialm(
     if norm_a == 0.0:
         zero = np.zeros_like(A)
         return SolverResult(zero, zero.copy(), 0, 0, True, 0.0)
+
+    if svd_backend != "exact":
+        return _rpca_ialm_fast(
+            A,
+            lam_v,
+            norm_a=float(norm_a),
+            tol=tol,
+            max_iter=max_iter,
+            rho=rho,
+            raise_on_fail=raise_on_fail,
+            warm_start=warm_start,
+            warm_mu_steps=warm_mu_steps,
+            omega=omega,
+            svd_backend=svd_backend,
+            rank_predictor=rank_predictor,
+        )
 
     # Standard IALM initialization (Lin et al. 2010): Y = A / J(A) where
     # J(A) = max(||A||_2, ||A||_inf / λ) makes the initial dual feasible.
@@ -146,6 +177,123 @@ def rpca_ialm(
             Z = (A - D - E) * omega
         Y = Y + mu * Z
         mu = min(mu * rho, mu_bar)
+        residual = float(np.linalg.norm(Z) / norm_a)
+        if residual < tol:
+            converged = True
+            break
+
+    if not converged and raise_on_fail:
+        raise ConvergenceError(
+            f"IALM RPCA did not converge in {max_iter} iterations "
+            f"(residual {residual:.3e} > tol {tol:.3e})",
+            iterations=iterations,
+            residual=residual,
+        )
+    return SolverResult(
+        low_rank=D,
+        sparse=E,
+        rank=rank,
+        iterations=iterations,
+        converged=converged,
+        residual=residual,
+        warm_started=warm,
+    )
+
+
+def _rpca_ialm_fast(
+    A: np.ndarray,
+    lam_v: float,
+    *,
+    norm_a: float,
+    tol: float,
+    max_iter: int,
+    rho: float,
+    raise_on_fail: bool,
+    warm_start: object | None,
+    warm_mu_steps: float,
+    omega: np.ndarray | None,
+    svd_backend: str,
+    rank_predictor: RankPredictor | None,
+) -> SolverResult:
+    """IALM iteration over the partial-SVD kernel layer.
+
+    Same mathematics as the exact loop above with three changes:
+
+    * singular value thresholding goes through an
+      :class:`~repro.core.kernels.SVTKernel` instead of a full ``gesdd``;
+    * the init-time ``||A||₂`` full SVD becomes a
+      :func:`~repro.core.svd_ops.spectral_norm`;
+    * the dual is carried as ``Ȳ = Y/μ`` (the only form the proximal steps
+      consume), whose ascent folds into
+      ``Ȳ_{k+1} = (μ_k/μ_{k+1})·(Ȳ_k + Z_k)`` — algebraically identical to
+      ``Y ← Y + μZ`` followed by the division, but with every update
+      written in place into a preallocated
+      :class:`~repro.core.kernels.SolveWorkspace`, so steady-state
+      iterations allocate no new ``m × n`` temporaries.
+
+    The reordered floating-point arithmetic agrees with the exact path to
+    solver tolerance, not bit-for-bit — which is why this path is opt-in
+    via *svd_backend*.
+    """
+    kernel = SVTKernel(A.shape, svd_backend, rank_predictor=rank_predictor)
+    ws = SolveWorkspace(A.shape)
+
+    norm_two = spectral_norm(A)
+    norm_inf = float(np.abs(A).max()) / lam_v
+    mu = 1.25 / norm_two
+    mu_bar = mu * 1e7
+
+    D, E, Yinv, M, Z = ws.bufs("D", "E", "Yinv", "M", "Z")
+
+    warm = warm_start is not None
+    if warm:
+        D0, E0 = _unpack_warm_start(warm_start, A.shape)
+        np.copyto(D, D0)
+        np.copyto(E, E0)
+        mu = min(mu * rho**warm_mu_steps, mu_bar)
+    else:
+        D[...] = 0.0
+        E[...] = 0.0
+    # Ȳ₀ = Y₀/μ₀ with the *ramped* μ — the exact path's Y is fixed at A/J
+    # while a warm solve starts further up the penalty ramp.
+    np.multiply(A, 1.0 / (max(norm_two, norm_inf) * mu), out=Yinv)
+    rank = 0
+    residual = np.inf
+    converged = False
+    iterations = 0
+
+    if omega is not None:
+        W = ws.buf("W")
+
+    for iterations in range(1, max_iter + 1):
+        if omega is None:
+            np.subtract(A, E, out=M)
+            M += Yinv
+            _, rank, _ = kernel.svt(M, 1.0 / mu, out=D)
+            np.subtract(A, D, out=M)
+            M += Yinv
+            soft_threshold(M, lam_v / mu, out=E)
+            np.subtract(A, D, out=Z)
+            Z -= E
+        else:
+            # Completion trick, workspace spelling: W = P_Ω(A) + P_Ω̄(D + E).
+            np.add(D, E, out=W)
+            np.copyto(W, A, where=omega)
+            np.subtract(W, E, out=M)
+            M += Yinv
+            _, rank, _ = kernel.svt(M, 1.0 / mu, out=D)
+            np.subtract(A, D, out=M)
+            M += Yinv
+            soft_threshold(M, lam_v / mu, out=E)
+            E *= omega
+            np.subtract(A, D, out=Z)
+            Z -= E
+            Z *= omega
+        # Folded dual ascent: Ȳ_{k+1} = (μ_k/μ_{k+1})·(Ȳ_k + Z_k).
+        mu_next = min(mu * rho, mu_bar)
+        Yinv += Z
+        Yinv *= mu / mu_next
+        mu = mu_next
         residual = float(np.linalg.norm(Z) / norm_a)
         if residual < tol:
             converged = True

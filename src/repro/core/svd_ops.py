@@ -11,6 +11,12 @@ Two proximal maps do all the work in RPCA:
 scientific-Python optimization guide singles out: for the tall-skinny or
 short-fat matrices RPCA sees (``n_snapshots × N²`` with n_snapshots ≈ 10),
 the thin SVD is orders of magnitude cheaper than the full decomposition.
+
+``spectral_norm`` computes ``σ₁ = ||A||₂`` without a full SVD — the
+solvers only need the top singular value at initialization (APG's
+continuation start, IALM's dual scaling), and paying a whole ``gesdd`` for
+one number is the kind of waste the kernel layer (:mod:`repro.core.kernels`)
+exists to remove.
 """
 
 from __future__ import annotations
@@ -20,17 +26,79 @@ import scipy.linalg
 
 from .._validation import as_float_matrix, check_nonnegative
 
-__all__ = ["soft_threshold", "singular_value_threshold", "truncated_svd"]
+__all__ = [
+    "soft_threshold",
+    "singular_value_threshold",
+    "spectral_norm",
+    "truncated_svd",
+]
 
 
-def soft_threshold(x: np.ndarray, tau: float) -> np.ndarray:
+def soft_threshold(
+    x: np.ndarray, tau: float, out: np.ndarray | None = None
+) -> np.ndarray:
     """Elementwise soft-thresholding (shrinkage) operator.
 
     ``S_tau(x) = sign(x) * max(|x| - tau, 0)`` — the proximal operator of
     ``tau * ||·||_1``.
+
+    With *out* the result is computed in a fixed number of in-place passes
+    into the given buffer (no temporaries) — the hot-loop spelling used by
+    the fast solver paths. The two spellings agree except on the sign bit
+    of zeros (``copysign`` keeps the sign of shrunk-away negatives where
+    ``sign(x)*0`` normalizes to ``+0.0``), which no consumer observes; the
+    allocation-free form is therefore opt-in, keeping the historical path
+    bit-identical.
     """
     check_nonnegative(tau, "tau")
-    return np.sign(x) * np.maximum(np.abs(x) - tau, 0.0)
+    if out is None:
+        return np.sign(x) * np.maximum(np.abs(x) - tau, 0.0)
+    np.abs(x, out=out)
+    out -= tau
+    np.maximum(out, 0.0, out=out)
+    np.copysign(out, x, out=out)
+    return out
+
+
+def spectral_norm(a: np.ndarray, *, tol: float = 1e-9, max_iter: int = 200) -> float:
+    """Top singular value ``σ₁ = ||a||₂`` without a full SVD.
+
+    Small short side (≤ 64, which covers every TP-matrix the paper's
+    pipeline builds): form the Gram matrix on the short side and take the
+    square root of its top eigenvalue — exact to LAPACK eigensolver
+    accuracy at ``O(min(m,n)²·max(m,n))`` cost. Larger matrices fall back
+    to power iteration on ``a·aᵀ`` (deterministic fixed-seed start vector),
+    converged when the Rayleigh estimate moves by less than ``tol``
+    relative per step.
+    """
+    m = as_float_matrix(a, "a")
+    rows, cols = m.shape
+    if min(rows, cols) <= 64:
+        gram = m @ m.T if rows <= cols else m.T @ m
+        w = np.linalg.eigvalsh(gram)
+        return float(np.sqrt(max(float(w[-1]), 0.0)))
+    rng = np.random.default_rng(0x5EED)
+    v = rng.standard_normal(cols)
+    nv = float(np.linalg.norm(v))
+    if nv == 0.0:  # pragma: no cover - standard_normal never returns all-zero
+        return 0.0
+    v /= nv
+    sigma = 0.0
+    for _ in range(max_iter):
+        u = m @ v
+        nu = float(np.linalg.norm(u))
+        if nu == 0.0:
+            return 0.0
+        u /= nu
+        v = m.T @ u
+        sigma_new = float(np.linalg.norm(v))
+        if sigma_new == 0.0:
+            return 0.0
+        v /= sigma_new
+        if abs(sigma_new - sigma) <= tol * sigma_new:
+            return sigma_new
+        sigma = sigma_new
+    return sigma
 
 
 def truncated_svd(a: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:

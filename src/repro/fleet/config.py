@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 from .._validation import check_positive
 from ..cloudsim.trace import CalibrationTrace
+from ..core.kernels import validate_backend
 from ..errors import ValidationError
 
 __all__ = ["ClusterSpec", "FleetConfig"]
@@ -79,6 +80,11 @@ class FleetConfig:
         RPCA backend for every cluster.
     warm_start:
         Warm-start re-calibration solves (per cluster).
+    svd_backend:
+        SVD kernel for every cluster's solver — one of
+        :data:`repro.core.kernels.SVD_BACKENDS` (default ``"exact"``).
+        Partial backends carry their rank-prediction state inside each
+        session capsule, so it survives worker migration.
     operations:
         Operations to run per cluster (unless a :class:`ClusterSpec`
         overrides it).
@@ -110,6 +116,7 @@ class FleetConfig:
     nbytes: float = 8.0 * _MB
     solver: str = "apg"
     warm_start: bool = True
+    svd_backend: str = "exact"
     operations: int = 60
     op: str = "broadcast"
     batch_size: int = 8
@@ -127,6 +134,7 @@ class FleetConfig:
         check_positive(self.nbytes, "nbytes")
         if self.threshold < 0:
             raise ValidationError("threshold must be >= 0")
+        validate_backend(self.svd_backend)
 
     @property
     def max_inflight(self) -> int:

@@ -103,6 +103,7 @@ class FleetScheduler:
             "consecutive": cfg.consecutive,
             "solver": cfg.solver,
             "warm_start": cfg.warm_start,
+            "svd_backend": cfg.svd_backend,
         }
 
     def _operations_for(self, spec: ClusterSpec) -> int:
@@ -133,6 +134,7 @@ class FleetScheduler:
             "window": self.config.window,
             "threshold": self.config.threshold,
             "solver": self.config.solver,
+            "svd_backend": self.config.svd_backend,
             "op": self.config.op,
         }
         with open(os.path.join(root, "fleet.json"), "w", encoding="utf-8") as fh:

@@ -278,6 +278,7 @@ def capture_session_state(
             "solver": session.solver,
             "calibration_cost": session.calibration_cost,
             "warm_start": session._engine.warm_start,
+            "svd_backend": session._engine.svd_backend,
             "faults_spec": session.faults_spec,
             "fault_seed": session.fault_seed,
             "resilience": None if resilience is None else asdict(resilience),

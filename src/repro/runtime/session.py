@@ -231,6 +231,12 @@ class TraceSession:
         Warm-start re-calibration solves from the previous window's solution
         (default on; only solvers that support it — APG/IALM — are affected).
         Disable to reproduce the historical cold-solve path bit for bit.
+    svd_backend:
+        SVD kernel for the solver's singular value thresholding — one of
+        :data:`repro.core.kernels.SVD_BACKENDS` (default ``"exact"``, the
+        historical bit-identical path). Forwarded to the session's
+        :class:`~repro.core.engine.DecompositionEngine`, which keeps the
+        adaptive rank-prediction state across re-calibrations.
     instrumentation:
         Observability sink shared with the session's
         :class:`~repro.core.engine.DecompositionEngine`; a fresh one is
@@ -283,6 +289,7 @@ class TraceSession:
         solver: str = "apg",
         calibration_cost: float | None = None,
         warm_start: bool = True,
+        svd_backend: str = "exact",
         instrumentation: Instrumentation | None = None,
         faults: list[FaultModel] | tuple[FaultModel, ...] | str | None = None,
         fault_seed: int | None = None,
@@ -300,6 +307,7 @@ class TraceSession:
         self.nbytes = float(nbytes)
         self.time_step = int(time_step)
         self.solver = solver
+        self.svd_backend = svd_backend
         self.controller = MaintenanceController(
             threshold=threshold, consecutive=consecutive
         )
@@ -335,6 +343,7 @@ class TraceSession:
             time_step=self.time_step,
             solver=solver,
             warm_start=warm_start,
+            svd_backend=svd_backend,
             instrumentation=(
                 instrumentation
                 if instrumentation is not None
@@ -971,6 +980,8 @@ class TraceSession:
         self.nbytes = float(cfg["nbytes"])
         self.time_step = int(cfg["time_step"])
         self.solver = cfg["solver"]
+        # Checkpoints from releases before the kernel layer lack the key.
+        self.svd_backend = cfg.get("svd_backend", "exact")
         self.calibration_cost = float(cfg["calibration_cost"])
         self.controller = MaintenanceController(
             threshold=cfg["threshold"], consecutive=cfg["consecutive"]
@@ -1002,6 +1013,7 @@ class TraceSession:
             time_step=self.time_step,
             solver=self.solver,
             warm_start=bool(cfg["warm_start"]),
+            svd_backend=self.svd_backend,
             instrumentation=(
                 instrumentation
                 if instrumentation is not None

@@ -59,6 +59,19 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "row_constant" in out and "Norm(N_E)" in out
 
+    def test_decompose_svd_backend(self, trace_file, capsys):
+        assert main(["decompose", trace_file, "--svd-backend", "auto"]) == 0
+        out = capsys.readouterr().out
+        assert "apg" in out and "Norm(N_E)" in out
+
+    def test_decompose_svd_backend_rejected_for_non_svt_solver(
+        self, trace_file, capsys
+    ):
+        code = main(["decompose", trace_file, "--solver", "pca",
+                     "--svd-backend", "auto"])
+        assert code == 1
+        assert "does not take an SVD backend" in capsys.readouterr().err
+
     def test_compare(self, trace_file, capsys):
         assert main(["compare", trace_file, "--repetitions", "8",
                      "--solver", "row_constant"]) == 0
