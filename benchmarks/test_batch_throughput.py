@@ -1,0 +1,181 @@
+"""PR-6 batched fleet sweeps: aggregate throughput at 196 instances × 64 clusters.
+
+A fleet of 64 clusters, each a paper-scale ``10 × 38416`` TP-matrix
+(196 instances), decomposed three ways:
+
+* **exact** — the historical per-cluster full-SVD path, the PR-1 baseline
+  (sampled: a few clusters timed, extrapolated to the fleet — one exact
+  solve is ~5 s, so timing all 64 would dominate the run);
+* **batched serial** — ``sweep_fleet(serial=True)``: stacked ``(B, m, n)``
+  solves through the shared batched iteration loop, one process;
+* **batched parallel** — ``sweep_fleet`` across ``min(4, cpu)`` workers,
+  shards shipped as shared-memory stack blocks.
+
+The test writes ``BENCH_batch.json`` at the repo root — aggregate
+auto-vs-exact speedups, batch occupancy (the fraction of stacked-loop
+slice-iterations spent on unconverged matrices; dropout compaction keeps
+it high), and per-arm wall times — so future PRs can track the batched
+path's trajectory next to ``BENCH_rpca.json``.
+
+Bit-for-bit ``P_D`` parity is asserted **unconditionally**: serial vs
+parallel sweeps across the whole fleet, and sweep results vs per-cluster
+``svd_backend="gram"`` solves on the sampled clusters. The ≥20x aggregate
+speedup target is only *asserted* under ``REPRO_PERF_STRICT=1`` on a
+machine with ≥4 cores (the parallel arm cannot reach it on fewer); other
+runs record the numbers and skip, exactly like the RPCA runtime gate.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import sweep_fleet
+from repro.cloudsim.tracegen import TraceConfig, generate_trace
+from repro.core.decompose import decompose
+from repro.fleet import ClusterSpec
+from repro.observability import Instrumentation
+
+MB = 1024 * 1024
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_batch.json"
+
+N_CLUSTERS = 64
+N_INSTANCES = 196
+WINDOW = 10
+BATCH_SIZE = 8  # 8 × (10 × 38416) stacks keep peak memory ~300 MB
+SPEEDUP_TARGET = 20.0
+EXACT_SAMPLE = 4
+STRICT_MIN_CORES = 4
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    return [
+        ClusterSpec(
+            name=f"cluster{i:02d}",
+            trace=generate_trace(
+                TraceConfig(n_machines=N_INSTANCES, n_snapshots=WINDOW),
+                seed=1000 + i,
+            ),
+        )
+        for i in range(N_CLUSTERS)
+    ]
+
+
+def _occupancy(counters):
+    active = counters.get("kernel.batch.active_iterations", 0)
+    dropout = counters.get("kernel.batch.dropout_iterations", 0)
+    total = active + dropout  # == Σ per-group loop_iterations × group size
+    return active / total if total else None
+
+
+def test_batch_sweep_throughput_and_emit(fleet, emit):
+    # -- exact per-cluster baseline (sampled, extrapolated) -------------
+    sample = fleet[:: N_CLUSTERS // EXACT_SAMPLE][:EXACT_SAMPLE]
+    exact_rows = {}
+    t0 = time.perf_counter()
+    for spec in sample:
+        dec = decompose(spec.trace.tp_matrix(8 * MB), svd_backend="exact")
+        exact_rows[spec.name] = dec.constant.row
+    exact_mean = (time.perf_counter() - t0) / len(sample)
+    exact_fleet_est = exact_mean * N_CLUSTERS
+
+    # -- batched serial sweep -------------------------------------------
+    sink_serial = Instrumentation("bench-serial")
+    t0 = time.perf_counter()
+    serial = sweep_fleet(
+        fleet, serial=True, batch_size=BATCH_SIZE, window=WINDOW,
+        instrumentation=sink_serial,
+    )
+    serial_s = time.perf_counter() - t0
+
+    # -- batched parallel sweep -----------------------------------------
+    n_workers = min(STRICT_MIN_CORES, os.cpu_count() or 1)
+    sink_par = Instrumentation("bench-parallel")
+    t0 = time.perf_counter()
+    parallel = sweep_fleet(
+        fleet, n_workers=n_workers, batch_size=BATCH_SIZE, window=WINDOW,
+        instrumentation=sink_par,
+    )
+    parallel_s = time.perf_counter() - t0
+
+    # -- parity: unconditional, bit for bit -----------------------------
+    assert set(serial.clusters) == set(parallel.clusters)
+    assert len(serial.clusters) == N_CLUSTERS
+    for name, s in serial.clusters.items():
+        p = parallel.clusters[name]
+        assert np.array_equal(s.constant_row, p.constant_row), (
+            f"{name}: parallel sweep P_D diverged from serial"
+        )
+        assert s.iterations == p.iterations
+    # Sweep slices vs the per-matrix gram oracle on the sampled clusters.
+    for spec in sample:
+        ref = decompose(spec.trace.tp_matrix(8 * MB), svd_backend="gram")
+        assert np.array_equal(
+            serial.clusters[spec.name].constant_row, ref.constant.row
+        ), f"{spec.name}: batched sweep P_D diverged from per-matrix gram solve"
+        # And the gram oracle agrees with exact to solver tolerance.
+        scale = float(np.abs(exact_rows[spec.name]).max())
+        diff = float(np.abs(ref.constant.row - exact_rows[spec.name]).max())
+        assert diff <= 1e-6 * scale
+
+    speedup_serial = exact_fleet_est / serial_s
+    speedup_parallel = exact_fleet_est / parallel_s
+    record = {
+        "benchmark": "batch_sweep_196x64",
+        "matrix_shape": [WINDOW, N_INSTANCES * N_INSTANCES],
+        "n_clusters": N_CLUSTERS,
+        "batch_size": BATCH_SIZE,
+        "n_workers": n_workers,
+        "cpu_count": os.cpu_count(),
+        "exact_sample": len(sample),
+        "exact_mean_seconds": exact_mean,
+        "exact_fleet_seconds_est": exact_fleet_est,
+        "serial_sweep_seconds": serial_s,
+        "parallel_sweep_seconds": parallel_s,
+        "speedup_serial_vs_exact": speedup_serial,
+        "speedup_parallel_vs_exact": speedup_parallel,
+        "speedup_target": SPEEDUP_TARGET,
+        "batch_occupancy_serial": _occupancy(sink_serial.counters),
+        "batch_occupancy_parallel": _occupancy(sink_par.counters),
+        "total_shards": serial.total_shards,
+        "parity": "bitwise",
+    }
+    BENCH_JSON.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+
+    occ = record["batch_occupancy_serial"]
+    emit(
+        "\n".join(
+            [
+                f"batch sweep ({N_CLUSTERS} clusters x {N_INSTANCES} instances, "
+                f"batch_size={BATCH_SIZE}):",
+                f"  exact    {exact_mean:6.2f} s/cluster  "
+                f"(~{exact_fleet_est:6.1f} s fleet, {len(sample)} sampled)",
+                f"  serial   {serial_s:6.1f} s fleet  "
+                f"{speedup_serial:5.1f}x vs exact",
+                f"  parallel {parallel_s:6.1f} s fleet  "
+                f"{speedup_parallel:5.1f}x vs exact  ({n_workers} workers)",
+                f"  occupancy {occ:.0%}  shards {serial.total_shards}  "
+                f"parity bitwise  (target >= {SPEEDUP_TARGET}x, "
+                f"wrote {BENCH_JSON.name})",
+            ]
+        )
+    )
+
+    cores = os.cpu_count() or 1
+    if os.environ.get("REPRO_PERF_STRICT") == "1" and cores >= STRICT_MIN_CORES:
+        assert speedup_parallel >= SPEEDUP_TARGET, (
+            f"expected >= {SPEEDUP_TARGET}x aggregate speedup over the exact "
+            f"path, measured {speedup_parallel:.1f}x "
+            f"({n_workers} workers, {cores} cores)"
+        )
+    elif speedup_parallel < SPEEDUP_TARGET:
+        pytest.skip(
+            f"aggregate speedup {speedup_parallel:.1f}x below "
+            f"{SPEEDUP_TARGET}x target but strict gating is off "
+            f"(REPRO_PERF_STRICT unset or {cores} < {STRICT_MIN_CORES} cores; "
+            "recorded, not enforced)"
+        )

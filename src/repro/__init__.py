@@ -58,6 +58,10 @@ from .core import (
     decompose,
     Decomposition,
     DecompositionEngine,
+    BatchDecompositionEngine,
+    solve_rpca_batch,
+    BatchedSolveWorkspace,
+    BATCH_DTYPES,
     SolverResult,
     SVD_BACKENDS,
     spectral_norm,
@@ -98,8 +102,17 @@ from .fleet import (
     FleetConfig,
     FleetReport,
     FleetScheduler,
+    FleetSweepReport,
+    SweepClusterResult,
 )
-from .api import SessionConfig, SolveConfig, open_session, run_fleet, solve
+from .api import (
+    SessionConfig,
+    SolveConfig,
+    open_session,
+    run_fleet,
+    solve,
+    sweep_fleet,
+)
 from .strategies import (
     BaselineStrategy,
     HeuristicStrategy,
@@ -117,6 +130,10 @@ __all__ = [
     "decompose",
     "Decomposition",
     "DecompositionEngine",
+    "BatchDecompositionEngine",
+    "solve_rpca_batch",
+    "BatchedSolveWorkspace",
+    "BATCH_DTYPES",
     "SolverResult",
     "SVD_BACKENDS",
     "spectral_norm",
@@ -158,6 +175,7 @@ __all__ = [
     "solve",
     "open_session",
     "run_fleet",
+    "sweep_fleet",
     "SolveConfig",
     "SessionConfig",
     "FleetConfig",
@@ -165,6 +183,8 @@ __all__ = [
     "FleetScheduler",
     "FleetReport",
     "ClusterReport",
+    "FleetSweepReport",
+    "SweepClusterResult",
     "binomial_tree",
     "fnf_tree",
     "CommTree",

@@ -38,7 +38,13 @@ from .cloudsim.trace import CalibrationTrace
 from .core.decompose import Decomposition, decompose
 from .core.kernels import validate_backend
 from .errors import ValidationError
-from .fleet import ClusterSpec, FleetConfig, FleetReport, FleetScheduler
+from .fleet import (
+    ClusterSpec,
+    FleetConfig,
+    FleetReport,
+    FleetScheduler,
+    FleetSweepReport,
+)
 from .observability import Instrumentation
 from .runtime.session import TraceSession
 
@@ -48,6 +54,7 @@ __all__ = [
     "open_session",
     "run_fleet",
     "solve",
+    "sweep_fleet",
 ]
 
 _MB = 1024 * 1024
@@ -222,3 +229,35 @@ def run_fleet(
         _coerce_clusters(clusters), cfg, instrumentation=instrumentation
     )
     return scheduler.run_serial() if serial else scheduler.run()
+
+
+def sweep_fleet(
+    clusters: Iterable[ClusterSpec | CalibrationTrace | tuple[str, CalibrationTrace]],
+    config: FleetConfig | None = None,
+    *,
+    instrumentation: Instrumentation | None = None,
+    serial: bool = False,
+    **overrides: Any,
+) -> FleetSweepReport:
+    """Decompose every cluster's trailing window through batched solves.
+
+    The batched counterpart of :func:`run_fleet`'s per-cluster sessions:
+    one sweep solves each cluster's trailing ``window`` TP-matrix, with
+    same-shape windows stacked ``batch_size`` at a time into single
+    ``(B, m, n)`` iteration loops (see
+    :func:`~repro.core.solve_rpca_batch`). ``batch_dtype`` selects the
+    iterate precision; the default ``"float64"`` makes per-cluster ``P_D``
+    bit-identical to per-cluster serial solves. ``serial=True`` runs the
+    identical shard plan in-process — the determinism oracle and the
+    speedup baseline. The sweep always runs the batched gram-kernel path;
+    ``svd_backend`` only affects :func:`run_fleet` sessions.
+
+    >>> report = sweep_fleet([("a", trace_a), ("b", trace_b)], n_workers=4)
+    >>> report.clusters["a"].verdict
+    'stable'
+    """
+    cfg = _resolve(FleetConfig, config, overrides)
+    scheduler = FleetScheduler(
+        _coerce_clusters(clusters), cfg, instrumentation=instrumentation
+    )
+    return scheduler.run_sweep_serial() if serial else scheduler.run_sweep()

@@ -187,7 +187,15 @@ def build_parser() -> argparse.ArgumentParser:
                           "(default exact — the bit-identical full SVD)")
     flt.add_argument("--message-mb", type=float, default=8.0)
     flt.add_argument("--batch-size", type=int, default=8,
-                     help="operations shipped per scheduler tick")
+                     help="operations shipped per scheduler tick (and, with "
+                          "--sweep, cluster windows stacked per batched solve)")
+    flt.add_argument("--sweep", action="store_true",
+                     help="solve every cluster's trailing window as stacked "
+                          "batched solves instead of running full sessions")
+    flt.add_argument("--batch-dtype", default="float64",
+                     choices=["float64", "float32"],
+                     help="iterate dtype for --sweep solves (float64 is the "
+                          "bit-parity mode; float32 adds a refinement pass)")
     flt.add_argument("--checkpoint-root", default=None, metavar="DIR",
                      help="write per-cluster checkpoints under DIR")
     flt.add_argument("--serial", action="store_true",
@@ -490,6 +498,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         operations=args.operations,
         op=args.op,
         batch_size=args.batch_size,
+        batch_dtype=args.batch_dtype,
         checkpoint_root=args.checkpoint_root,
     )
     # Under --profile the CLI sink is active: make it the fleet sink so the
@@ -499,6 +508,25 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     scheduler = FleetScheduler(
         clusters, config, instrumentation=sinks[0] if sinks else None
     )
+    if args.sweep:
+        report = (
+            scheduler.run_sweep_serial() if args.serial else scheduler.run_sweep()
+        )
+        if args.json:
+            print(json.dumps(report.summary()))
+            return 0
+        mode = "serial" if args.serial else f"{report.n_workers} worker(s)"
+        print(f"sweep:    {len(report.clusters)} cluster(s), {mode}, "
+              f"dtype={report.batch_dtype}")
+        print(f"shards:   {report.total_shards} "
+              f"(batch size {report.batch_size})")
+        print(f"elapsed:  {report.elapsed_s:.3f} s "
+              f"({report.throughput_solves_s:.1f} solves/s)")
+        for name in sorted(report.clusters):
+            res = report.clusters[name]
+            print(f"  {name}: rank={res.rank} iters={res.iterations} "
+                  f"Norm(N_E)={res.norm_ne:.4f} verdict={res.verdict}")
+        return 0
     report = scheduler.run_serial() if args.serial else scheduler.run()
     if args.json:
         print(json.dumps(report.summary()))

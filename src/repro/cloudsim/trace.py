@@ -80,7 +80,14 @@ class CalibrationTrace:
                 mask = np.ascontiguousarray(m).copy()
                 for k in range(mask.shape[0]):
                     np.fill_diagonal(mask[k], True)
-                mask.setflags(write=False)
+                if mask.all():
+                    # Only self-pairs were unobserved; forcing the diagonal
+                    # made the mask trivial, so normalize like the m.all()
+                    # case — otherwise an all-True mask survives here but
+                    # collapses to None after one persistence round-trip.
+                    mask = None
+                else:
+                    mask.setflags(write=False)
         for arr in (a, b, ts):
             arr.setflags(write=False)
         object.__setattr__(self, "alpha", a)

@@ -37,10 +37,18 @@ from .svd_ops import (
 )
 from .kernels import (
     SVD_BACKENDS,
+    BatchRankPredictor,
+    BatchedSVTKernel,
     RankPredictor,
     SolveWorkspace,
     SVTKernel,
     validate_backend,
+)
+from .batch import (
+    BATCH_DTYPES,
+    BatchedSolveWorkspace,
+    solve_rpca_batch,
+    validate_batch_dtype,
 )
 from .result import SolverResult
 from .apg import rpca_apg, APGResult
@@ -53,8 +61,18 @@ from .solvers import (
     solver_spec,
     SolverSpec,
 )
-from .decompose import decompose, Decomposition, constant_row
-from .engine import DecompositionEngine, TraceWindowSource, WindowSource
+from .decompose import (
+    decompose,
+    decomposition_from_result,
+    Decomposition,
+    constant_row,
+)
+from .engine import (
+    BatchDecompositionEngine,
+    DecompositionEngine,
+    TraceWindowSource,
+    WindowSource,
+)
 from .metrics import (
     pseudo_l0_norm,
     l1_norm,
@@ -83,10 +101,16 @@ __all__ = [
     "spectral_norm",
     "truncated_svd",
     "SVD_BACKENDS",
+    "BATCH_DTYPES",
+    "BatchRankPredictor",
+    "BatchedSVTKernel",
+    "BatchedSolveWorkspace",
     "RankPredictor",
     "SolveWorkspace",
     "SVTKernel",
     "validate_backend",
+    "validate_batch_dtype",
+    "solve_rpca_batch",
     "SolverResult",
     "rpca_apg",
     "APGResult",
@@ -99,8 +123,10 @@ __all__ = [
     "solver_spec",
     "SolverSpec",
     "decompose",
+    "decomposition_from_result",
     "Decomposition",
     "constant_row",
+    "BatchDecompositionEngine",
     "DecompositionEngine",
     "TraceWindowSource",
     "WindowSource",

@@ -46,6 +46,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import observability
 from .._validation import as_float_matrix, check_positive
 from ..errors import ConvergenceError, ValidationError
 from .kernels import RankPredictor, SolveWorkspace, SVTKernel, validate_backend
@@ -53,6 +54,7 @@ from .result import SolverResult
 from .svd_ops import (
     singular_value_threshold,
     soft_threshold,
+    soft_threshold_into,
     spectral_norm,
     truncated_svd,
 )
@@ -248,7 +250,9 @@ def rpca_apg(
         G = 0.5 * (YD + YE - A)
         if omega is not None:
             G *= omega
-        D_new, rank, _ = singular_value_threshold(YD - G, mu / 2.0)
+        M = YD - G
+        with observability.timed("kernel.svt_seconds"):
+            D_new, rank, _ = singular_value_threshold(M, mu / 2.0)
         E_new = soft_threshold(YE - G, lam_v * mu / 2.0)
         if omega is not None:
             E_new *= omega  # a transient error needs a witness
@@ -289,6 +293,77 @@ def rpca_apg(
         residual=residual,
         warm_started=warm,
     )
+
+
+def _apg_step_unmasked(A, F, Fp, T, MD, ME, Dn, En, S, beta, tau_d, tau_e, svt):
+    """One unmasked APG iteration over preallocated buffers.
+
+    The shared recurrence of the single fast path and the batched path
+    (:mod:`repro.core.batch`): every array may carry a leading batch axis,
+    with *tau_d*/*tau_e* either scalars or per-matrix ``(B, 1, 1)``
+    thresholds and *svt* the matching thresholding callable (returns the
+    surviving rank, or a rank vector for a stack). Writes the new momentum
+    carrier ``D₊ − E₊`` into *Fp* (callers swap the names afterwards) and
+    the stationarity block ``S_D`` into *S*; the residual norm stays with
+    the caller, which is where single and batched paths differ.
+    """
+    # T = Y_D − Y_E = (1 + β)·F − β·F_prev
+    np.multiply(F, 1.0 + beta, out=T)
+    np.multiply(Fp, beta, out=S)
+    T -= S
+    # Proximal inputs: M_D = (T + A)/2, M_E = A − M_D.
+    np.add(T, A, out=MD)
+    MD *= 0.5
+    rank = svt(MD, tau_d, Dn)
+    np.subtract(A, MD, out=ME)
+    soft_threshold_into(ME, tau_e, out=En)
+    # Stationarity: S_D = T − (D₊ − E₊), ‖S‖ = √2·‖S_D‖.
+    np.subtract(Dn, En, out=Fp)
+    np.subtract(T, Fp, out=S)
+    return rank
+
+
+def _apg_step_masked(
+    A, omega, D, Dp, E, Ep, YD, YE, G, M, S, Dn, En, beta, tau_d, tau_e, svt, norms
+):
+    """One masked APG iteration over preallocated buffers.
+
+    Like :func:`_apg_step_unmasked` this serves both the single fast path
+    and the batched path. The two stationarity norms must be taken
+    mid-step (``G`` is reused between the blocks), so *norms* is a
+    Frobenius-norm callable — a scalar for a single matrix, a per-slice
+    vector for a stack — and the pair ``(rank, ‖S_D‖, ‖S_E‖)`` is returned.
+    """
+    np.subtract(D, Dp, out=YD)
+    YD *= beta
+    YD += D
+    np.subtract(E, Ep, out=YE)
+    YE *= beta
+    YE += E
+    # G = P_Ω(Y_D + Y_E − A)/2
+    np.add(YD, YE, out=G)
+    G -= A
+    G *= 0.5
+    G *= omega
+    np.subtract(YD, G, out=M)
+    rank = svt(M, tau_d, Dn)
+    np.subtract(YE, G, out=M)
+    soft_threshold_into(M, tau_e, out=En)
+    En *= omega  # a transient error needs a witness
+    # diff = P_Ω(D₊ + E₊ − Y_D − Y_E); S_X = 2(Y_X − X₊) + diff
+    np.add(Dn, En, out=S)
+    S -= YD
+    S -= YE
+    S *= omega
+    np.subtract(YD, Dn, out=G)
+    G *= 2.0
+    G += S
+    sd = norms(G)
+    np.subtract(YE, En, out=G)
+    G *= 2.0
+    G += S
+    se = norms(G)
+    return rank, sd, se
 
 
 def _rpca_apg_fast(
@@ -332,6 +407,12 @@ def _rpca_apg_fast(
     kernel = SVTKernel(A.shape, svd_backend, rank_predictor=rank_predictor)
     ws = SolveWorkspace(A.shape)
 
+    def svt_into(M: np.ndarray, tau: float, out: np.ndarray) -> int:
+        return kernel.svt(M, tau, out=out)[1]
+
+    def fro(X: np.ndarray) -> float:
+        return float(np.linalg.norm(X))
+
     mu_top = spectral_norm(A)
     mu_bar = mu_floor_factor * 0.99 * mu_top
 
@@ -361,20 +442,11 @@ def _rpca_apg_fast(
         np.copyto(Fp, F)
         for iterations in range(1, max_iter + 1):
             beta = (t_prev - 1.0) / t
-            # T = Y_D − Y_E = (1 + β)·F − β·F_prev
-            np.multiply(F, 1.0 + beta, out=T)
-            np.multiply(Fp, beta, out=S)
-            T -= S
-            # Proximal inputs: M_D = (T + A)/2, M_E = A − M_D.
-            np.add(T, A, out=MD)
-            MD *= 0.5
-            _, rank, _ = kernel.svt(MD, mu / 2.0, out=Dn)
-            np.subtract(A, MD, out=ME)
-            soft_threshold(ME, lam_v * mu / 2.0, out=En)
-            # Stationarity: S_D = T − (D₊ − E₊), ‖S‖ = √2·‖S_D‖.
-            Fp, F = F, Fp
-            np.subtract(Dn, En, out=F)
-            np.subtract(T, F, out=S)
+            rank = _apg_step_unmasked(
+                A, F, Fp, T, MD, ME, Dn, En, S,
+                beta, mu / 2.0, lam_v * mu / 2.0, svt_into,
+            )
+            F, Fp = Fp, F
             residual = float(sqrt2 * np.linalg.norm(S) / norm_a)
             D, Dn = Dn, D
             E, En = En, E
@@ -397,35 +469,10 @@ def _rpca_apg_fast(
         np.copyto(Ep, E0)
         for iterations in range(1, max_iter + 1):
             beta = (t_prev - 1.0) / t
-            np.subtract(D, Dp, out=YD)
-            YD *= beta
-            YD += D
-            np.subtract(E, Ep, out=YE)
-            YE *= beta
-            YE += E
-            # G = P_Ω(Y_D + Y_E − A)/2
-            np.add(YD, YE, out=G)
-            G -= A
-            G *= 0.5
-            G *= omega
-            np.subtract(YD, G, out=M)
-            _, rank, _ = kernel.svt(M, mu / 2.0, out=Dn)
-            np.subtract(YE, G, out=M)
-            soft_threshold(M, lam_v * mu / 2.0, out=En)
-            En *= omega  # a transient error needs a witness
-            # diff = P_Ω(D₊ + E₊ − Y_D − Y_E); S_X = 2(Y_X − X₊) + diff
-            np.add(Dn, En, out=S)
-            S -= YD
-            S -= YE
-            S *= omega
-            np.subtract(YD, Dn, out=G)
-            G *= 2.0
-            G += S
-            sd = float(np.linalg.norm(G))
-            np.subtract(YE, En, out=G)
-            G *= 2.0
-            G += S
-            se = float(np.linalg.norm(G))
+            rank, sd, se = _apg_step_masked(
+                A, omega, D, Dp, E, Ep, YD, YE, G, M, S, Dn, En,
+                beta, mu / 2.0, lam_v * mu / 2.0, svt_into, fro,
+            )
             residual = float(np.sqrt(sd * sd + se * se) / norm_a)
             Dp, D, Dn = D, Dn, Dp
             Ep, E, En = E, En, Ep

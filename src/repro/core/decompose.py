@@ -27,7 +27,12 @@ from .result import SolverResult
 from .solvers import solve_rpca, solver_spec
 from .svd_ops import truncated_svd
 
-__all__ = ["Decomposition", "decompose", "constant_row"]
+__all__ = [
+    "Decomposition",
+    "decompose",
+    "decomposition_from_result",
+    "constant_row",
+]
 
 
 def constant_row(low_rank: np.ndarray, *, method: str = "mean") -> np.ndarray:
@@ -140,6 +145,24 @@ def decompose(
             )
         solver_kwargs = dict(solver_kwargs, mask=tp.mask)
     result = solve_rpca(tp.data, solver=solver, **solver_kwargs)
+    return decomposition_from_result(tp, result, solver=solver, extraction=extraction)
+
+
+def decomposition_from_result(
+    tp: TPMatrix,
+    result: SolverResult,
+    *,
+    solver: str,
+    extraction: str = "mean",
+) -> Decomposition:
+    """Build a :class:`Decomposition` from an already-computed solver result.
+
+    The post-solve tail of :func:`decompose` — row extraction, error
+    component, stability report — shared with the batched entry points
+    (:meth:`~repro.core.engine.BatchDecompositionEngine.decompose_batch`),
+    which obtain their :class:`~repro.core.result.SolverResult` per slice
+    from one stacked solve instead of :func:`~repro.core.solvers.solve_rpca`.
+    """
     if getattr(result, "constant_row", None) is not None:
         # Exact row-constant solvers (row_constant, pca) carry their row.
         row = result.constant_row

@@ -41,12 +41,18 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import observability
 from .._validation import as_float_matrix, check_nonnegative, check_positive
 from ..errors import ConvergenceError
 from .apg import _unpack_warm_start, default_lambda, validate_mask
 from .kernels import RankPredictor, SolveWorkspace, SVTKernel, validate_backend
 from .result import SolverResult
-from .svd_ops import singular_value_threshold, soft_threshold, spectral_norm
+from .svd_ops import (
+    singular_value_threshold,
+    soft_threshold,
+    soft_threshold_into,
+    spectral_norm,
+)
 
 __all__ = ["IALMResult", "rpca_ialm"]
 
@@ -163,7 +169,9 @@ def rpca_ialm(
 
     for iterations in range(1, max_iter + 1):
         if omega is None:
-            D, rank, _ = singular_value_threshold(A - E + Y / mu, 1.0 / mu)
+            M = A - E + Y / mu
+            with observability.timed("kernel.svt_seconds"):
+                D, rank, _ = singular_value_threshold(M, 1.0 / mu)
             E = soft_threshold(A - D + Y / mu, lam_v / mu)
             Z = A - D - E
         else:
@@ -171,7 +179,9 @@ def rpca_ialm(
             # iterate's own values, so the D-step sees no spurious zeros and
             # the constraint only binds on observed entries.
             A_work = np.where(omega, A, D + E)
-            D, rank, _ = singular_value_threshold(A_work - E + Y / mu, 1.0 / mu)
+            M = A_work - E + Y / mu
+            with observability.timed("kernel.svt_seconds"):
+                D, rank, _ = singular_value_threshold(M, 1.0 / mu)
             E = soft_threshold(A - D + Y / mu, lam_v / mu)
             E *= omega
             Z = (A - D - E) * omega
@@ -198,6 +208,53 @@ def rpca_ialm(
         residual=residual,
         warm_started=warm,
     )
+
+
+def _ialm_step_unmasked(A, D, E, Yinv, M, Z, tau_d, tau_e, mu_ratio, svt):
+    """One unmasked IALM iteration over preallocated buffers.
+
+    The shared recurrence of the single fast path and the batched path
+    (:mod:`repro.core.batch`): arrays may carry a leading batch axis, with
+    *tau_d*/*tau_e*/*mu_ratio* scalars or per-matrix ``(B, 1, 1)`` values
+    and *svt* the matching thresholding callable. ``mu_ratio = μ_k/μ_{k+1}``
+    folds the dual ascent (see the caller's docstring); the feasibility gap
+    is left in *Z* for the caller's residual norm.
+    """
+    np.subtract(A, E, out=M)
+    M += Yinv
+    rank = svt(M, tau_d, D)
+    np.subtract(A, D, out=M)
+    M += Yinv
+    soft_threshold_into(M, tau_e, out=E)
+    np.subtract(A, D, out=Z)
+    Z -= E
+    # Folded dual ascent: Ȳ_{k+1} = (μ_k/μ_{k+1})·(Ȳ_k + Z_k).
+    Yinv += Z
+    Yinv *= mu_ratio
+    return rank
+
+
+def _ialm_step_masked(A, omega, D, E, W, Yinv, M, Z, tau_d, tau_e, mu_ratio, svt):
+    """One masked IALM iteration over preallocated buffers.
+
+    Batch-axis-capable like :func:`_ialm_step_unmasked`; *W* is the
+    completion-trick working matrix ``P_Ω(A) + P_Ω̄(D + E)``.
+    """
+    np.add(D, E, out=W)
+    np.copyto(W, A, where=omega)
+    np.subtract(W, E, out=M)
+    M += Yinv
+    rank = svt(M, tau_d, D)
+    np.subtract(A, D, out=M)
+    M += Yinv
+    soft_threshold_into(M, tau_e, out=E)
+    E *= omega
+    np.subtract(A, D, out=Z)
+    Z -= E
+    Z *= omega
+    Yinv += Z
+    Yinv *= mu_ratio
+    return rank
 
 
 def _rpca_ialm_fast(
@@ -238,6 +295,9 @@ def _rpca_ialm_fast(
     kernel = SVTKernel(A.shape, svd_backend, rank_predictor=rank_predictor)
     ws = SolveWorkspace(A.shape)
 
+    def svt_into(M: np.ndarray, tau: float, out: np.ndarray) -> int:
+        return kernel.svt(M, tau, out=out)[1]
+
     norm_two = spectral_norm(A)
     norm_inf = float(np.abs(A).max()) / lam_v
     mu = 1.25 / norm_two
@@ -266,33 +326,19 @@ def _rpca_ialm_fast(
         W = ws.buf("W")
 
     for iterations in range(1, max_iter + 1):
-        if omega is None:
-            np.subtract(A, E, out=M)
-            M += Yinv
-            _, rank, _ = kernel.svt(M, 1.0 / mu, out=D)
-            np.subtract(A, D, out=M)
-            M += Yinv
-            soft_threshold(M, lam_v / mu, out=E)
-            np.subtract(A, D, out=Z)
-            Z -= E
-        else:
-            # Completion trick, workspace spelling: W = P_Ω(A) + P_Ω̄(D + E).
-            np.add(D, E, out=W)
-            np.copyto(W, A, where=omega)
-            np.subtract(W, E, out=M)
-            M += Yinv
-            _, rank, _ = kernel.svt(M, 1.0 / mu, out=D)
-            np.subtract(A, D, out=M)
-            M += Yinv
-            soft_threshold(M, lam_v / mu, out=E)
-            E *= omega
-            np.subtract(A, D, out=Z)
-            Z -= E
-            Z *= omega
-        # Folded dual ascent: Ȳ_{k+1} = (μ_k/μ_{k+1})·(Ȳ_k + Z_k).
+        # The dual ascent is folded into the step (see module docstring),
+        # so the next penalty value is fixed before the step runs.
         mu_next = min(mu * rho, mu_bar)
-        Yinv += Z
-        Yinv *= mu / mu_next
+        if omega is None:
+            rank = _ialm_step_unmasked(
+                A, D, E, Yinv, M, Z,
+                1.0 / mu, lam_v / mu, mu / mu_next, svt_into,
+            )
+        else:
+            rank = _ialm_step_masked(
+                A, omega, D, E, W, Yinv, M, Z,
+                1.0 / mu, lam_v / mu, mu / mu_next, svt_into,
+            )
         mu = mu_next
         residual = float(np.linalg.norm(Z) / norm_a)
         if residual < tol:

@@ -28,10 +28,30 @@ from .._validation import as_float_matrix, check_nonnegative
 
 __all__ = [
     "soft_threshold",
+    "soft_threshold_into",
     "singular_value_threshold",
     "spectral_norm",
     "truncated_svd",
 ]
+
+
+def soft_threshold_into(
+    x: np.ndarray, tau: float | np.ndarray, out: np.ndarray
+) -> np.ndarray:
+    """In-place soft threshold: the fixed four-pass ``out=`` spelling.
+
+    Unvalidated hot-loop core shared by :func:`soft_threshold` and the
+    batched solver path (:mod:`repro.core.batch`): *tau* may be a scalar or
+    any array broadcastable against *x* — per-matrix ``(B, 1, 1)``
+    thresholds for a stacked iterate. Because every pass is an elementwise
+    ufunc, the result on slice ``b`` of a stack is bit-identical to the
+    single-matrix call on that slice with the matching scalar threshold.
+    """
+    np.abs(x, out=out)
+    out -= tau
+    np.maximum(out, 0.0, out=out)
+    np.copysign(out, x, out=out)
+    return out
 
 
 def soft_threshold(
@@ -53,11 +73,7 @@ def soft_threshold(
     check_nonnegative(tau, "tau")
     if out is None:
         return np.sign(x) * np.maximum(np.abs(x) - tau, 0.0)
-    np.abs(x, out=out)
-    out -= tau
-    np.maximum(out, 0.0, out=out)
-    np.copysign(out, x, out=out)
-    return out
+    return soft_threshold_into(x, tau, out)
 
 
 def spectral_norm(a: np.ndarray, *, tol: float = 1e-9, max_iter: int = 200) -> float:

@@ -9,10 +9,15 @@ backpressure, round-robin fairness, deterministic per-cluster results).
 """
 
 from .config import ClusterSpec, FleetConfig
-from .report import ClusterReport, FleetReport
-from .scheduler import FleetScheduler
-from .shm import SharedTraceBlock, TraceBlockDescriptor
-from .worker import BatchResult, BatchTask, worker_main
+from .report import ClusterReport, FleetReport, FleetSweepReport, SweepClusterResult
+from .scheduler import FleetScheduler, SweepShard
+from .shm import (
+    SharedStackBlock,
+    SharedTraceBlock,
+    StackBlockDescriptor,
+    TraceBlockDescriptor,
+)
+from .worker import BatchResult, BatchTask, SweepResult, SweepTask, solve_shard, worker_main
 
 __all__ = [
     "BatchResult",
@@ -22,7 +27,15 @@ __all__ = [
     "FleetConfig",
     "FleetReport",
     "FleetScheduler",
+    "FleetSweepReport",
+    "SharedStackBlock",
     "SharedTraceBlock",
+    "StackBlockDescriptor",
+    "SweepClusterResult",
+    "SweepResult",
+    "SweepShard",
+    "SweepTask",
     "TraceBlockDescriptor",
+    "solve_shard",
     "worker_main",
 ]

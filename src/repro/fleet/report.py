@@ -7,7 +7,12 @@ from typing import Any
 
 import numpy as np
 
-__all__ = ["ClusterReport", "FleetReport"]
+__all__ = [
+    "ClusterReport",
+    "FleetReport",
+    "FleetSweepReport",
+    "SweepClusterResult",
+]
 
 
 @dataclass(frozen=True)
@@ -65,6 +70,69 @@ class FleetReport:
             "total_operations": self.total_operations,
             "total_batches": self.total_batches,
             "throughput_ops_s": round(self.throughput_ops_s, 2),
+            "clusters": [
+                self.clusters[name].summary() for name in sorted(self.clusters)
+            ],
+        }
+
+
+@dataclass(frozen=True)
+class SweepClusterResult:
+    """One cluster's trailing-window decomposition from a fleet sweep.
+
+    ``constant_row`` is the flattened constant component ``P_D`` — the
+    quantity the sweep benchmark checks for bit-identity between the
+    batched parallel run and the serial reference.
+    """
+
+    name: str
+    constant_row: np.ndarray
+    norm_ne: float
+    verdict: str
+    rank: int
+    iterations: int
+    converged: bool
+    residual: float
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "norm_ne": round(float(self.norm_ne), 6),
+            "verdict": self.verdict,
+            "rank": int(self.rank),
+            "iterations": int(self.iterations),
+            "converged": bool(self.converged),
+        }
+
+
+@dataclass(frozen=True)
+class FleetSweepReport:
+    """Aggregate outcome of one :meth:`FleetScheduler.run_sweep` call."""
+
+    clusters: dict[str, SweepClusterResult]
+    n_workers: int
+    elapsed_s: float
+    total_shards: int
+    batch_size: int
+    batch_dtype: str
+    instrumentation: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def throughput_solves_s(self) -> float:
+        """Cluster windows decomposed per wall-clock second."""
+        return len(self.clusters) / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    def constant_rows(self) -> dict[str, np.ndarray]:
+        return {name: res.constant_row for name, res in self.clusters.items()}
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "n_workers": self.n_workers,
+            "elapsed_s": round(self.elapsed_s, 3),
+            "total_shards": self.total_shards,
+            "batch_size": self.batch_size,
+            "batch_dtype": self.batch_dtype,
+            "throughput_solves_s": round(self.throughput_solves_s, 2),
             "clusters": [
                 self.clusters[name].summary() for name in sorted(self.clusters)
             ],

@@ -30,19 +30,20 @@ import multiprocessing as mp
 import os
 import queue as queue_mod
 import time
+from multiprocessing import resource_tracker
 from collections import deque
 from dataclasses import dataclass
 
 from ..errors import FleetError, ValidationError
-from ..observability import Instrumentation
+from ..observability import Instrumentation, instrumented
 from ..persistence import CheckpointStore
 from ..runtime.session import OperationSpec, SessionCapsule, TraceSession
 from .config import ClusterSpec, FleetConfig
-from .report import ClusterReport, FleetReport
-from .shm import SharedTraceBlock
-from .worker import BatchResult, BatchTask, worker_main
+from .report import ClusterReport, FleetReport, FleetSweepReport, SweepClusterResult
+from .shm import SharedStackBlock, SharedTraceBlock
+from .worker import BatchResult, BatchTask, SweepResult, SweepTask, solve_shard, worker_main
 
-__all__ = ["FleetScheduler"]
+__all__ = ["FleetScheduler", "SweepShard"]
 
 
 @dataclass
@@ -55,6 +56,19 @@ class _ClusterState:
     inflight: bool = False
     batches: int = 0
     store: CheckpointStore | None = None
+
+
+@dataclass(frozen=True)
+class SweepShard:
+    """One unit of batched sweep work: B same-shape cluster windows.
+
+    Produced by :meth:`FleetScheduler.plan_sweep`; ``tps[i]`` is cluster
+    ``names[i]``'s trailing calibration window.
+    """
+
+    index: int
+    names: tuple[str, ...]
+    tps: tuple[object, ...]  # TPMatrix per cluster, shape-homogeneous
 
 
 class FleetScheduler:
@@ -303,7 +317,7 @@ class FleetScheduler:
         return total_batches
 
     @staticmethod
-    def _next_result(result_queue, workers) -> BatchResult:
+    def _next_result(result_queue, workers) -> BatchResult | SweepResult:
         """Blocking result fetch that notices dead workers instead of hanging."""
         while True:
             try:
@@ -338,5 +352,176 @@ class FleetScheduler:
         sink.count("fleet.clusters", len(self.clusters))
         sink.count("fleet.operations", ops)
         sink.count("fleet.batches", batches)
+        sink.count("fleet.workers", n_workers)
+        sink.add_time("fleet.elapsed", elapsed)
+
+    # -- batched sweep -------------------------------------------------
+
+    def plan_sweep(self) -> list[SweepShard]:
+        """Partition the fleet's trailing windows into batched shards.
+
+        Each cluster contributes its trailing ``window``-snapshot TP-matrix
+        at the configured ``nbytes``. Clusters are grouped by matrix shape
+        (shape-heterogeneous fleets still batch whatever matches), ordered
+        by name within a group, and chunked into shards of at most
+        ``batch_size`` — the ``(B, m, n)`` unit one batched solve handles
+        and one shared stack block transports. The plan is deterministic:
+        it depends only on the fleet's specs and config, never on timing.
+        """
+        cfg = self.config
+        windows: dict[tuple[int, int], list[tuple[str, object]]] = {}
+        for spec in self.clusters:
+            trace = spec.trace
+            count = min(int(cfg.window), int(trace.n_snapshots))
+            start = int(trace.n_snapshots) - count
+            tp = trace.tp_matrix(cfg.nbytes, start=start, count=count)
+            windows.setdefault(tp.data.shape, []).append((spec.name, tp))
+        shards: list[SweepShard] = []
+        width = int(cfg.batch_size)
+        for shape in sorted(windows):
+            group = sorted(windows[shape], key=lambda item: item[0])
+            for lo in range(0, len(group), width):
+                chunk = group[lo : lo + width]
+                shards.append(
+                    SweepShard(
+                        index=len(shards),
+                        names=tuple(name for name, _ in chunk),
+                        tps=tuple(tp for _, tp in chunk),
+                    )
+                )
+        return shards
+
+    def run_sweep_serial(self) -> FleetSweepReport:
+        """Solve the identical sweep plan in-process, one shard at a time.
+
+        The determinism oracle for :meth:`run_sweep`: per-cluster ``P_D``
+        must (and does) match the parallel run bit for bit.
+        """
+        t0 = time.perf_counter()
+        cfg = self.config
+        shards = self.plan_sweep()
+        results: dict[str, SweepClusterResult] = {}
+        workspaces: dict[tuple[int, int, int], object] = {}
+        with instrumented(self.instrumentation):
+            for shard in shards:
+                for res in solve_shard(
+                    shard.names,
+                    list(shard.tps),
+                    solver=cfg.solver,
+                    dtype=cfg.batch_dtype,
+                    workspaces=workspaces,
+                ):
+                    results[res.name] = res
+        elapsed = time.perf_counter() - t0
+        self._account_sweep(n_workers=1, elapsed=elapsed, shards=len(shards))
+        return FleetSweepReport(
+            clusters=results,
+            n_workers=1,
+            elapsed_s=elapsed,
+            total_shards=len(shards),
+            batch_size=int(cfg.batch_size),
+            batch_dtype=cfg.batch_dtype,
+            instrumentation=self.instrumentation.state_dict(),
+        )
+
+    def run_sweep(self) -> FleetSweepReport:
+        """Solve every cluster's trailing window as batched shards in parallel.
+
+        Shards ship to workers as :class:`~repro.fleet.shm.SharedStackBlock`
+        segments (stacked ``(B, m, n)`` windows, zero pickled matrix bytes);
+        each worker solves its shard through one stacked iteration loop and
+        sends back per-cluster results plus its instrumentation
+        ``state_dict``, which is merged — ``kernel.batch.*`` counters and
+        all — into the fleet sink.
+        """
+        cfg = self.config
+        t0 = time.perf_counter()
+        shards = self.plan_sweep()
+        n_workers = min(int(cfg.n_workers), len(shards))
+        ctx = mp.get_context()
+        task_queue = ctx.Queue(maxsize=cfg.max_inflight)
+        result_queue = ctx.Queue()
+        blocks: dict[int, SharedStackBlock] = {}
+        workers: list[mp.process.BaseProcess] = []
+        results: dict[str, SweepClusterResult] = {}
+        try:
+            # Stack blocks are created lazily at dispatch (below), which is
+            # *after* the fork — so the shared-memory resource tracker must
+            # be running first, or each forked worker spawns its own tracker
+            # and "cleans up" segments the scheduler already unlinked.
+            resource_tracker.ensure_running()
+            for _ in range(n_workers):
+                proc = ctx.Process(
+                    target=worker_main, args=(task_queue, result_queue), daemon=True
+                )
+                proc.start()
+                workers.append(proc)
+
+            pending = deque(shards)
+            inflight = 0
+            done = 0
+            while done < len(shards):
+                while pending and inflight < cfg.max_inflight:
+                    shard = pending.popleft()
+                    # Blocks are created at dispatch and unlinked as soon as
+                    # their result lands, so shared memory stays bounded by
+                    # the in-flight cap, not the fleet size.
+                    block = SharedStackBlock.create(shard.tps)
+                    blocks[shard.index] = block
+                    task_queue.put(
+                        SweepTask(
+                            shard=shard.index,
+                            descriptor=block.descriptor,
+                            clusters=shard.names,
+                            solver=cfg.solver,
+                            dtype=cfg.batch_dtype,
+                        )
+                    )
+                    inflight += 1
+
+                result = self._next_result(result_queue, workers)
+                inflight -= 1
+                done += 1
+                if result.instrumentation:
+                    self.instrumentation.merge(result.instrumentation)
+                if result.error is not None:
+                    raise FleetError(
+                        f"sweep shard {result.shard} "
+                        f"(clusters {', '.join(shards[result.shard].names)}) "
+                        f"failed in worker {result.worker_pid}",
+                        worker_traceback=result.error,
+                    )
+                blocks.pop(result.shard).unlink()
+                for res in result.results:
+                    results[res.name] = res
+
+            for _ in workers:
+                task_queue.put(None)
+            for proc in workers:
+                proc.join(timeout=30.0)
+        finally:
+            for proc in workers:
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=5.0)
+            for block in blocks.values():
+                block.unlink()
+
+        elapsed = time.perf_counter() - t0
+        self._account_sweep(n_workers=n_workers, elapsed=elapsed, shards=len(shards))
+        return FleetSweepReport(
+            clusters=results,
+            n_workers=n_workers,
+            elapsed_s=elapsed,
+            total_shards=len(shards),
+            batch_size=int(cfg.batch_size),
+            batch_dtype=cfg.batch_dtype,
+            instrumentation=self.instrumentation.state_dict(),
+        )
+
+    def _account_sweep(self, *, n_workers: int, elapsed: float, shards: int) -> None:
+        sink = self.instrumentation
+        sink.count("fleet.clusters", len(self.clusters))
+        sink.count("fleet.sweep.shards", shards)
         sink.count("fleet.workers", n_workers)
         sink.add_time("fleet.elapsed", elapsed)

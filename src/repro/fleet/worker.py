@@ -22,10 +22,27 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from ..cloudsim.trace import CalibrationTrace
+from ..core.batch import BatchedSolveWorkspace, solve_rpca_batch
+from ..core.decompose import decomposition_from_result
+from ..core.matrices import TPMatrix
+from ..observability import Instrumentation, instrumented
 from ..runtime.session import OperationSpec, SessionCapsule, TraceSession
-from .shm import SharedTraceBlock, TraceBlockDescriptor
+from .report import SweepClusterResult
+from .shm import (
+    SharedStackBlock,
+    SharedTraceBlock,
+    StackBlockDescriptor,
+    TraceBlockDescriptor,
+)
 
-__all__ = ["BatchResult", "BatchTask", "worker_main"]
+__all__ = [
+    "BatchResult",
+    "BatchTask",
+    "SweepResult",
+    "SweepTask",
+    "solve_shard",
+    "worker_main",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -48,6 +65,132 @@ class BatchResult:
     operations: int
     worker_pid: int
     error: str | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class SweepTask:
+    """One shard of a batched fleet sweep: B same-shape cluster windows."""
+
+    shard: int
+    descriptor: StackBlockDescriptor
+    clusters: tuple[str, ...]
+    solver: str = "apg"
+    dtype: str = "float64"
+    extraction: str = "mean"
+
+
+@dataclass(frozen=True, slots=True)
+class SweepResult:
+    """What a worker sends back after (attempting) a sweep shard.
+
+    ``instrumentation`` carries the worker-side sink's ``state_dict()`` —
+    the ``kernel.batch.*`` counters and solve spans accumulated while the
+    shard solved — for the scheduler to fold into the fleet sink via
+    :meth:`~repro.observability.Instrumentation.merge`.
+    """
+
+    shard: int
+    results: tuple[SweepClusterResult, ...]
+    worker_pid: int
+    instrumentation: dict[str, Any] | None = None
+    error: str | None = None
+
+
+def solve_shard(
+    names: tuple[str, ...] | list[str],
+    tps: list[TPMatrix],
+    *,
+    solver: str = "apg",
+    dtype: str = "float64",
+    extraction: str = "mean",
+    workspaces: dict[tuple[int, int, int], BatchedSolveWorkspace] | None = None,
+) -> list[SweepClusterResult]:
+    """Solve one shard of same-shape TP-matrices as a single stacked batch.
+
+    The one code path both sweep modes share: the serial reference
+    (:meth:`~repro.fleet.FleetScheduler.run_sweep_serial`) calls it
+    in-process on the scheduler's TP-matrices, workers call it on matrices
+    rebuilt from the shared stack block. Identical inputs take identical
+    float64 operations, so per-cluster ``P_D`` is bit-identical across the
+    two modes regardless of worker count or shard placement.
+
+    ``workspaces`` is an optional per-shape buffer cache (keyed by the
+    stacked ``(B, m, n)`` shape) so a long-lived caller reuses iteration
+    buffers across same-shape shards.
+    """
+    if len(names) != len(tps):
+        raise ValueError(f"{len(names)} names for {len(tps)} matrices")
+    masks: list[Any] | None = [tp.mask for tp in tps]
+    if all(m is None for m in masks):
+        masks = None
+    workspace = None
+    if workspaces is not None and tps:
+        key = (len(tps), *tps[0].data.shape)
+        workspace = workspaces.get(key)
+        if workspace is None:
+            workspace = BatchedSolveWorkspace(key)
+            workspaces[key] = workspace
+    results = solve_rpca_batch(
+        [tp.data for tp in tps],
+        masks,
+        solver=solver,
+        dtype=dtype,
+        workspace=workspace,
+        context="fleet-sweep",
+    )
+    out: list[SweepClusterResult] = []
+    for name, tp, res in zip(names, tps, results):
+        dec = decomposition_from_result(tp, res, solver=solver, extraction=extraction)
+        out.append(
+            SweepClusterResult(
+                name=name,
+                constant_row=dec.constant.row,
+                norm_ne=dec.norm_ne,
+                verdict=dec.report.verdict,
+                rank=res.rank,
+                iterations=res.iterations,
+                converged=res.converged,
+                residual=res.residual,
+            )
+        )
+    return out
+
+
+def _run_sweep_task(
+    task: SweepTask,
+    workspaces: dict[tuple[int, int, int], BatchedSolveWorkspace],
+    pid: int,
+) -> SweepResult:
+    sink = Instrumentation("sweep-worker")
+    try:
+        block = SharedStackBlock.attach(task.descriptor)
+        try:
+            tps = block.tp_matrices()
+            with instrumented(sink):
+                results = solve_shard(
+                    task.clusters,
+                    tps,
+                    solver=task.solver,
+                    dtype=task.dtype,
+                    extraction=task.extraction,
+                    workspaces=workspaces,
+                )
+        finally:
+            block.close()
+        return SweepResult(
+            shard=task.shard,
+            results=tuple(results),
+            worker_pid=pid,
+            instrumentation=sink.state_dict(),
+        )
+    except BaseException:
+        return SweepResult(
+            shard=task.shard,
+            results=(),
+            worker_pid=pid,
+            instrumentation=sink.state_dict(),
+            error=traceback.format_exc(),
+        )
 
 
 def _run_batch(
@@ -75,11 +218,15 @@ def worker_main(task_queue: Any, result_queue: Any) -> None:
     pid = os.getpid()
     blocks: dict[str, SharedTraceBlock] = {}
     traces: dict[str, CalibrationTrace] = {}
+    workspaces: dict[tuple[int, int, int], BatchedSolveWorkspace] = {}
     try:
         while True:
             task = task_queue.get()
             if task is None:
                 break
+            if isinstance(task, SweepTask):
+                result_queue.put(_run_sweep_task(task, workspaces, pid))
+                continue
             try:
                 if task.descriptor.name not in blocks:
                     block = SharedTraceBlock.attach(task.descriptor)

@@ -72,7 +72,7 @@ def test_facade_signatures_match_manifest():
     documented = _fenced_block("Facade signatures")
     live = sorted(
         _render_signature(getattr(api, name))
-        for name in ("solve", "open_session", "run_fleet")
+        for name in ("solve", "open_session", "run_fleet", "sweep_fleet")
     )
     assert live == sorted(documented)
 

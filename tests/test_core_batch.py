@@ -1,0 +1,358 @@
+"""Batched stacked-solver tests: bit parity, dropout, fallback, workspaces.
+
+The batched path's contract is exact: slice ``b`` of a float64 batched
+solve is **bit-identical** to the single-matrix ``svd_backend="gram"``
+solve of matrix ``b``, for any batch composition, because every stacked
+operation (batched matmul, stacked eigh, broadcast scalars) is per-slice
+bit-invariant and per-slice reductions reuse the single-matrix kernels.
+Every parity assertion here is therefore ``np.array_equal``, never
+``allclose`` — unconditionally, on every platform.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cloudsim.tracegen import TraceConfig, generate_trace
+from repro.core.decompose import decompose
+from repro.core.batch import (
+    BATCH_DTYPES,
+    BatchedSolveWorkspace,
+    solve_rpca_batch,
+    validate_batch_dtype,
+)
+from repro.core.engine import BatchDecompositionEngine
+from repro.core.kernels import BatchRankPredictor, RankPredictor
+from repro.core.matrices import TPMatrix
+from repro.core.solvers import solve_rpca
+from repro.errors import ValidationError
+from repro.observability import Instrumentation, instrumented
+
+MB = 1024 * 1024
+
+
+def _tp(seed, *, n_machines=6, n_snapshots=8, masked=False):
+    trace = generate_trace(
+        TraceConfig(n_machines=n_machines, n_snapshots=n_snapshots), seed=seed
+    )
+    tp = trace.tp_matrix(8 * MB)
+    if not masked:
+        return tp
+    rng = np.random.default_rng(seed + 1000)
+    mask = rng.random(tp.data.shape) > 0.12
+    return TPMatrix(
+        data=tp.data, n_machines=tp.n_machines, timestamps=tp.timestamps, mask=mask
+    )
+
+
+def _stack(seeds, **kwargs):
+    tps = [_tp(s, **kwargs) for s in seeds]
+    return [tp.data for tp in tps], [tp.mask for tp in tps], tps
+
+
+def _single(a, mask, solver):
+    kwargs = {"svd_backend": "gram"}
+    if mask is not None:
+        kwargs["mask"] = mask
+    return solve_rpca(a, solver=solver, **kwargs)
+
+
+class TestBitParity:
+    """The headline contract: batched slices == per-matrix gram solves."""
+
+    @pytest.mark.parametrize("solver", ["apg", "ialm"])
+    def test_unmasked_batch_matches_per_matrix(self, solver):
+        mats, _, _ = _stack(range(5))
+        results = solve_rpca_batch(mats, solver=solver)
+        iters = set()
+        for a, res in zip(mats, results):
+            ref = _single(a, None, solver)
+            assert np.array_equal(res.low_rank, ref.low_rank)
+            assert np.array_equal(res.sparse, ref.sparse)
+            assert res.iterations == ref.iterations
+            assert res.rank == ref.rank
+            assert res.residual == ref.residual
+            assert res.converged and ref.converged
+            iters.add(res.iterations)
+        # The stack genuinely exercised dropout: convergence was ragged.
+        assert len(iters) > 1
+
+    @pytest.mark.parametrize("solver", ["apg", "ialm"])
+    def test_masked_and_mixed_batch_matches_per_matrix(self, solver):
+        mats, masks, _ = _stack(range(4), masked=True)
+        um, _, _ = _stack([90, 91])
+        all_mats = mats + um
+        all_masks = masks + [None, None]
+        results = solve_rpca_batch(all_mats, all_masks, solver=solver)
+        for a, mk, res in zip(all_mats, all_masks, results):
+            ref = _single(np.where(mk, a, 0.0) if mk is not None else a, mk, solver)
+            assert np.array_equal(res.low_rank, ref.low_rank)
+            assert np.array_equal(res.sparse, ref.sparse)
+            assert res.iterations == ref.iterations
+
+    def test_batch_composition_invariance(self):
+        """A slice's bits cannot depend on which other slices ride along."""
+        mats, _, _ = _stack(range(6))
+        full = solve_rpca_batch(mats)
+        subset = solve_rpca_batch([mats[4], mats[1]])
+        assert np.array_equal(full[4].low_rank, subset[0].low_rank)
+        assert np.array_equal(full[1].low_rank, subset[1].low_rank)
+        solo = solve_rpca_batch([mats[2]])
+        assert np.array_equal(full[2].low_rank, solo[0].low_rank)
+        assert np.array_equal(full[2].sparse, solo[0].sparse)
+
+    @pytest.mark.parametrize("solver", ["apg", "ialm"])
+    def test_batched_matches_exact_to_tolerance(self, solver):
+        mats, _, _ = _stack(range(3))
+        results = solve_rpca_batch(mats, solver=solver)
+        for a, res in zip(mats, results):
+            exact = solve_rpca(a, solver=solver)
+            scale = float(np.abs(exact.low_rank).max())
+            diff = float(np.abs(res.low_rank - exact.low_rank).max())
+            assert diff <= 1e-5 * scale
+
+
+class TestSweepParity:
+    """Batched fleet sweeps vs the serial reference: bit-for-bit P_D."""
+
+    def test_parallel_sweep_matches_serial_bitwise(self):
+        from repro import sweep_fleet
+        from repro.fleet import ClusterSpec
+
+        clusters = [
+            ClusterSpec(
+                name=f"c{i}",
+                trace=generate_trace(
+                    TraceConfig(n_machines=6, n_snapshots=12), seed=300 + i
+                ),
+            )
+            for i in range(5)
+        ]
+        serial = sweep_fleet(clusters, serial=True, batch_size=2, window=8)
+        parallel = sweep_fleet(clusters, n_workers=2, batch_size=2, window=8)
+        assert set(serial.clusters) == set(parallel.clusters)
+        for name in serial.clusters:
+            s, p = serial.clusters[name], parallel.clusters[name]
+            assert np.array_equal(s.constant_row, p.constant_row)
+            assert s.iterations == p.iterations
+            assert s.rank == p.rank
+            assert s.residual == p.residual
+
+    def test_serial_sweep_matches_per_cluster_decompose(self):
+        from repro import sweep_fleet
+        from repro.fleet import ClusterSpec
+
+        traces = [
+            generate_trace(TraceConfig(n_machines=6, n_snapshots=12), seed=400 + i)
+            for i in range(3)
+        ]
+        clusters = [ClusterSpec(name=f"c{i}", trace=t) for i, t in enumerate(traces)]
+        report = sweep_fleet(clusters, serial=True, batch_size=3, window=8)
+        for i, trace in enumerate(traces):
+            tp = trace.tp_matrix(8.0 * MB, start=trace.n_snapshots - 8, count=8)
+            ref = decompose(tp, svd_backend="gram")
+            assert np.array_equal(report.clusters[f"c{i}"].constant_row, ref.constant.row)
+
+
+class TestFloat32Mode:
+    def test_f32_refinement_close_to_f64(self):
+        mats, _, _ = _stack(range(3))
+        sink = Instrumentation("f32")
+        with instrumented(sink):
+            rough = solve_rpca_batch(mats, dtype="float32")
+        ref = solve_rpca_batch(mats, dtype="float64")
+        for r, f in zip(rough, ref):
+            assert r.low_rank.dtype == np.float64
+            scale = float(np.abs(f.low_rank).max())
+            diff = float(np.abs(r.low_rank - f.low_rank).max())
+            # The refinement pass warm-starts, and APG-with-continuation is
+            # path-dependent at roughly warm-start tolerance (worse on tiny
+            # windows like these); f32 is a speed mode, not a parity mode.
+            assert diff <= 2e-2 * scale
+            # Iterations account for both phases.
+            assert r.iterations > f.iterations / 4
+        assert sink.counters["kernel.batch.refine_passes"] == 1
+
+    def test_validate_batch_dtype(self):
+        for name in BATCH_DTYPES:
+            assert validate_batch_dtype(name) == name
+        with pytest.raises(ValidationError, match="batch dtype"):
+            validate_batch_dtype("float16")
+
+
+class TestDropoutCounters:
+    def test_dropout_accounting(self):
+        mats, _, _ = _stack(range(5))
+        sink = Instrumentation("drop")
+        with instrumented(sink):
+            results = solve_rpca_batch(mats)
+        c = sink.counters
+        assert c["kernel.batch.solves"] == 1
+        assert c["kernel.batch.matrices"] == 5
+        slice_iters = sum(r.iterations for r in results)
+        assert c["kernel.batch.active_iterations"] == slice_iters
+        # Ragged convergence means the batch loop outlived some slices, but
+        # dropout compaction means the idle tail was never iterated.
+        loop_iters = c["kernel.batch.iterations"]
+        assert loop_iters == max(r.iterations for r in results)
+        assert c["kernel.batch.dropout_iterations"] == loop_iters * 5 - slice_iters
+        assert c["kernel.batch.dropout_iterations"] > 0
+        assert "kernel.batch.solve_seconds" in sink.timers
+
+    def test_spans_emitted_per_slice(self):
+        mats, _, _ = _stack(range(3))
+        sink = Instrumentation("spans")
+        with instrumented(sink):
+            solve_rpca_batch(mats, context="unit")
+        assert len(sink.spans) == 3
+        assert all(s.context == "unit" for s in sink.spans)
+
+
+class TestWorkspace:
+    def test_reuse_allocates_once(self):
+        mats, _, _ = _stack(range(3))
+        ws = BatchedSolveWorkspace((3, *mats[0].shape))
+        sink = Instrumentation("ws")
+        with instrumented(sink):
+            first = solve_rpca_batch(mats, workspace=ws)
+            allocated = ws.allocated
+            second = solve_rpca_batch(mats, workspace=ws)
+        assert ws.allocated == allocated  # steady state: no new buffers
+        assert sink.counters["kernel.batch.workspace.alloc_bmn"] == allocated
+        for a, b in zip(first, second):
+            assert np.array_equal(a.low_rank, b.low_rank)
+
+    def test_shape_and_dtype_guards(self):
+        ws = BatchedSolveWorkspace((2, 4, 9))
+        with pytest.raises(ValidationError, match="does not match"):
+            solve_rpca_batch([np.ones((3, 9)), np.ones((3, 9))], workspace=ws)
+        buf = ws.buf("x")
+        assert buf.shape == (2, 4, 9) and buf.dtype == np.float64
+        with pytest.raises(ValidationError, match="requested"):
+            ws.buf("x", dtype=np.float32)
+        with pytest.raises(ValidationError, match="positive"):
+            BatchedSolveWorkspace((0, 4, 9))
+
+
+class TestFallback:
+    def test_unsupported_solver_falls_back(self):
+        mats, _, _ = _stack(range(2))
+        sink = Instrumentation("fb")
+        with instrumented(sink):
+            results = solve_rpca_batch(mats, solver="row_constant")
+        assert sink.counters["kernel.batch.fallback"] == 2
+        for a, res in zip(mats, results):
+            ref = solve_rpca(a, solver="row_constant")
+            assert np.array_equal(res.low_rank, ref.low_rank)
+
+    def test_unsupported_kwarg_falls_back_bitwise(self):
+        mats, _, _ = _stack(range(2))
+        results = solve_rpca_batch(mats, solver="apg", svd_backend="exact")
+        for a, res in zip(mats, results):
+            ref = solve_rpca(a, solver="apg", svd_backend="exact")
+            assert np.array_equal(res.low_rank, ref.low_rank)
+
+    def test_wide_short_side_falls_back(self):
+        rng = np.random.default_rng(7)
+        mats = [rng.normal(size=(70, 80)) for _ in range(2)]
+        sink = Instrumentation("fb2")
+        with instrumented(sink):
+            solve_rpca_batch(mats, max_iter=5)
+        assert sink.counters["kernel.batch.fallback"] == 2
+
+    def test_fallback_false_raises_with_reason(self):
+        mats, _, _ = _stack(range(2))
+        with pytest.raises(ValidationError, match="row_constant"):
+            solve_rpca_batch(mats, solver="row_constant", fallback=False)
+        with pytest.raises(ValidationError, match="keyword"):
+            solve_rpca_batch(mats, solver="apg", warm_start=None, fallback=False)
+
+
+class TestInputValidation:
+    def test_empty_batch(self):
+        with pytest.raises(ValidationError, match="at least one"):
+            solve_rpca_batch([])
+
+    def test_ragged_shapes(self):
+        with pytest.raises(ValidationError, match="shape-homogeneous"):
+            solve_rpca_batch([np.ones((4, 9)), np.ones((5, 9))])
+
+    def test_mask_count_mismatch(self):
+        with pytest.raises(ValidationError, match="masks"):
+            solve_rpca_batch([np.ones((4, 9))], masks=[None, None])
+
+    def test_3d_array_input(self):
+        mats, _, _ = _stack(range(2))
+        stacked = np.stack(mats)
+        a = solve_rpca_batch(stacked)
+        b = solve_rpca_batch(mats)
+        for x, y in zip(a, b):
+            assert np.array_equal(x.low_rank, y.low_rank)
+
+
+class TestBatchRankPredictor:
+    def test_matches_scalar_predictor_elementwise(self):
+        shape = (4, 10, 25)
+        batch = BatchRankPredictor.for_stack(shape)
+        singles = [RankPredictor.for_shape(shape[1:]) for _ in range(4)]
+        rng = np.random.default_rng(3)
+        for _ in range(12):
+            surviving = rng.integers(1, 11, size=4)
+            batch.observe(surviving.astype(np.int64))
+            for s, k in zip(singles, surviving):
+                s.observe(int(k))
+            assert np.array_equal(
+                batch.predict(), np.array([s.predict() for s in singles])
+            )
+
+    def test_slots_remap_observations(self):
+        batch = BatchRankPredictor.for_stack((3, 10, 25))
+        before = batch.predict()
+        # Only slot 2 is active; its observation must land at position 2.
+        batch.observe(np.array([3]), slots=np.array([2]))
+        after = batch.predict()
+        assert after[0] == before[0] and after[1] == before[1]
+        assert after[2] == 4  # shrink rule: surviving + 1
+
+
+class TestBatchEngine:
+    def test_engine_matches_decompose_and_groups_shapes(self):
+        tps = [_tp(s) for s in range(3)]
+        tps += [_tp(s, n_machines=5, n_snapshots=6) for s in (50, 51)]
+        tps.append(_tp(60, masked=True))
+        engine = BatchDecompositionEngine()
+        decs = engine.decompose_batch(tps)
+        assert len(decs) == len(tps)
+        for tp, dec in zip(tps, decs):
+            ref = decompose(tp, svd_backend="gram")
+            assert np.array_equal(dec.constant.row, ref.constant.row)
+            assert dec.solver_iterations == ref.solver_iterations
+            assert dec.report.verdict == ref.report.verdict
+        assert engine.instrumentation.counters["engine.batch.windows"] == len(tps)
+        # 6x8 windows (masked + unmasked share a group) and 5x6 windows.
+        assert engine.instrumentation.counters["engine.batch.groups"] == 2
+
+    def test_engine_workspaces_stable_across_sweeps(self):
+        tps = [_tp(s) for s in range(4)]
+        engine = BatchDecompositionEngine()
+        engine.decompose_batch(tps)
+        allocated = {k: ws.allocated for k, ws in engine._workspaces.items()}
+        engine.decompose_batch(tps)
+        assert {k: ws.allocated for k, ws in engine._workspaces.items()} == allocated
+
+    def test_engine_validates_inputs(self):
+        with pytest.raises(ValidationError, match="at least one"):
+            BatchDecompositionEngine().decompose_batch([])
+        with pytest.raises(ValidationError, match="TPMatrix"):
+            BatchDecompositionEngine().decompose_batch([np.ones((4, 9))])
+        with pytest.raises(ValidationError, match="batch dtype"):
+            BatchDecompositionEngine(dtype="float16")
+        with pytest.raises(TypeError):
+            BatchDecompositionEngine(nonsense_kwarg=1)
+
+    def test_engine_f32_mode(self):
+        tps = [_tp(s) for s in range(2)]
+        fast = BatchDecompositionEngine(dtype="float32").decompose_batch(tps)
+        ref = BatchDecompositionEngine().decompose_batch(tps)
+        for f, r in zip(fast, ref):
+            scale = float(np.abs(r.constant.row).max())
+            assert float(np.abs(f.constant.row - r.constant.row).max()) <= 2e-2 * scale

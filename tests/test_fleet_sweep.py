@@ -1,0 +1,251 @@
+"""Fleet sweeps: stack-block transport, shard planning, parity, counters.
+
+The sweep path is PR 6's batched execution strategy: every cluster's
+trailing window solves inside a stacked ``(B, m, n)`` loop, sharded
+across workers through :class:`SharedStackBlock` segments. These tests
+pin the transport round-trip, the deterministic shard plan, bit parity
+between the serial oracle and the parallel run, worker-failure
+surfacing, and that ``kernel.batch.*`` counters from batch-shard workers
+fold into the fleet sink (``Instrumentation.merge``).
+"""
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import sweep_fleet
+from repro.cloudsim.trace import CalibrationTrace
+from repro.cloudsim.tracegen import TraceConfig, generate_trace
+from repro.errors import FleetError, ValidationError
+from repro.fleet import (
+    ClusterSpec,
+    FleetConfig,
+    FleetScheduler,
+    SharedStackBlock,
+)
+from repro.observability import Instrumentation
+
+pytestmark = pytest.mark.fleet
+
+N_WORKERS = int(os.environ.get("REPRO_FLEET_WORKERS", "2"))
+
+MB = 1024 * 1024
+
+
+def _trace(seed, *, n_machines=6, n_snapshots=16, mask=False):
+    trace = generate_trace(
+        TraceConfig(n_machines=n_machines, n_snapshots=n_snapshots), seed=seed
+    )
+    if not mask:
+        return trace
+    rng = np.random.default_rng(seed)
+    m = rng.random(trace.alpha.shape) > 0.1
+    return CalibrationTrace(
+        alpha=trace.alpha, beta=trace.beta, timestamps=trace.timestamps, mask=m
+    )
+
+
+def _clusters(n, **kwargs):
+    return [ClusterSpec(name=f"c{i}", trace=_trace(50 + i, **kwargs)) for i in range(n)]
+
+
+def _tps(n, *, seed0=50, mask=False, **kwargs):
+    return [
+        _trace(seed0 + i, mask=mask, **kwargs).tp_matrix(8 * MB) for i in range(n)
+    ]
+
+
+CFG = dict(batch_size=3, window=6)
+
+
+class TestSharedStackBlock:
+    def test_round_trip_unmasked(self):
+        tps = _tps(3)
+        with SharedStackBlock.create(tps) as block:
+            attached = SharedStackBlock.attach(block.descriptor)
+            try:
+                rebuilt = attached.tp_matrices()
+                assert len(rebuilt) == 3
+                for orig, back in zip(tps, rebuilt):
+                    assert np.array_equal(back.data, orig.data)
+                    assert np.array_equal(back.timestamps, orig.timestamps)
+                    assert back.n_machines == orig.n_machines
+                    assert back.mask is None
+            finally:
+                attached.close()
+
+    def test_round_trip_mixed_masks(self):
+        tps = _tps(2, mask=True) + _tps(1, seed0=90)
+        assert tps[0].mask is not None and tps[2].mask is None
+        with SharedStackBlock.create(tps) as block:
+            rebuilt = block.tp_matrices()
+            assert np.array_equal(rebuilt[0].mask, tps[0].mask)
+            assert np.array_equal(rebuilt[1].mask, tps[1].mask)
+            # The unmasked slice travels as all-ones and normalizes back.
+            assert rebuilt[2].mask is None
+            assert np.array_equal(rebuilt[2].data, tps[2].data)
+
+    def test_views_are_zero_copy(self):
+        tps = _tps(2)
+        with SharedStackBlock.create(tps) as block:
+            for tp in block.tp_matrices():
+                assert not tp.data.flags.owndata
+                assert not tp.timestamps.flags.owndata
+
+    def test_descriptor_is_small_and_picklable(self):
+        tps = _tps(4)
+        with SharedStackBlock.create(tps) as block:
+            blob = pickle.dumps(block.descriptor)
+            # The whole point: descriptors ship over queues, matrices don't.
+            assert len(blob) < 1024
+            desc = pickle.loads(blob)
+            assert desc.batch == 4
+            assert desc.nbytes >= 4 * tps[0].data.nbytes
+
+    def test_attach_after_unlink_raises(self):
+        block = SharedStackBlock.create(_tps(1))
+        desc = block.descriptor
+        block.unlink()
+        with pytest.raises(FleetError, match="gone"):
+            SharedStackBlock.attach(desc)
+
+    def test_only_owner_may_unlink(self):
+        with SharedStackBlock.create(_tps(1)) as block:
+            attached = SharedStackBlock.attach(block.descriptor)
+            try:
+                with pytest.raises(FleetError, match="owner|creating"):
+                    attached.unlink()
+            finally:
+                attached.close()
+
+    def test_heterogeneous_stack_rejected(self):
+        tps = _tps(1) + _tps(1, n_machines=5)
+        with pytest.raises(ValidationError, match="shape-homogeneous"):
+            SharedStackBlock.create(tps)
+
+    def test_empty_stack_rejected(self):
+        with pytest.raises(ValidationError, match="at least one"):
+            SharedStackBlock.create([])
+
+
+class TestPlanSweep:
+    def test_plan_is_deterministic_and_respects_batch_size(self):
+        sched = FleetScheduler(_clusters(7), FleetConfig(**CFG))
+        plan_a = sched.plan_sweep()
+        plan_b = sched.plan_sweep()
+        assert [s.names for s in plan_a] == [s.names for s in plan_b]
+        assert [s.index for s in plan_a] == list(range(len(plan_a)))
+        # 7 same-shape clusters at width 3 -> shards of 3, 3, 1.
+        assert [len(s.names) for s in plan_a] == [3, 3, 1]
+        assert sorted(n for s in plan_a for n in s.names) == [
+            f"c{i}" for i in range(7)
+        ]
+
+    def test_plan_groups_by_shape(self):
+        clusters = _clusters(3) + [
+            ClusterSpec(name=f"w{i}", trace=_trace(80 + i, n_machines=8))
+            for i in range(2)
+        ]
+        shards = FleetScheduler(clusters, FleetConfig(batch_size=4, window=6)).plan_sweep()
+        for shard in shards:
+            shapes = {tp.data.shape for tp in shard.tps}
+            assert len(shapes) == 1  # a shard never mixes shapes
+        assert {s.names for s in shards} == {("c0", "c1", "c2"), ("w0", "w1")}
+
+    def test_plan_clamps_window_to_short_traces(self):
+        clusters = [ClusterSpec(name="short", trace=_trace(9, n_snapshots=4))]
+        shards = FleetScheduler(clusters, FleetConfig(**CFG)).plan_sweep()
+        assert shards[0].tps[0].data.shape[0] == 4  # min(window=6, snapshots=4)
+
+
+class TestSweepParity:
+    def test_parallel_matches_serial_bitwise(self):
+        clusters = _clusters(5) + [
+            ClusterSpec(name="masked0", trace=_trace(70, mask=True)),
+            ClusterSpec(name="masked1", trace=_trace(71, mask=True)),
+        ]
+        serial = sweep_fleet(clusters, serial=True, **CFG)
+        parallel = sweep_fleet(clusters, n_workers=N_WORKERS, **CFG)
+        assert parallel.n_workers == min(N_WORKERS, parallel.total_shards)
+        assert set(serial.clusters) == set(parallel.clusters) == {
+            c.name for c in clusters
+        }
+        for name, s in serial.clusters.items():
+            p = parallel.clusters[name]
+            assert np.array_equal(s.constant_row, p.constant_row)
+            assert s.iterations == p.iterations
+            assert s.rank == p.rank
+            assert s.residual == p.residual
+            assert s.norm_ne == p.norm_ne
+            assert s.verdict == p.verdict
+
+    def test_sweep_is_repeatable(self):
+        clusters = _clusters(3)
+        first = sweep_fleet(clusters, n_workers=N_WORKERS, **CFG)
+        second = sweep_fleet(clusters, n_workers=N_WORKERS, **CFG)
+        for name in first.clusters:
+            assert np.array_equal(
+                first.clusters[name].constant_row, second.clusters[name].constant_row
+            )
+
+    def test_worker_failure_surfaces_as_fleet_error(self):
+        # An unknown solver passes FleetConfig but blows up inside the
+        # worker's fallback; the scheduler must surface it as a FleetError
+        # naming the shard and carrying the worker traceback.
+        cfg = FleetConfig(n_workers=N_WORKERS, solver="no-such-solver", **CFG)
+        with pytest.raises(FleetError, match="sweep shard") as exc_info:
+            FleetScheduler(_clusters(2), cfg).run_sweep()
+        assert "no-such-solver" in exc_info.value.worker_traceback
+
+
+class TestSweepInstrumentation:
+    def test_merge_folds_kernel_batch_counters(self):
+        """Satellite regression: worker state_dicts carry kernel.batch.*
+        counters and Instrumentation.merge accumulates them additively."""
+        sink = Instrumentation("fleet")
+        sink.count("kernel.batch.solves", 1)
+        worker_state = {
+            "name": "sweep-worker",
+            "counters": {
+                "kernel.batch.solves": 2,
+                "kernel.batch.matrices": 6,
+                "kernel.batch.dropout_iterations": 17,
+            },
+            "timers": {"kernel.batch.solve_seconds": 0.25},
+            "spans": [],
+        }
+        sink.merge(worker_state)
+        sink.merge(worker_state)
+        assert sink.counters["kernel.batch.solves"] == 5
+        assert sink.counters["kernel.batch.matrices"] == 12
+        assert sink.counters["kernel.batch.dropout_iterations"] == 34
+        assert sink.timers["kernel.batch.solve_seconds"] == pytest.approx(0.5)
+
+    def test_parallel_sweep_ships_batch_counters_to_fleet_sink(self):
+        sink = Instrumentation("fleet")
+        clusters = _clusters(5)
+        report = FleetScheduler(
+            clusters, FleetConfig(n_workers=N_WORKERS, **CFG), instrumentation=sink
+        ).run_sweep()
+        # 5 clusters at width 3 -> 2 shards, each one batched solve in a
+        # worker process; the counters must land in the parent sink.
+        assert sink.counters["kernel.batch.solves"] == 2
+        assert sink.counters["kernel.batch.matrices"] == 5
+        assert sink.counters["fleet.sweep.shards"] == 2
+        assert sink.counters["fleet.clusters"] == 5
+        assert "kernel.batch.solve_seconds" in sink.timers
+        # The report snapshot carries the merged state too.
+        assert report.instrumentation["counters"]["kernel.batch.matrices"] == 5
+        # One solve span per cluster window, shipped from the workers.
+        assert sink.solves == 5
+
+    def test_serial_sweep_records_same_counter_names(self):
+        sink = Instrumentation("fleet-serial")
+        FleetScheduler(
+            _clusters(4), FleetConfig(**CFG), instrumentation=sink
+        ).run_sweep_serial()
+        assert sink.counters["kernel.batch.solves"] == 2
+        assert sink.counters["kernel.batch.matrices"] == 4
+        assert sink.counters["fleet.workers"] == 1

@@ -1,0 +1,106 @@
+"""Property-based tests (hypothesis) for the batched stacked solvers.
+
+The batched path's headline invariant is bit parity: for *any* random
+stack of masked/unmasked matrices — any batch size, any mask pattern,
+any heterogeneous convergence profile — slice ``b`` of a float64 batched
+solve equals the single-matrix ``gram``-backend solve of matrix ``b``
+bit for bit. Hypothesis hunts for a stack composition that breaks it.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.batch import solve_rpca_batch
+from repro.core.kernels import BatchRankPredictor, RankPredictor
+from repro.core.solvers import solve_rpca
+
+# One random low-rank + sparse problem per (seed, masked) pair. Matrices
+# stay small so each hypothesis example solves in milliseconds; shapes are
+# fixed per test (a batch must be shape-homogeneous) while seeds and mask
+# patterns vary freely.
+_SHAPE = (6, 14)
+
+
+def _problem(seed, masked):
+    rng = np.random.default_rng(seed)
+    m, n = _SHAPE
+    low = np.outer(rng.normal(size=m), rng.normal(size=n))
+    sparse = rng.normal(scale=5.0, size=(m, n)) * (rng.random((m, n)) < 0.08)
+    data = low + sparse
+    if not masked:
+        return data, None
+    mask = rng.random((m, n)) > 0.15
+    return np.where(mask, data, 0.0), mask
+
+
+batch_specs = st.lists(
+    st.tuples(st.integers(0, 10_000), st.booleans()),
+    min_size=1,
+    max_size=6,
+)
+
+
+class TestBatchedBitParity:
+    @given(batch_specs, st.sampled_from(["apg", "ialm"]))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_per_matrix_gram_solves(self, specs, solver):
+        mats, masks = [], []
+        for seed, masked in specs:
+            data, mask = _problem(seed, masked)
+            mats.append(data)
+            masks.append(mask)
+        results = solve_rpca_batch(mats, masks, solver=solver, max_iter=200)
+        assert len(results) == len(mats)
+        for data, mask, res in zip(mats, masks, results):
+            kwargs = {"svd_backend": "gram", "max_iter": 200}
+            if mask is not None:
+                kwargs["mask"] = mask
+            ref = solve_rpca(data, solver=solver, **kwargs)
+            assert np.array_equal(res.low_rank, ref.low_rank)
+            assert np.array_equal(res.sparse, ref.sparse)
+            assert res.iterations == ref.iterations
+            assert res.rank == ref.rank
+            assert res.converged == ref.converged
+            assert res.residual == ref.residual
+
+    @given(batch_specs)
+    @settings(max_examples=10, deadline=None)
+    def test_slicewise_independence_of_batch_composition(self, specs):
+        """Any sub-batch reproduces the full batch's bits slice for slice."""
+        mats, masks = [], []
+        for seed, masked in specs:
+            data, mask = _problem(seed, masked)
+            mats.append(data)
+            masks.append(mask)
+        full = solve_rpca_batch(mats, masks, max_iter=200)
+        # Re-solve the reversed stack: same slices, different companions.
+        rev = solve_rpca_batch(mats[::-1], masks[::-1], max_iter=200)
+        for res, other in zip(full, rev[::-1]):
+            assert np.array_equal(res.low_rank, other.low_rank)
+            assert np.array_equal(res.sparse, other.sparse)
+            assert res.iterations == other.iterations
+
+
+class TestBatchRankPredictorProperties:
+    @given(
+        st.integers(2, 24),
+        st.integers(1, 8),
+        st.lists(st.lists(st.integers(0, 30), min_size=1, max_size=8),
+                 min_size=1, max_size=12),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_elementwise_equivalence_and_no_undershoot(self, min_dim, b, rounds):
+        batch = BatchRankPredictor(min_dim=min_dim, batch=b)
+        singles = [RankPredictor(min_dim=min_dim) for _ in range(b)]
+        for survivors in rounds:
+            vals = np.array([survivors[i % len(survivors)] for i in range(b)])
+            vals = np.minimum(vals, min_dim)
+            batch.observe(vals)
+            for s, v in zip(singles, vals):
+                s.observe(int(v))
+            pred = batch.predict()
+            assert np.array_equal(pred, [s.predict() for s in singles])
+            # The no-undershoot invariant, per slot.
+            assert np.all((pred > vals) | (pred == min_dim))
+            assert np.all(pred <= min_dim)
