@@ -220,6 +220,14 @@ def run_fleet(
     ``serial=True`` runs the identical plan in-process — the determinism
     oracle and throughput baseline.
 
+    The scheduler self-heals: dead workers are respawned (within
+    ``max_worker_restarts``) with their tasks replayed bit-identically,
+    failing tasks retry (``max_task_retries`` / ``retry_backoff_s``), and
+    ``task_timeout_s`` bounds each attempt. ``on_error="degrade"``
+    quarantines a cluster that exhausts its retries into the report
+    (check :attr:`~repro.fleet.FleetReport.degraded` and per-cluster
+    ``status``) instead of raising — see ``docs/fleet_failures.md``.
+
     >>> report = run_fleet([("a", trace_a), ("b", trace_b)], n_workers=4)
     >>> report.clusters["a"].verdict
     'stable'
@@ -250,7 +258,9 @@ def sweep_fleet(
     bit-identical to per-cluster serial solves. ``serial=True`` runs the
     identical shard plan in-process — the determinism oracle and the
     speedup baseline. The sweep always runs the batched gram-kernel path;
-    ``svd_backend`` only affects :func:`run_fleet` sessions.
+    ``svd_backend`` only affects :func:`run_fleet` sessions. The same
+    supervision as :func:`run_fleet` applies (worker respawn, shard
+    retries, deadlines, ``on_error="degrade"`` quarantine).
 
     >>> report = sweep_fleet([("a", trace_a), ("b", trace_b)], n_workers=4)
     >>> report.clusters["a"].verdict

@@ -198,6 +198,23 @@ def build_parser() -> argparse.ArgumentParser:
                           "bit-parity mode; float32 adds a refinement pass)")
     flt.add_argument("--checkpoint-root", default=None, metavar="DIR",
                      help="write per-cluster checkpoints under DIR")
+    flt.add_argument("--on-error", default="raise",
+                     choices=["raise", "degrade"],
+                     help="what to do when a cluster exhausts its retries: "
+                          "abort the run (raise) or quarantine it into the "
+                          "report and keep serving the rest (degrade); a "
+                          "degraded report exits nonzero")
+    flt.add_argument("--max-task-retries", type=int, default=2,
+                     help="extra attempts per failed task")
+    flt.add_argument("--retry-backoff", type=float, default=0.05,
+                     metavar="SECONDS",
+                     help="base retry delay; doubles per failed attempt")
+    flt.add_argument("--max-worker-restarts", type=int, default=3,
+                     help="fleet-wide budget of worker-process respawns")
+    flt.add_argument("--task-timeout", type=float, default=None,
+                     metavar="SECONDS",
+                     help="per-attempt deadline; a stuck worker is killed "
+                          "and the task retried (default: no deadline)")
     flt.add_argument("--serial", action="store_true",
                      help="run the identical plan in-process (baseline arm)")
     flt.add_argument("--json", action="store_true",
@@ -500,6 +517,11 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         batch_size=args.batch_size,
         batch_dtype=args.batch_dtype,
         checkpoint_root=args.checkpoint_root,
+        on_error=args.on_error,
+        max_task_retries=args.max_task_retries,
+        retry_backoff_s=args.retry_backoff,
+        max_worker_restarts=args.max_worker_restarts,
+        task_timeout_s=args.task_timeout,
     )
     # Under --profile the CLI sink is active: make it the fleet sink so the
     # per-cluster counters and solve spans merged back from the workers show
@@ -508,13 +530,17 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     scheduler = FleetScheduler(
         clusters, config, instrumentation=sinks[0] if sinks else None
     )
+    # A degraded report (any cluster not "ok") still prints in full — the
+    # healthy clusters' results are complete — but the exit code goes
+    # nonzero so scripts and CI notice the partial outcome.
     if args.sweep:
         report = (
             scheduler.run_sweep_serial() if args.serial else scheduler.run_sweep()
         )
+        exit_code = 3 if report.degraded else 0
         if args.json:
             print(json.dumps(report.summary()))
-            return 0
+            return exit_code
         mode = "serial" if args.serial else f"{report.n_workers} worker(s)"
         print(f"sweep:    {len(report.clusters)} cluster(s), {mode}, "
               f"dtype={report.batch_dtype}")
@@ -522,26 +548,46 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
               f"(batch size {report.batch_size})")
         print(f"elapsed:  {report.elapsed_s:.3f} s "
               f"({report.throughput_solves_s:.1f} solves/s)")
+        _print_fleet_health(report)
         for name in sorted(report.clusters):
             res = report.clusters[name]
+            suffix = "" if res.ok else f" status={res.status}"
             print(f"  {name}: rank={res.rank} iters={res.iterations} "
-                  f"Norm(N_E)={res.norm_ne:.4f} verdict={res.verdict}")
-        return 0
+                  f"Norm(N_E)={res.norm_ne:.4f} verdict={res.verdict}{suffix}")
+        return exit_code
     report = scheduler.run_serial() if args.serial else scheduler.run()
+    exit_code = 3 if report.degraded else 0
     if args.json:
         print(json.dumps(report.summary()))
-        return 0
+        return exit_code
     mode = "serial" if args.serial else f"{report.n_workers} worker(s)"
     print(f"fleet:      {len(report.clusters)} cluster(s), {mode}")
     print(f"operations: {report.total_operations} "
           f"({report.total_batches} batches)")
     print(f"elapsed:    {report.elapsed_s:.3f} s "
           f"({report.throughput_ops_s:.1f} ops/s)")
+    _print_fleet_health(report)
     for name in sorted(report.clusters):
         rep = report.clusters[name]
+        suffix = "" if rep.ok else f" status={rep.status}"
         print(f"  {name}: ops={rep.operations} recals={rep.recalibrations} "
-              f"Norm(N_E)={rep.norm_ne:.4f} verdict={rep.verdict}")
-    return 0
+              f"Norm(N_E)={rep.norm_ne:.4f} verdict={rep.verdict}{suffix}")
+    return exit_code
+
+
+def _print_fleet_health(report) -> None:
+    """One health line, plus a degraded warning when any cluster is sick."""
+    health = report.health()
+    print(f"health:     restarts={health['worker_restarts']} "
+          f"retries={health['task_retries']} "
+          f"timeouts={health['task_timeouts']} "
+          f"quarantined={health['clusters_quarantined']}")
+    if report.degraded:
+        sick = sorted(
+            name for name, status in report.statuses().items() if status != "ok"
+        )
+        print(f"DEGRADED:   {len(sick)} cluster(s) did not finish healthy: "
+              f"{', '.join(sick)}")
 
 
 def _cmd_changepoints(args: argparse.Namespace) -> int:

@@ -8,8 +8,14 @@ scheduler and workers as picklable session capsules. See
 backpressure, round-robin fairness, deterministic per-cluster results).
 """
 
-from .config import ClusterSpec, FleetConfig
-from .report import ClusterReport, FleetReport, FleetSweepReport, SweepClusterResult
+from .config import ClusterSpec, FleetConfig, ON_ERROR_POLICIES
+from .report import (
+    CLUSTER_STATUSES,
+    ClusterReport,
+    FleetReport,
+    FleetSweepReport,
+    SweepClusterResult,
+)
 from .scheduler import FleetScheduler, SweepShard
 from .shm import (
     SharedStackBlock,
@@ -17,17 +23,27 @@ from .shm import (
     StackBlockDescriptor,
     TraceBlockDescriptor,
 )
-from .worker import BatchResult, BatchTask, SweepResult, SweepTask, solve_shard, worker_main
+from .worker import (
+    BatchResult,
+    BatchTask,
+    SweepResult,
+    SweepTask,
+    TaskStarted,
+    solve_shard,
+    worker_main,
+)
 
 __all__ = [
     "BatchResult",
     "BatchTask",
+    "CLUSTER_STATUSES",
     "ClusterReport",
     "ClusterSpec",
     "FleetConfig",
     "FleetReport",
     "FleetScheduler",
     "FleetSweepReport",
+    "ON_ERROR_POLICIES",
     "SharedStackBlock",
     "SharedTraceBlock",
     "StackBlockDescriptor",
@@ -35,6 +51,7 @@ __all__ = [
     "SweepResult",
     "SweepShard",
     "SweepTask",
+    "TaskStarted",
     "TraceBlockDescriptor",
     "solve_shard",
     "worker_main",

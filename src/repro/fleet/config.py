@@ -19,9 +19,12 @@ from ..core.batch import validate_batch_dtype
 from ..core.kernels import validate_backend
 from ..errors import ValidationError
 
-__all__ = ["ClusterSpec", "FleetConfig"]
+__all__ = ["ClusterSpec", "FleetConfig", "ON_ERROR_POLICIES"]
 
 _MB = 1024 * 1024
+
+#: Valid values for :attr:`FleetConfig.on_error`.
+ON_ERROR_POLICIES = ("raise", "degrade")
 
 
 @dataclass(frozen=True)
@@ -116,6 +119,32 @@ class FleetConfig:
     keep_checkpoints:
         Per-cluster checkpoint retention (see
         :class:`~repro.persistence.CheckpointStore`).
+    on_error:
+        What to do when a task exhausts its retry budget. ``"raise"``
+        (default) aborts the run with a :class:`~repro.errors.FleetError`
+        — the historical behavior. ``"degrade"`` quarantines the sick
+        cluster (or sweep shard) into the report with a per-cluster
+        ``status`` and traceback and keeps serving every healthy cluster;
+        see ``docs/fleet_failures.md``.
+    max_task_retries:
+        Extra attempts per task after the first one fails (worker-side
+        exception or deadline). Deterministic replay from the cluster's
+        last capsule makes a retried task bit-identical to a never-failed
+        one, so retries never change results — only whether they arrive.
+    retry_backoff_s:
+        Base delay before a task retry; doubles per failed attempt of the
+        same task (capped at 30 s). ``0`` retries immediately.
+    max_worker_restarts:
+        Fleet-wide budget of worker-process respawns per run. A worker
+        that dies (crash, OOM-kill, SIGKILL) is replaced while budget
+        remains and its in-flight task is requeued from the scheduler's
+        last capsule; past the budget the pool just shrinks, and the run
+        fails only when no live worker is left with work still pending.
+    task_timeout_s:
+        Optional per-attempt deadline, measured from dispatch. A timed-out
+        attempt's worker is killed (and respawned within budget) and the
+        attempt counts against ``max_task_retries``. ``None`` disables
+        deadlines.
     """
 
     n_workers: int = 2
@@ -133,6 +162,11 @@ class FleetConfig:
     queue_depth: int = 2
     checkpoint_root: str | None = field(default=None)
     keep_checkpoints: int = 3
+    on_error: str = "raise"
+    max_task_retries: int = 2
+    retry_backoff_s: float = 0.05
+    max_worker_restarts: int = 3
+    task_timeout_s: float | None = None
 
     def __post_init__(self) -> None:
         for name in ("n_workers", "window", "consecutive", "operations",
@@ -146,6 +180,18 @@ class FleetConfig:
             raise ValidationError("threshold must be >= 0")
         validate_backend(self.svd_backend)
         validate_batch_dtype(self.batch_dtype)
+        if self.on_error not in ON_ERROR_POLICIES:
+            raise ValidationError(
+                f"on_error must be one of {ON_ERROR_POLICIES}, "
+                f"got {self.on_error!r}"
+            )
+        for name in ("max_task_retries", "max_worker_restarts"):
+            if int(getattr(self, name)) < 0:
+                raise ValidationError(f"{name} must be >= 0")
+        if float(self.retry_backoff_s) < 0:
+            raise ValidationError("retry_backoff_s must be >= 0")
+        if self.task_timeout_s is not None and float(self.task_timeout_s) <= 0:
+            raise ValidationError("task_timeout_s must be > 0 or None")
 
     @property
     def max_inflight(self) -> int:

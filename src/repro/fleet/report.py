@@ -1,18 +1,59 @@
-"""Result objects returned by a fleet run."""
+"""Result objects returned by a fleet run.
+
+Per-cluster health vocabulary (``status``):
+
+* ``"ok"`` — the cluster completed its full operation budget (or its sweep
+  window solved).
+* ``"quarantined"`` — the cluster's task kept raising; under
+  ``on_error="degrade"`` it was removed from the rotation after exhausting
+  its retry budget, and ``error`` carries the last worker traceback.
+* ``"failed"`` — the cluster was given up on for infrastructure reasons
+  (every attempt blew its ``task_timeout_s`` deadline) rather than because
+  its own task raised; ``error`` says why.
+
+A report whose clusters are not all ``"ok"`` is *degraded*
+(:attr:`FleetReport.degraded`): the healthy clusters' results are complete
+and bit-identical to a failure-free run, the sick ones are carried with
+their status and traceback instead of poisoning the run.
+"""
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Any
 
 import numpy as np
 
 __all__ = [
+    "CLUSTER_STATUSES",
     "ClusterReport",
     "FleetReport",
     "FleetSweepReport",
     "SweepClusterResult",
 ]
+
+#: Valid per-cluster health states in fleet reports.
+CLUSTER_STATUSES = ("ok", "failed", "quarantined")
+
+#: Scheduler health counters surfaced in every report summary.
+_HEALTH_COUNTERS = {
+    "worker_restarts": "fleet.worker.restarts",
+    "task_retries": "fleet.task.retries",
+    "task_timeouts": "fleet.task.timeouts",
+    "clusters_quarantined": "fleet.cluster.quarantined",
+}
+
+
+def _round_or_none(value: float, digits: int = 6) -> float | None:
+    """Round for a summary; non-finite values become JSON-safe ``None``."""
+    value = float(value)
+    return round(value, digits) if math.isfinite(value) else None
+
+
+def _health_summary(instrumentation: dict[str, Any]) -> dict[str, int]:
+    counters = instrumentation.get("counters", {}) if instrumentation else {}
+    return {key: int(counters.get(name, 0)) for key, name in _HEALTH_COUNTERS.items()}
 
 
 @dataclass(frozen=True)
@@ -22,7 +63,8 @@ class ClusterReport:
     ``constant_row`` is the flattened constant component ``P_D`` of the
     cluster's latest decomposition — the fleet's headline per-cluster
     output, and the quantity the throughput benchmark checks for
-    bit-identity against a serial run.
+    bit-identity against a serial run. For a quarantined cluster that never
+    completed a batch it is empty and ``verdict`` is ``"unavailable"``.
     """
 
     name: str
@@ -32,16 +74,28 @@ class ClusterReport:
     verdict: str
     recalibrations: int
     worker_batches: int
+    status: str = "ok"
+    error: str | None = None
+    retries: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
 
     def summary(self) -> dict[str, Any]:
-        return {
+        out = {
             "name": self.name,
             "operations": self.operations,
-            "norm_ne": round(float(self.norm_ne), 6),
+            "norm_ne": _round_or_none(self.norm_ne),
             "verdict": self.verdict,
             "recalibrations": self.recalibrations,
             "worker_batches": self.worker_batches,
+            "status": self.status,
+            "retries": self.retries,
         }
+        if self.error is not None:
+            out["error"] = self.error
+        return out
 
 
 @dataclass(frozen=True)
@@ -60,6 +114,18 @@ class FleetReport:
         """Fleet-wide completed operations per wall-clock second."""
         return self.total_operations / self.elapsed_s if self.elapsed_s > 0 else 0.0
 
+    @property
+    def degraded(self) -> bool:
+        """True when any cluster did not finish healthy (``status != "ok"``)."""
+        return any(rep.status != "ok" for rep in self.clusters.values())
+
+    def statuses(self) -> dict[str, str]:
+        return {name: rep.status for name, rep in self.clusters.items()}
+
+    def health(self) -> dict[str, int]:
+        """Scheduler self-healing counters (restarts, retries, timeouts)."""
+        return _health_summary(self.instrumentation)
+
     def constant_rows(self) -> dict[str, np.ndarray]:
         return {name: rep.constant_row for name, rep in self.clusters.items()}
 
@@ -70,6 +136,8 @@ class FleetReport:
             "total_operations": self.total_operations,
             "total_batches": self.total_batches,
             "throughput_ops_s": round(self.throughput_ops_s, 2),
+            "degraded": self.degraded,
+            "health": self.health(),
             "clusters": [
                 self.clusters[name].summary() for name in sorted(self.clusters)
             ],
@@ -82,7 +150,8 @@ class SweepClusterResult:
 
     ``constant_row`` is the flattened constant component ``P_D`` — the
     quantity the sweep benchmark checks for bit-identity between the
-    batched parallel run and the serial reference.
+    batched parallel run and the serial reference. For a quarantined
+    cluster it is empty and ``verdict`` is ``"unavailable"``.
     """
 
     name: str
@@ -93,16 +162,26 @@ class SweepClusterResult:
     iterations: int
     converged: bool
     residual: float
+    status: str = "ok"
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
 
     def summary(self) -> dict[str, Any]:
-        return {
+        out = {
             "name": self.name,
-            "norm_ne": round(float(self.norm_ne), 6),
+            "norm_ne": _round_or_none(self.norm_ne),
             "verdict": self.verdict,
             "rank": int(self.rank),
             "iterations": int(self.iterations),
             "converged": bool(self.converged),
+            "status": self.status,
         }
+        if self.error is not None:
+            out["error"] = self.error
+        return out
 
 
 @dataclass(frozen=True)
@@ -122,6 +201,18 @@ class FleetSweepReport:
         """Cluster windows decomposed per wall-clock second."""
         return len(self.clusters) / self.elapsed_s if self.elapsed_s > 0 else 0.0
 
+    @property
+    def degraded(self) -> bool:
+        """True when any cluster's window did not solve (``status != "ok"``)."""
+        return any(res.status != "ok" for res in self.clusters.values())
+
+    def statuses(self) -> dict[str, str]:
+        return {name: res.status for name, res in self.clusters.items()}
+
+    def health(self) -> dict[str, int]:
+        """Scheduler self-healing counters (restarts, retries, timeouts)."""
+        return _health_summary(self.instrumentation)
+
     def constant_rows(self) -> dict[str, np.ndarray]:
         return {name: res.constant_row for name, res in self.clusters.items()}
 
@@ -133,6 +224,8 @@ class FleetSweepReport:
             "batch_size": self.batch_size,
             "batch_dtype": self.batch_dtype,
             "throughput_solves_s": round(self.throughput_solves_s, 2),
+            "degraded": self.degraded,
+            "health": self.health(),
             "clusters": [
                 self.clusters[name].summary() for name in sorted(self.clusters)
             ],

@@ -7,9 +7,11 @@ one per virtual cluster — concurrently across a pool of worker processes:
   (:class:`~repro.fleet.shm.SharedTraceBlock`); workers map views. The only
   per-batch IPC is the operation specs going out and the session capsule
   coming back.
-* Work is shipped in batches of ``batch_size`` operations over a **bounded**
-  task queue (``n_workers + queue_depth`` slots). When workers fall behind,
-  dispatch blocks — backpressure, not unbounded buffering.
+* Work is shipped in batches of ``batch_size`` operations, at most
+  ``n_workers + queue_depth`` in flight fleet-wide (backpressure, not
+  unbounded buffering). Each worker reads from its **own** task queue —
+  the scheduler assigns to the least-loaded live worker — so a worker
+  killed mid-``get()`` cannot wedge its siblings on a shared queue lock.
 * At most one batch per cluster is in flight at a time (the capsule is the
   cluster's single warm-state token), and completed clusters re-enter the
   ready queue at the **back**. Together these give round-robin fairness: a
@@ -21,18 +23,34 @@ one per virtual cluster — concurrently across a pool of worker processes:
   cluster ``P_D`` is bit-identical to a serial run regardless of worker
   count or which worker served which batch. :meth:`FleetScheduler.run_serial`
   is that reference run (also the throughput baseline).
+
+Self-healing (see ``docs/fleet_failures.md``): the scheduler supervises its
+workers. A worker that dies mid-task is respawned (bounded by
+``max_worker_restarts``) and the lost task is requeued from the cluster's
+last capsule — deterministic replay makes the retried task bit-identical to
+a never-failed one, so a surviving report matches a failure-free run
+exactly. Worker-side exceptions are retried per task with capped attempts
+and exponential backoff; ``task_timeout_s`` puts a deadline on each attempt
+(the stuck worker is killed and replaced); and ``on_error="degrade"``
+quarantines a cluster that exhausts its retries into the report with a
+per-cluster ``status`` instead of aborting the whole run.
 """
 
 from __future__ import annotations
 
+import heapq
+import itertools
 import json
 import multiprocessing as mp
 import os
 import queue as queue_mod
 import time
+import traceback
 from multiprocessing import resource_tracker
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+
+import numpy as np
 
 from ..errors import FleetError, ValidationError
 from ..observability import Instrumentation, instrumented
@@ -41,9 +59,21 @@ from ..runtime.session import OperationSpec, SessionCapsule, TraceSession
 from .config import ClusterSpec, FleetConfig
 from .report import ClusterReport, FleetReport, FleetSweepReport, SweepClusterResult
 from .shm import SharedStackBlock, SharedTraceBlock
-from .worker import BatchResult, BatchTask, SweepResult, SweepTask, solve_shard, worker_main
+from .worker import (
+    BatchTask,
+    SweepTask,
+    TaskStarted,
+    solve_shard,
+    worker_main,
+)
 
 __all__ = ["FleetScheduler", "SweepShard"]
+
+# A timed-out or lost task's retry backoff never exceeds this.
+_MAX_BACKOFF_S = 30.0
+# Supervision cadence: the longest a dead worker or blown deadline can go
+# unnoticed, whether the result queue is quiet or busy.
+_POLL_S = 0.1
 
 
 @dataclass
@@ -56,6 +86,40 @@ class _ClusterState:
     inflight: bool = False
     batches: int = 0
     store: CheckpointStore | None = None
+    attempt: int = -1  # id of the current (most recent) dispatched attempt
+    failures: int = 0  # failed attempts of the current batch; reset on success
+    retries: int = 0  # total task retries over the run
+    finished: bool = False
+    status: str = "ok"
+    error: str | None = None
+
+
+@dataclass
+class _ShardState:
+    """Scheduler-side bookkeeping for one batched-sweep shard."""
+
+    shard: "SweepShard"
+    block: SharedStackBlock | None = None
+    attempt: int = -1
+    failures: int = 0
+    retries: int = 0
+    finished: bool = False
+
+
+@dataclass
+class _Inflight:
+    """One dispatched-but-unfinished attempt.
+
+    ``key`` is the cluster name (session runs) or shard index (sweeps);
+    ``worker_pid`` is filled in when the worker's :class:`TaskStarted`
+    ack arrives (diagnostics — task→worker attribution itself lives in
+    the pool's assignment map, which is authoritative even when a worker
+    dies before its ack flushes).
+    """
+
+    key: object
+    dispatched_at: float
+    worker_pid: int | None = None
 
 
 @dataclass(frozen=True)
@@ -71,6 +135,148 @@ class SweepShard:
     tps: tuple[object, ...]  # TPMatrix per cluster, shape-homogeneous
 
 
+class _Worker:
+    """One worker process plus its private task queue and assigned attempts."""
+
+    __slots__ = ("proc", "queue", "attempts")
+
+    def __init__(self, proc: mp.process.BaseProcess, queue) -> None:
+        self.proc = proc
+        self.queue = queue
+        self.attempts: set[int] = set()
+
+
+class _WorkerPool:
+    """A supervised pool of fleet worker processes.
+
+    Each worker reads from its **own** task queue (the scheduler is the
+    sole writer, the worker the sole reader). That topology is what makes
+    SIGKILL survivable: a worker killed while blocked in ``get()`` dies
+    holding only its private queue's reader lock, so the corpse cannot
+    wedge any sibling — the failure mode a single shared task queue has.
+    It also makes task→worker attribution exact: the pool knows every
+    attempt a dead worker held, with no ack protocol in the loop.
+
+    The scheduler drives supervision by calling :meth:`poll` periodically
+    and consuming buffered death records with :meth:`take_deaths`. A dead
+    worker is replaced while the fleet-wide restart budget lasts
+    (deliberate kills — blown deadlines — are always replaced and never
+    charged against the budget); past the budget the pool just shrinks.
+    """
+
+    def __init__(self, ctx, result_queue, *, max_restarts: int, sink: Instrumentation) -> None:
+        self._ctx = ctx
+        self._result_queue = result_queue
+        self._max_restarts = int(max_restarts)
+        self._sink = sink
+        self.workers: list[_Worker] = []
+        self.restarts = 0
+        self._spawned = 0
+        self._expected_kills: set[int] = set()
+        self._by_attempt: dict[int, _Worker] = {}
+        self._deaths: list[tuple[int | None, int | None, bool, tuple[int, ...]]] = []
+
+    def start(self, n: int) -> None:
+        for _ in range(n):
+            self._spawn()
+
+    def _spawn(self) -> None:
+        task_queue = self._ctx.Queue()
+        proc = self._ctx.Process(
+            target=worker_main,
+            args=(task_queue, self._result_queue),
+            daemon=True,
+            name=f"repro-fleet-worker-{self._spawned}",
+        )
+        self._spawned += 1
+        proc.start()
+        self.workers.append(_Worker(proc, task_queue))
+
+    @property
+    def n_alive(self) -> int:
+        return sum(1 for w in self.workers if w.proc.is_alive())
+
+    def assign(self, attempt: int, task) -> None:
+        """Dispatch ``task`` to the live worker with the lightest load."""
+        live = [w for w in self.workers if w.proc.is_alive()]
+        if not live:
+            self.poll()
+            live = [w for w in self.workers if w.proc.is_alive()]
+            if not live:
+                raise FleetError(
+                    "no live fleet workers left to dispatch to (restart "
+                    f"budget {self._max_restarts} exhausted)"
+                )
+        worker = min(live, key=lambda w: (len(w.attempts), w.proc.pid))
+        worker.attempts.add(attempt)
+        self._by_attempt[attempt] = worker
+        worker.queue.put(task)
+
+    def complete(self, attempt: int) -> None:
+        """Forget an attempt whose result arrived (accepted or stale)."""
+        worker = self._by_attempt.pop(attempt, None)
+        if worker is not None:
+            worker.attempts.discard(attempt)
+
+    def poll(self) -> None:
+        """Reap dead workers, respawn within policy, buffer death records.
+
+        Each record carries the exact attempts the corpse held; its
+        orphaned private queue is dropped with it (nothing else reads it).
+        """
+        dead = [w for w in self.workers if not w.proc.is_alive()]
+        for worker in dead:
+            self.workers.remove(worker)
+            pid = worker.proc.pid
+            expected = pid in self._expected_kills
+            self._expected_kills.discard(pid)
+            lost = tuple(sorted(worker.attempts))
+            for attempt in worker.attempts:
+                self._by_attempt.pop(attempt, None)
+            worker.attempts.clear()
+            worker.queue.close()
+            self._deaths.append((pid, worker.proc.exitcode, expected, lost))
+            if expected or self.restarts < self._max_restarts:
+                if not expected:
+                    self.restarts += 1
+                self._sink.count("fleet.worker.restarts")
+                self._spawn()
+
+    def take_deaths(self) -> list[tuple[int | None, int | None, bool, tuple[int, ...]]]:
+        deaths, self._deaths = self._deaths, []
+        return deaths
+
+    def kill_attempt_owner(self, attempt: int) -> None:
+        """SIGKILL the worker holding ``attempt`` (deadline enforcement)."""
+        worker = self._by_attempt.get(attempt)
+        if worker is not None and worker.proc.is_alive():
+            self._expected_kills.add(worker.proc.pid)
+            worker.proc.kill()
+
+    def stop(self) -> None:
+        """Graceful teardown: one sentinel per worker's own queue, then join."""
+        for worker in self.workers:
+            worker.queue.put(None)
+        for worker in self.workers:
+            worker.proc.join(timeout=30.0)
+
+    def shutdown(self) -> None:
+        """Escalating teardown: ``terminate -> join(5) -> kill -> join``.
+
+        Safe to call after :meth:`stop` (already-exited workers are
+        no-ops); guarantees no worker outlives the run, even one that
+        ignores SIGTERM.
+        """
+        for worker in self.workers:
+            if worker.proc.is_alive():
+                worker.proc.terminate()
+        for worker in self.workers:
+            worker.proc.join(timeout=5.0)
+            if worker.proc.is_alive():
+                worker.proc.kill()
+                worker.proc.join()
+
+
 class FleetScheduler:
     """Run many clusters' calibration/maintenance loops across a process pool.
 
@@ -84,7 +290,9 @@ class FleetScheduler:
         Fleet-level sink. Per-cluster engine counters, timers and solve
         spans (accumulated worker-side, carried home inside each capsule)
         are merged into it at the end of :meth:`run`, alongside the
-        scheduler's own ``fleet.*`` counters.
+        scheduler's own ``fleet.*`` counters — including the self-healing
+        set: ``fleet.worker.restarts``, ``fleet.task.retries``,
+        ``fleet.task.timeouts``, ``fleet.cluster.quarantined``.
     """
 
     def __init__(
@@ -105,6 +313,8 @@ class FleetScheduler:
         self.instrumentation = (
             instrumentation if instrumentation is not None else Instrumentation("fleet")
         )
+        self._attempt_seq = itertools.count(1)
+        self._defer_seq = itertools.count()
 
     # -- planning ------------------------------------------------------
 
@@ -150,6 +360,7 @@ class FleetScheduler:
             "solver": self.config.solver,
             "svd_backend": self.config.svd_backend,
             "op": self.config.op,
+            "on_error": self.config.on_error,
         }
         with open(os.path.join(root, "fleet.json"), "w", encoding="utf-8") as fh:
             json.dump(manifest, fh, indent=2, sort_keys=True)
@@ -160,26 +371,41 @@ class FleetScheduler:
         """Run the identical plan in-process, one cluster after another.
 
         The determinism oracle and the throughput baseline: per-cluster
-        results must (and do) match :meth:`run` bit for bit.
+        results must (and do) match :meth:`run` bit for bit. Under
+        ``on_error="degrade"`` a cluster whose session raises is
+        quarantined (without retries — the error is deterministic
+        in-process) and the rest of the fleet still reports.
         """
         t0 = time.perf_counter()
+        cfg = self.config
         kwargs = self._session_kwargs()
         reports: dict[str, ClusterReport] = {}
         total_ops = 0
         total_batches = 0
         for spec in self.clusters:
             ops = self._operations_for(spec)
-            session = TraceSession(spec.trace, **kwargs)
-            op_spec = OperationSpec(op=self.config.op)
-            batches = 0
-            for start in range(0, ops, int(self.config.batch_size)):
-                for _ in range(min(int(self.config.batch_size), ops - start)):
-                    session.step(op_spec)
-                batches += 1
+            try:
+                session = TraceSession(spec.trace, **kwargs)
+                op_spec = OperationSpec(op=self.config.op)
+                batches = 0
+                for start in range(0, ops, int(self.config.batch_size)):
+                    for _ in range(min(int(self.config.batch_size), ops - start)):
+                        session.step(op_spec)
+                    batches += 1
+            except Exception:
+                if cfg.on_error != "degrade":
+                    raise
+                self.instrumentation.count("fleet.cluster.quarantined")
+                reports[spec.name] = self._unavailable_report(
+                    spec.name, status="quarantined", error=traceback.format_exc()
+                )
+                continue
             session.instrumentation.count("fleet.worker.batches", batches)
             capsule = session.capture_capsule()
             self.instrumentation.merge(capsule.meta["instrumentation"])
-            reports[spec.name] = self._cluster_report(spec.name, capsule, batches)
+            state = _ClusterState(spec=spec, remaining=0, capsule=capsule,
+                                  batches=batches)
+            reports[spec.name] = self._cluster_report(spec.name, state)
             total_ops += ops
             total_batches += batches
         elapsed = time.perf_counter() - t0
@@ -210,41 +436,34 @@ class FleetScheduler:
         }
         n_workers = min(int(cfg.n_workers), len(self.clusters))
         ctx = mp.get_context()
-        task_queue = ctx.Queue(maxsize=cfg.max_inflight)
         result_queue = ctx.Queue()
         blocks: dict[str, SharedTraceBlock] = {}
-        workers: list[mp.process.BaseProcess] = []
+        pool = _WorkerPool(
+            ctx, result_queue,
+            max_restarts=cfg.max_worker_restarts, sink=self.instrumentation,
+        )
         try:
+            # The shared-memory resource tracker must exist before the first
+            # fork, or each forked worker spawns its own tracker and "cleans
+            # up" segments the scheduler still owns.
+            resource_tracker.ensure_running()
             for spec in self.clusters:
                 blocks[spec.name] = SharedTraceBlock.create(spec.trace)
-            for _ in range(n_workers):
-                proc = ctx.Process(
-                    target=worker_main, args=(task_queue, result_queue), daemon=True
-                )
-                proc.start()
-                workers.append(proc)
-
-            total_batches = self._drive(states, blocks, task_queue, result_queue, workers)
-
-            for _ in workers:
-                task_queue.put(None)
-            for proc in workers:
-                proc.join(timeout=30.0)
+            pool.start(n_workers)
+            total_batches = self._drive(states, blocks, result_queue, pool)
+            pool.stop()
         finally:
-            for proc in workers:
-                if proc.is_alive():
-                    proc.terminate()
-                    proc.join(timeout=5.0)
+            pool.shutdown()
             for block in blocks.values():
                 block.unlink()
 
         reports: dict[str, ClusterReport] = {}
         total_ops = 0
         for name, state in states.items():
-            assert state.capsule is not None
-            self.instrumentation.merge(state.capsule.meta["instrumentation"])
-            reports[name] = self._cluster_report(name, state.capsule, state.batches)
-            total_ops += self._operations_for(state.spec)
+            if state.capsule is not None:
+                self.instrumentation.merge(state.capsule.meta["instrumentation"])
+            reports[name] = self._cluster_report(name, state)
+            total_ops += reports[name].operations
         elapsed = time.perf_counter() - t0
         self._account(
             n_workers=n_workers, elapsed=elapsed, ops=total_ops, batches=total_batches
@@ -262,81 +481,229 @@ class FleetScheduler:
         self,
         states: dict[str, _ClusterState],
         blocks: dict[str, SharedTraceBlock],
-        task_queue,
         result_queue,
-        workers,
+        pool: _WorkerPool,
     ) -> int:
-        """The scheduler loop: dispatch ready clusters, drain results.
+        """The supervised scheduler loop: dispatch, drain, heal.
 
         ``ready`` is a FIFO deque — clusters rejoin at the back after each
         completed batch, so with one batch in flight per cluster the fleet
-        round-robins and no cluster can starve another.
+        round-robins and no cluster can starve another. ``deferred`` holds
+        clusters sleeping out a retry backoff; ``inflight`` maps attempt
+        ids to dispatched tasks and is the source of truth for what is
+        outstanding. Worker deaths requeue the lost attempts, deadline
+        violations kill-and-replace the stuck worker, and results from
+        superseded attempts are discarded by attempt id.
         """
         cfg = self.config
         kwargs = self._session_kwargs()
         ready: deque[str] = deque(sorted(states))
-        inflight = 0
+        deferred: list[tuple[float, int, str]] = []
+        inflight: dict[int, _Inflight] = {}
         done = 0
         total_batches = 0
-        while done < len(states):
-            while ready and inflight < cfg.max_inflight:
-                name = ready.popleft()
-                state = states[name]
-                task = BatchTask(
-                    cluster=name,
-                    descriptor=blocks[name].descriptor,
-                    specs=self._next_specs(state),
-                    capsule=state.capsule,
-                    session_kwargs={} if state.capsule is not None else dict(kwargs),
-                )
-                task_queue.put(task)
-                state.inflight = True
-                inflight += 1
 
-            result = self._next_result(result_queue, workers)
-            inflight -= 1
-            total_batches += 1
-            state = states[result.cluster]
+        def dispatch(name: str) -> None:
+            state = states[name]
+            attempt = next(self._attempt_seq)
+            state.attempt = attempt
+            state.inflight = True
+            task = BatchTask(
+                cluster=name,
+                descriptor=blocks[name].descriptor,
+                specs=self._next_specs(state),
+                capsule=state.capsule,
+                session_kwargs={} if state.capsule is not None else dict(kwargs),
+                attempt=attempt,
+            )
+            inflight[attempt] = _Inflight(key=name, dispatched_at=time.monotonic())
+            pool.assign(attempt, task)
+
+        def fail(name: str, error_text: str, *, kind: str) -> None:
+            nonlocal done
+            state = states[name]
             state.inflight = False
-            if result.error is not None:
-                raise FleetError(
-                    f"cluster {result.cluster!r} failed in worker "
-                    f"{result.worker_pid}",
-                    cluster=result.cluster,
-                    worker_traceback=result.error,
+            state.failures += 1
+            if state.failures <= cfg.max_task_retries:
+                state.retries += 1
+                self.instrumentation.count("fleet.task.retries")
+                delay = min(
+                    float(cfg.retry_backoff_s) * (2 ** (state.failures - 1)),
+                    _MAX_BACKOFF_S,
                 )
+                heapq.heappush(
+                    deferred,
+                    (time.monotonic() + delay, next(self._defer_seq), name),
+                )
+                return
+            if cfg.on_error == "degrade":
+                state.finished = True
+                state.status = "quarantined" if kind == "error" else "failed"
+                state.error = error_text
+                counter = (
+                    "fleet.cluster.quarantined" if kind == "error"
+                    else "fleet.cluster.failed"
+                )
+                self.instrumentation.count(counter)
+                done += 1
+                return
+            raise FleetError(
+                f"cluster {name!r} failed after {state.failures} attempt(s) "
+                f"({kind})",
+                cluster=name,
+                worker_traceback=error_text,
+            )
+
+        def lost(entry: _Inflight) -> None:
+            # A worker died holding this attempt: requeue from the cluster's
+            # last capsule. Deterministic replay makes the rerun
+            # bit-identical, so this is not charged as a task retry.
+            dispatch(str(entry.key))
+
+        def timed_out(entry: _Inflight) -> None:
+            name = str(entry.key)
+            fail(
+                name,
+                f"task deadline exceeded ({self.config.task_timeout_s}s) on "
+                f"attempt {states[name].failures + 1}",
+                kind="timeout",
+            )
+
+        last_tick = time.monotonic()
+        while done < len(states):
+            now = time.monotonic()
+            if now - last_tick >= _POLL_S:
+                # Supervision runs on a cadence, not only when the queue is
+                # quiet: a steady result stream must not starve death
+                # detection or deadline enforcement.
+                self._supervise(
+                    pool, inflight,
+                    on_lost=lost, on_timeout=timed_out,
+                    describe=lambda key: str(key),
+                )
+                last_tick = now
+            while deferred and deferred[0][0] <= now:
+                ready.append(heapq.heappop(deferred)[2])
+            while ready and len(inflight) < cfg.max_inflight:
+                dispatch(ready.popleft())
+
+            timeout = _POLL_S
+            if not inflight and deferred:
+                timeout = min(_POLL_S, max(0.01, deferred[0][0] - now))
+            try:
+                msg = result_queue.get(timeout=timeout)
+            except queue_mod.Empty:
+                self._supervise(
+                    pool, inflight,
+                    on_lost=lost, on_timeout=timed_out,
+                    describe=lambda key: str(key),
+                )
+                last_tick = time.monotonic()
+                continue
+
+            if isinstance(msg, TaskStarted):
+                entry = inflight.get(msg.attempt)
+                if entry is not None:
+                    entry.worker_pid = msg.worker_pid
+                continue
+
+            result = msg
+            pool.complete(result.attempt)
+            state = states[result.cluster]
+            if (
+                result.attempt not in inflight
+                or state.attempt != result.attempt
+                or state.finished
+            ):
+                # Superseded attempt (requeued after a death or deadline):
+                # the current attempt's result is the one that counts.
+                self.instrumentation.count("fleet.task.stale_results")
+                continue
+            del inflight[result.attempt]
+            state.inflight = False
+
+            if result.error is not None:
+                fail(result.cluster, result.error, kind="error")
+                continue
+
+            state.failures = 0
             state.capsule = result.capsule
             state.remaining -= result.operations
             state.batches += 1
+            total_batches += 1
             if state.store is not None:
                 state.store.save(result.capsule.arrays, result.capsule.meta)
             if state.remaining > 0:
                 ready.append(result.cluster)
             else:
+                state.finished = True
                 done += 1
         return total_batches
 
-    @staticmethod
-    def _next_result(result_queue, workers) -> BatchResult | SweepResult:
-        """Blocking result fetch that notices dead workers instead of hanging."""
-        while True:
-            try:
-                return result_queue.get(timeout=1.0)
-            except queue_mod.Empty:
-                dead = [p for p in workers if not p.is_alive()]
-                if dead and len(dead) == len(workers):
-                    codes = sorted({p.exitcode for p in dead})
-                    raise FleetError(
-                        f"all fleet workers exited (exit codes {codes}) "
-                        "with work still pending"
-                    ) from None
+    # -- supervision ---------------------------------------------------
+
+    def _supervise(
+        self,
+        pool: _WorkerPool,
+        inflight: dict[int, _Inflight],
+        *,
+        on_lost,
+        on_timeout,
+        describe,
+    ) -> None:
+        """One supervision tick: reap deaths, requeue lost work, enforce deadlines.
+
+        Runs whenever the result queue is quiet. ``on_lost(entry)`` must
+        redispatch the attempt (not charged as a retry); ``on_timeout(entry)``
+        must route it through the retry/give-up path. ``describe(key)``
+        renders an in-flight key (cluster name / shard index) for the
+        no-workers-left :class:`FleetError`.
+        """
+        pool.poll()
+        deaths = pool.take_deaths()
+        lost: set[int] = set()
+        for _pid, _code, _expected, attempts in deaths:
+            lost.update(a for a in attempts if a in inflight)
+        if pool.n_alive == 0:
+            # _supervise only runs while work remains, so an empty pool is
+            # fatal whether or not this tick saw the deaths itself.
+            codes = sorted({code for _pid, code, _exp, _a in deaths}, key=repr)
+            stuck = sorted(describe(e.key) for e in inflight.values())
+            raise FleetError(
+                f"fleet worker(s) exited (exit codes {codes or 'seen earlier'}) "
+                f"with no live workers left and the restart budget "
+                f"({self.config.max_worker_restarts}) exhausted; stuck: "
+                f"{', '.join(stuck) or 'none in flight'}"
+            )
+        for attempt in sorted(lost):
+            on_lost(inflight.pop(attempt))
+        timeout_s = self.config.task_timeout_s
+        if timeout_s is not None:
+            now = time.monotonic()
+            expired = [
+                attempt
+                for attempt, entry in inflight.items()
+                if now - entry.dispatched_at > float(timeout_s)
+            ]
+            for attempt in expired:
+                entry = inflight.pop(attempt)
+                self.instrumentation.count("fleet.task.timeouts")
+                # The assigned worker is presumed stuck on this attempt:
+                # kill it (replaced at the next poll, not charged to the
+                # budget) and forget the assignment.
+                pool.kill_attempt_owner(attempt)
+                pool.complete(attempt)
+                on_timeout(entry)
 
     # -- reporting -----------------------------------------------------
 
-    @staticmethod
-    def _cluster_report(
-        name: str, capsule: SessionCapsule, batches: int
-    ) -> ClusterReport:
+    def _cluster_report(self, name: str, state: _ClusterState) -> ClusterReport:
+        capsule = state.capsule
+        if capsule is None:
+            return self._unavailable_report(
+                name, status=state.status, error=state.error,
+                retries=state.retries, batches=state.batches,
+            )
         return ClusterReport(
             name=name,
             operations=capsule.operations,
@@ -344,7 +711,32 @@ class FleetScheduler:
             norm_ne=capsule.norm_ne,
             verdict=capsule.verdict,
             recalibrations=int(capsule.meta["stats"]["recalibrations"]),
+            worker_batches=state.batches,
+            status=state.status,
+            error=state.error,
+            retries=state.retries,
+        )
+
+    @staticmethod
+    def _unavailable_report(
+        name: str,
+        *,
+        status: str,
+        error: str | None,
+        retries: int = 0,
+        batches: int = 0,
+    ) -> ClusterReport:
+        return ClusterReport(
+            name=name,
+            operations=0,
+            constant_row=np.empty(0),
+            norm_ne=float("nan"),
+            verdict="unavailable",
+            recalibrations=0,
             worker_batches=batches,
+            status=status,
+            error=error,
+            retries=retries,
         )
 
     def _account(self, *, n_workers: int, elapsed: float, ops: int, batches: int) -> None:
@@ -391,11 +783,40 @@ class FleetScheduler:
                 )
         return shards
 
+    def _quarantine_shard(
+        self,
+        shard: SweepShard,
+        results: dict[str, SweepClusterResult],
+        error_text: str,
+        *,
+        kind: str,
+    ) -> None:
+        status = "quarantined" if kind == "error" else "failed"
+        counter = (
+            "fleet.cluster.quarantined" if kind == "error" else "fleet.cluster.failed"
+        )
+        for name in shard.names:
+            self.instrumentation.count(counter)
+            results[name] = SweepClusterResult(
+                name=name,
+                constant_row=np.empty(0),
+                norm_ne=float("nan"),
+                verdict="unavailable",
+                rank=0,
+                iterations=0,
+                converged=False,
+                residual=float("nan"),
+                status=status,
+                error=error_text,
+            )
+
     def run_sweep_serial(self) -> FleetSweepReport:
         """Solve the identical sweep plan in-process, one shard at a time.
 
         The determinism oracle for :meth:`run_sweep`: per-cluster ``P_D``
-        must (and does) match the parallel run bit for bit.
+        must (and does) match the parallel run bit for bit. Under
+        ``on_error="degrade"`` a shard whose solve raises is quarantined
+        (all its clusters) while the remaining shards still solve.
         """
         t0 = time.perf_counter()
         cfg = self.config
@@ -404,13 +825,22 @@ class FleetScheduler:
         workspaces: dict[tuple[int, int, int], object] = {}
         with instrumented(self.instrumentation):
             for shard in shards:
-                for res in solve_shard(
-                    shard.names,
-                    list(shard.tps),
-                    solver=cfg.solver,
-                    dtype=cfg.batch_dtype,
-                    workspaces=workspaces,
-                ):
+                try:
+                    shard_results = solve_shard(
+                        shard.names,
+                        list(shard.tps),
+                        solver=cfg.solver,
+                        dtype=cfg.batch_dtype,
+                        workspaces=workspaces,
+                    )
+                except Exception:
+                    if cfg.on_error != "degrade":
+                        raise
+                    self._quarantine_shard(
+                        shard, results, traceback.format_exc(), kind="error"
+                    )
+                    continue
+                for res in shard_results:
                     results[res.name] = res
         elapsed = time.perf_counter() - t0
         self._account_sweep(n_workers=1, elapsed=elapsed, shards=len(shards))
@@ -432,80 +862,39 @@ class FleetScheduler:
         each worker solves its shard through one stacked iteration loop and
         sends back per-cluster results plus its instrumentation
         ``state_dict``, which is merged — ``kernel.batch.*`` counters and
-        all — into the fleet sink.
+        all — into the fleet sink. The same supervision as :meth:`run`
+        applies: dead workers are respawned and their shards requeued
+        (bit-identical on replay), failing shards retry with backoff, and
+        ``on_error="degrade"`` quarantines an exhausted shard's clusters
+        instead of aborting the sweep.
         """
         cfg = self.config
         t0 = time.perf_counter()
         shards = self.plan_sweep()
+        shard_states = [_ShardState(shard=shard) for shard in shards]
         n_workers = min(int(cfg.n_workers), len(shards))
         ctx = mp.get_context()
-        task_queue = ctx.Queue(maxsize=cfg.max_inflight)
         result_queue = ctx.Queue()
-        blocks: dict[int, SharedStackBlock] = {}
-        workers: list[mp.process.BaseProcess] = []
         results: dict[str, SweepClusterResult] = {}
+        pool = _WorkerPool(
+            ctx, result_queue,
+            max_restarts=cfg.max_worker_restarts, sink=self.instrumentation,
+        )
         try:
             # Stack blocks are created lazily at dispatch (below), which is
             # *after* the fork — so the shared-memory resource tracker must
             # be running first, or each forked worker spawns its own tracker
             # and "cleans up" segments the scheduler already unlinked.
             resource_tracker.ensure_running()
-            for _ in range(n_workers):
-                proc = ctx.Process(
-                    target=worker_main, args=(task_queue, result_queue), daemon=True
-                )
-                proc.start()
-                workers.append(proc)
-
-            pending = deque(shards)
-            inflight = 0
-            done = 0
-            while done < len(shards):
-                while pending and inflight < cfg.max_inflight:
-                    shard = pending.popleft()
-                    # Blocks are created at dispatch and unlinked as soon as
-                    # their result lands, so shared memory stays bounded by
-                    # the in-flight cap, not the fleet size.
-                    block = SharedStackBlock.create(shard.tps)
-                    blocks[shard.index] = block
-                    task_queue.put(
-                        SweepTask(
-                            shard=shard.index,
-                            descriptor=block.descriptor,
-                            clusters=shard.names,
-                            solver=cfg.solver,
-                            dtype=cfg.batch_dtype,
-                        )
-                    )
-                    inflight += 1
-
-                result = self._next_result(result_queue, workers)
-                inflight -= 1
-                done += 1
-                if result.instrumentation:
-                    self.instrumentation.merge(result.instrumentation)
-                if result.error is not None:
-                    raise FleetError(
-                        f"sweep shard {result.shard} "
-                        f"(clusters {', '.join(shards[result.shard].names)}) "
-                        f"failed in worker {result.worker_pid}",
-                        worker_traceback=result.error,
-                    )
-                blocks.pop(result.shard).unlink()
-                for res in result.results:
-                    results[res.name] = res
-
-            for _ in workers:
-                task_queue.put(None)
-            for proc in workers:
-                proc.join(timeout=30.0)
+            pool.start(n_workers)
+            self._drive_sweep(shard_states, results, result_queue, pool)
+            pool.stop()
         finally:
-            for proc in workers:
-                if proc.is_alive():
-                    proc.terminate()
-                    proc.join(timeout=5.0)
-            for block in blocks.values():
-                block.unlink()
+            pool.shutdown()
+            for state in shard_states:
+                if state.block is not None:
+                    state.block.unlink()
+                    state.block = None
 
         elapsed = time.perf_counter() - t0
         self._account_sweep(n_workers=n_workers, elapsed=elapsed, shards=len(shards))
@@ -518,6 +907,151 @@ class FleetScheduler:
             batch_dtype=cfg.batch_dtype,
             instrumentation=self.instrumentation.state_dict(),
         )
+
+    def _drive_sweep(
+        self,
+        shard_states: list[_ShardState],
+        results: dict[str, SweepClusterResult],
+        result_queue,
+        pool: _WorkerPool,
+    ) -> None:
+        """Supervised dispatch/drain loop for batched sweep shards.
+
+        Mirrors :meth:`_drive`; the unit of retry is the shard. Blocks are
+        created at first dispatch and unlinked as soon as the shard's
+        result lands (or the shard is quarantined), so shared memory stays
+        bounded by the in-flight cap, not the fleet size. A requeued shard
+        reuses its existing block — the segment is immutable input.
+        """
+        cfg = self.config
+        pending: deque[int] = deque(range(len(shard_states)))
+        deferred: list[tuple[float, int, int]] = []
+        inflight: dict[int, _Inflight] = {}
+        finished = 0
+
+        def dispatch(index: int) -> None:
+            state = shard_states[index]
+            if state.block is None:
+                state.block = SharedStackBlock.create(state.shard.tps)
+            attempt = next(self._attempt_seq)
+            state.attempt = attempt
+            task = SweepTask(
+                shard=index,
+                descriptor=state.block.descriptor,
+                clusters=state.shard.names,
+                solver=cfg.solver,
+                dtype=cfg.batch_dtype,
+                attempt=attempt,
+            )
+            inflight[attempt] = _Inflight(key=index, dispatched_at=time.monotonic())
+            pool.assign(attempt, task)
+
+        def finish(state: _ShardState) -> None:
+            nonlocal finished
+            state.finished = True
+            finished += 1
+            if state.block is not None:
+                state.block.unlink()
+                state.block = None
+
+        def fail(index: int, error_text: str, *, kind: str) -> None:
+            state = shard_states[index]
+            state.failures += 1
+            if state.failures <= cfg.max_task_retries:
+                state.retries += 1
+                self.instrumentation.count("fleet.task.retries")
+                delay = min(
+                    float(cfg.retry_backoff_s) * (2 ** (state.failures - 1)),
+                    _MAX_BACKOFF_S,
+                )
+                heapq.heappush(
+                    deferred,
+                    (time.monotonic() + delay, next(self._defer_seq), index),
+                )
+                return
+            if cfg.on_error == "degrade":
+                self._quarantine_shard(state.shard, results, error_text, kind=kind)
+                finish(state)
+                return
+            raise FleetError(
+                f"sweep shard {index} (clusters "
+                f"{', '.join(state.shard.names)}) failed after "
+                f"{state.failures} attempt(s) ({kind})",
+                worker_traceback=error_text,
+            )
+
+        def lost(entry: _Inflight) -> None:
+            dispatch(int(entry.key))
+
+        def timed_out(entry: _Inflight) -> None:
+            index = int(entry.key)
+            fail(
+                index,
+                f"shard deadline exceeded ({self.config.task_timeout_s}s) on "
+                f"attempt {shard_states[index].failures + 1}",
+                kind="timeout",
+            )
+
+        def describe(key: object) -> str:
+            return f"shard {key} ({', '.join(shard_states[int(key)].shard.names)})"
+
+        last_tick = time.monotonic()
+        while finished < len(shard_states):
+            now = time.monotonic()
+            if now - last_tick >= _POLL_S:
+                # Cadenced supervision: steady traffic must not starve
+                # death detection or deadline enforcement.
+                self._supervise(
+                    pool, inflight,
+                    on_lost=lost, on_timeout=timed_out, describe=describe,
+                )
+                last_tick = now
+            while deferred and deferred[0][0] <= now:
+                pending.append(heapq.heappop(deferred)[2])
+            while pending and len(inflight) < cfg.max_inflight:
+                dispatch(pending.popleft())
+
+            timeout = _POLL_S
+            if not inflight and deferred:
+                timeout = min(_POLL_S, max(0.01, deferred[0][0] - now))
+            try:
+                msg = result_queue.get(timeout=timeout)
+            except queue_mod.Empty:
+                self._supervise(
+                    pool, inflight,
+                    on_lost=lost, on_timeout=timed_out, describe=describe,
+                )
+                last_tick = time.monotonic()
+                continue
+
+            if isinstance(msg, TaskStarted):
+                entry = inflight.get(msg.attempt)
+                if entry is not None:
+                    entry.worker_pid = msg.worker_pid
+                continue
+
+            result = msg
+            pool.complete(result.attempt)
+            state = shard_states[result.shard]
+            if (
+                result.attempt not in inflight
+                or state.attempt != result.attempt
+                or state.finished
+            ):
+                self.instrumentation.count("fleet.task.stale_results")
+                continue
+            del inflight[result.attempt]
+
+            if result.error is not None:
+                fail(result.shard, result.error, kind="error")
+                continue
+
+            if result.instrumentation:
+                self.instrumentation.merge(result.instrumentation)
+            state.failures = 0
+            for res in result.results:
+                results[res.name] = res
+            finish(state)
 
     def _account_sweep(self, *, n_workers: int, elapsed: float, shards: int) -> None:
         sink = self.instrumentation

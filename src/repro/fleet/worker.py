@@ -12,6 +12,15 @@ to the scheduler with every :class:`BatchResult`, so the next batch for a
 cluster can land on any worker. Because the capsule round-trip is lossless
 (bit-identical resume), which worker serves which batch cannot change the
 cluster's results — only its wall-clock.
+
+Supervision protocol: every task carries a scheduler-assigned ``attempt``
+id, echoed back in the result. A worker announces each pickup with a
+:class:`TaskStarted` ack on the result queue *before* doing the work, so
+the scheduler knows which worker owns which attempt — that attribution is
+what lets it requeue exactly the lost task when a worker dies, and kill
+exactly the stuck worker when an attempt blows its deadline. A result whose
+attempt id is no longer the cluster's current one is stale (the task was
+already requeued to another worker) and the scheduler discards it.
 """
 
 from __future__ import annotations
@@ -40,9 +49,23 @@ __all__ = [
     "BatchTask",
     "SweepResult",
     "SweepTask",
+    "TaskStarted",
     "solve_shard",
     "worker_main",
 ]
+
+
+@dataclass(frozen=True, slots=True)
+class TaskStarted:
+    """Pickup ack: worker ``worker_pid`` began executing attempt ``attempt``.
+
+    Sent on the result queue before the work itself, so the scheduler can
+    attribute in-flight attempts to worker pids for supervision (requeue on
+    death, targeted kill on deadline).
+    """
+
+    attempt: int
+    worker_pid: int
 
 
 @dataclass(frozen=True, slots=True)
@@ -54,6 +77,7 @@ class BatchTask:
     specs: tuple[OperationSpec, ...]
     capsule: SessionCapsule | None = None
     session_kwargs: dict[str, Any] = field(default_factory=dict)
+    attempt: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -65,6 +89,7 @@ class BatchResult:
     operations: int
     worker_pid: int
     error: str | None = None
+    attempt: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -77,6 +102,7 @@ class SweepTask:
     solver: str = "apg"
     dtype: str = "float64"
     extraction: str = "mean"
+    attempt: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -94,6 +120,7 @@ class SweepResult:
     worker_pid: int
     instrumentation: dict[str, Any] | None = None
     error: str | None = None
+    attempt: int = 0
 
 
 def solve_shard(
@@ -182,6 +209,7 @@ def _run_sweep_task(
             results=tuple(results),
             worker_pid=pid,
             instrumentation=sink.state_dict(),
+            attempt=task.attempt,
         )
     except BaseException:
         return SweepResult(
@@ -190,6 +218,7 @@ def _run_sweep_task(
             worker_pid=pid,
             instrumentation=sink.state_dict(),
             error=traceback.format_exc(),
+            attempt=task.attempt,
         )
 
 
@@ -224,6 +253,7 @@ def worker_main(task_queue: Any, result_queue: Any) -> None:
             task = task_queue.get()
             if task is None:
                 break
+            result_queue.put(TaskStarted(attempt=task.attempt, worker_pid=pid))
             if isinstance(task, SweepTask):
                 result_queue.put(_run_sweep_task(task, workspaces, pid))
                 continue
@@ -238,6 +268,7 @@ def worker_main(task_queue: Any, result_queue: Any) -> None:
                     capsule=capsule,
                     operations=len(task.specs),
                     worker_pid=pid,
+                    attempt=task.attempt,
                 )
             except BaseException:
                 result = BatchResult(
@@ -246,6 +277,7 @@ def worker_main(task_queue: Any, result_queue: Any) -> None:
                     operations=0,
                     worker_pid=pid,
                     error=traceback.format_exc(),
+                    attempt=task.attempt,
                 )
             result_queue.put(result)
     finally:

@@ -1,5 +1,7 @@
 """Unit tests for the command-line interface."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -134,6 +136,57 @@ class TestCommands:
     def test_replay_bad_fault_spec_rejected(self, trace_file, capsys):
         assert main(["replay", trace_file, "--faults", "bogus=1"]) == 1
         assert "error" in capsys.readouterr().err.lower()
+
+    def test_fleet_healthy_run_exits_zero(self, capsys):
+        assert main(["fleet", "--synthesize", "2", "--machines", "6",
+                     "--snapshots", "12", "--operations", "8",
+                     "--batch-size", "4", "--window", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "health:" in out
+        assert "DEGRADED" not in out
+
+    @pytest.fixture()
+    def degraded_fleet_files(self, tmp_path):
+        good = generate_trace(TraceConfig(n_machines=6, n_snapshots=16), seed=7)
+        # Shorter than the calibration window: every session attempt raises.
+        sick = generate_trace(TraceConfig(n_machines=6, n_snapshots=3), seed=8)
+        good_path, sick_path = tmp_path / "good.npz", tmp_path / "sick.npz"
+        save_trace(good, good_path)
+        save_trace(sick, sick_path)
+        return str(good_path), str(sick_path)
+
+    def test_fleet_degraded_exits_nonzero_with_partial_report(
+        self, degraded_fleet_files, capsys
+    ):
+        good_path, sick_path = degraded_fleet_files
+        code = main(["fleet", good_path, sick_path,
+                     "--operations", "8", "--batch-size", "4",
+                     "--window", "6", "--n-workers", "2",
+                     "--on-error", "degrade", "--max-task-retries", "0"])
+        assert code == 3
+        out = capsys.readouterr().out
+        # Partial report still prints: the healthy cluster in full, the sick
+        # one flagged, plus the health line and the degraded warning.
+        assert "00-good" in out and "verdict" in out
+        assert "01-sick" in out and "status=quarantined" in out
+        assert "health:" in out
+        assert "DEGRADED" in out and "01-sick" in out.split("DEGRADED")[1]
+
+    def test_fleet_degraded_json_reports_health(
+        self, degraded_fleet_files, capsys
+    ):
+        good_path, sick_path = degraded_fleet_files
+        code = main(["fleet", good_path, sick_path,
+                     "--operations", "8", "--batch-size", "4",
+                     "--window", "6", "--n-workers", "2", "--json",
+                     "--on-error", "degrade", "--max-task-retries", "0"])
+        assert code == 3
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["degraded"] is True
+        assert summary["health"]["clusters_quarantined"] == 1
+        statuses = {c["name"]: c["status"] for c in summary["clusters"]}
+        assert statuses["01-sick"] == "quarantined"
+        assert statuses["00-good"] == "ok"
 
     def test_csv_trace_accepted(self, tmp_path, capsys):
         rows = ["snapshot,src,dst,alpha_s,beta_Bps"]

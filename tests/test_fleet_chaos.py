@@ -1,0 +1,41 @@
+"""End-to-end chaos tests: SIGKILL real fleet workers, require parity.
+
+Thin pytest wrappers over :mod:`repro.fleet.chaos` — the same scenarios the
+CI ``fleet-chaos`` job runs via ``python -m repro.fleet.chaos``. The harness
+owns the assertions' substance (kill observed, restart observed, surviving
+report bit-identical to serial); the tests here pin its contract.
+"""
+
+import json
+
+import pytest
+
+from repro.fleet.chaos import run_chaos, run_degraded
+
+pytestmark = [pytest.mark.fleet, pytest.mark.chaos]
+
+
+@pytest.mark.parametrize("mode", ["run", "sweep"])
+def test_kill_one_worker_mid_flight(mode):
+    result = run_chaos(mode, seed=1, kills=1)
+    assert result.kills >= 1, "the killer never found a worker to SIGKILL"
+    assert result.restarts >= 1, "the scheduler never noticed the corpse"
+    assert result.parity, f"survivor diverged: max |dP_D|={result.max_abs_diff:.3e}"
+    assert not result.degraded
+    assert result.passed
+
+
+def test_degrade_quarantines_sick_cluster():
+    result = run_degraded(seed=1)
+    assert result.passed
+    assert result.statuses["sick"] == "quarantined"
+    assert all(s == "ok" for name, s in result.statuses.items() if name != "sick")
+    assert result.health["clusters_quarantined"] >= 1
+
+
+def test_summary_is_json_safe():
+    result = run_degraded(seed=2)
+    decoded = json.loads(json.dumps(result.summary()))
+    assert decoded["scenario"] == "degrade"
+    assert decoded["passed"] is True
+    assert decoded["statuses"]["sick"] == "quarantined"

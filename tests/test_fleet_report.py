@@ -54,7 +54,30 @@ class TestClusterReport:
             "verdict": "stable",
             "recalibrations": 2,
             "worker_batches": 3,
+            "status": "ok",
+            "retries": 0,
         }
+
+    def test_quarantined_summary_is_json_safe(self):
+        rep = ClusterReport(
+            name="sick",
+            operations=0,
+            constant_row=np.empty(0),
+            norm_ne=float("nan"),
+            verdict="unavailable",
+            recalibrations=0,
+            worker_batches=0,
+            status="quarantined",
+            error="Traceback ...",
+            retries=2,
+        )
+        assert not rep.ok
+        s = rep.summary()
+        decoded = json.loads(json.dumps(s))  # nan would not survive this
+        assert decoded["norm_ne"] is None
+        assert decoded["status"] == "quarantined"
+        assert decoded["error"] == "Traceback ..."
+        assert decoded["retries"] == 2
 
     def test_frozen(self):
         rep = _cluster_report("c0")
@@ -91,6 +114,43 @@ class TestFleetReport:
         assert [c["name"] for c in decoded["clusters"]] == ["c0", "c1", "c2"]
         assert decoded["throughput_ops_s"] == 16.5
 
+    def test_health_and_degraded(self):
+        rep = self._report()
+        assert not rep.degraded
+        assert rep.statuses() == {"c0": "ok", "c1": "ok", "c2": "ok"}
+        assert rep.health() == {
+            "worker_restarts": 0,
+            "task_retries": 0,
+            "task_timeouts": 0,
+            "clusters_quarantined": 0,
+        }
+        clusters = dict(rep.clusters)
+        clusters["sick"] = ClusterReport(
+            name="sick", operations=0, constant_row=np.empty(0),
+            norm_ne=float("nan"), verdict="unavailable", recalibrations=0,
+            worker_batches=0, status="quarantined", error="boom",
+        )
+        degraded = FleetReport(
+            clusters=clusters, n_workers=2, elapsed_s=1.0,
+            total_operations=33, total_batches=9,
+            instrumentation={
+                "counters": {
+                    "fleet.worker.restarts": 1,
+                    "fleet.task.retries": 3,
+                    "fleet.cluster.quarantined": 1,
+                }
+            },
+        )
+        assert degraded.degraded
+        assert degraded.statuses()["sick"] == "quarantined"
+        health = degraded.health()
+        assert health["worker_restarts"] == 1
+        assert health["task_retries"] == 3
+        assert health["clusters_quarantined"] == 1
+        s = json.loads(json.dumps(degraded.summary()))
+        assert s["degraded"] is True
+        assert s["health"]["worker_restarts"] == 1
+
 
 class TestSweepClusterResult:
     def test_summary_coerces_numpy_scalars(self):
@@ -106,6 +166,7 @@ class TestSweepClusterResult:
             "rank": 1,
             "iterations": 140,
             "converged": True,
+            "status": "ok",
         }
 
 
