@@ -36,6 +36,7 @@ from typing import Any, Iterable
 
 from .cloudsim.trace import CalibrationTrace
 from .core.decompose import Decomposition, decompose
+from .core.detectors import validate_regime_detector
 from .core.kernels import validate_backend
 from .errors import ValidationError
 from .fleet import (
@@ -91,7 +92,14 @@ class SolveConfig:
 
 @dataclass(frozen=True)
 class SessionConfig:
-    """Settings for :func:`open_session` (paper defaults throughout)."""
+    """Settings for :func:`open_session` (paper defaults throughout).
+
+    ``regime_detector`` enables online regime-shift detection: the name of
+    a registered detector (``"cusum"``, ``"signature"``, ``"noise-robust"``,
+    ``"drift"`` — see :func:`repro.core.detectors.detector_names`), with
+    ``regime_params`` as config overrides for it. ``None`` (the default)
+    keeps the historical detector-free maintenance loop.
+    """
 
     nbytes: float = 8.0 * _MB
     window: int = 10
@@ -100,11 +108,14 @@ class SessionConfig:
     solver: str = "apg"
     warm_start: bool = True
     svd_backend: str = "exact"
+    regime_detector: str | None = None
+    regime_params: dict[str, Any] | None = None
 
     def __post_init__(self) -> None:
         if int(self.window) < 1:
             raise ValidationError("window must be >= 1")
         validate_backend(self.svd_backend)
+        validate_regime_detector(self.regime_detector, self.regime_params)
 
 
 def _resolve(default_cls: type, config: Any, overrides: dict[str, Any]) -> Any:
@@ -181,6 +192,8 @@ def open_session(
         solver=cfg.solver,
         warm_start=cfg.warm_start,
         svd_backend=cfg.svd_backend,
+        regime=cfg.regime_detector,
+        regime_params=cfg.regime_params,
         instrumentation=instrumentation,
     )
 

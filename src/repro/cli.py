@@ -121,9 +121,15 @@ def build_parser() -> argparse.ArgumentParser:
                      help="per-snapshot completeness floor in resilient mode")
     rep.add_argument("--min-window-observed", type=float, default=0.5,
                      help="per-window completeness floor in resilient mode")
-    rep.add_argument("--regime", action="store_true",
-                     help="enable online CUSUM regime-shift detection "
-                          "(SHIFT forces a cold re-calibration)")
+    rep.add_argument("--regime", nargs="?", const="__bare__", default=None,
+                     metavar="DETECTOR",
+                     help="enable online regime-shift detection with the "
+                          "named detector (cusum, signature, noise-robust, "
+                          "drift; SHIFT forces a cold re-calibration); bare "
+                          "--regime is a deprecated alias for cusum")
+    rep.add_argument("--regime-params", default=None, metavar="KEY=VALUE[,...]",
+                     help="detector config overrides, e.g. "
+                          "decision=6.0,warmup=8 (requires --regime)")
     rep.add_argument("--checkpoint-dir", default=None, metavar="DIR",
                      help="enable crash-safe persistence into DIR "
                           "(write-ahead journal + periodic checkpoints)")
@@ -215,6 +221,12 @@ def build_parser() -> argparse.ArgumentParser:
                      metavar="SECONDS",
                      help="per-attempt deadline; a stuck worker is killed "
                           "and the task retried (default: no deadline)")
+    flt.add_argument("--regime", default=None, metavar="DETECTOR",
+                     help="online regime-shift detector every cluster runs "
+                          "(cusum, signature, noise-robust, drift)")
+    flt.add_argument("--regime-params", default=None, metavar="KEY=VALUE[,...]",
+                     help="detector config overrides, e.g. "
+                          "decision=6.0,warmup=8 (requires --regime)")
     flt.add_argument("--serial", action="store_true",
                      help="run the identical plan in-process (baseline arm)")
     flt.add_argument("--json", action="store_true",
@@ -334,6 +346,30 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_regime_args(args: argparse.Namespace) -> tuple[str | None, dict | None]:
+    """Turn ``--regime`` / ``--regime-params`` into session kwargs.
+
+    The bare ``--regime`` flag (no value) survives as a deprecated alias
+    for the historical CUSUM default — same one-release policy as the
+    facade's legacy keyword spellings.
+    """
+    import warnings
+
+    from .core.detectors import DEFAULT_DETECTOR, parse_detector_params
+
+    regime = args.regime
+    if regime == "__bare__":
+        warnings.warn(
+            "bare --regime is deprecated and will require a detector name "
+            f"in v2; use --regime {DEFAULT_DETECTOR}",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        regime = DEFAULT_DETECTOR
+    params = parse_detector_params(args.regime_params) or None
+    return regime, params
+
+
 def _session_summary(session, *, recovered_at: int | None = None) -> dict:
     """Machine-readable session summary (the ``--json`` payload).
 
@@ -353,6 +389,11 @@ def _session_summary(session, *, recovered_at: int | None = None) -> dict:
         "holdover_operations": stats.holdover_operations,
         "regime_shifts": stats.regime_shifts,
         "regime_spikes": stats.regime_spikes,
+        "regime_detector": (
+            None
+            if session.regime_detector is None
+            else session.regime_detector.name
+        ),
         "health": session.health_state.value,
         "staleness": session.staleness,
         "fault_events": len(session.fault_events),
@@ -376,6 +417,7 @@ def _print_session_summary(
     print(f"overhead:          {stats.overhead_seconds:.3f} s")
     print(f"recalibrations:    {stats.recalibrations}")
     if session.regime_detector is not None:
+        print(f"regime detector:   {session.regime_detector.name}")
         print(f"regime shifts:     {stats.regime_shifts} "
               f"({stats.regime_spikes} transient spike(s))")
     if show_faults:
@@ -403,6 +445,7 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     from .runtime import TraceSession
 
     trace = _load_any_trace(args.trace)
+    regime, regime_params = _resolve_regime_args(args)
     resilience = None
     if args.faults is not None:
         resilience = ResilienceConfig(
@@ -429,7 +472,8 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         fault_seed=args.fault_seed,
         resilience=resilience,
         persistence=persistence,
-        regime=args.regime,
+        regime=regime,
+        regime_params=regime_params,
         crash_after=args.crash_after,
     )
     for _ in range(args.operations):
@@ -473,6 +517,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     import json
     import os
 
+    from .core.detectors import parse_detector_params
     from .fleet import ClusterSpec, FleetConfig, FleetScheduler
     from .observability import active
 
@@ -522,6 +567,10 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         retry_backoff_s=args.retry_backoff,
         max_worker_restarts=args.max_worker_restarts,
         task_timeout_s=args.task_timeout,
+        regime_detector=args.regime,
+        regime_params=(
+            parse_detector_params(args.regime_params) or None
+        ),
     )
     # Under --profile the CLI sink is active: make it the fleet sink so the
     # per-cluster counters and solve spans merged back from the workers show
@@ -582,6 +631,10 @@ def _print_fleet_health(report) -> None:
           f"retries={health['task_retries']} "
           f"timeouts={health['task_timeouts']} "
           f"quarantined={health['clusters_quarantined']}")
+    if health["regime_shifts"] or health["regime_spikes"]:
+        print(f"regime:     shifts={health['regime_shifts']} "
+              f"spikes={health['regime_spikes']} "
+              f"forced_recals={health['forced_recalibrations']}")
     if report.degraded:
         sick = sorted(
             name for name, status in report.statuses().items() if status != "ok"

@@ -10,7 +10,14 @@ migration) — and provides the same replay and noise-injection machinery.
 
 from .placement import Placement, place_cluster
 from .bands import LinkBands, derive_bands, BandTiers
-from .dynamics import DynamicsConfig, VolatilityModel
+from .dynamics import (
+    DynamicsConfig,
+    VolatilityModel,
+    apply_burst_noise,
+    apply_ramp_regime,
+    apply_seasonal_regime,
+    apply_step_regime,
+)
 from .trace import CalibrationTrace
 from .tracegen import TraceConfig, generate_trace
 from .noise import inject_noise_to_target, measure_trace_norm_ne
@@ -23,6 +30,10 @@ __all__ = [
     "BandTiers",
     "DynamicsConfig",
     "VolatilityModel",
+    "apply_step_regime",
+    "apply_ramp_regime",
+    "apply_seasonal_regime",
+    "apply_burst_noise",
     "CalibrationTrace",
     "TraceConfig",
     "generate_trace",

@@ -18,20 +18,37 @@ Three processes, matching the paper's Appendix-A observations about EC2:
 4. **Regime changes** — rare events (VM migration, Sec IV-A's example) where
    one VM's *bands* are re-drawn; the constant component itself moves, which
    is what the maintenance loop must detect.
+
+The ``apply_*_regime`` functions at the bottom script regime changes onto an
+*existing* trace — step, ramp, seasonal, and burst-noise profiles — so the
+detection-quality benchmark can grade every registered
+:mod:`~repro.core.detectors` detector against known change-point ground
+truth (onset snapshot, change shape) instead of whatever the stochastic
+migration process happened to roll.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from .._validation import check_nonnegative, check_probability
+from ..errors import ValidationError
 from ..utils.seeding import spawn_rng
 from .bands import BandTiers, LinkBands, derive_bands
 from .placement import Placement
+from .trace import CalibrationTrace
 
-__all__ = ["DynamicsConfig", "VolatilityModel"]
+__all__ = [
+    "DynamicsConfig",
+    "VolatilityModel",
+    "apply_step_regime",
+    "apply_ramp_regime",
+    "apply_seasonal_regime",
+    "apply_burst_noise",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -169,3 +186,129 @@ class VolatilityModel:
         np.fill_diagonal(beta, np.inf)
         self._snapshot_index += 1
         return alpha, beta
+
+
+# -- scripted regime changes -------------------------------------------------
+#
+# Each function takes a finished trace and returns a new one whose bands
+# degrade according to a known script: bandwidth divided by (latency
+# multiplied by) a per-snapshot factor. Dividing beta keeps the diagonal
+# convention intact for free (inf / f = inf, 0 * f = 0), and scripting on a
+# finished trace keeps the underlying volatility/spike draws identical
+# between the scripted and unscripted arms — the benchmark's control.
+
+
+def _check_range(start: int, stop: int, n: int) -> tuple[int, int]:
+    start, stop = int(start), int(stop)
+    if not 0 <= start < n:
+        raise ValidationError(f"start {start} out of range for {n} snapshots")
+    if not start < stop <= n:
+        raise ValidationError(
+            f"stop must lie in ({start}, {n}], got {stop}"
+        )
+    return start, stop
+
+
+def _scaled(trace: CalibrationTrace, factors: np.ndarray) -> CalibrationTrace:
+    """Apply a per-snapshot degradation factor (>=1 slows the network)."""
+    f = factors.reshape(-1, 1, 1)
+    return CalibrationTrace(
+        alpha=trace.alpha * f,
+        beta=trace.beta / f,
+        timestamps=trace.timestamps,
+        mask=trace.mask,
+    )
+
+
+def apply_step_regime(
+    trace: CalibrationTrace, *, start: int, factor: float, stop: int | None = None
+) -> CalibrationTrace:
+    """Abrupt sustained band change from snapshot *start* on.
+
+    The canonical CUSUM-friendly regime shift: every link's bandwidth drops
+    by *factor* (latency rises by it) at *start* and stays there (until
+    *stop*, exclusive, when given). Models a VM migration landing the
+    cluster on congested hosts.
+    """
+    n = trace.n_snapshots
+    start, stop = _check_range(start, n if stop is None else stop, n)
+    if float(factor) <= 0:
+        raise ValidationError("factor must be > 0")
+    factors = np.ones(n)
+    factors[start:stop] = float(factor)
+    return _scaled(trace, factors)
+
+
+def apply_ramp_regime(
+    trace: CalibrationTrace, *, start: int, stop: int, factor: float
+) -> CalibrationTrace:
+    """Slow linear degradation from *start* to *stop*, then held.
+
+    The factor ramps linearly from 1 at *start* to *factor* at ``stop - 1``
+    and stays at *factor* afterwards — the gradual-drift regime (e.g. a
+    neighbor's workload slowly saturating the rack uplink) that a
+    spike/shift dichotomy tuned for abrupt change under-serves.
+    """
+    n = trace.n_snapshots
+    start, stop = _check_range(start, stop, n)
+    if float(factor) <= 0:
+        raise ValidationError("factor must be > 0")
+    if stop - start < 2:
+        raise ValidationError("ramp needs at least 2 snapshots")
+    factors = np.ones(n)
+    factors[start:stop] = np.linspace(1.0, float(factor), stop - start)
+    factors[stop:] = float(factor)
+    return _scaled(trace, factors)
+
+
+def apply_seasonal_regime(
+    trace: CalibrationTrace, *, period: int, amplitude: float, phase: float = 0.0
+) -> CalibrationTrace:
+    """Smooth periodic degradation (diurnal/weekly-style load cycles).
+
+    The factor oscillates between 1 (no degradation) and ``1 + amplitude``
+    with the given *period* in snapshots:
+    ``f_k = 1 + amplitude * (1 - cos(2π (k - phase) / period)) / 2``.
+    There is no true regime change — a well-tuned detector should ride the
+    season without firing, so shifts here count as false recalibrations.
+    """
+    if int(period) < 2:
+        raise ValidationError("period must be >= 2 snapshots")
+    check_nonnegative(amplitude, "amplitude")
+    k = np.arange(trace.n_snapshots, dtype=np.float64)
+    factors = 1.0 + float(amplitude) * 0.5 * (
+        1.0 - np.cos(2.0 * math.pi * (k - float(phase)) / int(period))
+    )
+    return _scaled(trace, factors)
+
+
+def apply_burst_noise(
+    trace: CalibrationTrace,
+    *,
+    probability: float,
+    severity: float = 6.0,
+    seed: int | np.random.Generator | None = None,
+) -> CalibrationTrace:
+    """Heavy-tailed one-snapshot interference bursts, no true regime change.
+
+    Each off-diagonal link is hit independently per snapshot with
+    *probability*; a hit divides that link's bandwidth by ``1 + s`` with
+    ``s ~ Exp(severity)`` for exactly one snapshot. The stress profile for
+    noise-robust detection: every shift a detector fires here is a false
+    recalibration, since the bands never move.
+    """
+    check_probability(probability, "probability")
+    check_nonnegative(severity, "severity")
+    rng = spawn_rng(seed)
+    t, n = trace.n_snapshots, trace.n_machines
+    hit = rng.random((t, n, n)) < float(probability)
+    off_diag = ~np.eye(n, dtype=bool)
+    hit &= off_diag[None, :, :]
+    sev = 1.0 + rng.exponential(float(severity), size=(t, n, n))
+    factors = np.where(hit, sev, 1.0)
+    return CalibrationTrace(
+        alpha=trace.alpha * factors,
+        beta=trace.beta / factors,
+        timestamps=trace.timestamps,
+        mask=trace.mask,
+    )

@@ -23,6 +23,11 @@ from enum import Enum
 from typing import Any
 
 from .._validation import check_nonnegative, check_positive, check_probability
+from .detectors import (  # noqa: F401  (re-exported: historical home)
+    CusumRegimeDetector,
+    RegimeConfig,
+    RegimeVerdict,
+)
 
 __all__ = [
     "MaintenanceDecision",
@@ -344,176 +349,3 @@ class DegradedModeController:
             )
             for t in state["transitions"]
         ]
-
-
-class RegimeVerdict(Enum):
-    """How the regime detector classifies one residual observation.
-
-    Algorithm 1 treats every above-threshold deviation identically; the
-    signature/change-point literature (Fattah et al.; Duplyakin et al.)
-    distinguishes *transient spikes* — interference RPCA's sparse term is
-    built to absorb, where the right move is to keep serving ``P_D`` — from
-    *regime shifts*, where the constant component itself has moved and only
-    a full cold re-calibration helps.
-    """
-
-    STABLE = "stable"  # residual consistent with the learned baseline
-    SPIKE = "spike"  # one-off excursion; keep serving P_D
-    SHIFT = "shift"  # sustained level change; re-calibrate cold
-
-
-@dataclass(frozen=True)
-class RegimeConfig:
-    """Tunables of the CUSUM regime-shift detector.
-
-    The detector standardizes each residual-norm observation against a
-    baseline learned during *warmup* and accumulates a one-sided CUSUM
-    statistic ``S ← max(0, S + min(z, spike_z) − drift)``. ``S ≥ decision``
-    signals a regime shift; an instantaneous ``z ≥ spike_z`` that does not
-    push ``S`` over the line is a transient spike. The winsorization (``z``
-    clipped at ``spike_z`` before accumulating) is what makes the two
-    distinguishable: one interference spike — however violent — contributes
-    at most ``spike_z − drift`` to ``S``, so only *sustained* elevation
-    across ``≈ decision / (spike_z − drift)`` consecutive operations can
-    reach the decision interval.
-
-    Attributes
-    ----------
-    drift:
-        CUSUM slack per observation, in baseline standard deviations; the
-        allowance subtracted before accumulating (larger = less sensitive
-        to slow drift).
-    decision:
-        CUSUM decision interval ``h``, in baseline standard deviations.
-    warmup:
-        Observations used to learn the baseline mean and deviation before
-        any classification happens (everything is ``STABLE`` during warmup).
-    spike_z:
-        Standardized residual that counts as a transient spike; also the
-        winsorization cap on each observation's CUSUM contribution.
-    min_rel_sigma:
-        Floor on the baseline standard deviation as a fraction of the
-        baseline mean — calm traces have near-zero residual variance, and
-        an unfloored σ would turn measurement noise into shifts.
-    """
-
-    drift: float = 0.5
-    decision: float = 8.0
-    warmup: int = 6
-    spike_z: float = 4.0
-    min_rel_sigma: float = 0.1
-
-    def __post_init__(self) -> None:
-        check_nonnegative(self.drift, "drift")
-        check_positive(self.decision, "decision")
-        if int(self.warmup) < 2:
-            raise ValueError("warmup must be >= 2 observations")
-        check_positive(self.spike_z, "spike_z")
-        check_positive(self.min_rel_sigma, "min_rel_sigma")
-        if float(self.decision) <= float(self.spike_z) - float(self.drift):
-            raise ValueError(
-                "decision must exceed spike_z - drift, or a single "
-                "winsorized spike could masquerade as a regime shift"
-            )
-
-
-class CusumRegimeDetector:
-    """Online change-point detector over per-snapshot residual norms.
-
-    Feed it one ``Norm(N_E)``-style residual per operation (the relative L1
-    distance between the live snapshot and the constant component in
-    service, see
-    :meth:`~repro.core.engine.DecompositionEngine.snapshot_residual`) and it
-    returns a :class:`RegimeVerdict`. A permanent band change keeps the
-    residual elevated against a stale ``P_D``, so the CUSUM statistic ramps
-    to the decision interval within a few operations; an equal-magnitude
-    one-snapshot spike contributes once and decays.
-
-    After signalling ``SHIFT`` the detector resets itself entirely — the
-    caller re-calibrates cold, the residual level changes meaning, and a
-    fresh baseline must be learned for the new regime.
-    """
-
-    def __init__(self, config: RegimeConfig | None = None) -> None:
-        self.config = config if config is not None else RegimeConfig()
-        self._count = 0
-        self._mean = 0.0
-        self._m2 = 0.0
-        self._cusum = 0.0
-        self.shifts = 0
-        self.spikes = 0
-
-    @property
-    def warmed_up(self) -> bool:
-        return self._count >= int(self.config.warmup)
-
-    @property
-    def cusum(self) -> float:
-        """Current value of the one-sided CUSUM statistic (σ units)."""
-        return self._cusum
-
-    def _sigma(self) -> float:
-        var = self._m2 / (self._count - 1) if self._count > 1 else 0.0
-        sigma = math.sqrt(max(var, 0.0))
-        floor = self.config.min_rel_sigma * abs(self._mean)
-        return max(sigma, floor, 1e-12)
-
-    def observe(self, value: float) -> RegimeVerdict:
-        """Classify one residual observation."""
-        x = float(value)
-        if not math.isfinite(x):
-            raise ValueError(f"residual observation must be finite, got {value!r}")
-        if not self.warmed_up:
-            # Welford accumulation of the baseline.
-            self._count += 1
-            delta = x - self._mean
-            self._mean += delta / self._count
-            self._m2 += delta * (x - self._mean)
-            return RegimeVerdict.STABLE
-        z = (x - self._mean) / self._sigma()
-        # Winsorized accumulation: a lone outlier contributes at most
-        # spike_z - drift, so it cannot reach the decision interval alone.
-        self._cusum = max(
-            0.0, self._cusum + min(z, self.config.spike_z) - self.config.drift
-        )
-        if self._cusum >= self.config.decision:
-            self.shifts += 1
-            self.reset()
-            return RegimeVerdict.SHIFT
-        if z >= self.config.spike_z:
-            self.spikes += 1
-            return RegimeVerdict.SPIKE
-        return RegimeVerdict.STABLE
-
-    def reset(self) -> None:
-        """Forget baseline and CUSUM state; the next observations re-warm.
-
-        Called internally after a shift; callers should also reset after any
-        cold re-calibration they initiate themselves, since the residuals'
-        reference level changes with the constant component.
-        """
-        self._count = 0
-        self._mean = 0.0
-        self._m2 = 0.0
-        self._cusum = 0.0
-
-    # -- persistence -------------------------------------------------------
-    def state_dict(self) -> dict[str, Any]:
-        """JSON-serializable snapshot of the detector's mutable state."""
-        return {
-            "count": self._count,
-            "mean": self._mean,
-            "m2": self._m2,
-            "cusum": self._cusum,
-            "shifts": self.shifts,
-            "spikes": self.spikes,
-        }
-
-    def restore_state(self, state: dict[str, Any]) -> None:
-        """Inverse of :meth:`state_dict` (config comes from ``__init__``)."""
-        self._count = int(state["count"])
-        self._mean = float(state["mean"])
-        self._m2 = float(state["m2"])
-        self._cusum = float(state["cusum"])
-        self.shifts = int(state["shifts"])
-        self.spikes = int(state["spikes"])

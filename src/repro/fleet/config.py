@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from .._validation import check_positive
 from ..cloudsim.trace import CalibrationTrace
 from ..core.batch import validate_batch_dtype
+from ..core.detectors import validate_regime_detector
 from ..core.kernels import validate_backend
 from ..errors import ValidationError
 
@@ -145,6 +146,17 @@ class FleetConfig:
         attempt's worker is killed (and respawned within budget) and the
         attempt counts against ``max_task_retries``. ``None`` disables
         deadlines.
+    regime_detector:
+        Online regime-shift detector every cluster's session runs — the
+        name of a registered detector (``"cusum"``, ``"signature"``,
+        ``"noise-robust"``, ``"drift"``; see
+        :func:`repro.core.detectors.detector_names`). ``None`` (default)
+        keeps the detector-free maintenance loop. Detector state travels
+        inside each session capsule, so it survives worker migration and
+        SIGKILL-resume bit-identically.
+    regime_params:
+        Config overrides for the named detector (keyword arguments of its
+        config dataclass). Requires ``regime_detector``.
     """
 
     n_workers: int = 2
@@ -167,6 +179,8 @@ class FleetConfig:
     retry_backoff_s: float = 0.05
     max_worker_restarts: int = 3
     task_timeout_s: float | None = None
+    regime_detector: str | None = None
+    regime_params: dict | None = None
 
     def __post_init__(self) -> None:
         for name in ("n_workers", "window", "consecutive", "operations",
@@ -192,6 +206,7 @@ class FleetConfig:
             raise ValidationError("retry_backoff_s must be >= 0")
         if self.task_timeout_s is not None and float(self.task_timeout_s) <= 0:
             raise ValidationError("task_timeout_s must be > 0 or None")
+        validate_regime_detector(self.regime_detector, self.regime_params)
 
     @property
     def max_inflight(self) -> int:

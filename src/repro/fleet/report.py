@@ -36,12 +36,18 @@ __all__ = [
 #: Valid per-cluster health states in fleet reports.
 CLUSTER_STATUSES = ("ok", "failed", "quarantined")
 
-#: Scheduler health counters surfaced in every report summary.
+#: Scheduler health counters surfaced in every report summary. The
+#: ``regime.*`` counters are session-side (merged from worker capsules),
+#: so fleet health covers both planes: infrastructure self-healing and
+#: network-regime churn.
 _HEALTH_COUNTERS = {
     "worker_restarts": "fleet.worker.restarts",
     "task_retries": "fleet.task.retries",
     "task_timeouts": "fleet.task.timeouts",
     "clusters_quarantined": "fleet.cluster.quarantined",
+    "regime_shifts": "regime.shift",
+    "regime_spikes": "regime.spike",
+    "forced_recalibrations": "regime.forced_recalibrations",
 }
 
 
@@ -77,6 +83,8 @@ class ClusterReport:
     status: str = "ok"
     error: str | None = None
     retries: int = 0
+    regime_shifts: int = 0
+    regime_spikes: int = 0
 
     @property
     def ok(self) -> bool:
@@ -92,6 +100,8 @@ class ClusterReport:
             "worker_batches": self.worker_batches,
             "status": self.status,
             "retries": self.retries,
+            "regime_shifts": self.regime_shifts,
+            "regime_spikes": self.regime_spikes,
         }
         if self.error is not None:
             out["error"] = self.error

@@ -328,6 +328,8 @@ class FleetScheduler:
             "solver": cfg.solver,
             "warm_start": cfg.warm_start,
             "svd_backend": cfg.svd_backend,
+            "regime": cfg.regime_detector,
+            "regime_params": cfg.regime_params,
         }
 
     def _operations_for(self, spec: ClusterSpec) -> int:
@@ -361,6 +363,7 @@ class FleetScheduler:
             "svd_backend": self.config.svd_backend,
             "op": self.config.op,
             "on_error": self.config.on_error,
+            "regime_detector": self.config.regime_detector,
         }
         with open(os.path.join(root, "fleet.json"), "w", encoding="utf-8") as fh:
             json.dump(manifest, fh, indent=2, sort_keys=True)
@@ -715,6 +718,8 @@ class FleetScheduler:
             status=state.status,
             error=state.error,
             retries=state.retries,
+            regime_shifts=int(capsule.meta["stats"]["regime_shifts"]),
+            regime_spikes=int(capsule.meta["stats"]["regime_spikes"]),
         )
 
     @staticmethod

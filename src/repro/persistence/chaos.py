@@ -108,7 +108,7 @@ def kill_and_recover(
     checkpoint_every: int = 5,
     faults: str | None = None,
     fault_seed: int = 0,
-    regime: bool = False,
+    regime: bool | str | None = False,
 ) -> ChaosResult:
     """SIGKILL a session at each *kill_at* operation, recover, assert parity.
 
@@ -131,6 +131,9 @@ def kill_and_recover(
     fault_args: list[str] = []
     if faults is not None:
         fault_args = ["--faults", faults]
+    # True selects the default detector by name so the child CLI never hits
+    # the deprecated bare-flag path; a string is a registered detector name.
+    regime_name = "cusum" if regime is True else (regime or None)
 
     replay = [
         "replay", trace_path,
@@ -138,7 +141,7 @@ def kill_and_recover(
         "--threshold", str(threshold),
         "--fault-seed", str(fault_seed),
         *fault_args,
-        *(["--regime"] if regime else []),
+        *(["--regime", regime_name] if regime_name else []),
         *common,
     ]
     # The uninterrupted reference: same workload, no persistence, no kills.
@@ -210,7 +213,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--checkpoint-every", type=int, default=5)
     parser.add_argument("--faults", default=None)
     parser.add_argument("--fault-seed", type=int, default=0)
-    parser.add_argument("--regime", action="store_true")
+    parser.add_argument("--regime", nargs="?", const="cusum", default=None,
+                        metavar="DETECTOR",
+                        help="run with the named regime detector "
+                             "(bare flag selects cusum)")
     args = parser.parse_args(argv)
 
     kill_at = [int(tok) for tok in args.kill_at.split(",") if tok.strip()]

@@ -285,7 +285,10 @@ def capture_session_state(
             "regime": (
                 None
                 if session.regime_detector is None
-                else asdict(session.regime_detector.config)
+                else {
+                    "name": session.regime_detector.name,
+                    "params": session.regime_detector.params(),
+                }
             ),
         },
         "trace": {

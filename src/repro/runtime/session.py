@@ -50,15 +50,20 @@ from ..collectives.exec_model import collective_time, weights_to_alphabeta
 from ..collectives.fnf import fnf_tree
 from ..core.decompose import Decomposition
 from ..core.engine import DecompositionEngine
-from ..core.maintenance import (
+from ..core.detectors import (
+    DEFAULT_DETECTOR,
     CusumRegimeDetector,
+    RegimeConfig,
+    RegimeDetector,
+    RegimeVerdict,
+    build_detector,
+)
+from ..core.maintenance import (
     DegradedModeController,
     HealthState,
     HealthTransition,
     MaintenanceController,
     MaintenanceDecision,
-    RegimeConfig,
-    RegimeVerdict,
     ResilienceConfig,
 )
 from ..core.solvers import solver_spec
@@ -269,10 +274,17 @@ class TraceSession:
         ``checkpoint_every`` operations. The directory must not already
         hold another session's state — use :meth:`resume` for that.
     regime:
-        Enable the CUSUM regime-shift detector: ``True`` for defaults or a
-        :class:`~repro.core.maintenance.RegimeConfig`. A detected SHIFT
-        forces a cold re-calibration (warm-start chain dropped, backoff
-        bypassed); SPIKEs are counted but keep ``P_D`` in service.
+        Enable online regime-shift detection: the name of a registered
+        detector (see :func:`repro.core.detectors.detector_names` —
+        ``"cusum"``, ``"signature"``, ``"noise-robust"``, ``"drift"``),
+        ``True`` for the default CUSUM detector, or a
+        :class:`~repro.core.detectors.RegimeConfig` (the historical CUSUM
+        spelling). A detected SHIFT forces a cold re-calibration
+        (warm-start chain dropped, backoff bypassed); SPIKEs are counted
+        but keep ``P_D`` in service.
+    regime_params:
+        Config overrides for the named detector (keyword arguments of its
+        config dataclass, e.g. ``{"decision": 6.0}``). Requires *regime*.
     crash_after:
         Arm a :class:`~repro.faults.CrashFault` at this operation index —
         shorthand for putting one in *faults*, used by the chaos harness.
@@ -295,7 +307,8 @@ class TraceSession:
         fault_seed: int | None = None,
         resilience: ResilienceConfig | None = None,
         persistence: PersistenceConfig | str | os.PathLike | None = None,
-        regime: RegimeConfig | bool | None = None,
+        regime: RegimeConfig | str | bool | None = None,
+        regime_params: dict[str, Any] | None = None,
         crash_after: int | None = None,
     ) -> None:
         if trace.n_snapshots <= time_step:
@@ -351,10 +364,8 @@ class TraceSession:
             ),
             **self._engine_kwargs(resilience, solver),
         )
-        if regime is True:
-            regime = RegimeConfig()
-        self.regime_detector: CusumRegimeDetector | None = (
-            CusumRegimeDetector(regime) if regime else None
+        self.regime_detector: RegimeDetector | None = (
+            self._build_regime_detector(regime, regime_params)
         )
 
         self.stats = SessionStats()
@@ -378,6 +389,42 @@ class TraceSession:
             self.checkpoint()  # checkpoint 0: the booted state
 
     # -- construction helpers ----------------------------------------------
+    @staticmethod
+    def _build_regime_detector(
+        regime: RegimeConfig | str | bool | None,
+        params: dict[str, Any] | None,
+    ) -> RegimeDetector | None:
+        """Resolve the ``regime=`` argument against the detector registry.
+
+        ``None``/``False`` disable detection; ``True`` is the default
+        detector; a string is a registered name (built with *params*); a
+        :class:`~repro.core.detectors.RegimeConfig` is the historical CUSUM
+        spelling (mutually exclusive with *params* — the config already
+        carries them).
+        """
+        if regime is None or regime is False:
+            if params:
+                raise ValidationError(
+                    "regime_params given without a regime detector; "
+                    "pass regime=<detector name> as well"
+                )
+            return None
+        if isinstance(regime, RegimeConfig):
+            if params:
+                raise ValidationError(
+                    "pass detector parameters either as a RegimeConfig or "
+                    "as regime_params, not both"
+                )
+            return CusumRegimeDetector(regime)
+        if regime is True:
+            return build_detector(DEFAULT_DETECTOR, params)
+        if isinstance(regime, str):
+            return build_detector(regime, params)
+        raise ValidationError(
+            f"regime must be a detector name, True, or a RegimeConfig; "
+            f"got {regime!r}"
+        )
+
     @staticmethod
     def _coerce_persistence(
         persistence: PersistenceConfig | str | os.PathLike | None,
@@ -582,6 +629,9 @@ class TraceSession:
         self._engine.reset_warm_state()
         self.controller.reset()
         self.instrumentation.count("session.regime.cold_recalibration")
+        # Unprefixed twin of the counter above: fleet reports merge worker
+        # instrumentation under the "regime.*" namespace.
+        self.instrumentation.count("regime.forced_recalibrations")
         try:
             self._calibrate(end=end, charge=True)
         except (CalibrationError, ConvergenceError) as exc:
@@ -611,10 +661,12 @@ class TraceSession:
         if verdict is RegimeVerdict.SHIFT:
             self.stats.regime_shifts += 1
             self.instrumentation.count("session.regime.shift")
+            self.instrumentation.count("regime.shift")
             self._force_cold_recalibration(end=k + 1)
         elif verdict is RegimeVerdict.SPIKE:
             self.stats.regime_spikes += 1
             self.instrumentation.count("session.regime.spike")
+            self.instrumentation.count("regime.spike")
         return verdict.value
 
     def _advance(self) -> int:
@@ -1028,11 +1080,15 @@ class TraceSession:
         self._engine.restore_warm_state(dec)
 
         regime_cfg = cfg["regime"]
-        self.regime_detector = (
-            CusumRegimeDetector(RegimeConfig(**regime_cfg))
-            if regime_cfg is not None
-            else None
-        )
+        if regime_cfg is None:
+            self.regime_detector = None
+        elif "name" in regime_cfg:
+            self.regime_detector = build_detector(
+                regime_cfg["name"], regime_cfg["params"]
+            )
+        else:
+            # Pre-registry checkpoints stored bare CUSUM config fields.
+            self.regime_detector = CusumRegimeDetector(RegimeConfig(**regime_cfg))
         if self.regime_detector is not None and meta["regime_state"] is not None:
             self.regime_detector.restore_state(meta["regime_state"])
 

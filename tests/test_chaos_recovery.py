@@ -80,6 +80,23 @@ def test_kill_under_measurement_faults_and_regime(tmp_path):
     assert result.max_abs_diff == 0.0
 
 
+@pytest.mark.parametrize("detector", ["signature", "noise-robust", "drift"])
+def test_kill_with_each_registered_detector(tmp_path, detector):
+    # ``regime=True`` above covers the default CUSUM path; the drop-in
+    # detectors must survive SIGKILL mid-warmup/mid-window just the same —
+    # whatever internal buffers they keep restore bit-identically.
+    result = kill_and_recover(
+        _trace_file(tmp_path, 13),
+        tmp_path / "work",
+        kill_at=(8,),
+        operations=20,
+        regime=detector,
+        checkpoint_every=5,
+    )
+    assert result.parity
+    assert result.max_abs_diff == 0.0
+
+
 class TestHarnessValidation:
     def test_kill_schedule_must_be_increasing(self, tmp_path):
         with pytest.raises(PersistenceError, match="strictly increasing"):

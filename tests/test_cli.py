@@ -188,6 +188,59 @@ class TestCommands:
         assert statuses["01-sick"] == "quarantined"
         assert statuses["00-good"] == "ok"
 
+    def test_regime_detector_named_choice(self, trace_file, capsys):
+        assert main(["replay", trace_file, "--operations", "12",
+                     "--threshold", "10.0", "--regime", "drift"]) == 0
+        assert "regime detector:   drift" in capsys.readouterr().out
+
+    def test_regime_params_threaded_through(self, trace_file, capsys):
+        assert main(["replay", trace_file, "--operations", "12",
+                     "--threshold", "10.0", "--regime", "noise-robust",
+                     "--regime-params", "window=3,shift_score=5.0",
+                     "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["regime_detector"] == "noise-robust"
+
+    def test_bare_regime_flag_is_deprecated_alias_for_cusum(
+        self, trace_file, capsys
+    ):
+        with pytest.warns(DeprecationWarning, match="--regime cusum"):
+            assert main(["replay", trace_file, "--operations", "12",
+                         "--threshold", "10.0", "--regime"]) == 0
+        assert "regime detector:   cusum" in capsys.readouterr().out
+
+    def test_unknown_detector_lists_registry(self, trace_file, capsys):
+        assert main(["replay", trace_file, "--regime", "kalman"]) == 1
+        err = capsys.readouterr().err
+        assert "registered detectors" in err and "cusum" in err
+
+    def test_bad_regime_params_rejected(self, trace_file, capsys):
+        assert main(["replay", trace_file, "--regime", "cusum",
+                     "--regime-params", "decision=high"]) == 1
+        assert "expected a number" in capsys.readouterr().err
+        assert main(["replay", trace_file, "--regime", "cusum",
+                     "--regime-params", "no_such_knob=1"]) == 1
+        assert "cusum" in capsys.readouterr().err
+
+    def test_regime_params_require_a_detector(self, trace_file, capsys):
+        assert main(["replay", trace_file,
+                     "--regime-params", "decision=6.0"]) == 1
+        assert "regime" in capsys.readouterr().err
+
+    def test_fleet_accepts_regime_flags(self, capsys):
+        assert main(["fleet", "--synthesize", "2", "--machines", "6",
+                     "--snapshots", "12", "--operations", "8",
+                     "--batch-size", "4", "--window", "6", "--serial",
+                     "--regime", "cusum",
+                     "--regime-params", "warmup=4"]) == 0
+        assert "health:" in capsys.readouterr().out
+
+    def test_fleet_rejects_unknown_detector(self, capsys):
+        assert main(["fleet", "--synthesize", "2", "--machines", "6",
+                     "--snapshots", "12", "--operations", "8",
+                     "--regime", "kalman"]) == 1
+        assert "registered detectors" in capsys.readouterr().err
+
     def test_csv_trace_accepted(self, tmp_path, capsys):
         rows = ["snapshot,src,dst,alpha_s,beta_Bps"]
         for k in range(3):

@@ -1,0 +1,300 @@
+"""The regime-detector registry and the non-CUSUM detector implementations.
+
+CUSUM's own unit behavior stays pinned in ``test_regime.py`` (it moved
+modules, not behavior); this file covers what PR 8 added: the registry
+surface every config layer builds detectors through, the CLI parameter
+parser, the three new detectors' distinguishing behaviors, and the
+protocol obligations (state round-trip, finite-input guard, counter
+survival across resets) enforced uniformly over every registered name.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.detectors import (
+    DEFAULT_DETECTOR,
+    CusumRegimeDetector,
+    DriftRegimeDetector,
+    NoiseRobustRegimeDetector,
+    RegimeConfig,
+    RegimeDetector,
+    RegimeVerdict,
+    SignatureRegimeDetector,
+    build_detector,
+    detector_names,
+    detector_spec,
+    parse_detector_params,
+    register_detector,
+    validate_regime_detector,
+)
+from repro.errors import ValidationError
+
+BASELINE = (0.10, 0.11, 0.09, 0.10, 0.105, 0.095, 0.10, 0.11)
+
+
+def _warm(det, values=BASELINE):
+    """Feed a calm baseline until the detector has warmed up."""
+    i = 0
+    while not det.warmed_up:
+        det.observe(values[i % len(values)])
+        i += 1
+    return det
+
+
+class TestRegistry:
+    def test_stock_detectors_registered(self):
+        assert set(detector_names()) >= {
+            "cusum", "signature", "noise-robust", "drift"
+        }
+        assert DEFAULT_DETECTOR in detector_names()
+
+    def test_build_default_is_historical_cusum(self):
+        det = build_detector("cusum")
+        assert isinstance(det, CusumRegimeDetector)
+        assert det.config == RegimeConfig()
+
+    def test_build_with_params(self):
+        det = build_detector("drift", {"window": 6, "decision": 3.0})
+        assert isinstance(det, DriftRegimeDetector)
+        assert det.config.window == 6
+        assert det.config.decision == 3.0
+
+    def test_every_registered_detector_satisfies_the_protocol(self):
+        for name in detector_names():
+            det = build_detector(name)
+            assert isinstance(det, RegimeDetector)
+            assert det.name == name
+            assert det.params() == build_detector(name).params()
+
+    def test_unknown_name_lists_the_registry(self):
+        with pytest.raises(ValidationError, match="registered detectors"):
+            build_detector("kalman")
+        with pytest.raises(ValidationError, match="kalman"):
+            detector_spec("kalman")
+
+    def test_bad_params_name_the_detector(self):
+        with pytest.raises(ValidationError, match="cusum"):
+            build_detector("cusum", {"no_such_knob": 1})
+        with pytest.raises(ValidationError, match="warmup"):
+            build_detector("signature", {"warmup": 0})
+
+    def test_register_rejects_empty_name(self):
+        with pytest.raises(ValidationError, match="non-empty"):
+            register_detector("", CusumRegimeDetector, RegimeConfig)
+
+    def test_reregistering_replaces(self):
+        class Tuned(CusumRegimeDetector):
+            pass
+
+        original = detector_spec("cusum")
+        try:
+            register_detector("cusum", Tuned, RegimeConfig)
+            assert isinstance(build_detector("cusum"), Tuned)
+        finally:
+            register_detector("cusum", *original)
+        assert type(build_detector("cusum")) is CusumRegimeDetector
+
+    def test_validate_regime_detector(self):
+        validate_regime_detector(None, None)
+        validate_regime_detector("drift", {"decision": 3.0})
+        with pytest.raises(ValidationError, match="without a regime_detector"):
+            validate_regime_detector(None, {"decision": 3.0})
+        with pytest.raises(ValidationError, match="registered detectors"):
+            validate_regime_detector("kalman", None)
+
+    def test_maintenance_reexports_survive(self):
+        # Historical import home: extraction must not break PR-3 callers.
+        from repro.core import maintenance
+
+        assert maintenance.CusumRegimeDetector is CusumRegimeDetector
+        assert maintenance.RegimeVerdict is RegimeVerdict
+        assert maintenance.RegimeConfig is RegimeConfig
+
+
+class TestParseDetectorParams:
+    def test_empty_and_none(self):
+        assert parse_detector_params(None) == {}
+        assert parse_detector_params("") == {}
+
+    def test_int_float_coercion(self):
+        assert parse_detector_params("warmup=8,decision=6.5") == {
+            "warmup": 8,
+            "decision": 6.5,
+        }
+        assert type(parse_detector_params("warmup=8")["warmup"]) is int
+
+    def test_whitespace_and_trailing_comma(self):
+        assert parse_detector_params(" window = 5 , ") == {"window": 5}
+
+    def test_malformed_tokens(self):
+        with pytest.raises(ValidationError, match="key=value"):
+            parse_detector_params("decision")
+        with pytest.raises(ValidationError, match="key=value"):
+            parse_detector_params("=3")
+        with pytest.raises(ValidationError, match="expected a number"):
+            parse_detector_params("decision=high")
+
+    def test_duplicate_key(self):
+        with pytest.raises(ValidationError, match="duplicate"):
+            parse_detector_params("window=4,window=5")
+
+
+class TestProtocolObligations:
+    """Uniform contracts enforced over every registered detector."""
+
+    @pytest.mark.parametrize("name", detector_names())
+    def test_warmup_is_always_stable(self, name):
+        det = build_detector(name)
+        while not det.warmed_up:
+            assert det.observe(1000.0) is RegimeVerdict.STABLE
+        assert det.shifts == 0 and det.spikes == 0
+
+    @pytest.mark.parametrize("name", detector_names())
+    def test_calm_stream_stays_stable(self, name):
+        det = build_detector(name)
+        rng = np.random.default_rng(3)
+        verdicts = {
+            det.observe(0.1 + 0.005 * rng.standard_normal())
+            for _ in range(60)
+        }
+        assert verdicts == {RegimeVerdict.STABLE}
+
+    @pytest.mark.parametrize("name", detector_names())
+    def test_sustained_elevation_fires_and_rewarns(self, name):
+        det = _warm(build_detector(name))
+        for _ in range(12):
+            if det.observe(5.0) is RegimeVerdict.SHIFT:
+                break
+        else:
+            pytest.fail(f"{name} never classified sustained elevation as SHIFT")
+        assert det.shifts == 1
+        assert not det.warmed_up  # reset: the new level re-warms
+        # After re-learning, the new level is the new normal.
+        _warm(det, values=(5.0, 5.01, 4.99, 5.0, 5.02, 4.98, 5.0, 5.01))
+        for _ in range(len(BASELINE)):
+            det.observe(5.0)
+        assert det.shifts == 1
+
+    @pytest.mark.parametrize("name", detector_names())
+    def test_non_finite_observation_rejected(self, name):
+        det = build_detector(name)
+        for bad in (float("nan"), float("inf")):
+            with pytest.raises(ValueError, match="finite"):
+                det.observe(bad)
+
+    @pytest.mark.parametrize("name", detector_names())
+    def test_mid_stream_state_round_trip(self, name):
+        """Clone from state_dict mid-warmup and mid-window; both clones
+        must then classify an identical continuation identically."""
+        rng = np.random.default_rng(7)
+        stream = [0.1 + 0.01 * abs(rng.standard_normal()) for _ in range(30)]
+        stream[20:] = [x + 0.4 for x in stream[20:]]  # shift near the end
+        for split in (2, 12):  # inside warmup / inside the live window
+            det = build_detector(name)
+            for x in stream[:split]:
+                det.observe(x)
+            clone = build_detector(name)
+            clone.restore_state(det.state_dict())
+            assert clone.state_dict() == det.state_dict()
+            for x in stream[split:]:
+                assert clone.observe(x) is det.observe(x)
+            assert clone.shifts == det.shifts
+            assert clone.spikes == det.spikes
+
+    @pytest.mark.parametrize("name", detector_names())
+    def test_counters_survive_reset(self, name):
+        det = _warm(build_detector(name))
+        while det.shifts == 0:
+            det.observe(8.0)
+        det.reset()
+        assert det.shifts == 1  # lifetime counters, not per-regime state
+
+
+class TestSignatureDetector:
+    def test_dispersion_change_alone_fires(self):
+        """A regime that widens the residual distribution without moving
+        its center must still drive the signature distance — the coordinate
+        plain CUSUM does not have."""
+        det = _warm(SignatureRegimeDetector())
+        # Alternate far below/above baseline: window mean stays ~0 but the
+        # window dispersion leaves the baseline's unit spread far behind.
+        verdicts = [det.observe(0.1 + s * 0.08) for s in (1, -1) * 6]
+        assert RegimeVerdict.SHIFT in verdicts
+
+    def test_single_spike_decays_out_of_window(self):
+        det = _warm(SignatureRegimeDetector())
+        assert det.observe(50.0) is RegimeVerdict.SPIKE
+        for _ in range(det.config.window):
+            det.observe(0.10)
+        assert det.distance < det.config.shift_distance
+        assert det.shifts == 0 and det.spikes == 1
+
+
+class TestNoiseRobustDetector:
+    def test_minority_outliers_never_fire(self):
+        """Up to (window-1)//2 violent outliers per window leave the window
+        median untouched — the bursty profile where CUSUM accumulates."""
+        det = _warm(NoiseRobustRegimeDetector())
+        for _ in range(10):
+            det.observe(1e6)  # lone burst...
+            det.observe(0.10)  # ...always outnumbered by calm samples
+            det.observe(0.11)
+        assert det.shifts == 0
+        assert det.spikes == 10
+
+    def test_majority_elevation_fires(self):
+        det = _warm(NoiseRobustRegimeDetector())
+        verdicts = [det.observe(5.0) for _ in range(det.config.window + 1)]
+        assert RegimeVerdict.SHIFT in verdicts
+
+    def test_cusum_accumulates_where_median_holds(self):
+        """The contrast the benchmark measures, in miniature: periodic
+        bursts walk CUSUM's statistic to the decision line while the
+        rank statistic ignores them outright."""
+        cusum = _warm(CusumRegimeDetector())
+        robust = _warm(NoiseRobustRegimeDetector())
+        for _ in range(12):
+            for det in (cusum, robust):
+                det.observe(20.0)  # one burst per triple: always a window
+                det.observe(0.10)  # minority, so the median never moves,
+                det.observe(0.11)  # while CUSUM nets +spike_z - 3*drift
+        assert cusum.shifts > 0
+        assert robust.shifts == 0
+
+
+class TestDriftDetector:
+    @staticmethod
+    def _ramp(start=0.10, step=0.004, n=40):
+        return [start + i * step for i in range(n)]
+
+    def test_slow_ramp_fires_before_cusum(self):
+        """The tentpole scenario: a per-step elevation well under CUSUM's
+        drift slack accumulates undiminished in the anchored window mean."""
+        drift = DriftRegimeDetector()
+        cusum = CusumRegimeDetector()
+        ramp = self._ramp()
+        drift_at = cusum_at = None
+        for i, x in enumerate(ramp):
+            if drift_at is None and drift.observe(x) is RegimeVerdict.SHIFT:
+                drift_at = i
+            if cusum_at is None and cusum.observe(x) is RegimeVerdict.SHIFT:
+                cusum_at = i
+        assert drift_at is not None
+        assert cusum_at is None or drift_at < cusum_at
+
+    def test_trend_during_warmup_does_not_deaden_the_scale(self):
+        """The lag-1 difference scale is the point of the design: a ramp
+        already under way during warmup must not inflate σ so far that the
+        detector goes blind."""
+        det = DriftRegimeDetector()
+        for x in self._ramp(step=0.01, n=30):
+            if det.observe(x) is RegimeVerdict.SHIFT:
+                return
+        pytest.fail("ramp through warmup was never classified as a shift")
+
+    def test_single_spike_is_winsorized(self):
+        det = _warm(DriftRegimeDetector())
+        assert det.observe(1e6) is RegimeVerdict.SPIKE
+        for _ in range(det.config.window):
+            assert det.observe(0.10) is not RegimeVerdict.SHIFT
+        assert det.shifts == 0

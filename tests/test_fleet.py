@@ -257,6 +257,81 @@ class TestCheckpointing:
         assert session.stats.operations == 13
 
 
+class TestFleetRegime:
+    """Detector choice ships to workers; regime stats come back merged."""
+
+    @staticmethod
+    def _step_cluster(name, seed, *, shifted):
+        from repro.cloudsim.dynamics import DynamicsConfig, apply_step_regime
+
+        trace = generate_trace(
+            TraceConfig(
+                n_machines=6,
+                n_snapshots=18,
+                dynamics=DynamicsConfig(
+                    volatility_sigma=0.02,
+                    spike_probability=0.0,
+                    hotspot_probability=0.0,
+                    migration_rate=0.0,
+                ),
+            ),
+            seed=seed,
+        )
+        if shifted:
+            trace = apply_step_regime(trace, start=12, factor=3.0)
+        return ClusterSpec(name=name, trace=trace)
+
+    def _config(self, **kwargs):
+        # threshold=10 parks ordinary maintenance so every recalibration in
+        # the report is detector-forced; warmup=4 fits the short trace.
+        return FleetConfig(
+            operations=12, batch_size=4, window=6, threshold=10.0,
+            regime_detector="cusum", regime_params={"warmup": 4}, **kwargs
+        )
+
+    def test_serial_reports_per_cluster_regime_stats(self):
+        clusters = [
+            self._step_cluster("calm", 60, shifted=False),
+            self._step_cluster("step", 61, shifted=True),
+        ]
+        report = FleetScheduler(clusters, self._config(n_workers=1)).run_serial()
+        assert report.clusters["step"].regime_shifts >= 1
+        assert report.clusters["calm"].regime_shifts == 0
+        health = report.health()
+        assert health["regime_shifts"] >= 1
+        assert health["forced_recalibrations"] >= 1
+        step_summary = report.clusters["step"].summary()
+        assert step_summary["regime_shifts"] >= 1
+        assert "regime_spikes" in step_summary
+
+    def test_parallel_regime_stats_match_serial(self):
+        clusters = [
+            self._step_cluster("calm", 60, shifted=False),
+            self._step_cluster("step", 61, shifted=True),
+        ]
+        ser = FleetScheduler(clusters, self._config(n_workers=1)).run_serial()
+        par = FleetScheduler(clusters, self._config(n_workers=N_WORKERS)).run()
+        for name in ("calm", "step"):
+            assert (
+                par.clusters[name].regime_shifts
+                == ser.clusters[name].regime_shifts
+            )
+            assert (
+                par.clusters[name].regime_spikes
+                == ser.clusters[name].regime_spikes
+            )
+            assert np.array_equal(
+                par.clusters[name].constant_row, ser.clusters[name].constant_row
+            )
+        assert par.health() == ser.health()
+
+    def test_config_rejects_unknown_detector(self):
+        with pytest.raises(ValidationError, match="registered detectors"):
+            FleetConfig(regime_detector="kalman")
+        with pytest.raises(ValidationError, match="regime_detector"):
+            FleetConfig(regime_params={"warmup": 4})
+
+
 class TestRunFleetFacade:
     def test_accepts_pairs_and_bare_traces(self):
         t0, t1 = _trace(30), _trace(31)

@@ -56,6 +56,8 @@ class TestClusterReport:
             "worker_batches": 3,
             "status": "ok",
             "retries": 0,
+            "regime_shifts": 0,
+            "regime_spikes": 0,
         }
 
     def test_quarantined_summary_is_json_safe(self):
@@ -123,6 +125,9 @@ class TestFleetReport:
             "task_retries": 0,
             "task_timeouts": 0,
             "clusters_quarantined": 0,
+            "regime_shifts": 0,
+            "regime_spikes": 0,
+            "forced_recalibrations": 0,
         }
         clusters = dict(rep.clusters)
         clusters["sick"] = ClusterReport(

@@ -5,7 +5,9 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.cloudsim.dynamics import DynamicsConfig, apply_step_regime
 from repro.cloudsim.tracegen import TraceConfig, generate_trace
+from repro.core.detectors import detector_names
 from repro.core.maintenance import (
     DegradedModeController,
     HealthState,
@@ -174,6 +176,64 @@ class TestFaultySession:
         # while degraded the constant component is the last good one
         assert np.array_equal(sess.decomposition.constant.row, good_row)
         assert sess.staleness >= 1
+
+
+class TestRegimeDetectorIntegration:
+    """Detector fires → forced cold re-calibration → health machinery reset.
+
+    The same contract for every registered detector: a SHIFT verdict must
+    bypass the parked maintenance loop, re-solve cold, clear the
+    degraded-mode staleness clock, and leave the detector re-warming for
+    the new regime.
+    """
+
+    @pytest.fixture(scope="class")
+    def step_trace(self):
+        base = generate_trace(
+            TraceConfig(
+                n_machines=6,
+                n_snapshots=44,
+                dynamics=DynamicsConfig(
+                    volatility_sigma=0.02,
+                    spike_probability=0.0,
+                    hotspot_probability=0.0,
+                    migration_rate=0.0,
+                ),
+            ),
+            seed=5,
+        )
+        return apply_step_regime(base, start=26, factor=3.0)
+
+    @pytest.mark.parametrize("detector", detector_names())
+    def test_shift_forces_cold_recalibration_and_resets_health(
+        self, step_trace, detector
+    ):
+        # threshold=10 parks Algorithm 1's own loop; the probe-loss faults
+        # attach a DegradedModeController so the reset contract is live.
+        sess = TraceSession(
+            step_trace, time_step=8, threshold=10.0, regime=detector,
+            faults="probe_loss=0.02", fault_seed=3,
+        )
+        assert isinstance(sess.health, DegradedModeController)
+        for i in range(36):
+            if sess.run_collective("broadcast", root=i % 6).regime == "shift":
+                break
+        else:
+            pytest.fail(f"{detector} never classified the step as a shift")
+
+        counters = sess.instrumentation.counters
+        assert sess.stats.regime_shifts == 1
+        assert sess.stats.recalibrations == 1  # the forced cold one
+        assert counters["session.regime.cold_recalibration"] == 1
+        assert counters["regime.forced_recalibrations"] == 1
+        assert counters["regime.shift"] == 1
+        assert counters.get("engine.solve.cold", 0) >= 2  # boot + forced
+        # The cold path records a success with the health controller, so
+        # the staleness clock restarts at the new component.
+        assert sess.health_state is HealthState.HEALTHY
+        assert sess.health.staleness == 0
+        # And the detector re-warms: the residual level changed meaning.
+        assert not sess.regime_detector.warmed_up
 
 
 class TestBackwardCompatibility:

@@ -10,10 +10,12 @@ import numpy as np
 import pytest
 
 from repro.cloudsim.io import save_trace
+from repro.core.detectors import CusumRegimeDetector, detector_names
 from repro.errors import PersistenceError
 from repro.faults import ProbeLoss
 from repro.mapping.taskgraph import TaskGraph
 from repro.persistence import PersistenceConfig
+from repro.persistence.checkpoint import CheckpointStore
 from repro.runtime.session import TraceSession
 
 
@@ -172,18 +174,25 @@ class TestResumeParity:
         resumed.close()
         _assert_parity(resumed, reference)
 
-    def test_regime_detector_state_round_trips(self, small_trace, persist_cfg):
-        reference = TraceSession(small_trace, time_step=8, regime=True)
+    @pytest.mark.parametrize("detector", detector_names())
+    def test_regime_detector_state_round_trips(
+        self, small_trace, persist_cfg, detector
+    ):
+        """Every registered detector must survive stop/resume mid-warmup,
+        mid-window — the split at 9 ops lands inside whatever internal
+        buffers the detector keeps."""
+        reference = TraceSession(small_trace, time_step=8, regime=detector)
         _drive(reference, 15)
 
         session = TraceSession(
-            small_trace, time_step=8, regime=True, persistence=persist_cfg
+            small_trace, time_step=8, regime=detector, persistence=persist_cfg
         )
         _drive(session, 9)
         session.close()
 
         resumed = TraceSession.resume(persist_cfg.directory)
         assert resumed.regime_detector is not None
+        assert resumed.regime_detector.name == detector
         _drive(resumed, 6)
         resumed.close()
         _assert_parity(resumed, reference)
@@ -191,6 +200,28 @@ class TestResumeParity:
             resumed.regime_detector.state_dict()
             == reference.regime_detector.state_dict()
         )
+
+    def test_legacy_bare_regime_config_checkpoint_still_resumes(
+        self, small_trace, persist_cfg
+    ):
+        """Pre-registry checkpoints stored the CUSUM config as a bare field
+        dict (no ``name`` key); ``_rebuild`` must keep accepting them."""
+        session = TraceSession(
+            small_trace, time_step=8, regime=True, persistence=persist_cfg
+        )
+        _drive(session, 9)
+        session.close()
+
+        store = CheckpointStore(persist_cfg.directory)
+        ckpt = store.load_latest()
+        regime = ckpt.meta["config"]["regime"]
+        ckpt.meta["config"]["regime"] = dict(regime["params"])  # drop the name
+        store.save(ckpt.arrays, ckpt.meta)
+
+        resumed = TraceSession.resume(persist_cfg.directory)
+        assert isinstance(resumed.regime_detector, CusumRegimeDetector)
+        assert resumed.regime_detector.params() == regime["params"]
+        resumed.close()
 
 
 class TestGuards:
