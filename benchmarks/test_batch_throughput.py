@@ -25,7 +25,6 @@ machine with ≥4 cores (the parallel arm cannot reach it on fewer); other
 runs record the numbers and skip, exactly like the RPCA runtime gate.
 """
 
-import json
 import os
 import time
 from pathlib import Path
@@ -38,6 +37,7 @@ from repro.cloudsim.tracegen import TraceConfig, generate_trace
 from repro.core.decompose import decompose
 from repro.fleet import ClusterSpec
 from repro.observability import Instrumentation
+from repro.observability.benchrecord import bench_record, write_bench_json
 
 MB = 1024 * 1024
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_batch.json"
@@ -124,27 +124,28 @@ def test_batch_sweep_throughput_and_emit(fleet, emit):
 
     speedup_serial = exact_fleet_est / serial_s
     speedup_parallel = exact_fleet_est / parallel_s
-    record = {
-        "benchmark": "batch_sweep_196x64",
-        "matrix_shape": [WINDOW, N_INSTANCES * N_INSTANCES],
-        "n_clusters": N_CLUSTERS,
-        "batch_size": BATCH_SIZE,
-        "n_workers": n_workers,
-        "cpu_count": os.cpu_count(),
-        "exact_sample": len(sample),
-        "exact_mean_seconds": exact_mean,
-        "exact_fleet_seconds_est": exact_fleet_est,
-        "serial_sweep_seconds": serial_s,
-        "parallel_sweep_seconds": parallel_s,
-        "speedup_serial_vs_exact": speedup_serial,
-        "speedup_parallel_vs_exact": speedup_parallel,
-        "speedup_target": SPEEDUP_TARGET,
-        "batch_occupancy_serial": _occupancy(sink_serial.counters),
-        "batch_occupancy_parallel": _occupancy(sink_par.counters),
-        "total_shards": serial.total_shards,
-        "parity": "bitwise",
-    }
-    BENCH_JSON.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    record = bench_record(
+        "batch_sweep_196x64",
+        seeds=[1000 + i for i in range(N_CLUSTERS)],
+        backend="gram",  # batched sweeps always run the gram-kernel path
+        matrix_shape=[WINDOW, N_INSTANCES * N_INSTANCES],
+        n_clusters=N_CLUSTERS,
+        batch_size=BATCH_SIZE,
+        n_workers=n_workers,
+        exact_sample=len(sample),
+        exact_mean_seconds=exact_mean,
+        exact_fleet_seconds_est=exact_fleet_est,
+        serial_sweep_seconds=serial_s,
+        parallel_sweep_seconds=parallel_s,
+        speedup_serial_vs_exact=speedup_serial,
+        speedup_parallel_vs_exact=speedup_parallel,
+        speedup_target=SPEEDUP_TARGET,
+        batch_occupancy_serial=_occupancy(sink_serial.counters),
+        batch_occupancy_parallel=_occupancy(sink_par.counters),
+        total_shards=serial.total_shards,
+        parity="bitwise",
+    )
+    write_bench_json(BENCH_JSON, record)
 
     occ = record["batch_occupancy_serial"]
     emit(

@@ -26,7 +26,6 @@ reason to exist). Wall time is recorded in the JSON but only *asserted*
 under ``REPRO_PERF_STRICT=1``, like the other perf gates.
 """
 
-import json
 import os
 import time
 from pathlib import Path
@@ -43,6 +42,7 @@ from repro.cloudsim.dynamics import (
 from repro.cloudsim.tracegen import TraceConfig, generate_trace
 from repro.core.decompose import decompose
 from repro.core.detectors import detector_names
+from repro.observability.benchrecord import bench_record, write_bench_json
 from repro.runtime.session import TraceSession
 
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_regime.json"
@@ -261,12 +261,13 @@ def test_emit_bench_json(matrix, emit):
                      if s == scen])
         for scen in ("step", "drift", "burst")
     }
-    record = {
-        "benchmark": "regime_detection_quality",
-        "matrix": {
+    record = bench_record(
+        "regime_detection_quality",
+        seeds=SEEDS,
+        backend="exact",  # detector sessions run the default exact kernel
+        matrix={
             "detectors": list(detector_names()),
             "scenarios": ["step", "drift", "burst"],
-            "seeds": list(SEEDS),
             "fault_profiles": {k: v or "none"
                                for k, v in FAULT_PROFILES.items()},
             "n_machines": N_MACHINES,
@@ -275,12 +276,12 @@ def test_emit_bench_json(matrix, emit):
             "operations": OPERATIONS,
             "onsets": {"step": STEP_START, "drift": RAMP_START, "burst": None},
         },
-        "detectors": detectors,
-        "stale_pd_error": stale_pd,
-        "elapsed_seconds": elapsed,
-        "wall_budget_seconds": WALL_BUDGET_S,
-    }
-    BENCH_JSON.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+        detectors=detectors,
+        stale_pd_error=stale_pd,
+        elapsed_seconds=elapsed,
+        wall_budget_seconds=WALL_BUDGET_S,
+    )
+    write_bench_json(BENCH_JSON, record)
 
     rows = [f"{'detector':>13} {'scenario':>8} {'detected':>9} "
             f"{'latency':>8} {'false':>6} {'pd_err':>8}"]

@@ -17,7 +17,6 @@ asserted unconditionally; the ≥5x speedup target is only *asserted* when
 a noisy shared runner's clock).
 """
 
-import json
 import os
 from pathlib import Path
 
@@ -27,11 +26,13 @@ import pytest
 from repro import observability
 from repro.cloudsim.tracegen import TraceConfig, generate_trace
 from repro.core.decompose import decompose
+from repro.observability.benchrecord import bench_record, write_bench_json
 
 MB = 1024 * 1024
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_rpca.json"
 SPEEDUP_TARGET = 5.0
 ROUNDS = 3
+SEED = 196
 
 # Filled by the backend-matrix benchmarks, consumed (and written out) by
 # test_backend_speedup_and_emit below. Keyed by (solver, backend).
@@ -40,7 +41,7 @@ _MATRIX: dict[tuple[str, str], dict] = {}
 
 @pytest.fixture(scope="module")
 def tp_196():
-    trace = generate_trace(TraceConfig(n_machines=196, n_snapshots=10), seed=196)
+    trace = generate_trace(TraceConfig(n_machines=196, n_snapshots=10), seed=SEED)
     return trace.tp_matrix(8 * MB)
 
 
@@ -117,17 +118,19 @@ def test_backend_speedup_and_emit(tp_196, emit):
         assert auto["full_width_svds"] == 0
         speedups[solver] = exact["mean_seconds"] / auto["mean_seconds"]
 
-    record = {
-        "benchmark": "rpca_runtime_196_instances",
-        "matrix_shape": [tp_196.data.shape[0], tp_196.data.shape[1]],
-        "speedup_target": SPEEDUP_TARGET,
-        "speedup_auto_vs_exact": {k: float(v) for k, v in speedups.items()},
-        "results": [
+    record = bench_record(
+        "rpca_runtime_196_instances",
+        seeds=[SEED],
+        backend=None,  # per-cell backends live in "results"
+        matrix_shape=[tp_196.data.shape[0], tp_196.data.shape[1]],
+        speedup_target=SPEEDUP_TARGET,
+        speedup_auto_vs_exact={k: float(v) for k, v in speedups.items()},
+        results=[
             {k: v for k, v in cell.items() if k != "constant_row"}
             for cell in _MATRIX.values()
         ],
-    }
-    BENCH_JSON.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    )
+    write_bench_json(BENCH_JSON, record)
 
     lines = [f"rpca backend matrix ({tp_196.data.shape}, {ROUNDS} rounds):"]
     for cell in record["results"]:

@@ -73,6 +73,7 @@ from .core import (
     register_solver,
     solver_spec,
     relative_error_norm,
+    StreamingConfig,
     MaintenanceController,
     MaintenanceDecision,
     HealthState,
@@ -145,6 +146,7 @@ __all__ = [
     "register_solver",
     "solver_spec",
     "relative_error_norm",
+    "StreamingConfig",
     "Instrumentation",
     "SolveSpan",
     "instrumented",

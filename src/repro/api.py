@@ -1,4 +1,4 @@
-"""The v1 public API facade.
+"""The v1.1 public API facade.
 
 Three verbs cover the package's common uses, each a thin layer over the
 underlying machinery with one consistent configuration vocabulary:
@@ -6,7 +6,9 @@ underlying machinery with one consistent configuration vocabulary:
 * :func:`solve` — one-shot decomposition of a trace into constant + error
   components (:class:`~repro.core.decompose.Decomposition`).
 * :func:`open_session` — an Algorithm-1
-  :class:`~repro.runtime.session.TraceSession` over one cluster.
+  :class:`~repro.runtime.session.TraceSession` over one cluster, in batch
+  or streaming mode (``mode="streaming"`` folds each snapshot in O(row)
+  with a certified batch fallback).
 * :func:`run_fleet` — many clusters concurrently via
   :class:`~repro.fleet.FleetScheduler`.
 
@@ -16,21 +18,19 @@ field names: ``window`` for the calibration window length, ``threshold``
 for the maintenance threshold, ``n_workers`` for parallelism. Keyword
 overrides beat the config object.
 
-Deprecation policy
-------------------
-Historical spellings that accumulated across layers — ``time_step``,
+Removed legacy spellings (v1.1)
+-------------------------------
+The historical spellings accepted for one release in v1 — ``time_step``,
 ``nsnap``, ``n_snapshots`` (all meaning ``window``), ``thresh``
-(``threshold``) and ``workers`` (``n_workers``) — are accepted as keyword
-overrides by every facade function for **one release**: they are remapped
-to the canonical field and raise a :class:`DeprecationWarning`. They will
-become errors in v2. The repo's own test suite runs with
-``error::DeprecationWarning`` so nothing inside the package can depend on
-them.
+(``threshold``) and ``workers`` (``n_workers``) — are **gone**: passing one
+raises ``TypeError`` naming the canonical field. Any other unknown keyword
+also raises ``TypeError``, with a did-you-mean hint when a near-miss field
+exists. See ``docs/api_v1.md`` for the migration table.
 """
 
 from __future__ import annotations
 
-import warnings
+import difflib
 from dataclasses import dataclass, fields, replace
 from typing import Any, Iterable
 
@@ -38,6 +38,7 @@ from .cloudsim.trace import CalibrationTrace
 from .core.decompose import Decomposition, decompose
 from .core.detectors import validate_regime_detector
 from .core.kernels import validate_backend
+from .core.streaming import StreamingConfig, validate_mode
 from .errors import ValidationError
 from .fleet import (
     ClusterSpec,
@@ -60,8 +61,10 @@ __all__ = [
 
 _MB = 1024 * 1024
 
-# Legacy keyword -> canonical field. Kept for one release; every use warns.
-_LEGACY_ALIASES = {
+# Legacy keyword -> the canonical v1.1 field. The remap itself is gone
+# (the one-release deprecation window closed); the table survives only to
+# point migrating callers at the right spelling in the TypeError message.
+_RETIRED_SPELLINGS = {
     "time_step": "window",
     "nsnap": "window",
     "n_snapshots": "window",
@@ -99,6 +102,15 @@ class SessionConfig:
     ``"drift"`` — see :func:`repro.core.detectors.detector_names`), with
     ``regime_params`` as config overrides for it. ``None`` (the default)
     keeps the historical detector-free maintenance loop.
+
+    ``mode`` selects the decomposition path: ``"batch"`` (default, full
+    window re-solves) or ``"streaming"`` (O(row) per-snapshot folds with a
+    certified fallback to the batch oracle — see
+    :class:`~repro.core.streaming.StreamingDecomposer`).
+    ``stream_tolerance`` (drift ceiling) and ``stream_refresh_every``
+    (re-orthonormalization cadence) tune it; both require
+    ``mode="streaming"`` and default to
+    :class:`~repro.core.streaming.StreamingConfig`'s values when ``None``.
     """
 
     nbytes: float = 8.0 * _MB
@@ -108,6 +120,9 @@ class SessionConfig:
     solver: str = "apg"
     warm_start: bool = True
     svd_backend: str = "exact"
+    mode: str = "batch"
+    stream_tolerance: float | None = None
+    stream_refresh_every: int | None = None
     regime_detector: str | None = None
     regime_params: dict[str, Any] | None = None
 
@@ -115,6 +130,25 @@ class SessionConfig:
         if int(self.window) < 1:
             raise ValidationError("window must be >= 1")
         validate_backend(self.svd_backend)
+        validate_mode(self.mode)
+        if self.mode != "streaming" and (
+            self.stream_tolerance is not None
+            or self.stream_refresh_every is not None
+        ):
+            raise ValidationError(
+                "stream_tolerance/stream_refresh_every require mode='streaming'"
+            )
+        if self.mode == "streaming":
+            StreamingConfig(
+                **{
+                    k: v
+                    for k, v in (
+                        ("tolerance", self.stream_tolerance),
+                        ("refresh_every", self.stream_refresh_every),
+                    )
+                    if v is not None
+                }
+            )
         validate_regime_detector(self.regime_detector, self.regime_params)
 
 
@@ -131,22 +165,33 @@ def _resolve(default_cls: type, config: Any, overrides: dict[str, Any]) -> Any:
     allowed = {f.name for f in fields(default_cls)}
     resolved: dict[str, Any] = {}
     for key, value in overrides.items():
-        canonical = _LEGACY_ALIASES.get(key, key)
-        if canonical != key:
-            warnings.warn(
-                f"keyword {key!r} is deprecated and will be removed in v2; "
-                f"use {canonical!r}",
-                DeprecationWarning,
-                stacklevel=3,
-            )
-        if canonical not in allowed:
-            raise TypeError(
-                f"unexpected keyword {key!r} for {default_cls.__name__}"
-            )
-        if canonical in resolved:
-            raise TypeError(f"got multiple values for {canonical!r}")
-        resolved[canonical] = value
+        if key not in allowed:
+            raise TypeError(_unknown_keyword_message(default_cls, key, allowed))
+        if key in resolved:
+            raise TypeError(f"got multiple values for {key!r}")
+        resolved[key] = value
     return replace(config, **resolved)
+
+
+def _unknown_keyword_message(
+    default_cls: type, key: str, allowed: set[str]
+) -> str:
+    """The hard-error text for a keyword no v1.1 config field matches.
+
+    Retired v1 spellings name their canonical replacement outright; any
+    other unknown keyword gets a closest-match did-you-mean hint.
+    """
+    canonical = _RETIRED_SPELLINGS.get(key)
+    if canonical is not None and canonical in allowed:
+        return (
+            f"keyword {key!r} was removed in API v1.1; "
+            f"use {canonical!r} for {default_cls.__name__}"
+        )
+    message = f"unexpected keyword {key!r} for {default_cls.__name__}"
+    close = difflib.get_close_matches(key, sorted(allowed), n=1)
+    if close:
+        message += f"; did you mean {close[0]!r}?"
+    return message
 
 
 def solve(
@@ -192,6 +237,9 @@ def open_session(
         solver=cfg.solver,
         warm_start=cfg.warm_start,
         svd_backend=cfg.svd_backend,
+        mode=cfg.mode,
+        stream_tolerance=cfg.stream_tolerance,
+        stream_refresh_every=cfg.stream_refresh_every,
         regime=cfg.regime_detector,
         regime_params=cfg.regime_params,
         instrumentation=instrumentation,

@@ -11,7 +11,8 @@ Nine subcommands cover the operational loop around the library:
   trace and print the normalized table (a command-line Fig 7).
 * ``repro replay`` — run the adaptive Algorithm-1 session over a trace,
   optionally with injected measurement faults (``--faults``), degraded-mode
-  maintenance, online CUSUM regime detection (``--regime``) and crash-safe
+  maintenance, online regime detection (``--regime DETECTOR``), streaming
+  incremental decomposition (``--mode streaming``) and crash-safe
   persistence (``--checkpoint-dir``); prints health transitions and
   accounting, or a machine-readable summary with ``--json``.
 * ``repro resume`` — recover a crashed (or stopped) ``replay`` session from
@@ -121,12 +122,24 @@ def build_parser() -> argparse.ArgumentParser:
                      help="per-snapshot completeness floor in resilient mode")
     rep.add_argument("--min-window-observed", type=float, default=0.5,
                      help="per-window completeness floor in resilient mode")
+    rep.add_argument("--mode", default="batch",
+                     choices=["batch", "streaming"],
+                     help="decomposition mode: batch (full window re-solves) "
+                          "or streaming (O(row) per-snapshot folds with "
+                          "certified batch fallback)")
+    rep.add_argument("--stream-tolerance", type=float, default=None,
+                     metavar="TOL",
+                     help="streaming drift ceiling (requires --mode streaming)")
+    rep.add_argument("--stream-refresh-every", type=int, default=None,
+                     metavar="N",
+                     help="streaming re-orthonormalization cadence in folds "
+                          "(requires --mode streaming)")
     rep.add_argument("--regime", nargs="?", const="__bare__", default=None,
                      metavar="DETECTOR",
                      help="enable online regime-shift detection with the "
                           "named detector (cusum, signature, noise-robust, "
-                          "drift; SHIFT forces a cold re-calibration); bare "
-                          "--regime is a deprecated alias for cusum")
+                          "drift; SHIFT forces a cold re-calibration); a "
+                          "detector name is required")
     rep.add_argument("--regime-params", default=None, metavar="KEY=VALUE[,...]",
                      help="detector config overrides, e.g. "
                           "decision=6.0,warmup=8 (requires --regime)")
@@ -192,6 +205,18 @@ def build_parser() -> argparse.ArgumentParser:
                      help="SVD kernel for every cluster's solver "
                           "(default exact — the bit-identical full SVD)")
     flt.add_argument("--message-mb", type=float, default=8.0)
+    flt.add_argument("--mode", default="batch",
+                     choices=["batch", "streaming"],
+                     help="decomposition mode for every cluster's session "
+                          "(streaming folds snapshots incrementally with "
+                          "certified batch fallback)")
+    flt.add_argument("--stream-tolerance", type=float, default=None,
+                     metavar="TOL",
+                     help="streaming drift ceiling (requires --mode streaming)")
+    flt.add_argument("--stream-refresh-every", type=int, default=None,
+                     metavar="N",
+                     help="streaming re-orthonormalization cadence in folds "
+                          "(requires --mode streaming)")
     flt.add_argument("--batch-size", type=int, default=8,
                      help="operations shipped per scheduler tick (and, with "
                           "--sweep, cluster windows stacked per batched solve)")
@@ -349,23 +374,19 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 def _resolve_regime_args(args: argparse.Namespace) -> tuple[str | None, dict | None]:
     """Turn ``--regime`` / ``--regime-params`` into session kwargs.
 
-    The bare ``--regime`` flag (no value) survives as a deprecated alias
-    for the historical CUSUM default — same one-release policy as the
-    facade's legacy keyword spellings.
+    The bare ``--regime`` flag (no value) was a one-release deprecated
+    alias for the CUSUM default; as of v1.1 it is a hard error — same
+    retirement policy as the facade's legacy keyword spellings.
     """
-    import warnings
-
-    from .core.detectors import DEFAULT_DETECTOR, parse_detector_params
+    from .core.detectors import detector_names, parse_detector_params
+    from .errors import ValidationError
 
     regime = args.regime
     if regime == "__bare__":
-        warnings.warn(
-            "bare --regime is deprecated and will require a detector name "
-            f"in v2; use --regime {DEFAULT_DETECTOR}",
-            DeprecationWarning,
-            stacklevel=2,
+        raise ValidationError(
+            "--regime requires a detector name as of v1.1; "
+            f"choose one of: {', '.join(detector_names())}"
         )
-        regime = DEFAULT_DETECTOR
     params = parse_detector_params(args.regime_params) or None
     return regime, params
 
@@ -389,6 +410,9 @@ def _session_summary(session, *, recovered_at: int | None = None) -> dict:
         "holdover_operations": stats.holdover_operations,
         "regime_shifts": stats.regime_shifts,
         "regime_spikes": stats.regime_spikes,
+        "mode": session.mode,
+        "stream_updates": stats.stream_updates,
+        "stream_fallbacks": stats.stream_fallbacks,
         "regime_detector": (
             None
             if session.regime_detector is None
@@ -416,6 +440,9 @@ def _print_session_summary(
     print(f"communication:     {stats.communication_seconds:.3f} s")
     print(f"overhead:          {stats.overhead_seconds:.3f} s")
     print(f"recalibrations:    {stats.recalibrations}")
+    if session.mode == "streaming":
+        print(f"stream updates:    {stats.stream_updates} "
+              f"({stats.stream_fallbacks} fallback(s))")
     if session.regime_detector is not None:
         print(f"regime detector:   {session.regime_detector.name}")
         print(f"regime shifts:     {stats.regime_shifts} "
@@ -468,6 +495,9 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         solver=args.solver,
         warm_start=not args.cold,
         svd_backend=args.svd_backend,
+        mode=args.mode,
+        stream_tolerance=args.stream_tolerance,
+        stream_refresh_every=args.stream_refresh_every,
         faults=args.faults,
         fault_seed=args.fault_seed,
         resilience=resilience,
@@ -557,6 +587,9 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         nbytes=args.message_mb * MB,
         solver=args.solver,
         svd_backend=args.svd_backend,
+        mode=args.mode,
+        stream_tolerance=args.stream_tolerance,
+        stream_refresh_every=args.stream_refresh_every,
         operations=args.operations,
         op=args.op,
         batch_size=args.batch_size,

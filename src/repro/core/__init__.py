@@ -22,6 +22,10 @@ Public surface
 * :class:`DecompositionEngine` — rolling-window cache + warm-started
   re-calibration + instrumentation, for long-running Algorithm-1 loops;
   masked windows (partial snapshots) complete through mask-aware RPCA.
+* :class:`StreamingDecomposer`, :class:`StreamingConfig`,
+  :data:`ENGINE_MODES` — the online/streaming RPCA path
+  (``mode="streaming"``): O(row) snapshot folds with a certified fallback
+  to the batch oracle.
 * :class:`DegradedModeController`, :class:`ResilienceConfig`,
   :class:`HealthState` — the HEALTHY → DEGRADED → HOLDOVER machine that
   keeps Algorithm 1 serving the last good constant component when
@@ -72,6 +76,13 @@ from .engine import (
     DecompositionEngine,
     TraceWindowSource,
     WindowSource,
+)
+from .streaming import (
+    ENGINE_MODES,
+    StreamingConfig,
+    StreamingDecomposer,
+    StreamState,
+    validate_mode,
 )
 from .metrics import (
     pseudo_l0_norm,
@@ -130,6 +141,11 @@ __all__ = [
     "DecompositionEngine",
     "TraceWindowSource",
     "WindowSource",
+    "ENGINE_MODES",
+    "StreamingConfig",
+    "StreamingDecomposer",
+    "StreamState",
+    "validate_mode",
     "pseudo_l0_norm",
     "l1_norm",
     "relative_error_norm",

@@ -41,6 +41,12 @@ from .decompose import Decomposition, decompose, decomposition_from_result
 from .kernels import BatchRankPredictor, RankPredictor, validate_backend
 from .matrices import TPMatrix
 from .solvers import solver_spec
+from .streaming import (
+    StreamingConfig,
+    StreamingDecomposer,
+    StreamState,
+    validate_mode,
+)
 
 __all__ = [
     "WindowSource",
@@ -77,6 +83,9 @@ class EngineWarmState:
     rows: dict[int, tuple[np.ndarray, np.ndarray | None]]
     last: Decomposition | None
     predictors: dict[int, RankPredictor] = field(default_factory=dict)
+    # Streaming-mode subspace state (None for batch engines and capsules
+    # from releases that predate the streaming path).
+    stream: StreamState | None = None
 
 
 @runtime_checkable
@@ -182,6 +191,22 @@ class DecompositionEngine:
         threads it through successive solves, so warm re-calibrations skip
         the rank ramp-up. Requires a solver that takes ``svd_backend``
         (APG/IALM).
+    mode:
+        ``"batch"`` (default) — every :meth:`calibrate` is a full window
+        solve, the historical path. ``"streaming"`` — :meth:`calibrate`
+        runs a **cold** batch solve and seeds a
+        :class:`~repro.core.streaming.StreamingDecomposer`; single-snapshot
+        window slides then fold in O(row) via :meth:`stream_fold`, with any
+        rank-growth/drift/masked-row fallback routing back to a cold batch
+        solve bit-identical to :func:`~repro.core.decompose.decompose` on
+        the same window (the certified-oracle contract).
+    stream_tolerance:
+        Streaming drift ceiling (see
+        :class:`~repro.core.streaming.StreamingConfig.tolerance`); only
+        meaningful with ``mode="streaming"``.
+    stream_refresh_every:
+        Streaming re-orthonormalization cadence in folds; only meaningful
+        with ``mode="streaming"``.
     instrumentation:
         Sink for counters and solve spans; a fresh one is created if omitted.
     max_cached_rows:
@@ -209,6 +234,9 @@ class DecompositionEngine:
         extraction: str = "mean",
         warm_start: bool = True,
         svd_backend: str = "exact",
+        mode: str = "batch",
+        stream_tolerance: float | None = None,
+        stream_refresh_every: int | None = None,
         instrumentation: Instrumentation | None = None,
         max_cached_rows: int | None = None,
         min_snapshot_observed: float = 0.0,
@@ -238,6 +266,20 @@ class DecompositionEngine:
                 f"solver {solver!r} does not take an SVD backend; "
                 "only SVT-based solvers such as 'apg' or 'ialm' do"
             )
+        self.mode = validate_mode(mode)
+        if self.mode != "streaming" and (
+            stream_tolerance is not None or stream_refresh_every is not None
+        ):
+            raise ValidationError(
+                "stream_tolerance/stream_refresh_every require mode='streaming'"
+            )
+        stream_overrides: dict[str, Any] = {}
+        if stream_tolerance is not None:
+            stream_overrides["tolerance"] = float(stream_tolerance)
+        if stream_refresh_every is not None:
+            stream_overrides["refresh_every"] = int(stream_refresh_every)
+        self.stream_config = StreamingConfig(**stream_overrides)
+        self._streamer: StreamingDecomposer | None = None
         self.solver_kwargs = dict(solver_kwargs)
         self.instrumentation = (
             instrumentation if instrumentation is not None else Instrumentation("engine")
@@ -267,8 +309,14 @@ class DecompositionEngine:
         return self._last
 
     def reset_warm_state(self) -> None:
-        """Forget the previous solution; the next solve starts cold."""
+        """Forget the previous solution; the next solve starts cold.
+
+        In streaming mode this also drops the streaming subspace state, so
+        a regime-shift cold re-calibration reseeds the stream from scratch.
+        """
         self._last = None
+        if self._streamer is not None:
+            self._streamer.state = None
 
     def restore_warm_state(self, dec: Decomposition) -> None:
         """Seed the warm-start chain with a restored decomposition.
@@ -310,6 +358,7 @@ class DecompositionEngine:
             rows=self.export_cache(),
             last=self._last,
             predictors=dict(self._predictors),
+            stream=self.export_stream_state(),
         )
 
     def import_warm_state(self, state: EngineWarmState) -> None:
@@ -322,6 +371,28 @@ class DecompositionEngine:
         predictors = getattr(state, "predictors", None)
         if predictors:
             self._predictors = dict(predictors)
+        stream = getattr(state, "stream", None)
+        if stream is not None:
+            self.import_stream_state(stream)
+
+    def export_stream_state(self) -> StreamState | None:
+        """Streaming subspace state, if seeded (always None in batch mode)."""
+        return self._streamer.export_state() if self._streamer is not None else None
+
+    def import_stream_state(self, state: StreamState | None) -> None:
+        """Restore streaming state captured by :meth:`export_stream_state`.
+
+        Folds after the import are bit-identical to the exporting engine's
+        — the property the SIGKILL chaos harness pins.
+        """
+        if self.mode != "streaming":
+            raise ValidationError("import_stream_state requires mode='streaming'")
+        if state is None:
+            if self._streamer is not None:
+                self._streamer.state = None
+            return
+        shape = (int(state.sparse.shape[0]), int(state.sparse.shape[1]))
+        self._streamer_for(shape).import_state(state)
 
     def import_cache(
         self, rows: dict[int, tuple[np.ndarray, np.ndarray | None]]
@@ -459,9 +530,104 @@ class DecompositionEngine:
         The Algorithm-1 re-calibration primitive: windows from successive
         calls overlap, so rows come from the cache and the solve warm-starts
         from the previous solution.
+
+        In streaming mode every calibrate is the *certified oracle*: the
+        warm-start chain is dropped first, so the solve is bit-identical to
+        a cold :func:`~repro.core.decompose.decompose` of the same window,
+        and the streaming subspace is (re)seeded from its result.
         """
         start = max(0, end - self.time_step)
-        return self.solve(self.window(start, end))
+        if self.mode != "streaming":
+            return self.solve(self.window(start, end))
+        self._last = None  # certified: streaming-mode batch solves are cold
+        tp = self.window(start, end)
+        dec = self.solve(tp)
+        self._seed_stream(end, tp, dec)
+        return dec
+
+    # -- streaming ---------------------------------------------------------
+    def _streamer_for(self, shape: tuple[int, int]) -> StreamingDecomposer:
+        if self._streamer is None or self._streamer.shape != tuple(shape):
+            self._streamer = StreamingDecomposer(shape, self.stream_config)
+        return self._streamer
+
+    def _seed_stream(self, end: int, tp: TPMatrix, dec: Decomposition) -> None:
+        sr = dec.solver_result
+        if tp.mask is not None or sr is None:
+            # Partially-observed windows (and solvers returning no raw
+            # result) stay on the batch path: the stream is left unseeded
+            # and stream_plan keeps answering "solve".
+            if self._streamer is not None:
+                self._streamer.state = None
+            return
+        streamer = self._streamer_for(tp.data.shape)
+        with instrumented(self.instrumentation):
+            streamer.seed(
+                end=end, data=tp.data, low_rank=sr.low_rank, sparse=sr.sparse
+            )
+
+    def stream_plan(self, end: int) -> str:
+        """How to serve the window ending at *end*: ``"fold"`` or ``"solve"``.
+
+        ``"fold"`` only when seeded streaming state covers the immediately
+        preceding full-length window — a single-snapshot forward slide.
+        Anything else (unseeded, gap, trace wraparound, short boot window)
+        needs a batch solve via :meth:`calibrate`.
+        """
+        if self.mode != "streaming":
+            raise ValidationError("stream_plan requires mode='streaming'")
+        st = self._streamer.state if self._streamer is not None else None
+        end = int(end)
+        if (
+            st is None
+            or end - st.end != 1
+            or st.end < self.time_step
+            or end > self.source.n_snapshots
+        ):
+            return "solve"
+        return "fold"
+
+    def stream_fold(self, end: int) -> tuple[Decomposition | None, str | None]:
+        """Fold the single-snapshot slide to window end *end* in O(row).
+
+        Returns ``(decomposition, None)`` on success — the decomposition is
+        now in service (with ``solver_result=None``: it can never seed a
+        warm start). On fallback returns ``(None, reason)`` with streaming
+        state dropped; the caller must :meth:`calibrate`, which re-solves
+        cold and reseeds.
+        """
+        if self.stream_plan(end) != "fold":
+            raise ValidationError(
+                f"window ending at {end} cannot fold; call calibrate() instead"
+            )
+        assert self._streamer is not None
+        k = int(end) - 1
+        row, mask_row = self._row(k)
+        if mask_row is not None:
+            self._stream_fallback("masked")
+            return None, "masked"
+        with instrumented(self.instrumentation):
+            with self.instrumentation.timed("kernel.stream.update_seconds"):
+                reason = self._streamer.fold(k, row)
+                if reason is not None:
+                    self._stream_fallback(reason)
+                    return None, reason
+                tp = self.window(end - self.time_step, end)
+                dec = decomposition_from_result(
+                    tp,
+                    self._streamer.as_result(),
+                    solver=self.solver,
+                    extraction=self.extraction,
+                )
+        self.instrumentation.count("kernel.stream.updates")
+        self._last = dec
+        return dec, None
+
+    def _stream_fallback(self, reason: str) -> None:
+        if self._streamer is not None:
+            self._streamer.state = None
+        self.instrumentation.count("kernel.stream.fallbacks")
+        self.instrumentation.count(f"kernel.stream.fallback_{reason}")
 
 
 class BatchDecompositionEngine:

@@ -1,0 +1,445 @@
+"""Online/streaming RPCA: fold one snapshot into the decomposition in O(row).
+
+Algorithm 1 re-solves a full ``time_step × N²`` window on every
+re-calibration, but a service ingesting live calibration data sees exactly
+one new snapshot per operation: the window slides by a single row. The
+:class:`StreamingDecomposer` exploits that — it keeps the current low-rank
+component factored as ``L = coeffs · basis`` (``basis``: ``r × N²``
+orthonormal rows, ``coeffs``: ``time_step × r``) plus the sparse component
+``S``, and folds each arriving snapshot with work linear in the row:
+
+1. **Robust projection** — alternate a least-squares projection of the new
+   row onto ``basis`` with MAD-scaled soft-thresholding of the residual, so
+   transient interference lands in the sparse term instead of polluting the
+   subspace (the streaming analogue of RPCA's ``D`` / ``E`` split).
+2. **Rank-1 subspace update** — when the *unexplained* residual (neither in
+   the subspace nor absorbed as sparse) is large, the normalized residual is
+   appended as a new basis direction. Growth is bounded by the kernel
+   layer's :class:`~repro.core.kernels.RankPredictor`: exceeding its
+   predicted rank means the subspace itself has moved, which is a batch
+   solver's job — the fold reports a ``"rank"`` fallback instead.
+3. **Sliding window** — the oldest row's coefficients and sparse row drop
+   off; per-row unexplained residuals slide along with them and their mean
+   is the **drift** of the streaming model. Drift past the configured
+   tolerance reports a ``"drift"`` fallback.
+4. **Periodic re-orthonormalization** — every ``refresh_every`` folds the
+   reconstruction ``coeffs · basis`` (a ``time_step × N²`` matrix with
+   ``time_step ≈ 10`` rows — a thin SVD is trivial) is re-factored, rank-1
+   growth directions are merged or shrunk away, and the rank predictor
+   observes the surviving rank. The reconstruction buffer comes from a
+   :class:`~repro.core.kernels.SolveWorkspace`, so steady-state folds
+   allocate no new ``m × n`` temporaries.
+
+The streaming path is an *approximation in service*, never an oracle: the
+engine seeds it from a **cold** batch solve, and any fallback (rank growth,
+drift, masked row, regime shift upstream) routes back to another cold batch
+solve — bit-identical to :func:`~repro.core.decompose.decompose` on the
+same window, which is what "certified fallback" means. To keep that
+certification airtight, a fold's in-service result is deliberately *not* a
+:class:`~repro.core.result.SolverResult`:
+:func:`~repro.core.decompose.decomposition_from_result` therefore stores
+``solver_result=None`` and no batch solve can ever warm-start from
+streaming state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..observability import emit_count
+from .kernels import RankPredictor, SolveWorkspace
+from .svd_ops import soft_threshold
+
+__all__ = [
+    "ENGINE_MODES",
+    "StreamingConfig",
+    "StreamResult",
+    "StreamState",
+    "StreamingDecomposer",
+    "stream_state_from_payload",
+    "stream_state_to_payload",
+    "validate_mode",
+]
+
+ENGINE_MODES = ("batch", "streaming")
+
+# Guard against division by an all-zero snapshot row; weight rows are
+# strictly positive off-diagonal in practice.
+_TINY = 1e-300
+
+# MAD → σ for Gaussian noise; ×3 puts the shrinkage threshold at the
+# conventional 3σ outlier boundary.
+_MAD_SIGMA = 1.4826
+_TAU_SIGMAS = 3.0
+
+# Singular values below this fraction of σ₁ are dropped at refresh — far
+# below any structure RPCA could certify, so the truncation is lossless for
+# every consumer of the reconstruction.
+_REFRESH_RTOL = 1e-9
+
+
+def validate_mode(mode: str) -> str:
+    """Return *mode* if it names a known engine mode, else raise."""
+    if mode not in ENGINE_MODES:
+        raise ValidationError(
+            f"unknown engine mode {mode!r}; available: {list(ENGINE_MODES)}"
+        )
+    return mode
+
+
+@dataclass(frozen=True)
+class StreamingConfig:
+    """Knobs of the streaming path (engine/session spell the first two
+    ``stream_tolerance`` / ``stream_refresh_every``).
+
+    Attributes
+    ----------
+    tolerance:
+        Drift ceiling: when the window-mean relative L1 unexplained
+        residual of the streaming model exceeds it, the next fold reports a
+        ``"drift"`` fallback and the engine re-solves cold.
+    refresh_every:
+        Re-orthonormalization cadence in folds.
+    passes:
+        Projection/shrinkage alternations per fold (2 is enough for the
+        near-rank-one subspaces TP-matrices have).
+    growth_tol:
+        Relative unexplained residual of a *single* row above which a
+        rank-1 subspace expansion is attempted.
+    """
+
+    tolerance: float = 0.25
+    refresh_every: int = 16
+    passes: int = 2
+    growth_tol: float = 0.1
+
+    def __post_init__(self) -> None:
+        if not self.tolerance > 0.0:
+            raise ValidationError("stream tolerance must be > 0")
+        if int(self.refresh_every) < 1:
+            raise ValidationError("stream refresh_every must be >= 1")
+        if int(self.passes) < 1:
+            raise ValidationError("passes must be >= 1")
+        if not self.growth_tol >= 0.0:
+            raise ValidationError("growth_tol must be >= 0")
+        object.__setattr__(self, "refresh_every", int(self.refresh_every))
+        object.__setattr__(self, "passes", int(self.passes))
+
+
+@dataclass(frozen=True)
+class StreamResult:
+    """Duck-typed solver result of one streaming fold.
+
+    Field-compatible with :class:`~repro.core.result.SolverResult` but
+    deliberately a distinct type:
+    :func:`~repro.core.decompose.decomposition_from_result` stores
+    ``solver_result=None`` for anything that is not a real
+    :class:`~repro.core.result.SolverResult`, so a streaming decomposition
+    can never seed a warm start and every batch solve in streaming mode
+    stays a certified cold solve.
+    """
+
+    low_rank: np.ndarray
+    sparse: np.ndarray
+    rank: int
+    iterations: int
+    converged: bool
+    residual: float
+    constant_row: np.ndarray | None = None
+    warm_started: bool = True
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.low_rank.shape  # type: ignore[return-value]
+
+
+@dataclass
+class StreamState:
+    """Picklable subspace state of a :class:`StreamingDecomposer`.
+
+    Plain float64/int64 numpy arrays plus scalars, so the state round-trips
+    bit-identically through the checkpoint array channel (and through
+    ``pickle`` inside a :class:`~repro.runtime.session.SessionCapsule`).
+    """
+
+    basis: np.ndarray  # (r, n) orthonormal rows
+    coeffs: np.ndarray  # (m, r)
+    sparse: np.ndarray  # (m, n)
+    keys: np.ndarray  # (m,) int64 snapshot indices, window order
+    row_err: np.ndarray  # (m,) relative L1 unexplained residual per row
+    end: int  # window is [end - m, end)
+    updates: int = 0  # folds since seed (drives the refresh cadence)
+    predictor: RankPredictor = field(
+        default_factory=lambda: RankPredictor(min_dim=1)
+    )
+
+    @property
+    def rank(self) -> int:
+        return int(self.basis.shape[0])
+
+    @property
+    def drift(self) -> float:
+        """Window-mean relative unexplained residual of the model."""
+        return float(self.row_err.mean())
+
+
+def _rel_l1(x: np.ndarray, ref: np.ndarray) -> float:
+    return float(np.abs(x).sum() / max(np.abs(ref).sum(), _TINY))
+
+
+def _robust_tau(resid: np.ndarray) -> float:
+    """MAD-scaled shrinkage threshold: 3σ̂ of the residual's noise floor."""
+    med = np.median(resid)
+    mad = np.median(np.abs(resid - med))
+    return _TAU_SIGMAS * _MAD_SIGMA * float(mad)
+
+
+class StreamingDecomposer:
+    """Rank-1 incremental RPCA over a sliding snapshot window.
+
+    Owns the :class:`StreamState` between folds plus the per-shape scratch
+    (a :class:`~repro.core.kernels.SolveWorkspace` for the reconstruction
+    buffer). One decomposer serves one window shape; the engine reseeds it
+    from every batch solve and drops its state on any fallback.
+    """
+
+    def __init__(
+        self, shape: tuple[int, int], config: StreamingConfig | None = None
+    ) -> None:
+        self.shape = (int(shape[0]), int(shape[1]))
+        self.config = config if config is not None else StreamingConfig()
+        self.workspace = SolveWorkspace(self.shape)
+        self.state: StreamState | None = None
+
+    # -- seeding -----------------------------------------------------------
+    def seed(
+        self,
+        *,
+        end: int,
+        data: np.ndarray,
+        low_rank: np.ndarray,
+        sparse: np.ndarray,
+    ) -> StreamState:
+        """(Re)initialize streaming state from a batch solve of ``data``.
+
+        ``low_rank``/``sparse`` are the solver's ``D``/``E`` for the window
+        ``[end - m, end)`` whose rows are ``data``. The thin SVD here is of
+        an ``m × n`` matrix with ``m ≈ 10`` rows — trivial next to the
+        solve that produced it.
+        """
+        m, n = self.shape
+        if data.shape != (m, n):
+            raise ValidationError(
+                f"seed window shape {data.shape} != decomposer shape {self.shape}"
+            )
+        u, s, vt = np.linalg.svd(np.asarray(low_rank, dtype=np.float64),
+                                 full_matrices=False)
+        if s.size and s[0] > 0.0:
+            r = max(1, int((s > s[0] * _REFRESH_RTOL).sum()))
+        else:
+            r = 1
+        basis = vt[:r].copy()
+        coeffs = (u[:, :r] * s[:r]).copy()
+        sparse = np.asarray(sparse, dtype=np.float64).copy()
+        unexplained = data - low_rank - sparse
+        row_err = np.array(
+            [_rel_l1(unexplained[i], data[i]) for i in range(m)]
+        )
+        predictor = RankPredictor.for_shape(self.shape)
+        predictor.observe(r)
+        self.state = StreamState(
+            basis=basis,
+            coeffs=coeffs,
+            sparse=sparse,
+            keys=np.arange(end - m, end, dtype=np.int64),
+            row_err=row_err,
+            end=int(end),
+            updates=0,
+            predictor=predictor,
+        )
+        emit_count("kernel.stream.reseeds")
+        return self.state
+
+    # -- persistence -------------------------------------------------------
+    def export_state(self) -> StreamState | None:
+        """Current state (None when unseeded); arrays are shared, not copied."""
+        return self.state
+
+    def import_state(self, state: StreamState | None) -> None:
+        """Adopt a state captured by :meth:`export_state` (possibly after a
+        checkpoint round-trip); subsequent folds are bit-identical to the
+        exporting decomposer's."""
+        if state is None:
+            self.state = None
+            return
+        if state.basis.shape[1] != self.shape[1] or (
+            state.coeffs.shape[0] != self.shape[0]
+        ):
+            raise ValidationError(
+                f"stream state for window {state.sparse.shape} does not fit "
+                f"decomposer shape {self.shape}"
+            )
+        self.state = replace(
+            state,
+            basis=np.asarray(state.basis, dtype=np.float64),
+            coeffs=np.asarray(state.coeffs, dtype=np.float64),
+            sparse=np.asarray(state.sparse, dtype=np.float64),
+            keys=np.asarray(state.keys, dtype=np.int64),
+            row_err=np.asarray(state.row_err, dtype=np.float64),
+        )
+
+    # -- folding -----------------------------------------------------------
+    def fold(self, key: int, row: np.ndarray) -> str | None:
+        """Fold snapshot *key* (= window end ``key + 1``) into the model.
+
+        Returns ``None`` on success — the state now covers the slid window
+        — or a fallback reason (``"rank"`` / ``"drift"``) with the state
+        cleared, in which case the caller must batch-solve and reseed.
+        """
+        st = self.state
+        if st is None:
+            raise ValidationError("streaming state not seeded; calibrate first")
+        cfg = self.config
+        y = np.asarray(row, dtype=np.float64)
+
+        v, s_row, resid = self._project(y, st.basis, cfg.passes)
+        unexplained = resid - s_row
+        rel = _rel_l1(unexplained, y)
+        if rel > cfg.growth_tol:
+            if st.rank + 1 > st.predictor.predict():
+                # The subspace itself has moved past the predicted rank —
+                # structural change, the batch oracle's job.
+                self.state = None
+                return "rank"
+            q = unexplained - (unexplained @ st.basis.T) @ st.basis
+            nq = float(np.linalg.norm(q))
+            if nq > _TINY:
+                st.basis = np.vstack([st.basis, q / nq])
+                st.coeffs = np.hstack(
+                    [st.coeffs, np.zeros((st.coeffs.shape[0], 1))]
+                )
+                emit_count("kernel.stream.rank_growths")
+                v, s_row, resid = self._project(y, st.basis, 1)
+                rel = _rel_l1(resid - s_row, y)
+
+        # Slide the window: oldest row out, new row in.
+        st.coeffs = np.vstack([st.coeffs[1:], v[None, :]])
+        st.sparse = np.vstack([st.sparse[1:], s_row[None, :]])
+        st.keys = np.append(st.keys[1:], np.int64(key))
+        st.row_err = np.append(st.row_err[1:], rel)
+        st.end = int(key) + 1
+        st.updates += 1
+        if st.updates % cfg.refresh_every == 0:
+            self._refresh(st)
+        if st.drift > cfg.tolerance:
+            self.state = None
+            return "drift"
+        return None
+
+    @staticmethod
+    def _project(
+        y: np.ndarray, basis: np.ndarray, passes: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Alternate subspace projection and robust shrinkage for one row."""
+        s_row = np.zeros_like(y)
+        v = resid = y  # placeholders; passes >= 1 always overwrites
+        for _ in range(passes):
+            v = (y - s_row) @ basis.T
+            resid = y - v @ basis
+            s_row = soft_threshold(resid, _robust_tau(resid))
+        return v, s_row, resid
+
+    def _refresh(self, st: StreamState) -> None:
+        """Re-orthonormalize the factorization; shrink merged-away rank.
+
+        Exact up to dropping singular values below ``1e-9 σ₁``; per-row
+        residuals keep their fold-time values (the truncation is orders of
+        magnitude below the drift tolerance).
+        """
+        recon = np.matmul(st.coeffs, st.basis, out=self.workspace.buf("recon"))
+        u, s, vt = np.linalg.svd(recon, full_matrices=False)
+        if s.size and s[0] > 0.0:
+            r = max(1, int((s > s[0] * _REFRESH_RTOL).sum()))
+        else:
+            r = 1
+        st.basis = vt[:r].copy()
+        st.coeffs = (u[:, :r] * s[:r]).copy()
+        st.predictor.observe(r)
+        emit_count("kernel.stream.refreshes")
+
+    # -- in-service result -------------------------------------------------
+    def as_result(self) -> StreamResult:
+        """The current model as a duck-typed solver result.
+
+        ``low_rank`` is materialized into the workspace's reconstruction
+        buffer — valid until the next fold/refresh, which is fine: nothing
+        retains a streaming ``low_rank`` (``solver_result`` is ``None`` on
+        the decomposition built from it).
+        """
+        st = self.state
+        if st is None:
+            raise ValidationError("streaming state not seeded; calibrate first")
+        recon = np.matmul(st.coeffs, st.basis, out=self.workspace.buf("recon"))
+        return StreamResult(
+            low_rank=recon,
+            sparse=st.sparse,
+            rank=st.rank,
+            iterations=self.config.passes,
+            converged=True,
+            residual=st.drift,
+        )
+
+
+def stream_state_to_payload(
+    state: StreamState,
+) -> tuple[dict[str, np.ndarray], dict[str, Any]]:
+    """Split a :class:`StreamState` into checkpoint arrays + JSON metadata.
+
+    Float64/int64 arrays travel the (bit-exact) array channel; scalars and
+    the rank-predictor state travel the JSON channel. Inverse:
+    :func:`stream_state_from_payload`.
+    """
+    arrays = {
+        "stream_basis": state.basis,
+        "stream_coeffs": state.coeffs,
+        "stream_sparse": state.sparse,
+        "stream_keys": state.keys,
+        "stream_row_err": state.row_err,
+    }
+    meta = {
+        "end": int(state.end),
+        "updates": int(state.updates),
+        "predictor": {
+            "min_dim": int(state.predictor.min_dim),
+            "sv": int(state.predictor.sv),
+            "growth": float(state.predictor.growth),
+            "observations": int(state.predictor.observations),
+        },
+    }
+    return arrays, meta
+
+
+def stream_state_from_payload(
+    arrays: dict[str, np.ndarray], meta: dict[str, Any]
+) -> StreamState:
+    """Rebuild a :class:`StreamState` from :func:`stream_state_to_payload`."""
+    pred = meta["predictor"]
+    return StreamState(
+        basis=np.asarray(arrays["stream_basis"], dtype=np.float64),
+        coeffs=np.asarray(arrays["stream_coeffs"], dtype=np.float64),
+        sparse=np.asarray(arrays["stream_sparse"], dtype=np.float64),
+        keys=np.asarray(arrays["stream_keys"], dtype=np.int64),
+        row_err=np.asarray(arrays["stream_row_err"], dtype=np.float64),
+        end=int(meta["end"]),
+        updates=int(meta["updates"]),
+        predictor=RankPredictor(
+            min_dim=int(pred["min_dim"]),
+            sv=int(pred["sv"]),
+            growth=float(pred["growth"]),
+            observations=int(pred["observations"]),
+        ),
+    )

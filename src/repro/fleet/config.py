@@ -1,11 +1,12 @@
 """Fleet configuration: one frozen dataclass, canonical v1 names.
 
-``FleetConfig`` follows the v1 naming convention shared with
+``FleetConfig`` follows the v1.1 naming convention shared with
 :class:`~repro.api.SolveConfig` and :class:`~repro.api.SessionConfig`:
 ``n_workers`` (never ``workers``), ``window`` (never ``time_step`` /
-``nsnap`` / ``n_snapshots``), ``threshold`` (never ``thresh``). Legacy
-spellings are accepted — with a ``DeprecationWarning`` — only at the
-:func:`repro.api.run_fleet` facade, not here.
+``nsnap`` / ``n_snapshots``), ``threshold`` (never ``thresh``). As of
+v1.1 the legacy spellings are gone everywhere: the
+:func:`repro.api.run_fleet` facade raises ``TypeError`` (with a
+did-you-mean hint) instead of remapping them.
 """
 
 from __future__ import annotations
@@ -18,6 +19,7 @@ from ..cloudsim.trace import CalibrationTrace
 from ..core.batch import validate_batch_dtype
 from ..core.detectors import validate_regime_detector
 from ..core.kernels import validate_backend
+from ..core.streaming import StreamingConfig, validate_mode
 from ..errors import ValidationError
 
 __all__ = ["ClusterSpec", "FleetConfig", "ON_ERROR_POLICIES"]
@@ -90,6 +92,19 @@ class FleetConfig:
         :data:`repro.core.kernels.SVD_BACKENDS` (default ``"exact"``).
         Partial backends carry their rank-prediction state inside each
         session capsule, so it survives worker migration.
+    mode:
+        Decomposition mode for every cluster's session — ``"batch"``
+        (default, the historical full-window re-solves) or ``"streaming"``
+        (O(row) per-snapshot folds with certified batch fallback; see
+        :class:`~repro.core.streaming.StreamingDecomposer`). Streaming
+        subspace state travels inside each session capsule, so it survives
+        worker migration and SIGKILL-resume bit-identically.
+    stream_tolerance:
+        Streaming drift ceiling (``mode="streaming"`` only); ``None`` uses
+        :class:`~repro.core.streaming.StreamingConfig`'s default.
+    stream_refresh_every:
+        Streaming re-orthonormalization cadence in folds
+        (``mode="streaming"`` only).
     operations:
         Operations to run per cluster (unless a :class:`ClusterSpec`
         overrides it).
@@ -167,6 +182,9 @@ class FleetConfig:
     solver: str = "apg"
     warm_start: bool = True
     svd_backend: str = "exact"
+    mode: str = "batch"
+    stream_tolerance: float | None = None
+    stream_refresh_every: int | None = None
     operations: int = 60
     op: str = "broadcast"
     batch_size: int = 8
@@ -194,6 +212,26 @@ class FleetConfig:
             raise ValidationError("threshold must be >= 0")
         validate_backend(self.svd_backend)
         validate_batch_dtype(self.batch_dtype)
+        validate_mode(self.mode)
+        if self.mode != "streaming" and (
+            self.stream_tolerance is not None
+            or self.stream_refresh_every is not None
+        ):
+            raise ValidationError(
+                "stream_tolerance/stream_refresh_every require mode='streaming'"
+            )
+        if self.mode == "streaming":
+            # Reuse the knob validation (ranges) without keeping the object.
+            StreamingConfig(
+                **{
+                    k: v
+                    for k, v in (
+                        ("tolerance", self.stream_tolerance),
+                        ("refresh_every", self.stream_refresh_every),
+                    )
+                    if v is not None
+                }
+            )
         if self.on_error not in ON_ERROR_POLICIES:
             raise ValidationError(
                 f"on_error must be one of {ON_ERROR_POLICIES}, "

@@ -48,6 +48,8 @@ _HEALTH_COUNTERS = {
     "regime_shifts": "regime.shift",
     "regime_spikes": "regime.spike",
     "forced_recalibrations": "regime.forced_recalibrations",
+    "stream_updates": "kernel.stream.updates",
+    "stream_fallbacks": "kernel.stream.fallbacks",
 }
 
 
@@ -85,6 +87,8 @@ class ClusterReport:
     retries: int = 0
     regime_shifts: int = 0
     regime_spikes: int = 0
+    stream_updates: int = 0
+    stream_fallbacks: int = 0
 
     @property
     def ok(self) -> bool:
@@ -102,6 +106,8 @@ class ClusterReport:
             "retries": self.retries,
             "regime_shifts": self.regime_shifts,
             "regime_spikes": self.regime_spikes,
+            "stream_updates": self.stream_updates,
+            "stream_fallbacks": self.stream_fallbacks,
         }
         if self.error is not None:
             out["error"] = self.error

@@ -328,6 +328,9 @@ class FleetScheduler:
             "solver": cfg.solver,
             "warm_start": cfg.warm_start,
             "svd_backend": cfg.svd_backend,
+            "mode": cfg.mode,
+            "stream_tolerance": cfg.stream_tolerance,
+            "stream_refresh_every": cfg.stream_refresh_every,
             "regime": cfg.regime_detector,
             "regime_params": cfg.regime_params,
         }
@@ -361,6 +364,7 @@ class FleetScheduler:
             "threshold": self.config.threshold,
             "solver": self.config.solver,
             "svd_backend": self.config.svd_backend,
+            "mode": self.config.mode,
             "op": self.config.op,
             "on_error": self.config.on_error,
             "regime_detector": self.config.regime_detector,
@@ -720,6 +724,8 @@ class FleetScheduler:
             retries=state.retries,
             regime_shifts=int(capsule.meta["stats"]["regime_shifts"]),
             regime_spikes=int(capsule.meta["stats"]["regime_spikes"]),
+            stream_updates=int(capsule.meta["stats"].get("stream_updates", 0)),
+            stream_fallbacks=int(capsule.meta["stats"].get("stream_fallbacks", 0)),
         )
 
     @staticmethod

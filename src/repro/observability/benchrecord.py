@@ -1,0 +1,109 @@
+"""One schema for every ``BENCH_*.json`` perf record the repo emits.
+
+The benchmark suite writes machine-readable perf records at the repo root
+(``BENCH_rpca.json``, ``BENCH_batch.json``, ``BENCH_regime.json``,
+``BENCH_stream.json``) so CI can archive them and future PRs can track the
+perf trajectory. Before v1.1 each emitter invented its own envelope; this
+module is the single source of truth:
+
+* :func:`bench_record` — wraps an emitter's payload with the shared
+  envelope: ``benchmark`` name, ``schema_version``, ``seeds``, ``backend``
+  and a ``machine`` block (git sha, python/numpy versions, platform,
+  cpu count, whether ``REPRO_PERF_STRICT`` gated the run).
+* :func:`write_bench_json` — the one serialization policy (sorted keys,
+  two-space indent, trailing newline, numpy scalars coerced).
+
+Comparing two records is only meaningful when their ``machine`` blocks
+agree on the axes that matter — that is the point of recording them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+from pathlib import Path
+from typing import Any, Iterable
+
+__all__ = ["BENCH_SCHEMA_VERSION", "bench_machine", "bench_record", "write_bench_json"]
+
+#: Bumped whenever the shared envelope changes shape.
+BENCH_SCHEMA_VERSION = 1
+
+
+def _git_sha() -> str | None:
+    """The repo HEAD sha, or ``None`` outside a git checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else None
+
+
+def bench_machine() -> dict[str, Any]:
+    """The machine/toolchain block shared by every BENCH record."""
+    import numpy as np
+
+    return {
+        "git_sha": _git_sha(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "perf_strict": os.environ.get("REPRO_PERF_STRICT") == "1",
+    }
+
+
+def bench_record(
+    benchmark: str,
+    *,
+    seeds: Iterable[int] | None = None,
+    backend: str | None = None,
+    **payload: Any,
+) -> dict[str, Any]:
+    """Build a BENCH record: the shared envelope plus *payload* fields.
+
+    *seeds* are the RNG seeds the benchmark's inputs were generated from
+    (reproducibility axis); *backend* names the kernel/solver backend under
+    test when the benchmark has a single one (``None`` when the payload
+    carries a per-cell backend matrix instead). Payload keys may not
+    collide with envelope keys.
+    """
+    record: dict[str, Any] = {
+        "benchmark": str(benchmark),
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "machine": bench_machine(),
+        "seeds": None if seeds is None else [int(s) for s in seeds],
+        "backend": backend,
+    }
+    overlap = set(payload) & set(record)
+    if overlap:
+        raise ValueError(f"payload keys collide with envelope: {sorted(overlap)}")
+    record.update(payload)
+    return record
+
+
+def _coerce(obj: Any) -> Any:
+    # numpy scalars (np.float64 means, np.int64 counters) serialize as
+    # their python equivalents; anything else is a genuine schema bug.
+    item = getattr(obj, "item", None)
+    if callable(item):
+        return item()
+    raise TypeError(f"{type(obj).__name__} is not BENCH-serializable")
+
+
+def write_bench_json(path: str | Path, record: dict[str, Any]) -> Path:
+    """Write *record* to *path* under the one serialization policy."""
+    path = Path(path)
+    path.write_text(
+        json.dumps(record, indent=2, sort_keys=True, default=_coerce) + "\n"
+    )
+    return path

@@ -28,6 +28,7 @@ from ..core.decompose import Decomposition
 from ..core.matrices import TCMatrix, TEMatrix
 from ..core.metrics import StabilityReport
 from ..core.result import SolverResult
+from ..core.streaming import stream_state_to_payload
 from ..errors import CheckpointCorruption
 
 __all__ = [
@@ -279,6 +280,19 @@ def capture_session_state(
             "calibration_cost": session.calibration_cost,
             "warm_start": session._engine.warm_start,
             "svd_backend": session._engine.svd_backend,
+            "mode": session.mode,
+            # Knobs only exist in streaming mode (the engine rejects them
+            # otherwise); None keeps batch checkpoints byte-compatible.
+            "stream_tolerance": (
+                session._engine.stream_config.tolerance
+                if session.mode == "streaming"
+                else None
+            ),
+            "stream_refresh_every": (
+                session._engine.stream_config.refresh_every
+                if session.mode == "streaming"
+                else None
+            ),
             "faults_spec": session.faults_spec,
             "fault_seed": session.fault_seed,
             "resilience": None if resilience is None else asdict(resilience),
@@ -314,6 +328,8 @@ def capture_session_state(
             "epochs": stats.epochs,
             "regime_shifts": stats.regime_shifts,
             "regime_spikes": stats.regime_spikes,
+            "stream_updates": stats.stream_updates,
+            "stream_fallbacks": stats.stream_fallbacks,
             "history_legends": _history_to_state(stats.history, arrays),
         },
         "controller": session.controller.state_dict(),
@@ -325,7 +341,15 @@ def capture_session_state(
         ),
         "instrumentation": session.instrumentation.state_dict(),
         "decomposition": _decomposition_to_state(session.decomposition, arrays),
+        "stream": None,
     }
+    # Streaming subspace state rides the (bit-exact) array channel so a
+    # resumed session's folds are bit-identical to the captured one's.
+    stream_state = session._engine.export_stream_state()
+    if stream_state is not None:
+        stream_arrays, stream_meta = stream_state_to_payload(stream_state)
+        arrays.update(stream_arrays)
+        meta["stream"] = stream_meta
     # The controller's deviation history can be long — keep it in the array
     # channel rather than bloating the JSON member.
     deviations = meta["controller"].pop("deviations")

@@ -67,6 +67,7 @@ from ..core.maintenance import (
     ResilienceConfig,
 )
 from ..core.solvers import solver_spec
+from ..core.streaming import stream_state_from_payload, validate_mode
 from ..errors import (
     CalibrationError,
     ConvergenceError,
@@ -198,6 +199,8 @@ class SessionStats:
     epochs: int = 0
     regime_shifts: int = 0
     regime_spikes: int = 0
+    stream_updates: int = 0
+    stream_fallbacks: int = 0
     history: list[OperationRecord] = field(default_factory=list)
 
     @property
@@ -242,6 +245,21 @@ class TraceSession:
         historical bit-identical path). Forwarded to the session's
         :class:`~repro.core.engine.DecompositionEngine`, which keeps the
         adaptive rank-prediction state across re-calibrations.
+    mode:
+        ``"batch"`` (default) — the historical Algorithm-1 loop: full
+        window re-solves when the maintenance controller fires.
+        ``"streaming"`` — the session is a true streaming consumer: every
+        operation folds its snapshot into the decomposition in O(row) via
+        the engine's :class:`~repro.core.streaming.StreamingDecomposer`
+        (no calibration overhead charged), and only regime SHIFTs, rank
+        growth past the predictor's bound, drift past ``stream_tolerance``
+        or masked snapshots fall back to a certified cold batch solve.
+    stream_tolerance:
+        Streaming drift ceiling (``mode="streaming"`` only); defaults to
+        :class:`~repro.core.streaming.StreamingConfig`'s.
+    stream_refresh_every:
+        Streaming re-orthonormalization cadence in folds
+        (``mode="streaming"`` only).
     instrumentation:
         Observability sink shared with the session's
         :class:`~repro.core.engine.DecompositionEngine`; a fresh one is
@@ -302,6 +320,9 @@ class TraceSession:
         calibration_cost: float | None = None,
         warm_start: bool = True,
         svd_backend: str = "exact",
+        mode: str = "batch",
+        stream_tolerance: float | None = None,
+        stream_refresh_every: int | None = None,
         instrumentation: Instrumentation | None = None,
         faults: list[FaultModel] | tuple[FaultModel, ...] | str | None = None,
         fault_seed: int | None = None,
@@ -321,6 +342,7 @@ class TraceSession:
         self.time_step = int(time_step)
         self.solver = solver
         self.svd_backend = svd_backend
+        self.mode = validate_mode(mode)
         self.controller = MaintenanceController(
             threshold=threshold, consecutive=consecutive
         )
@@ -357,6 +379,9 @@ class TraceSession:
             solver=solver,
             warm_start=warm_start,
             svd_backend=svd_backend,
+            mode=self.mode,
+            stream_tolerance=stream_tolerance,
+            stream_refresh_every=stream_refresh_every,
             instrumentation=(
                 instrumentation
                 if instrumentation is not None
@@ -628,6 +653,13 @@ class TraceSession:
         """
         self._engine.reset_warm_state()
         self.controller.reset()
+        if self.mode == "streaming":
+            # A SHIFT is a certified-fallback trigger: the reset above
+            # dropped the streaming subspace and the cold solve below
+            # reseeds it.
+            self.stats.stream_fallbacks += 1
+            self.instrumentation.count("kernel.stream.fallbacks")
+            self.instrumentation.count("kernel.stream.fallback_shift")
         self.instrumentation.count("session.regime.cold_recalibration")
         # Unprefixed twin of the counter above: fleet reports merge worker
         # instrumentation under the "regime.*" namespace.
@@ -668,6 +700,27 @@ class TraceSession:
             self.instrumentation.count("session.regime.spike")
             self.instrumentation.count("regime.spike")
         return verdict.value
+
+    def _consume_stream(self, k: int) -> None:
+        """Serve operation *k*'s window slide through the streaming path.
+
+        A successful fold replaces the decomposition in service at O(row)
+        cost — no calibration overhead is charged, that is the point of the
+        streaming mode. A fold fallback (rank growth, drift, masked row),
+        or any slide the streaming state cannot cover (unseeded stream,
+        trace wraparound), routes through the ordinary re-calibration
+        machinery: overhead charged, health/backoff respected, and the cold
+        solve reseeds the stream.
+        """
+        end = k + 1
+        if self._engine.stream_plan(end) == "fold":
+            dec, _reason = self._engine.stream_fold(end)
+            if dec is not None:
+                self._decomposition = dec
+                self.stats.stream_updates += 1
+                return
+            self.stats.stream_fallbacks += 1
+        self._request_recalibration(end=end)
 
     def _advance(self) -> int:
         k = self._cursor
@@ -732,7 +785,11 @@ class TraceSession:
 
         decision = self.controller.observe(expected, elapsed)
         regime = self._observe_regime(k)
-        if (
+        if self.mode == "streaming":
+            # A SHIFT already forced the cold reseed inside _observe_regime.
+            if regime != RegimeVerdict.SHIFT.value:
+                self._consume_stream(k)
+        elif (
             regime != RegimeVerdict.SHIFT.value
             and decision is MaintenanceDecision.RECALIBRATE
         ):
@@ -811,7 +868,10 @@ class TraceSession:
         )
         decision = self.controller.observe(expected, elapsed)
         regime = self._observe_regime(k)
-        if (
+        if self.mode == "streaming":
+            if regime != RegimeVerdict.SHIFT.value:
+                self._consume_stream(k)
+        elif (
             regime != RegimeVerdict.SHIFT.value
             and decision is MaintenanceDecision.RECALIBRATE
         ):
@@ -1034,6 +1094,10 @@ class TraceSession:
         self.solver = cfg["solver"]
         # Checkpoints from releases before the kernel layer lack the key.
         self.svd_backend = cfg.get("svd_backend", "exact")
+        # Pre-streaming checkpoints lack the mode and knob keys.
+        self.mode = cfg.get("mode", "batch")
+        stream_tolerance = cfg.get("stream_tolerance")
+        stream_refresh_every = cfg.get("stream_refresh_every")
         self.calibration_cost = float(cfg["calibration_cost"])
         self.controller = MaintenanceController(
             threshold=cfg["threshold"], consecutive=cfg["consecutive"]
@@ -1066,6 +1130,9 @@ class TraceSession:
             solver=self.solver,
             warm_start=bool(cfg["warm_start"]),
             svd_backend=self.svd_backend,
+            mode=self.mode,
+            stream_tolerance=stream_tolerance,
+            stream_refresh_every=stream_refresh_every,
             instrumentation=(
                 instrumentation
                 if instrumentation is not None
@@ -1078,6 +1145,11 @@ class TraceSession:
         dec = decomposition_from_state(arrays, meta["decomposition"])
         self._decomposition = dec
         self._engine.restore_warm_state(dec)
+        stream_meta = meta.get("stream")
+        if stream_meta is not None:
+            self._engine.import_stream_state(
+                stream_state_from_payload(arrays, stream_meta)
+            )
 
         regime_cfg = cfg["regime"]
         if regime_cfg is None:
@@ -1104,6 +1176,9 @@ class TraceSession:
             epochs=int(st["epochs"]),
             regime_shifts=int(st["regime_shifts"]),
             regime_spikes=int(st["regime_spikes"]),
+            # Pre-streaming checkpoints lack the stream counters.
+            stream_updates=int(st.get("stream_updates", 0)),
+            stream_fallbacks=int(st.get("stream_fallbacks", 0)),
             history=[
                 OperationRecord(
                     op=h["op"],

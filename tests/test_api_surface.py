@@ -1,9 +1,9 @@
-"""Snapshot tests pinning the v1 public surface to ``docs/api_v1.md``.
+"""Snapshot tests pinning the v1.1 public surface to ``docs/api_v1.md``.
 
 The manifest is normative: these tests parse its fenced blocks and compare
 them against the imported package, so any change to ``repro.__all__``, a
-facade signature, a config dataclass's fields or the legacy-alias table
-must be made in ``docs/api_v1.md`` in the same commit. A failure here means
+facade signature, a config dataclass's fields or the retired-spellings
+table must be made in ``docs/api_v1.md`` in the same commit. A failure here means
 "you changed the public API without updating the contract", not "update
 the snapshot blindly" — read the diff it prints.
 """
@@ -89,43 +89,50 @@ def test_config_fields_match_manifest():
     assert live == documented
 
 
-def test_legacy_aliases_match_manifest():
+def test_retired_spellings_match_manifest():
     documented = {}
-    for line in _fenced_block("Deprecated keyword aliases"):
+    for line in _fenced_block("Removed keyword spellings (v1.1)"):
         legacy, _, canonical = line.partition("->")
         documented[legacy.strip()] = canonical.strip()
-    assert api._LEGACY_ALIASES == documented
+    assert api._RETIRED_SPELLINGS == documented
 
 
-@pytest.mark.parametrize("legacy,canonical", sorted(api._LEGACY_ALIASES.items()))
-def test_legacy_aliases_warn_and_remap(legacy, canonical, tiny_trace):
-    """Every documented alias actually works and actually warns."""
+@pytest.mark.parametrize("legacy,canonical", sorted(api._RETIRED_SPELLINGS.items()))
+def test_retired_spellings_raise_typeerror(legacy, canonical, tiny_trace):
+    """Every documented retired spelling is a hard error naming the field."""
     targets = {
         "window": ("open_session", 6),
         "threshold": ("open_session", 1.5),
         "n_workers": ("run_fleet", 1),
     }
     verb, value = targets[canonical]
-    with pytest.warns(DeprecationWarning, match=legacy):
+    with pytest.raises(TypeError, match=rf"{legacy}.*removed in API v1\.1"):
         if verb == "open_session":
-            kwargs = {legacy: value} if canonical == "window" else {
-                "window": 6, legacy: value
-            }
-            session = api.open_session(tiny_trace, **kwargs)
-            if canonical == "window":
-                assert session.time_step == value
-            else:
-                assert session.controller.threshold == value
+            api.open_session(tiny_trace, **{legacy: value})
         else:
-            report = api.run_fleet(
-                [("only", tiny_trace)],
-                operations=4,
-                batch_size=4,
-                window=6,
-                serial=True,
-                **{legacy: value},
-            )
-            assert report.clusters["only"].operations == 4
+            api.run_fleet([("only", tiny_trace)], serial=True, **{legacy: value})
+
+
+def test_retired_spelling_error_names_the_canonical_field(tiny_trace):
+    with pytest.raises(TypeError, match=r"use 'window' for SessionConfig"):
+        api.open_session(tiny_trace, time_step=6)
+    with pytest.raises(TypeError, match=r"use 'n_workers' for FleetConfig"):
+        api.run_fleet([("only", tiny_trace)], serial=True, workers=2)
+
+
+def test_unknown_keyword_gets_did_you_mean_hint(tiny_trace):
+    with pytest.raises(TypeError, match=r"did you mean 'window'\?"):
+        api.open_session(tiny_trace, windoww=6)
+    # No near-miss: still a TypeError, just without a hint.
+    with pytest.raises(TypeError, match=r"unexpected keyword 'zzz'"):
+        api.solve(tiny_trace, zzz=1)
+
+
+def test_no_deprecation_shims_remain_in_src():
+    """v1.1 acceptance: the facade has no warning-based compatibility path."""
+    src = Path(api.__file__).read_text(encoding="utf-8")
+    assert "DeprecationWarning" not in src
+    assert "warnings" not in src
 
 
 def test_facade_configs_are_frozen():

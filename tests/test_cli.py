@@ -201,13 +201,14 @@ class TestCommands:
         summary = json.loads(capsys.readouterr().out)
         assert summary["regime_detector"] == "noise-robust"
 
-    def test_bare_regime_flag_is_deprecated_alias_for_cusum(
-        self, trace_file, capsys
-    ):
-        with pytest.warns(DeprecationWarning, match="--regime cusum"):
-            assert main(["replay", trace_file, "--operations", "12",
-                         "--threshold", "10.0", "--regime"]) == 0
-        assert "regime detector:   cusum" in capsys.readouterr().out
+    def test_bare_regime_flag_is_a_hard_error(self, trace_file, capsys):
+        """The v1-era bare ``--regime`` alias for cusum is retired in v1.1."""
+        assert main(["replay", trace_file, "--operations", "12",
+                     "--threshold", "10.0", "--regime"]) == 1
+        err = capsys.readouterr().err
+        assert "--regime requires a detector name" in err
+        for name in ("cusum", "drift", "noise-robust", "signature"):
+            assert name in err
 
     def test_unknown_detector_lists_registry(self, trace_file, capsys):
         assert main(["replay", trace_file, "--regime", "kalman"]) == 1

@@ -58,6 +58,8 @@ class TestClusterReport:
             "retries": 0,
             "regime_shifts": 0,
             "regime_spikes": 0,
+            "stream_updates": 0,
+            "stream_fallbacks": 0,
         }
 
     def test_quarantined_summary_is_json_safe(self):
@@ -128,6 +130,8 @@ class TestFleetReport:
             "regime_shifts": 0,
             "regime_spikes": 0,
             "forced_recalibrations": 0,
+            "stream_updates": 0,
+            "stream_fallbacks": 0,
         }
         clusters = dict(rep.clusters)
         clusters["sick"] = ClusterReport(

@@ -1,0 +1,327 @@
+"""Unit tests for the streaming RPCA layer (``repro.core.streaming``).
+
+Covers the decomposer itself (seed/fold/refresh/rank growth/fallback
+reasons), the persistence payload round-trip, mode validation across every
+config surface, and the engine-level certification plumbing (cold-oracle
+parity, warm-start quarantine of streaming results).
+"""
+
+import numpy as np
+import pytest
+
+from repro.cloudsim.tracegen import TraceConfig, generate_trace
+from repro.core.decompose import decompose, decomposition_from_result
+from repro.core.engine import DecompositionEngine
+from repro.core.result import SolverResult
+from repro.core.streaming import (
+    ENGINE_MODES,
+    StreamingConfig,
+    StreamingDecomposer,
+    StreamResult,
+    stream_state_from_payload,
+    stream_state_to_payload,
+    validate_mode,
+)
+from repro.errors import ValidationError
+from repro.observability import Instrumentation, instrumented
+
+MB = 1024 * 1024
+
+
+def _rank1_stream(m=6, n=40, total=30, noise=1e-4, seed=0):
+    """Synthetic near-rank-1 rows: a fixed profile scaled per snapshot."""
+    rng = np.random.default_rng(seed)
+    profile = 1.0 + rng.random(n)
+    scales = 1.0 + 0.05 * rng.standard_normal(total)
+    rows = scales[:, None] * profile[None, :]
+    rows += noise * rng.standard_normal((total, n))
+    return rows
+
+
+def _seeded(rows, m=6, config=None):
+    """Decomposer seeded from a batch solve of the first *m* rows."""
+    window = rows[:m]
+    res = decompose_window(window)
+    dec = StreamingDecomposer((m, rows.shape[1]), config)
+    dec.seed(end=m, data=window, low_rank=res[0], sparse=res[1])
+    return dec
+
+
+def decompose_window(window):
+    from repro.core.solvers import solve_rpca
+
+    res = solve_rpca(window, solver="apg")
+    return res.low_rank, res.sparse
+
+
+class TestModeValidation:
+    def test_known_modes(self):
+        assert ENGINE_MODES == ("batch", "streaming")
+        for mode in ENGINE_MODES:
+            assert validate_mode(mode) == mode
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValidationError, match="unknown engine mode"):
+            validate_mode("online")
+
+    @pytest.mark.parametrize("bad", [
+        {"tolerance": 0.0},
+        {"tolerance": -1.0},
+        {"refresh_every": 0},
+        {"passes": 0},
+        {"growth_tol": -0.1},
+    ])
+    def test_config_validation(self, bad):
+        with pytest.raises(ValidationError):
+            StreamingConfig(**bad)
+
+    def test_engine_rejects_knobs_in_batch_mode(self, tiny_trace):
+        with pytest.raises(ValidationError, match="require mode='streaming'"):
+            DecompositionEngine(
+                tiny_trace, nbytes=MB, time_step=4, stream_tolerance=0.1
+            )
+        with pytest.raises(ValidationError, match="require mode='streaming'"):
+            DecompositionEngine(
+                tiny_trace, nbytes=MB, time_step=4, stream_refresh_every=4
+            )
+
+
+class TestStreamResultQuarantine:
+    def test_stream_result_is_not_a_solver_result(self):
+        r = StreamResult(
+            low_rank=np.ones((2, 4)), sparse=np.zeros((2, 4)),
+            rank=1, iterations=2, converged=True, residual=0.0,
+        )
+        assert not isinstance(r, SolverResult)
+        assert r.shape == (2, 4)
+
+    def test_decomposition_from_stream_result_cannot_seed_warm_start(
+        self, tiny_trace
+    ):
+        tp = tiny_trace.tp_matrix(MB, start=0, count=4)
+        low_rank, sparse = decompose_window(tp.data)
+        r = StreamResult(
+            low_rank=low_rank, sparse=sparse, rank=1,
+            iterations=2, converged=True, residual=0.0,
+        )
+        dec = decomposition_from_result(tp, r, solver="apg")
+        assert dec.solver_result is None
+
+
+class TestFold:
+    def test_folds_track_a_stable_stream(self):
+        rows = _rank1_stream()
+        dec = _seeded(rows)
+        for k in range(6, rows.shape[0]):
+            assert dec.fold(k, rows[k]) is None
+        st = dec.state
+        assert st.end == rows.shape[0]
+        assert st.updates == rows.shape[0] - 6
+        assert list(st.keys) == list(range(rows.shape[0] - 6, rows.shape[0]))
+        assert st.drift <= dec.config.tolerance
+
+    def test_fold_reconstruction_explains_the_window(self):
+        rows = _rank1_stream()
+        dec = _seeded(rows)
+        for k in range(6, rows.shape[0]):
+            assert dec.fold(k, rows[k]) is None
+        res = dec.as_result()
+        window = rows[-6:]
+        unexplained = window - res.low_rank - res.sparse
+        rel = np.abs(unexplained).sum() / np.abs(window).sum()
+        assert rel <= dec.config.tolerance
+
+    def test_sparse_spike_lands_in_sparse_not_subspace(self):
+        rows = _rank1_stream()
+        spiked = rows[6].copy()
+        spiked[3] *= 50.0  # one-entry interference burst
+        # 3 projection/shrinkage alternations: enough for a burst this hard
+        # to converge into the sparse term (2, the default, suffices for
+        # trace-scale spikes but lets an extreme one leak into a rank-1
+        # growth instead — still safe, just not what this test pins).
+        dec = _seeded(rows, config=StreamingConfig(passes=3))
+        rank_before = dec.state.rank
+        assert dec.fold(6, spiked) is None
+        st = dec.state
+        assert st.rank == rank_before  # no subspace pollution
+        assert abs(st.sparse[-1, 3]) > 1.0  # absorbed as sparse
+
+    def test_refresh_cadence_and_counter(self):
+        rows = _rank1_stream(total=30)
+        dec = _seeded(rows, config=StreamingConfig(refresh_every=4))
+        sink = Instrumentation("t")
+        with instrumented(sink):
+            for k in range(6, 18):
+                assert dec.fold(k, rows[k]) is None
+        assert sink.counters["kernel.stream.refreshes"] == 3
+
+    def test_rank_growth_within_predictor_bound(self):
+        rows = _rank1_stream(noise=0.0)
+        dec = _seeded(rows)
+        # A direction orthogonal to the near-rank-1 profile, large enough
+        # to exceed growth_tol but structured (not sparse): rank must grow.
+        novel = rows[6].copy()
+        novel[: 20] *= 1.5
+        rank_before = dec.state.rank
+        sink = Instrumentation("t")
+        with instrumented(sink):
+            reason = dec.fold(6, novel)
+        assert reason is None
+        assert dec.state.rank == rank_before + 1
+        assert sink.counters["kernel.stream.rank_growths"] == 1
+
+    def test_rank_fallback_past_predictor_bound(self):
+        rows = _rank1_stream(noise=0.0)
+        dec = _seeded(rows)
+        rng = np.random.default_rng(5)
+        reason = None
+        # Keep injecting fresh orthogonal structure; the predictor's bound
+        # (seed rank + 1 until a refresh re-observes) must eventually trip.
+        for k in range(6, 12):
+            novel = rows[k] * (1.0 + 0.8 * rng.random(rows.shape[1]))
+            reason = dec.fold(k, novel)
+            if reason is not None:
+                break
+        assert reason == "rank"
+        assert dec.state is None
+
+    def test_drift_fallback(self):
+        rows = _rank1_stream()
+        dec = _seeded(rows, config=StreamingConfig(tolerance=1e-9))
+        reason = dec.fold(6, rows[6])
+        assert reason == "drift"
+        assert dec.state is None
+
+    def test_fold_without_seed_raises(self):
+        dec = StreamingDecomposer((4, 10))
+        with pytest.raises(ValidationError, match="not seeded"):
+            dec.fold(4, np.ones(10))
+        with pytest.raises(ValidationError, match="not seeded"):
+            dec.as_result()
+
+
+class TestStatePersistence:
+    def test_payload_round_trip_is_bit_exact(self):
+        rows = _rank1_stream()
+        dec = _seeded(rows)
+        for k in range(6, 10):
+            dec.fold(k, rows[k])
+        st = dec.export_state()
+        arrays, meta = stream_state_to_payload(st)
+        back = stream_state_from_payload(
+            {k: v.copy() for k, v in arrays.items()}, dict(meta)
+        )
+        for name in ("basis", "coeffs", "sparse", "keys", "row_err"):
+            assert getattr(back, name).tobytes() == getattr(st, name).tobytes()
+        assert back.end == st.end and back.updates == st.updates
+        assert back.predictor.sv == st.predictor.sv
+        assert back.predictor.observations == st.predictor.observations
+
+    def test_imported_state_folds_bit_identically(self):
+        rows = _rank1_stream(total=30)
+        a = _seeded(rows)
+        for k in range(6, 12):
+            assert a.fold(k, rows[k]) is None
+        arrays, meta = stream_state_to_payload(a.export_state())
+        b = StreamingDecomposer(a.shape, a.config)
+        b.import_state(stream_state_from_payload(arrays, meta))
+        for k in range(12, rows.shape[0]):
+            assert a.fold(k, rows[k]) is None
+            assert b.fold(k, rows[k]) is None
+        ra, rb = a.as_result(), b.as_result()
+        assert np.array_equal(ra.low_rank, rb.low_rank)
+        assert np.array_equal(ra.sparse, rb.sparse)
+
+    def test_import_rejects_wrong_shape(self):
+        rows = _rank1_stream()
+        dec = _seeded(rows)
+        other = StreamingDecomposer((6, 13))
+        with pytest.raises(ValidationError, match="does not fit"):
+            other.import_state(dec.export_state())
+
+
+@pytest.fixture()
+def stream_trace():
+    return generate_trace(
+        TraceConfig(n_machines=6, n_snapshots=20), seed=11
+    )
+
+
+class TestEngineStreaming:
+    def test_plan_lifecycle(self, stream_trace):
+        eng = DecompositionEngine(
+            stream_trace, nbytes=MB, time_step=8, mode="streaming"
+        )
+        assert eng.stream_plan(9) == "solve"  # unseeded
+        eng.calibrate(8)
+        assert eng.stream_plan(9) == "fold"
+        assert eng.stream_plan(11) == "solve"  # gap
+        assert eng.stream_plan(21) == "solve"  # past the trace
+        with pytest.raises(ValidationError, match="cannot fold"):
+            eng.stream_fold(11)
+
+    def test_plan_requires_streaming_mode(self, stream_trace):
+        eng = DecompositionEngine(stream_trace, nbytes=MB, time_step=8)
+        with pytest.raises(ValidationError, match="mode='streaming'"):
+            eng.stream_plan(9)
+
+    def test_fold_matches_oracle_within_tolerance_and_counts(self, stream_trace):
+        sink = Instrumentation("t")
+        eng = DecompositionEngine(
+            stream_trace, nbytes=MB, time_step=8, mode="streaming",
+            instrumentation=sink,
+        )
+        eng.calibrate(8)
+        folds = 0
+        for end in range(9, 21):
+            if eng.stream_plan(end) != "fold":
+                eng.calibrate(end)
+                continue
+            dec, reason = eng.stream_fold(end)
+            if dec is None:
+                eng.calibrate(end)
+                continue
+            folds += 1
+            assert dec.solver_result is None
+            oracle = decompose(
+                stream_trace.tp_matrix(MB, start=end - 8, count=8)
+            )
+            scale = float(np.abs(oracle.constant.row).max())
+            diff = float(np.abs(dec.constant.row - oracle.constant.row).max())
+            assert diff <= eng.stream_config.tolerance * scale
+        assert folds > 0
+        assert sink.counters["kernel.stream.updates"] == folds
+        assert sink.timers["kernel.stream.update_seconds"] > 0.0
+
+    def test_fallback_calibrate_is_bit_identical_to_cold_oracle(
+        self, stream_trace
+    ):
+        eng = DecompositionEngine(
+            stream_trace, nbytes=MB, time_step=8, mode="streaming",
+            stream_tolerance=1e-9,  # every fold trips the drift ceiling
+        )
+        eng.calibrate(8)
+        dec, reason = eng.stream_fold(9)
+        assert dec is None and reason == "drift"
+        recal = eng.calibrate(9)
+        oracle = decompose(stream_trace.tp_matrix(MB, start=1, count=8))
+        assert np.array_equal(recal.constant.row, oracle.constant.row)
+
+    def test_reset_warm_state_drops_stream(self, stream_trace):
+        eng = DecompositionEngine(
+            stream_trace, nbytes=MB, time_step=8, mode="streaming"
+        )
+        eng.calibrate(8)
+        assert eng.export_stream_state() is not None
+        eng.reset_warm_state()
+        assert eng.export_stream_state() is None
+        assert eng.stream_plan(9) == "solve"
+
+    def test_import_stream_state_requires_streaming_mode(self, stream_trace):
+        streaming = DecompositionEngine(
+            stream_trace, nbytes=MB, time_step=8, mode="streaming"
+        )
+        streaming.calibrate(8)
+        batch = DecompositionEngine(stream_trace, nbytes=MB, time_step=8)
+        with pytest.raises(ValidationError, match="streaming"):
+            batch.import_stream_state(streaming.export_stream_state())
