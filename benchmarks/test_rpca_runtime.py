@@ -5,14 +5,16 @@ the experiments with 196 instances" (a 10 × 38416 matrix), and the RPCA
 calculation contributes <2% of total overhead. Our numpy solvers are far
 faster than that bound; the benchmark records the actual per-solve time.
 
-The backend matrix below additionally tracks the partial-SVD kernel layer
-(``repro.core.kernels``): each solver runs under the ``exact`` (historical
-full-``gesdd``) and ``auto`` (Gram-trick partial SVT) backends, and the
-final test writes ``BENCH_rpca.json`` at the repo root — mean solve time,
-iterations, SVD share (recorded for *every* backend, the exact full-SVD
-path included) and auto-vs-exact speedup per solver — so future PRs can
-track the perf trajectory. Numerical parity between the backends is
-asserted unconditionally; the ≥5x speedup target is only *asserted* when
+The backend matrix below tracks both pluggable kernel layers: each solver
+runs under combinations of the partial-SVD backend (``repro.core.kernels``,
+``exact`` vs ``auto``) and the elementwise backend
+(``repro.core.elementwise``, ``reference`` vs ``fused`` vs — when numba is
+installed — ``jit``). The final test writes ``BENCH_rpca.json`` at the repo
+root — mean solve time, iterations, SVD share *and* elementwise share per
+cell, plus auto-vs-exact and fused-vs-reference speedups per solver — so
+future PRs can track the perf trajectory. Numerical parity is asserted
+unconditionally (bit-identity for ``fused``, solver tolerance for ``auto``
+and ``jit``); the speedup targets are only *asserted* when
 ``REPRO_PERF_STRICT=1`` (CI runs record timings but fail on parity, not on
 a noisy shared runner's clock).
 """
@@ -26,17 +28,29 @@ import pytest
 from repro import observability
 from repro.cloudsim.tracegen import TraceConfig, generate_trace
 from repro.core.decompose import decompose
+from repro.core.elementwise import jit_available
 from repro.observability.benchrecord import bench_record, write_bench_json
 
 MB = 1024 * 1024
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_rpca.json"
-SPEEDUP_TARGET = 5.0
+SPEEDUP_TARGET = 5.0  # auto vs exact (SVD layer)
+EW_SPEEDUP_TARGET = 2.5  # auto+fused vs auto+reference (elementwise layer)
 ROUNDS = 3
 SEED = 196
 
+# The (svd_backend, elementwise_backend) cells each solver runs. "exact"
+# only pairs with "reference" (the bit-pinned historical loop has no step
+# seam for the elementwise kernel); the jit cell is skipped without numba.
+COMBOS = [
+    ("exact", "reference"),
+    ("auto", "reference"),
+    ("auto", "fused"),
+    ("auto", "jit"),
+]
+
 # Filled by the backend-matrix benchmarks, consumed (and written out) by
-# test_backend_speedup_and_emit below. Keyed by (solver, backend).
-_MATRIX: dict[tuple[str, str], dict] = {}
+# test_backend_speedup_and_emit below. Keyed by (solver, svd, ew).
+_MATRIX: dict[tuple[str, str, str], dict] = {}
 
 
 @pytest.fixture(scope="module")
@@ -54,15 +68,20 @@ def test_rpca_solver_runtime_196_instances(benchmark, tp_196, solver):
     assert stats.mean < 60.0
 
 
-@pytest.mark.parametrize("backend", ["exact", "auto"])
+@pytest.mark.parametrize("svd,ew", COMBOS)
 @pytest.mark.parametrize("solver", ["apg", "ialm"])
-def test_rpca_backend_matrix_196_instances(benchmark, tp_196, solver, backend):
-    """One (solver, backend) cell: benchmark it and record the diagnostics."""
-    sink = observability.Instrumentation(f"{solver}-{backend}")
+def test_rpca_backend_matrix_196_instances(benchmark, tp_196, solver, svd, ew):
+    """One (solver, svd, ew) cell: benchmark it and record the diagnostics."""
+    if ew == "jit" and not jit_available():
+        pytest.skip("numba not installed; jit elementwise cell skipped")
+    sink = observability.Instrumentation(f"{solver}-{svd}-{ew}")
+    ew_kwarg = None if ew == "reference" else ew
 
     def run():
         with observability.instrumented(sink):
-            return decompose(tp_196, solver=solver, svd_backend=backend)
+            return decompose(
+                tp_196, solver=solver, svd_backend=svd, elementwise_backend=ew_kwarg
+            )
 
     dec = benchmark.pedantic(run, rounds=ROUNDS, iterations=1, warmup_rounds=0)
     stats = benchmark.stats.stats
@@ -70,41 +89,53 @@ def test_rpca_backend_matrix_196_instances(benchmark, tp_196, solver, backend):
 
     total_seconds = float(sum(span.seconds for span in sink.spans))
     svt_seconds = sink.timers.get("kernel.svt_seconds")
-    _MATRIX[(solver, backend)] = {
+    ew_seconds = sink.timers.get("kernel.ew_seconds")
+
+    def share(seconds):
+        # Fraction of solve time spent in that kernel phase.
+        if seconds is None or total_seconds <= 0:
+            return None
+        return float(seconds / total_seconds)
+
+    _MATRIX[(solver, svd, ew)] = {
         "solver": solver,
-        "backend": backend,
+        "backend": svd,
+        "elementwise_backend": ew,
         "rounds": ROUNDS,
         "mean_seconds": float(stats.mean),
         "iterations": dec.solver_iterations,
         "rank": dec.solver_result.rank,
         "converged": dec.solver_converged,
-        # Fraction of solve time spent inside singular value thresholding.
-        # Both paths report it: partial backends time SVTKernel.svt, the
-        # exact path times its full-SVD shrinkage in the solver loop.
-        "svd_share": (
-            float(svt_seconds / total_seconds)
-            if svt_seconds is not None and total_seconds > 0
-            else None
-        ),
+        # Both SVT paths report svd_share: partial backends time
+        # SVTKernel.svt, the exact path times its full-SVD shrinkage.
+        # ew_share is the step-recurrence time outside SVT and norms.
+        "svd_share": share(svt_seconds),
+        "ew_share": share(ew_seconds),
         "full_width_svds": sink.counters.get("kernel.svt.full_width", 0),
         "constant_row": dec.constant.row,
     }
 
 
 def test_backend_speedup_and_emit(tp_196, emit):
-    """Parity across backends, the perf record, and the strict speedup gate.
+    """Parity across backends, the perf record, and the strict speedup gates.
 
     Runs after the matrix cells above (pytest executes in definition
-    order). Parity is unconditional; the ≥5x auto-vs-exact target is only
-    an assertion under ``REPRO_PERF_STRICT=1`` so CI fails on correctness,
-    not on a loaded runner's timings.
+    order). Parity is unconditional — bit-identity for fused, solver
+    tolerance for auto and jit; the speedup targets are only assertions
+    under ``REPRO_PERF_STRICT=1`` so CI fails on correctness, not on a
+    loaded runner's timings.
     """
-    assert len(_MATRIX) == 4, "backend matrix did not populate (run whole module)"
+    expected = 2 * (len(COMBOS) - (0 if jit_available() else 1))
+    assert len(_MATRIX) == expected, (
+        "backend matrix did not populate (run the whole module)"
+    )
 
-    speedups = {}
+    svd_speedups = {}
+    ew_speedups = {}
     for solver in ("apg", "ialm"):
-        exact = _MATRIX[(solver, "exact")]
-        auto = _MATRIX[(solver, "auto")]
+        exact = _MATRIX[(solver, "exact", "reference")]
+        auto = _MATRIX[(solver, "auto", "reference")]
+        fused = _MATRIX[(solver, "auto", "fused")]
         # Cold partial-backend solves agree with exact to solver tolerance.
         scale = float(np.abs(exact["constant_row"]).max())
         diff = float(np.abs(auto["constant_row"] - exact["constant_row"]).max())
@@ -114,9 +145,23 @@ def test_backend_speedup_and_emit(tp_196, emit):
         )
         assert auto["iterations"] == exact["iterations"]
         assert auto["rank"] == exact["rank"]
+        # The fused elementwise backend is bit-identical by contract.
+        assert np.array_equal(fused["constant_row"], auto["constant_row"]), (
+            f"{solver}: fused elementwise backend broke bit-parity"
+        )
+        assert fused["iterations"] == auto["iterations"]
+        assert fused["rank"] == auto["rank"]
+        if jit_available():
+            jit = _MATRIX[(solver, "auto", "jit")]
+            jdiff = float(np.abs(jit["constant_row"] - auto["constant_row"]).max())
+            assert jdiff <= 1e-6 * scale, (
+                f"{solver}: jit elementwise backend outside certification "
+                f"tolerance (max abs diff {jdiff:.3e} vs scale {scale:.3e})"
+            )
         # Steady state never falls back to a full-width SVD on this shape.
         assert auto["full_width_svds"] == 0
-        speedups[solver] = exact["mean_seconds"] / auto["mean_seconds"]
+        svd_speedups[solver] = exact["mean_seconds"] / auto["mean_seconds"]
+        ew_speedups[solver] = auto["mean_seconds"] / fused["mean_seconds"]
 
     record = bench_record(
         "rpca_runtime_196_instances",
@@ -124,7 +169,10 @@ def test_backend_speedup_and_emit(tp_196, emit):
         backend=None,  # per-cell backends live in "results"
         matrix_shape=[tp_196.data.shape[0], tp_196.data.shape[1]],
         speedup_target=SPEEDUP_TARGET,
-        speedup_auto_vs_exact={k: float(v) for k, v in speedups.items()},
+        ew_speedup_target=EW_SPEEDUP_TARGET,
+        speedup_auto_vs_exact={k: float(v) for k, v in svd_speedups.items()},
+        speedup_fused_vs_reference={k: float(v) for k, v in ew_speedups.items()},
+        jit_available=jit_available(),
         results=[
             {k: v for k, v in cell.items() if k != "constant_row"}
             for cell in _MATRIX.values()
@@ -134,28 +182,43 @@ def test_backend_speedup_and_emit(tp_196, emit):
 
     lines = [f"rpca backend matrix ({tp_196.data.shape}, {ROUNDS} rounds):"]
     for cell in record["results"]:
-        share = cell["svd_share"]
+
+        def fmt(share):
+            return "—" if share is None else f"{share:.0%}"
+
         lines.append(
             f"  {cell['solver']:<5} {cell['backend']:<6} "
+            f"{cell['elementwise_backend']:<9} "
             f"{cell['mean_seconds'] * 1e3:9.1f} ms  "
             f"{cell['iterations']:4d} iters  "
-            f"svd share {'—' if share is None else f'{share:.0%}'}"
+            f"svd {fmt(cell['svd_share'])}  ew {fmt(cell['ew_share'])}"
         )
     lines.append(
         "  speedup auto vs exact: "
-        + ", ".join(f"{s} {v:.1f}x" for s, v in speedups.items())
-        + f"  (target >= {SPEEDUP_TARGET}x, wrote {BENCH_JSON.name})"
+        + ", ".join(f"{s} {v:.1f}x" for s, v in svd_speedups.items())
+        + f"  (target >= {SPEEDUP_TARGET}x)"
+    )
+    lines.append(
+        "  speedup fused vs reference: "
+        + ", ".join(f"{s} {v:.2f}x" for s, v in ew_speedups.items())
+        + f"  (target >= {EW_SPEEDUP_TARGET}x, wrote {BENCH_JSON.name})"
     )
     emit("\n".join(lines))
 
-    best = max(speedups.values())
+    best_svd = max(svd_speedups.values())
+    best_ew = max(ew_speedups.values())
     if os.environ.get("REPRO_PERF_STRICT") == "1":
-        assert best >= SPEEDUP_TARGET, (
+        assert best_svd >= SPEEDUP_TARGET, (
             f"expected >= {SPEEDUP_TARGET}x auto-vs-exact speedup on at "
-            f"least one solver, measured {speedups}"
+            f"least one solver, measured {svd_speedups}"
         )
-    elif best < SPEEDUP_TARGET:
+        assert best_ew >= EW_SPEEDUP_TARGET, (
+            f"expected >= {EW_SPEEDUP_TARGET}x fused-vs-reference speedup "
+            f"on at least one solver, measured {ew_speedups}"
+        )
+    elif best_svd < SPEEDUP_TARGET or best_ew < EW_SPEEDUP_TARGET:
         pytest.skip(
-            f"speedup {best:.1f}x below {SPEEDUP_TARGET}x target but "
+            f"speedups (svd {best_svd:.1f}x / ew {best_ew:.2f}x) below "
+            f"targets ({SPEEDUP_TARGET}x / {EW_SPEEDUP_TARGET}x) but "
             "REPRO_PERF_STRICT not set (recorded, not enforced)"
         )

@@ -64,6 +64,7 @@ from .core import (
     BATCH_DTYPES,
     SolverResult,
     SVD_BACKENDS,
+    EW_BACKENDS,
     spectral_norm,
     rpca_apg,
     rpca_ialm,
@@ -137,6 +138,7 @@ __all__ = [
     "BATCH_DTYPES",
     "SolverResult",
     "SVD_BACKENDS",
+    "EW_BACKENDS",
     "spectral_norm",
     "rpca_apg",
     "rpca_ialm",

@@ -16,6 +16,9 @@ Public surface
   the individual solvers.
 * :class:`SVTKernel`, :class:`RankPredictor`, :data:`SVD_BACKENDS` — the
   pluggable partial-SVD kernel layer under the solvers (``svd_backend=``).
+* :class:`ElementwiseKernel`, :data:`EW_BACKENDS` — the pluggable
+  elementwise kernel layer for the step recurrences
+  (``elementwise_backend=``: reference / fused / optional numba jit).
 * :func:`relative_error_norm` — ``Norm(N_E)``, the effectiveness predictor.
 * :class:`MaintenanceController` — paper Algorithm 1 (adaptive update
   maintenance driven by expected-vs-real performance feedback).
@@ -47,6 +50,12 @@ from .kernels import (
     SolveWorkspace,
     SVTKernel,
     validate_backend,
+)
+from .elementwise import (
+    EW_BACKENDS,
+    ElementwiseKernel,
+    jit_available,
+    validate_ew_backend,
 )
 from .batch import (
     BATCH_DTYPES,
@@ -112,7 +121,11 @@ __all__ = [
     "spectral_norm",
     "truncated_svd",
     "SVD_BACKENDS",
+    "EW_BACKENDS",
     "BATCH_DTYPES",
+    "ElementwiseKernel",
+    "jit_available",
+    "validate_ew_backend",
     "BatchRankPredictor",
     "BatchedSVTKernel",
     "BatchedSolveWorkspace",

@@ -49,12 +49,16 @@ import numpy as np
 from .. import observability
 from .._validation import as_float_matrix, check_positive
 from ..errors import ConvergenceError, ValidationError
+from .elementwise import (
+    ElementwiseKernel,
+    check_ew_svd_compatible,
+    validate_ew_backend,
+)
 from .kernels import RankPredictor, SolveWorkspace, SVTKernel, validate_backend
 from .result import SolverResult
 from .svd_ops import (
     singular_value_threshold,
     soft_threshold,
-    soft_threshold_into,
     spectral_norm,
     truncated_svd,
 )
@@ -129,6 +133,7 @@ def rpca_apg(
     warm_mu_factor: float = 0.1,
     mask: np.ndarray | None = None,
     svd_backend: str = "exact",
+    elementwise_backend: str = "reference",
     rank_predictor: RankPredictor | None = None,
 ) -> SolverResult:
     """Decompose ``a ≈ D + E`` with the APG RPCA solver.
@@ -174,6 +179,14 @@ def rpca_apg(
         switch the iteration loop to a preallocated workspace and replace
         the init-time full SVD with a spectral-norm computation; results
         agree with ``"exact"`` to solver tolerance, not bit-for-bit.
+    elementwise_backend:
+        Elementwise kernel for the non-SVD parts of each iteration (see
+        :mod:`repro.core.elementwise`). ``"reference"`` (default) is the
+        historical ufunc chain; ``"fused"`` is bit-identical to it with
+        better cache locality; ``"jit"`` needs numba and is certified to
+        the same tolerance contract as the batch float32 mode. Anything
+        but ``"reference"`` requires a non-``exact`` *svd_backend* — the
+        exact loop is the bit-pinned historical path.
     rank_predictor:
         Adaptive rank-prediction state shared across solves (see
         :class:`~repro.core.kernels.RankPredictor`); used only by the
@@ -190,6 +203,8 @@ def rpca_apg(
     if max_iter < 1:
         raise ValueError("max_iter must be >= 1")
     validate_backend(svd_backend)
+    validate_ew_backend(elementwise_backend)
+    check_ew_svd_compatible(svd_backend, elementwise_backend)
     omega = validate_mask(mask, A.shape)
     if omega is not None:
         A = np.where(omega, A, 0.0)  # placeholder values must carry no signal
@@ -213,6 +228,7 @@ def rpca_apg(
             warm_mu_factor=warm_mu_factor,
             omega=omega,
             svd_backend=svd_backend,
+            elementwise_backend=elementwise_backend,
             rank_predictor=rank_predictor,
         )
 
@@ -295,77 +311,6 @@ def rpca_apg(
     )
 
 
-def _apg_step_unmasked(A, F, Fp, T, MD, ME, Dn, En, S, beta, tau_d, tau_e, svt):
-    """One unmasked APG iteration over preallocated buffers.
-
-    The shared recurrence of the single fast path and the batched path
-    (:mod:`repro.core.batch`): every array may carry a leading batch axis,
-    with *tau_d*/*tau_e* either scalars or per-matrix ``(B, 1, 1)``
-    thresholds and *svt* the matching thresholding callable (returns the
-    surviving rank, or a rank vector for a stack). Writes the new momentum
-    carrier ``D₊ − E₊`` into *Fp* (callers swap the names afterwards) and
-    the stationarity block ``S_D`` into *S*; the residual norm stays with
-    the caller, which is where single and batched paths differ.
-    """
-    # T = Y_D − Y_E = (1 + β)·F − β·F_prev
-    np.multiply(F, 1.0 + beta, out=T)
-    np.multiply(Fp, beta, out=S)
-    T -= S
-    # Proximal inputs: M_D = (T + A)/2, M_E = A − M_D.
-    np.add(T, A, out=MD)
-    MD *= 0.5
-    rank = svt(MD, tau_d, Dn)
-    np.subtract(A, MD, out=ME)
-    soft_threshold_into(ME, tau_e, out=En)
-    # Stationarity: S_D = T − (D₊ − E₊), ‖S‖ = √2·‖S_D‖.
-    np.subtract(Dn, En, out=Fp)
-    np.subtract(T, Fp, out=S)
-    return rank
-
-
-def _apg_step_masked(
-    A, omega, D, Dp, E, Ep, YD, YE, G, M, S, Dn, En, beta, tau_d, tau_e, svt, norms
-):
-    """One masked APG iteration over preallocated buffers.
-
-    Like :func:`_apg_step_unmasked` this serves both the single fast path
-    and the batched path. The two stationarity norms must be taken
-    mid-step (``G`` is reused between the blocks), so *norms* is a
-    Frobenius-norm callable — a scalar for a single matrix, a per-slice
-    vector for a stack — and the pair ``(rank, ‖S_D‖, ‖S_E‖)`` is returned.
-    """
-    np.subtract(D, Dp, out=YD)
-    YD *= beta
-    YD += D
-    np.subtract(E, Ep, out=YE)
-    YE *= beta
-    YE += E
-    # G = P_Ω(Y_D + Y_E − A)/2
-    np.add(YD, YE, out=G)
-    G -= A
-    G *= 0.5
-    G *= omega
-    np.subtract(YD, G, out=M)
-    rank = svt(M, tau_d, Dn)
-    np.subtract(YE, G, out=M)
-    soft_threshold_into(M, tau_e, out=En)
-    En *= omega  # a transient error needs a witness
-    # diff = P_Ω(D₊ + E₊ − Y_D − Y_E); S_X = 2(Y_X − X₊) + diff
-    np.add(Dn, En, out=S)
-    S -= YD
-    S -= YE
-    S *= omega
-    np.subtract(YD, Dn, out=G)
-    G *= 2.0
-    G += S
-    sd = norms(G)
-    np.subtract(YE, En, out=G)
-    G *= 2.0
-    G += S
-    se = norms(G)
-    return rank, sd, se
-
-
 def _rpca_apg_fast(
     A: np.ndarray,
     lam_v: float,
@@ -380,9 +325,10 @@ def _rpca_apg_fast(
     warm_mu_factor: float,
     omega: np.ndarray | None,
     svd_backend: str,
+    elementwise_backend: str = "reference",
     rank_predictor: RankPredictor | None,
 ) -> SolverResult:
-    """APG iteration over the partial-SVD kernel layer.
+    """APG iteration over the partial-SVD and elementwise kernel layers.
 
     Same mathematics as the exact loop above, restructured for speed:
 
@@ -398,13 +344,17 @@ def _rpca_apg_fast(
       expressions: with ``T = Y_D − Y_E`` the two proximal inputs are
       ``Y_D − G = (T + A)/2`` and ``Y_E − G = A − (Y_D − G)``, and the two
       stationarity blocks satisfy ``S_E = −S_D`` with
-      ``S_D = T − (D₊ − E₊)``, so one ``m × n`` pass replaces six.
+      ``S_D = T − (D₊ − E₊)``, so one ``m × n`` pass replaces six;
+    * the step recurrences themselves run on an
+      :class:`~repro.core.elementwise.ElementwiseKernel`, whose ``fused``
+      and ``jit`` backends cut the remaining full-array passes.
 
     The reordered floating-point arithmetic makes results agree with the
     exact path to solver tolerance (≈ ``tol`` on the relative residual),
     not bit-for-bit — which is why this path is opt-in via *svd_backend*.
     """
     kernel = SVTKernel(A.shape, svd_backend, rank_predictor=rank_predictor)
+    ew = ElementwiseKernel(elementwise_backend)
     ws = SolveWorkspace(A.shape)
 
     def svt_into(M: np.ndarray, tau: float, out: np.ndarray) -> int:
@@ -442,7 +392,7 @@ def _rpca_apg_fast(
         np.copyto(Fp, F)
         for iterations in range(1, max_iter + 1):
             beta = (t_prev - 1.0) / t
-            rank = _apg_step_unmasked(
+            rank = ew.apg_step_unmasked(
                 A, F, Fp, T, MD, ME, Dn, En, S,
                 beta, mu / 2.0, lam_v * mu / 2.0, svt_into,
             )
@@ -469,7 +419,7 @@ def _rpca_apg_fast(
         np.copyto(Ep, E0)
         for iterations in range(1, max_iter + 1):
             beta = (t_prev - 1.0) / t
-            rank, sd, se = _apg_step_masked(
+            rank, sd, se = ew.apg_step_masked(
                 A, omega, D, Dp, E, Ep, YD, YE, G, M, S, Dn, En,
                 beta, mu / 2.0, lam_v * mu / 2.0, svt_into, fro,
             )

@@ -6,9 +6,9 @@ A fleet monitoring many clusters re-runs Algorithm 1 on one small
 the rest is shrinkage/momentum/residual traffic), and a single 10 × 38416
 matrix is too small to keep the memory system busy. This module stacks B
 independent problems into one ``(B, m, n)`` tensor and runs the *same*
-per-iteration recurrence (:func:`repro.core.apg._apg_step_unmasked` and
-friends — shared with the single-matrix fast paths) over the stack, so every
-ufunc and GEMM touches B matrices per pass.
+per-iteration recurrence (the :class:`~repro.core.elementwise.ElementwiseKernel`
+step methods — shared with the single-matrix fast paths) over the stack, so
+every ufunc and GEMM touches B matrices per pass.
 
 Bit-parity design
 -----------------
@@ -59,13 +59,8 @@ import numpy as np
 from .. import observability
 from .._validation import as_float_matrix, check_positive
 from ..errors import ValidationError
-from .apg import (
-    _apg_step_masked,
-    _apg_step_unmasked,
-    default_lambda,
-    validate_mask,
-)
-from .ialm import _ialm_step_masked, _ialm_step_unmasked
+from .apg import default_lambda, validate_mask
+from .elementwise import ElementwiseKernel, validate_ew_backend
 from .kernels import _GRAM_MAX_SIDE, BatchedSVTKernel, BatchRankPredictor
 from .result import SolverResult
 from .solvers import solve_rpca
@@ -246,13 +241,15 @@ def _apg_batch(
     ws: BatchedSolveWorkspace,
     predictor: BatchRankPredictor,
     dtype: np.dtype,
+    ew: ElementwiseKernel,
 ) -> _StackResult:
     """Stacked APG loop over one homogeneous group (all-masked or all-unmasked).
 
     Same recurrence as :func:`repro.core.apg._rpca_apg_fast` — literally the
-    same step functions — with per-matrix scalars as ``(B,)`` vectors and
-    convergence dropout via swap-compaction. The FISTA momentum scalars
-    ``t``/``β`` depend only on the iteration index, so they stay global.
+    same :class:`~repro.core.elementwise.ElementwiseKernel` step methods —
+    with per-matrix scalars as ``(B,)`` vectors and convergence dropout via
+    swap-compaction. The FISTA momentum scalars ``t``/``β`` depend only on
+    the iteration index, so they stay global.
     """
     B, m, n = A0.shape
     masked = omega0 is not None
@@ -332,7 +329,7 @@ def _apg_batch(
         tau_d = (mu[:k] / 2.0).reshape(k, 1, 1)
         tau_e = (lam_v * mu[:k] / 2.0).reshape(k, 1, 1)
         if masked:
-            step_ranks, sd, se = _apg_step_masked(
+            step_ranks, sd, se = ew.apg_step_masked(
                 A[:k], omega[:k], D[:k], Dp[:k], E[:k], Ep[:k],
                 YD[:k], YE[:k], G[:k], M[:k], S[:k], Dn[:k], En[:k],
                 beta, tau_d, tau_e, svt, norms,
@@ -342,7 +339,7 @@ def _apg_batch(
             Ep, E, En = E, En, Ep
             state = (A, omega, D, Dp, E, Ep)
         else:
-            step_ranks = _apg_step_unmasked(
+            step_ranks = ew.apg_step_unmasked(
                 A[:k], F[:k], Fp[:k], T[:k], MD[:k], ME[:k],
                 Dn[:k], En[:k], S[:k], beta, tau_d, tau_e, svt,
             )
@@ -388,9 +385,10 @@ def _ialm_batch(
     ws: BatchedSolveWorkspace,
     predictor: BatchRankPredictor,
     dtype: np.dtype,
+    ew: ElementwiseKernel,
 ) -> _StackResult:
     """Stacked IALM loop over one homogeneous group; mirrors
-    :func:`repro.core.ialm._rpca_ialm_fast` via the shared step functions."""
+    :func:`repro.core.ialm._rpca_ialm_fast` via the shared step methods."""
     B, m, n = A0.shape
     masked = omega0 is not None
     p = "f32." if dtype == np.float32 else ""
@@ -458,12 +456,12 @@ def _ialm_batch(
         tau_e = (lam_v / mu[:k]).reshape(k, 1, 1)
         ratio = (mu[:k] / mu_next).reshape(k, 1, 1)
         if masked:
-            step_ranks = _ialm_step_masked(
+            step_ranks = ew.ialm_step_masked(
                 A[:k], omega[:k], D[:k], E[:k], W[:k], Yinv[:k], M[:k], Z[:k],
                 tau_d, tau_e, ratio, svt,
             )
         else:
-            step_ranks = _ialm_step_unmasked(
+            step_ranks = ew.ialm_step_unmasked(
                 A[:k], D[:k], E[:k], Yinv[:k], M[:k], Z[:k],
                 tau_d, tau_e, ratio, svt,
             )
@@ -501,8 +499,10 @@ def _solve_group(
     ws: BatchedSolveWorkspace,
     predictor: BatchRankPredictor,
     dtype: str,
+    elementwise_backend: str = "reference",
 ) -> _StackResult:
     """Run one homogeneous group, with the optional f32-iterate/f64-refine split."""
+    ew = ElementwiseKernel(elementwise_backend)
     if solver == "apg":
         def run(warm, loop_dtype, tol_override=None):
             return _apg_batch(
@@ -513,7 +513,7 @@ def _solve_group(
                 eta=kwargs.get("eta", 0.9),
                 mu_floor_factor=kwargs.get("mu_floor_factor", 1e-9),
                 warm=warm, warm_mu_factor=0.1,
-                ws=ws, predictor=predictor, dtype=loop_dtype,
+                ws=ws, predictor=predictor, dtype=loop_dtype, ew=ew,
             )
     else:
         def run(warm, loop_dtype, tol_override=None):
@@ -524,7 +524,7 @@ def _solve_group(
                 max_iter=kwargs.get("max_iter", 1000),
                 rho=kwargs.get("rho", 1.5),
                 warm=warm, warm_mu_steps=8.0,
-                ws=ws, predictor=predictor, dtype=loop_dtype,
+                ws=ws, predictor=predictor, dtype=loop_dtype, ew=ew,
             )
 
     if dtype == "float64":
@@ -549,6 +549,7 @@ def solve_rpca_batch(
     solver: str = "apg",
     lam: float | None = None,
     dtype: str = "float64",
+    elementwise_backend: str = "reference",
     workspace: BatchedSolveWorkspace | None = None,
     rank_predictor: BatchRankPredictor | None = None,
     context: str = "batch",
@@ -573,6 +574,12 @@ def solve_rpca_batch(
     dtype:
         ``"float64"`` (default — the bit-parity mode) or ``"float32"``
         (single-precision iterate + float64 refinement pass).
+    elementwise_backend:
+        Elementwise kernel for the stacked step recurrences — one of
+        :data:`repro.core.elementwise.EW_BACKENDS`. ``"fused"`` is
+        bit-identical to the default ``"reference"``; ``"jit"`` needs
+        numba. The per-matrix fallback ignores it (like *dtype*): fallback
+        solves run the certified per-matrix path as-is.
     workspace:
         A :class:`BatchedSolveWorkspace` of shape ``(B, m, n)`` to reuse
         across calls; allocated fresh when omitted.
@@ -625,6 +632,7 @@ def solve_rpca_batch(
         omegas = [validate_mask(mk, shape) for mk in masks]
     lam_v = default_lambda(shape) if lam is None else check_positive(lam, "lam")
     validate_batch_dtype(dtype)
+    validate_ew_backend(elementwise_backend)
 
     unsupported = set(solver_kwargs) - (
         _APG_BATCH_KWARGS if solver == "apg" else _IALM_BATCH_KWARGS
@@ -681,6 +689,7 @@ def solve_rpca_batch(
         res = _solve_group(
             solver, A0, omega0, lam_v, solver_kwargs,
             ws=workspace, predictor=rank_predictor, dtype=dtype,
+            elementwise_backend=elementwise_backend,
         )
         for gpos, i in enumerate(idx_list):
             group_results[i] = (res, gpos)

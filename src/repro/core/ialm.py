@@ -45,12 +45,16 @@ from .. import observability
 from .._validation import as_float_matrix, check_nonnegative, check_positive
 from ..errors import ConvergenceError
 from .apg import _unpack_warm_start, default_lambda, validate_mask
+from .elementwise import (
+    ElementwiseKernel,
+    check_ew_svd_compatible,
+    validate_ew_backend,
+)
 from .kernels import RankPredictor, SolveWorkspace, SVTKernel, validate_backend
 from .result import SolverResult
 from .svd_ops import (
     singular_value_threshold,
     soft_threshold,
-    soft_threshold_into,
     spectral_norm,
 )
 
@@ -72,6 +76,7 @@ def rpca_ialm(
     warm_mu_steps: float = 8.0,
     mask: np.ndarray | None = None,
     svd_backend: str = "exact",
+    elementwise_backend: str = "reference",
     rank_predictor: RankPredictor | None = None,
 ) -> SolverResult:
     """Decompose ``a ≈ D + E`` with the IALM RPCA solver.
@@ -110,6 +115,13 @@ def rpca_ialm(
         other backends route through :class:`~repro.core.kernels.SVTKernel`
         (partial SVD + preallocated workspace) and agree to solver
         tolerance rather than bitwise.
+    elementwise_backend:
+        Elementwise kernel for the non-SVD parts of each iteration — one
+        of :data:`repro.core.elementwise.EW_BACKENDS`. ``"reference"``
+        (default) is the historical ufunc chain; ``"fused"`` is
+        bit-identical with better cache locality; ``"jit"`` needs numba
+        and is certified to the batch-float32 tolerance contract. Anything
+        but ``"reference"`` requires a non-``exact`` *svd_backend*.
     rank_predictor:
         Optional :class:`~repro.core.kernels.RankPredictor` carried across
         solves (the engine passes one per TP-matrix shape) so warm
@@ -122,6 +134,8 @@ def rpca_ialm(
         raise ValueError(f"rho must exceed 1, got {rho}")
     check_nonnegative(warm_mu_steps, "warm_mu_steps")
     validate_backend(svd_backend)
+    validate_ew_backend(elementwise_backend)
+    check_ew_svd_compatible(svd_backend, elementwise_backend)
     omega = validate_mask(mask, A.shape)
     if omega is not None:
         A = np.where(omega, A, 0.0)  # placeholder values must carry no signal
@@ -144,6 +158,7 @@ def rpca_ialm(
             warm_mu_steps=warm_mu_steps,
             omega=omega,
             svd_backend=svd_backend,
+            elementwise_backend=elementwise_backend,
             rank_predictor=rank_predictor,
         )
 
@@ -210,53 +225,6 @@ def rpca_ialm(
     )
 
 
-def _ialm_step_unmasked(A, D, E, Yinv, M, Z, tau_d, tau_e, mu_ratio, svt):
-    """One unmasked IALM iteration over preallocated buffers.
-
-    The shared recurrence of the single fast path and the batched path
-    (:mod:`repro.core.batch`): arrays may carry a leading batch axis, with
-    *tau_d*/*tau_e*/*mu_ratio* scalars or per-matrix ``(B, 1, 1)`` values
-    and *svt* the matching thresholding callable. ``mu_ratio = μ_k/μ_{k+1}``
-    folds the dual ascent (see the caller's docstring); the feasibility gap
-    is left in *Z* for the caller's residual norm.
-    """
-    np.subtract(A, E, out=M)
-    M += Yinv
-    rank = svt(M, tau_d, D)
-    np.subtract(A, D, out=M)
-    M += Yinv
-    soft_threshold_into(M, tau_e, out=E)
-    np.subtract(A, D, out=Z)
-    Z -= E
-    # Folded dual ascent: Ȳ_{k+1} = (μ_k/μ_{k+1})·(Ȳ_k + Z_k).
-    Yinv += Z
-    Yinv *= mu_ratio
-    return rank
-
-
-def _ialm_step_masked(A, omega, D, E, W, Yinv, M, Z, tau_d, tau_e, mu_ratio, svt):
-    """One masked IALM iteration over preallocated buffers.
-
-    Batch-axis-capable like :func:`_ialm_step_unmasked`; *W* is the
-    completion-trick working matrix ``P_Ω(A) + P_Ω̄(D + E)``.
-    """
-    np.add(D, E, out=W)
-    np.copyto(W, A, where=omega)
-    np.subtract(W, E, out=M)
-    M += Yinv
-    rank = svt(M, tau_d, D)
-    np.subtract(A, D, out=M)
-    M += Yinv
-    soft_threshold_into(M, tau_e, out=E)
-    E *= omega
-    np.subtract(A, D, out=Z)
-    Z -= E
-    Z *= omega
-    Yinv += Z
-    Yinv *= mu_ratio
-    return rank
-
-
 def _rpca_ialm_fast(
     A: np.ndarray,
     lam_v: float,
@@ -270,11 +238,12 @@ def _rpca_ialm_fast(
     warm_mu_steps: float,
     omega: np.ndarray | None,
     svd_backend: str,
+    elementwise_backend: str = "reference",
     rank_predictor: RankPredictor | None,
 ) -> SolverResult:
-    """IALM iteration over the partial-SVD kernel layer.
+    """IALM iteration over the partial-SVD and elementwise kernel layers.
 
-    Same mathematics as the exact loop above with three changes:
+    Same mathematics as the exact loop above with four changes:
 
     * singular value thresholding goes through an
       :class:`~repro.core.kernels.SVTKernel` instead of a full ``gesdd``;
@@ -286,13 +255,17 @@ def _rpca_ialm_fast(
       ``Y ← Y + μZ`` followed by the division, but with every update
       written in place into a preallocated
       :class:`~repro.core.kernels.SolveWorkspace`, so steady-state
-      iterations allocate no new ``m × n`` temporaries.
+      iterations allocate no new ``m × n`` temporaries;
+    * the step recurrences run on an
+      :class:`~repro.core.elementwise.ElementwiseKernel`, whose ``fused``
+      and ``jit`` backends cut the remaining full-array passes.
 
     The reordered floating-point arithmetic agrees with the exact path to
     solver tolerance, not bit-for-bit — which is why this path is opt-in
     via *svd_backend*.
     """
     kernel = SVTKernel(A.shape, svd_backend, rank_predictor=rank_predictor)
+    ew = ElementwiseKernel(elementwise_backend)
     ws = SolveWorkspace(A.shape)
 
     def svt_into(M: np.ndarray, tau: float, out: np.ndarray) -> int:
@@ -330,12 +303,12 @@ def _rpca_ialm_fast(
         # so the next penalty value is fixed before the step runs.
         mu_next = min(mu * rho, mu_bar)
         if omega is None:
-            rank = _ialm_step_unmasked(
+            rank = ew.ialm_step_unmasked(
                 A, D, E, Yinv, M, Z,
                 1.0 / mu, lam_v / mu, mu / mu_next, svt_into,
             )
         else:
-            rank = _ialm_step_masked(
+            rank = ew.ialm_step_masked(
                 A, omega, D, E, W, Yinv, M, Z,
                 1.0 / mu, lam_v / mu, mu / mu_next, svt_into,
             )

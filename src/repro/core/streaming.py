@@ -51,8 +51,8 @@ import numpy as np
 
 from ..errors import ValidationError
 from ..observability import emit_count
+from .elementwise import ElementwiseKernel
 from .kernels import RankPredictor, SolveWorkspace
-from .svd_ops import soft_threshold
 
 __all__ = [
     "ENGINE_MODES",
@@ -208,11 +208,21 @@ class StreamingDecomposer:
     """
 
     def __init__(
-        self, shape: tuple[int, int], config: StreamingConfig | None = None
+        self,
+        shape: tuple[int, int],
+        config: StreamingConfig | None = None,
+        *,
+        elementwise_backend: str = "reference",
     ) -> None:
         self.shape = (int(shape[0]), int(shape[1]))
         self.config = config if config is not None else StreamingConfig()
         self.workspace = SolveWorkspace(self.shape)
+        # Per-fold shrinkage routes through the elementwise layer; the
+        # ``reference`` spelling is the historical soft_threshold, bit for
+        # bit, and fused/jit reuse kernel scratch rows (safe: the window
+        # slide copies the shrunk row via np.vstack).
+        self._ew = ElementwiseKernel(elementwise_backend)
+        self.elementwise_backend = self._ew.backend
         self.state: StreamState | None = None
 
     # -- seeding -----------------------------------------------------------
@@ -340,9 +350,8 @@ class StreamingDecomposer:
             return "drift"
         return None
 
-    @staticmethod
     def _project(
-        y: np.ndarray, basis: np.ndarray, passes: int
+        self, y: np.ndarray, basis: np.ndarray, passes: int
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Alternate subspace projection and robust shrinkage for one row."""
         s_row = np.zeros_like(y)
@@ -350,7 +359,7 @@ class StreamingDecomposer:
         for _ in range(passes):
             v = (y - s_row) @ basis.T
             resid = y - v @ basis
-            s_row = soft_threshold(resid, _robust_tau(resid))
+            s_row = self._ew.shrink(resid, _robust_tau(resid))
         return v, s_row, resid
 
     def _refresh(self, st: StreamState) -> None:

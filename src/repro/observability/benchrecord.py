@@ -29,7 +29,9 @@ from typing import Any, Iterable
 __all__ = ["BENCH_SCHEMA_VERSION", "bench_machine", "bench_record", "write_bench_json"]
 
 #: Bumped whenever the shared envelope changes shape.
-BENCH_SCHEMA_VERSION = 1
+#: v2: the machine block grew ``cpu_affinity`` and ``cpu_count`` became the
+#: schedulable-CPU count (the cgroup/affinity mask), not the host core count.
+BENCH_SCHEMA_VERSION = 2
 
 
 def _git_sha() -> str | None:
@@ -48,16 +50,37 @@ def _git_sha() -> str | None:
     return sha if proc.returncode == 0 and sha else None
 
 
+def _cpu_counts() -> tuple[int | None, int | None]:
+    """``(schedulable, host)`` CPU counts.
+
+    ``os.cpu_count()`` reports the host's cores even when the process is
+    pinned to a subset (CI runners, cgroup-limited containers, taskset) —
+    the wrong number for judging a perf record. The affinity mask is what
+    the benchmark actually ran on; both are recorded so two records can be
+    compared on either axis.
+    """
+    host = os.cpu_count()
+    try:
+        affinity: int | None = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # non-Linux or restricted runtime
+        affinity = None
+    return affinity, host
+
+
 def bench_machine() -> dict[str, Any]:
     """The machine/toolchain block shared by every BENCH record."""
     import numpy as np
 
+    affinity, host = _cpu_counts()
     return {
         "git_sha": _git_sha(),
         "python": platform.python_version(),
         "numpy": np.__version__,
         "platform": platform.platform(),
-        "cpu_count": os.cpu_count(),
+        # The count that governs perf: schedulable CPUs when knowable.
+        "cpu_count": affinity if affinity is not None else host,
+        "cpu_affinity": affinity,
+        "cpu_count_host": host,
         "perf_strict": os.environ.get("REPRO_PERF_STRICT") == "1",
     }
 

@@ -19,7 +19,7 @@ Three classes of guarantee are pinned here:
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
 from repro.core.apg import rpca_apg
@@ -229,9 +229,19 @@ def test_kernel_randomized_regrows_instead_of_undershooting():
 @given(seed=st.integers(0, 1000), tau_scale=st.floats(0.01, 1.5))
 @settings(max_examples=25, deadline=None)
 def test_kernel_rank_is_exact_for_all_backends(seed, tau_scale):
-    """Property: partial backends return the exact thresholded rank."""
+    """Property: partial backends return the exact thresholded rank.
+
+    Except at floating-point ties: when τ lands within a few ulps of a
+    singular value (hypothesis loves ``tau_scale=1.0``, which makes τ
+    bitwise equal to σ₁), "the" thresholded rank is ill-defined — gesdd
+    and the Gram route compute σ in different operation orders and may
+    disagree in the last ulp about which side of zero σ−τ falls on. Those
+    measure-zero examples are rejected, not asserted on.
+    """
     a = _rpca_problem(m=6, n=120, rank=2, seed=seed)
-    tau = tau_scale * float(np.linalg.norm(a, 2))
+    sigma = np.linalg.svd(a, compute_uv=False)
+    tau = tau_scale * float(sigma[0])
+    assume(float(np.abs(sigma - tau).min()) > 1e-9 * float(sigma[0]))
     _, rank_ref, _ = singular_value_threshold(a, tau)
     for backend in ("gram", "randomized"):
         _, rank, _ = SVTKernel(a.shape, backend).svt(a, tau)
